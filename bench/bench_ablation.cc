@@ -1,0 +1,137 @@
+// E11 -- ablation of the two ingredients Proposition 11's analysis rests
+// on: (a) MC filtering ("every recursive call filters all unsatisfiable
+// cases, so every intermediate result can be extended to a whole
+// solution") and (b) memoization ("intermediate results are never
+// recomputed"). Turning either off preserves correctness (enumerate_test
+// checks this) but forfeits output-sensitivity; this benchmark quantifies
+// how much.
+//
+// E12 -- enumeration delay (the paper's closing open question): time to
+// the FIRST answer vs time for the FULL answer set, for the ACQ
+// enumerator after its polynomial preprocessing.
+#include <benchmark/benchmark.h>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "fo/acq.h"
+#include "fo/enumerate.h"
+#include "hcl/answer.h"
+#include "tree/generators.h"
+
+namespace xpv {
+namespace {
+
+/// A query with a selective filter chain: most branches die, so MC
+/// filtering has real work to remove.
+hcl::HclPtr SelectiveQuery() {
+  using hcl::HclExpr;
+  return HclExpr::Compose(
+      HclExpr::Binary(hcl::MakeAxisQuery(Axis::kDescendant, "a")),
+      HclExpr::Compose(
+          HclExpr::Filter(HclExpr::Compose(
+              HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "b")),
+              HclExpr::Compose(
+                  HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "c")),
+                  HclExpr::Var("x")))),
+          HclExpr::Union(
+              HclExpr::Compose(
+                  HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "b")),
+                  HclExpr::Var("y")),
+              HclExpr::Compose(
+                  HclExpr::Binary(hcl::MakeAxisQuery(Axis::kDescendant, "c")),
+                  HclExpr::Var("y")))));
+}
+
+Tree MakeTree(std::size_t n) {
+  Rng rng(31);
+  RandomTreeOptions opts;
+  opts.num_nodes = n;
+  opts.alphabet_size = 3;
+  return RandomTree(rng, opts);
+}
+
+void RunConfig(benchmark::State& state, bool mc, bool memo) {
+  Tree t = MakeTree(static_cast<std::size_t>(state.range(0)));
+  hcl::HclPtr c = SelectiveQuery();
+  hcl::AnswerOptions options;
+  options.use_mc_filter = mc;
+  options.memoize_vals = memo;
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    hcl::QueryAnswerer answerer(t, *c, {"x", "y"}, options);
+    if (!answerer.Prepare().ok()) {
+      state.SkipWithError("prepare failed");
+      return;
+    }
+    auto result = answerer.Answer();
+    answers = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void BM_FullAlgorithm(benchmark::State& state) {
+  RunConfig(state, /*mc=*/true, /*memo=*/true);
+}
+BENCHMARK(BM_FullAlgorithm)->RangeMultiplier(2)->Range(32, 512);
+
+void BM_NoMcFilter(benchmark::State& state) {
+  RunConfig(state, /*mc=*/false, /*memo=*/true);
+}
+BENCHMARK(BM_NoMcFilter)->RangeMultiplier(2)->Range(32, 512);
+
+void BM_NoMemoization(benchmark::State& state) {
+  RunConfig(state, /*mc=*/true, /*memo=*/false);
+}
+BENCHMARK(BM_NoMemoization)->RangeMultiplier(2)->Range(32, 256);
+
+void BM_NeitherOptimization(benchmark::State& state) {
+  RunConfig(state, /*mc=*/false, /*memo=*/false);
+}
+BENCHMARK(BM_NeitherOptimization)->RangeMultiplier(2)->Range(32, 256);
+
+// ---- E12: enumeration delay ------------------------------------------
+
+fo::ConjunctiveQuery EnumQuery() {
+  fo::ConjunctiveQuery q;
+  q.atoms.push_back(
+      {hcl::MakeAxisQuery(Axis::kDescendant, "*"), "x", "y"});
+  q.atoms.push_back({hcl::MakeAxisQuery(Axis::kChild, "a"), "y", "z"});
+  q.output_vars = {"x", "y", "z"};
+  return q;
+}
+
+void BM_EnumFirstAnswer(benchmark::State& state) {
+  Tree t = MakeTree(static_cast<std::size_t>(state.range(0)));
+  fo::ConjunctiveQuery q = EnumQuery();
+  for (auto _ : state) {
+    auto e = fo::AcqEnumerator::Create(t, q);
+    benchmark::DoNotOptimize(e->Next());
+  }
+}
+BENCHMARK(BM_EnumFirstAnswer)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_EnumAllAnswers(benchmark::State& state) {
+  Tree t = MakeTree(static_cast<std::size_t>(state.range(0)));
+  fo::ConjunctiveQuery q = EnumQuery();
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    auto e = fo::AcqEnumerator::Create(t, q);
+    answers = 0;
+    while (e->Next()) ++answers;
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_EnumAllAnswers)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_EnumBatchBaseline(benchmark::State& state) {
+  Tree t = MakeTree(static_cast<std::size_t>(state.range(0)));
+  fo::ConjunctiveQuery q = EnumQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fo::AnswerAcqYannakakis(t, q));
+  }
+}
+BENCHMARK(BM_EnumBatchBaseline)->RangeMultiplier(4)->Range(64, 1024);
+
+}  // namespace
+}  // namespace xpv

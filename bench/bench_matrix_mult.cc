@@ -1,0 +1,109 @@
+// E3 -- ablation on the Section 4 remark about Boolean matrix
+// multiplication: the naive O(n^3) product vs the bit-packed word-parallel
+// product (n^3/64 word ops). The paper's theoretical pointer is
+// Coppersmith-Winograd O(n^2.376); bit-packing is the practical analogue
+// used by this library. Also measures the other matrix operations of the
+// M^t_P semantics (OR, complement, [.]-diagonal).
+#include <benchmark/benchmark.h>
+#include <cstdint>
+
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+
+namespace xpv {
+namespace {
+
+BitMatrix RandomMatrix(std::size_t n, std::uint64_t seed, int fill_divisor) {
+  Rng rng(seed);
+  BitMatrix m(n);
+  for (std::size_t k = 0; k < n * n / static_cast<std::size_t>(fill_divisor);
+       ++k) {
+    m.Set(rng.Below(n), rng.Below(n));
+  }
+  return m;
+}
+
+void BM_MultiplyBitPacked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  BitMatrix a = RandomMatrix(n, 1, 8);
+  BitMatrix b = RandomMatrix(n, 2, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Multiply(b));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MultiplyBitPacked)
+    ->RangeMultiplier(2)
+    ->Range(64, 2048)
+    ->Complexity();
+
+void BM_MultiplyNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  BitMatrix a = RandomMatrix(n, 1, 8);
+  BitMatrix b = RandomMatrix(n, 2, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MultiplyNaive(b));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MultiplyNaive)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Complexity();
+
+// Density sensitivity: the row-OR product skips empty rows, so sparse
+// relations (the common case for axis matrices) multiply faster.
+void BM_MultiplyByDensity(benchmark::State& state) {
+  const std::size_t n = 512;
+  const int divisor = static_cast<int>(state.range(0));
+  BitMatrix a = RandomMatrix(n, 1, divisor);
+  BitMatrix b = RandomMatrix(n, 2, divisor);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Multiply(b));
+  }
+  state.counters["fill_cells"] = static_cast<double>(a.Count());
+}
+BENCHMARK(BM_MultiplyByDensity)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ElementwiseOr(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  BitMatrix a = RandomMatrix(n, 1, 8);
+  BitMatrix b = RandomMatrix(n, 2, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Or(b));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ElementwiseOr)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Complement(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  BitMatrix a = RandomMatrix(n, 1, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Complement());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Complement)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_FilterDiagonal(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  BitMatrix a = RandomMatrix(n, 1, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.FilterDiagonal());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FilterDiagonal)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+}  // namespace xpv

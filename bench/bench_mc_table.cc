@@ -1,0 +1,99 @@
+// E4 -- Proposition 10: the MC satisfiability table is computable in
+// O(sum_b p(|b|,|t|) + |t|^2 (|D| + |Delta|)). Two sweeps: growing |t|
+// at a fixed query (the axis-leaf queries make the precompilation term
+// quadratic, so the whole Prepare should fit ~ |t|^2), and growing query
+// size at a fixed tree (linear).
+#include <benchmark/benchmark.h>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "hcl/answer.h"
+#include "tree/generators.h"
+
+namespace xpv {
+namespace {
+
+/// child::*/[descendant::a/x_i]/... -- a query with `width` filter
+/// conjuncts, each holding one variable.
+hcl::HclPtr FilterQuery(int width) {
+  hcl::HclPtr c = hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild));
+  for (int i = 0; i < width; ++i) {
+    hcl::HclPtr filter = hcl::HclExpr::Filter(hcl::HclExpr::Compose(
+        hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kDescendant, "a")),
+        hcl::HclExpr::Var("x" + std::to_string(i))));
+    c = hcl::HclExpr::Compose(std::move(c), std::move(filter));
+  }
+  return c;
+}
+
+std::vector<std::string> Vars(int width) {
+  std::vector<std::string> vars;
+  for (int i = 0; i < width; ++i) vars.push_back("x" + std::to_string(i));
+  return vars;
+}
+
+void BM_McTableTreeSize(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  RandomTreeOptions opts;
+  opts.num_nodes = n;
+  Tree t = RandomTree(rng, opts);
+  hcl::HclPtr c = FilterQuery(4);
+  for (auto _ : state) {
+    hcl::QueryAnswerer answerer(t, *c, Vars(4));
+    benchmark::DoNotOptimize(answerer.Prepare());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_McTableTreeSize)
+    ->RangeMultiplier(2)
+    ->Range(32, 2048)
+    ->Complexity();
+
+void BM_McTableQuerySize(benchmark::State& state) {
+  Rng rng(3);
+  RandomTreeOptions opts;
+  opts.num_nodes = 150;
+  Tree t = RandomTree(rng, opts);
+  const int width = static_cast<int>(state.range(0));
+  hcl::HclPtr c = FilterQuery(width);
+  for (auto _ : state) {
+    hcl::QueryAnswerer answerer(t, *c, Vars(width));
+    benchmark::DoNotOptimize(answerer.Prepare());
+  }
+  state.counters["hcl_size"] = static_cast<double>(c->Size());
+  state.SetComplexityN(static_cast<std::int64_t>(c->Size()));
+}
+BENCHMARK(BM_McTableQuerySize)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity(benchmark::oN);
+
+/// Union towers on the left of compositions: stresses the Lemma 3
+/// parameter sharing inside Prepare().
+void BM_McTableUnionTower(benchmark::State& state) {
+  Rng rng(3);
+  RandomTreeOptions opts;
+  opts.num_nodes = 150;
+  Tree t = RandomTree(rng, opts);
+  hcl::HclPtr c = hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "a"));
+  for (int i = 0; i < state.range(0); ++i) {
+    c = hcl::HclExpr::Compose(
+        hcl::HclExpr::Union(
+            hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild)),
+            hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kParent))),
+        std::move(c));
+  }
+  for (auto _ : state) {
+    hcl::QueryAnswerer answerer(t, *c, {});
+    benchmark::DoNotOptimize(answerer.Prepare());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(c->Size()));
+}
+BENCHMARK(BM_McTableUnionTower)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,110 @@
+// E5 -- Theorem 1 / Proposition 11: n-ary query answering costs
+// O((|D|+|Delta|) |t|^2 n |A|) -- polynomial in the OUTPUT size |A|, with
+// no |t|^n term. Three sweeps on restaurant-guide documents (the paper's
+// n-ary motivation):
+//   * growing tuple width n at fixed tree and near-constant |A|,
+//   * growing answer count |A| at fixed n (via more restaurants),
+//   * growing selectivity: same tree, |A| controlled by a rare label.
+#include <benchmark/benchmark.h>
+#include <cstdint>
+
+#include <string>
+
+#include "common/rng.h"
+#include "hcl/answer.h"
+#include "hcl/translate.h"
+#include "tree/generators.h"
+#include "xpath/parser.h"
+
+namespace xpv {
+namespace {
+
+std::string AttributeQuery(std::size_t n) {
+  std::string test;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) test += " and ";
+    test += "child::" + RestaurantAttributeName(i) + "[. is $x" +
+            std::to_string(i) + "]";
+  }
+  return "descendant::restaurant[" + test + "]";
+}
+
+std::vector<std::string> Vars(std::size_t n) {
+  std::vector<std::string> vars;
+  for (std::size_t i = 0; i < n; ++i) vars.push_back("x" + std::to_string(i));
+  return vars;
+}
+
+hcl::HclPtr CompileToHcl(const std::string& text) {
+  auto path = xpath::ParsePath(text);
+  auto c = hcl::PplToHcl(**path);
+  return std::move(c).value();
+}
+
+void BM_TupleWidth(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  Tree guide = RestaurantTree(rng, 80, 12);
+  hcl::HclPtr c = CompileToHcl(AttributeQuery(n));
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    auto result = hcl::AnswerQuery(guide, *c, Vars(n));
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["answers"] = static_cast<double>(answers);
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TupleWidth)->DenseRange(1, 10, 1)->Complexity(benchmark::oN);
+
+void BM_AnswerSetSize(benchmark::State& state) {
+  const std::size_t restaurants = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  Tree guide = RestaurantTree(rng, restaurants, 6);
+  const std::size_t n = 4;
+  hcl::HclPtr c = CompileToHcl(AttributeQuery(n));
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    auto result = hcl::AnswerQuery(guide, *c, Vars(n));
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["nodes"] = static_cast<double>(guide.size());
+  state.SetComplexityN(static_cast<std::int64_t>(answers));
+}
+BENCHMARK(BM_AnswerSetSize)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity();
+
+// Selectivity: same document, vary which label is demanded. Attribute i
+// is present with probability 7/8 for i >= 2, so longer attribute chains
+// mean fewer qualifying restaurants at equal tree size -- time should
+// track |A| down.
+void BM_Selectivity(benchmark::State& state) {
+  Rng rng(11);
+  Tree guide = RestaurantTree(rng, 200, 12);
+  const std::size_t demanded = static_cast<std::size_t>(state.range(0));
+  // Boolean-style query: restaurants having ALL of the first `demanded`
+  // attributes, selecting only the restaurant-identifying first attribute.
+  std::string test;
+  for (std::size_t i = 0; i < demanded; ++i) {
+    if (i > 0) test += " and ";
+    test += "child::" + RestaurantAttributeName(i);
+  }
+  test += " and child::name[. is $x0]";
+  hcl::HclPtr c = CompileToHcl("descendant::restaurant[" + test + "]");
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    auto result = hcl::AnswerQuery(guide, *c, {"x0"});
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Selectivity)->DenseRange(2, 12, 2);
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,100 @@
+// E2 -- Theorem 2 (query size factor): PPLbin answering is linear in |P|
+// at fixed |t|. Chains of composed steps, unions, and filters of growing
+// length on a fixed 200-node tree; fitted exponent over |P| should be
+// linear.
+#include <benchmark/benchmark.h>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "ppl/matrix_engine.h"
+#include "tree/generators.h"
+
+namespace xpv {
+namespace {
+
+Tree FixedTree() {
+  Rng rng(7);
+  RandomTreeOptions opts;
+  opts.num_nodes = 200;
+  opts.alphabet_size = 3;
+  return RandomTree(rng, opts);
+}
+
+/// (child::* union parent::*) composed `len` times: stays nonempty under
+/// composition, so no early degeneration to empty matrices.
+ppl::PplBinPtr ChainQuery(int len) {
+  auto step = [] {
+    return ppl::PplBinExpr::Union(ppl::PplBinExpr::Step(Axis::kChild, "*"),
+                                  ppl::PplBinExpr::Step(Axis::kParent, "*"));
+  };
+  ppl::PplBinPtr q = step();
+  for (int i = 1; i < len; ++i) {
+    q = ppl::PplBinExpr::Compose(std::move(q), step());
+  }
+  return q;
+}
+
+void BM_QuerySizeComposeChain(benchmark::State& state) {
+  Tree t = FixedTree();
+  ppl::PplBinPtr query = ChainQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ppl::MatrixEngine engine(t);
+    benchmark::DoNotOptimize(engine.Evaluate(*query));
+  }
+  state.counters["query_size"] = static_cast<double>(query->Size());
+  state.SetComplexityN(static_cast<std::int64_t>(query->Size()));
+}
+BENCHMARK(BM_QuerySizeComposeChain)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity(benchmark::oN);
+
+/// Filter towers: a[a[a[...]]] of growing depth.
+ppl::PplBinPtr FilterTower(int depth) {
+  ppl::PplBinPtr q = ppl::PplBinExpr::Step(Axis::kChild, "a");
+  for (int i = 0; i < depth; ++i) {
+    q = ppl::PplBinExpr::Compose(ppl::PplBinExpr::Step(Axis::kDescendant, "*"),
+                                 ppl::PplBinExpr::Filter(std::move(q)));
+  }
+  return q;
+}
+
+void BM_QuerySizeFilterTower(benchmark::State& state) {
+  Tree t = FixedTree();
+  ppl::PplBinPtr query = FilterTower(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ppl::MatrixEngine engine(t);
+    benchmark::DoNotOptimize(engine.Evaluate(*query));
+  }
+  state.counters["query_size"] = static_cast<double>(query->Size());
+  state.SetComplexityN(static_cast<std::int64_t>(query->Size()));
+}
+BENCHMARK(BM_QuerySizeFilterTower)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity(benchmark::oN);
+
+/// Complement alternation: except(except(...P)) -- exercises the operator
+/// Core XPath 1.0 lacks.
+void BM_QuerySizeComplementTower(benchmark::State& state) {
+  Tree t = FixedTree();
+  ppl::PplBinPtr query = ppl::PplBinExpr::Step(Axis::kChild, "a");
+  for (int i = 0; i < state.range(0); ++i) {
+    query = ppl::PplBinExpr::Union(
+        ppl::PplBinExpr::Complement(std::move(query)),
+        ppl::PplBinExpr::Step(Axis::kChild, "b"));
+  }
+  for (auto _ : state) {
+    ppl::MatrixEngine engine(t);
+    benchmark::DoNotOptimize(engine.Evaluate(*query));
+  }
+  state.counters["query_size"] = static_cast<double>(query->Size());
+  state.SetComplexityN(static_cast<std::int64_t>(query->Size()));
+}
+BENCHMARK(BM_QuerySizeComplementTower)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace xpv

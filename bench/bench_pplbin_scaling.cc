@@ -1,0 +1,82 @@
+// E1 -- Theorem 2 (complexity): PPLbin binary query answering is
+// O(|P| |t|^3). Fixed query suite, growing trees of several shapes; the
+// fitted complexity exponent over |t| should be cubic (the bit-packed
+// engine divides the constant by 64 but not the exponent).
+#include <benchmark/benchmark.h>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "ppl/matrix_engine.h"
+#include "ppl/pplbin.h"
+#include "tree/generators.h"
+#include "xpath/parser.h"
+
+namespace xpv {
+namespace {
+
+// A query mixing composition, union, filters and complement -- all four
+// matrix operations of Section 4.
+constexpr const char* kQueryText =
+    "descendant::a[not child::b]/child::* union "
+    "(descendant::b except child::b)[following_sibling::a]";
+
+ppl::PplBinPtr Query() {
+  auto path = xpath::ParsePath(kQueryText);
+  auto bin = ppl::FromXPath(**path);
+  return std::move(bin).value();
+}
+
+void BM_PplBinRandomTree(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  RandomTreeOptions opts;
+  opts.num_nodes = n;
+  Tree t = RandomTree(rng, opts);
+  ppl::PplBinPtr query = Query();
+  for (auto _ : state) {
+    ppl::MatrixEngine engine(t);
+    benchmark::DoNotOptimize(engine.Evaluate(*query));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PplBinRandomTree)
+    ->RangeMultiplier(2)
+    ->Range(50, 1600)
+    ->Complexity();
+
+void BM_PplBinPathTree(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Tree t = PathTree(n, "a");
+  ppl::PplBinPtr query = Query();
+  for (auto _ : state) {
+    ppl::MatrixEngine engine(t);
+    benchmark::DoNotOptimize(engine.Evaluate(*query));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PplBinPathTree)
+    ->RangeMultiplier(2)
+    ->Range(50, 1600)
+    ->Complexity();
+
+void BM_PplBinBibliography(benchmark::State& state) {
+  const std::size_t books = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  Tree t = BibliographyTree(rng, books);
+  auto path = xpath::ParsePath(
+      "descendant::book[child::author and not child::year]/child::*");
+  ppl::PplBinPtr query = std::move(ppl::FromXPath(**path)).value();
+  for (auto _ : state) {
+    ppl::MatrixEngine engine(t);
+    benchmark::DoNotOptimize(engine.Evaluate(*query));
+  }
+  state.counters["nodes"] = static_cast<double>(t.size());
+  state.SetComplexityN(static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_PplBinBibliography)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity();
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,82 @@
+// E8 -- Lemma 3: conversion to sharing normal form is linear time and
+// linear size, where naive distribution of unions over compositions,
+// (C1 u C2)/C => C1/C u C2/C, explodes exponentially. Measures conversion
+// time over union-tower depth and reports |D|+|Delta| next to the
+// naive-distribution size (computed arithmetically, not materialized).
+#include <benchmark/benchmark.h>
+#include <cstdint>
+
+#include <cmath>
+#include <functional>
+
+#include "hcl/sharing.h"
+
+namespace xpv {
+namespace {
+
+/// ((a u b)/((a u b)/(... /leaf))) -- d union factors on the left of
+/// nested compositions.
+hcl::HclPtr UnionTower(int depth) {
+  using hcl::HclExpr;
+  hcl::HclPtr c = HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "a"));
+  for (int i = 0; i < depth; ++i) {
+    c = HclExpr::Compose(
+        HclExpr::Union(HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "a")),
+                       HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "b"))),
+        std::move(c));
+  }
+  return c;
+}
+
+/// Size of the naive union-distribution normal form (no sharing), counted
+/// without building it: distributing (C1 u C2)/C copies C once per union
+/// branch, doubling per level.
+double NaiveDistributionSize(int depth) {
+  // Each level contributes 2 branches; the tail is copied 2^depth times.
+  // size(d) = 2 * size(d-1) + O(2^d); closed form ~ (depth + 1) * 2^depth.
+  return (static_cast<double>(depth) + 1.0) *
+         std::pow(2.0, static_cast<double>(depth));
+}
+
+void BM_SharingNormalForm(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  hcl::HclPtr c = UnionTower(depth);
+  std::size_t total_size = 0;
+  for (auto _ : state) {
+    hcl::SharingForm form = hcl::SharingForm::FromHcl(*c);
+    total_size = form.TotalSize();
+    benchmark::DoNotOptimize(form);
+  }
+  state.counters["input_size"] = static_cast<double>(c->Size());
+  state.counters["sharing_size"] = static_cast<double>(total_size);
+  state.counters["naive_distribution_size"] = NaiveDistributionSize(depth);
+  state.SetComplexityN(static_cast<std::int64_t>(c->Size()));
+}
+BENCHMARK(BM_SharingNormalForm)
+    ->RangeMultiplier(2)
+    ->Range(2, 256)
+    ->Complexity(benchmark::oN);
+
+/// Deep right-nested compositions without unions: the conversion is a
+/// plain reassociation, still linear.
+void BM_SharingNormalFormPlainChain(benchmark::State& state) {
+  using hcl::HclExpr;
+  const int depth = static_cast<int>(state.range(0));
+  hcl::HclPtr c = HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild));
+  for (int i = 0; i < depth; ++i) {
+    c = HclExpr::Compose(HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild)),
+                         std::move(c));
+  }
+  for (auto _ : state) {
+    hcl::SharingForm form = hcl::SharingForm::FromHcl(*c);
+    benchmark::DoNotOptimize(form);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(c->Size()));
+}
+BENCHMARK(BM_SharingNormalFormPlainChain)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace xpv

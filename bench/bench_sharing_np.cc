@@ -1,0 +1,115 @@
+// E7 -- Proposition 3: with variable sharing in compositions, query
+// non-emptiness encodes SAT and the only general evaluator is the
+// exponential one; PPL's NVS(/) restriction removes exactly this. Three
+// series:
+//   * naive evaluation of the SAT-reduction query, growing #variables
+//     (time grows like |t|^k -- the NP-hard regime),
+//   * brute-force SAT on the same formulas (the 2^k baseline),
+//   * a sharing-free PPL relaxation of the same query (checks each clause
+//     against SOME assignment rather than a consistent one), answered in
+//     polynomial time -- demonstrating what NVS(/) buys and what it costs
+//     in expressiveness.
+#include <benchmark/benchmark.h>
+#include <cstdint>
+
+#include <functional>
+
+#include "fo/sat_reduction.h"
+#include "hcl/answer.h"
+#include "hcl/translate.h"
+#include "xpath/eval.h"
+#include "xpath/fragment.h"
+
+namespace xpv {
+namespace {
+
+fo::CnfFormula MakeCnf(int num_vars) {
+  Rng rng(17);
+  // num_vars clauses of width 3: comfortably satisfiable density.
+  return fo::RandomCnf(rng, num_vars, num_vars, 3);
+}
+
+void BM_SharedVariablesNaive(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  fo::CnfFormula cnf = MakeCnf(k);
+  fo::SatReduction red = fo::ReduceSatToQueryNonEmptiness(cnf);
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    xpath::DirectEvaluator eval(red.tree);
+    auto result = eval.EvalNaryNaive(*red.query, red.tuple_vars);
+    answers = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["cnf_vars"] = static_cast<double>(k);
+  state.counters["tree_nodes"] = static_cast<double>(red.tree.size());
+  state.counters["answers"] = static_cast<double>(answers);
+}
+// |t| = 3k+1 and the naive evaluator enumerates |t|^k assignments:
+// k = 4 already costs 13^4 ~ 28k whole-query evaluations.
+BENCHMARK(BM_SharedVariablesNaive)->DenseRange(1, 4, 1);
+
+void BM_BruteForceSat(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  fo::CnfFormula cnf = MakeCnf(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fo::BruteForceSat(cnf));
+  }
+}
+BENCHMARK(BM_BruteForceSat)->DenseRange(4, 20, 4);
+
+/// The PPL relaxation: drop the variable sharing by renaming each clause's
+/// variables apart -- every clause then checks satisfiability against its
+/// OWN assignment. Nonemptiness becomes "each clause is individually
+/// satisfiable" (weaker than SAT), but the query is in PPL and answers in
+/// polynomial time however many variables there are.
+void BM_SharingFreeRelaxationPipeline(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  fo::CnfFormula cnf = MakeCnf(k);
+  fo::SatReduction red = fo::ReduceSatToQueryNonEmptiness(cnf);
+
+  // Rename variables apart per composition factor.
+  using xpath::PathExpr;
+  using xpath::PathKind;
+  int counter = 0;
+  std::function<void(PathExpr*)> rename_apart = [&](PathExpr* p) {
+    if (p->kind == PathKind::kCompose) {
+      rename_apart(p->left.get());
+      rename_apart(p->right.get());
+      return;
+    }
+    // Within one factor, rename every variable with a factor-unique
+    // suffix.
+    int factor = counter++;
+    std::function<void(PathExpr*)> rename = [&](PathExpr* q) {
+      if (q->kind == PathKind::kVar) q->var += "_" + std::to_string(factor);
+      if (q->left) rename(q->left.get());
+      if (q->right) rename(q->right.get());
+      if (q->test && q->test->path) rename(q->test->path.get());
+    };
+    rename(p);
+  };
+  xpath::PathPtr relaxed = red.query->Clone();
+  rename_apart(relaxed.get());
+  Status ppl_status = xpath::CheckPpl(*relaxed);
+  if (!ppl_status.ok()) {
+    state.SkipWithError(("relaxation not PPL: " + ppl_status.ToString()).c_str());
+    return;
+  }
+  auto c = hcl::PplToHcl(*relaxed);
+  if (!c.ok()) {
+    state.SkipWithError(c.status().ToString().c_str());
+    return;
+  }
+
+  for (auto _ : state) {
+    // Boolean query: is every clause individually satisfiable?
+    auto result = hcl::AnswerQuery(red.tree, **c, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["cnf_vars"] = static_cast<double>(k);
+  state.counters["tree_nodes"] = static_cast<double>(red.tree.size());
+}
+BENCHMARK(BM_SharingFreeRelaxationPipeline)->DenseRange(4, 20, 4);
+
+}  // namespace
+}  // namespace xpv

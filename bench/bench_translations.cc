@@ -1,0 +1,120 @@
+// E9 -- Proposition 5: the translations between PPL and HCL-(PPLbin) are
+// linear time with linear output size in both directions. Random PPL
+// expressions of growing size; counters report the size ratios.
+#include <benchmark/benchmark.h>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "hcl/translate.h"
+#include "tree/generators.h"
+#include "xpath/fragment.h"
+
+namespace xpv {
+namespace {
+
+/// Random PPL generator (NVS-respecting variable partitioning), as used by
+/// the integration tests.
+xpath::PathPtr RandomPpl(Rng& rng, std::vector<std::string> available,
+                         int depth) {
+  using xpath::PathExpr;
+  using xpath::TestExpr;
+  if (depth <= 0 || rng.Chance(1, 5)) {
+    if (!available.empty() && rng.Chance(1, 2)) {
+      return PathExpr::Filter(
+          PathExpr::Dot(),
+          TestExpr::Is(xpath::NodeRef::Dot(),
+                       xpath::NodeRef::Var(
+                           available[rng.Below(available.size())])));
+    }
+    return PathExpr::Step(kAllAxes[rng.Below(kAllAxes.size())],
+                          GeneratorLabel(rng.Below(3)));
+  }
+  switch (rng.Below(4)) {
+    case 0: {
+      std::vector<std::string> left, right;
+      for (auto& v : available) (rng.Chance(1, 2) ? left : right).push_back(v);
+      return PathExpr::Compose(RandomPpl(rng, left, depth - 1),
+                               RandomPpl(rng, right, depth - 1));
+    }
+    case 1:
+      return PathExpr::Union(RandomPpl(rng, available, depth - 1),
+                             RandomPpl(rng, available, depth - 1));
+    case 2: {
+      std::vector<std::string> left, right;
+      for (auto& v : available) (rng.Chance(1, 2) ? left : right).push_back(v);
+      return PathExpr::Filter(RandomPpl(rng, left, depth - 1),
+                              TestExpr::Path(RandomPpl(rng, right, depth - 1)));
+    }
+    default:
+      return PathExpr::Filter(
+          RandomPpl(rng, available, depth - 1),
+          TestExpr::Not(TestExpr::Path(RandomPpl(rng, {}, depth - 1))));
+  }
+}
+
+xpath::PathPtr MakeExpr(int depth) {
+  Rng rng(static_cast<std::uint64_t>(depth) * 97 + 13);
+  xpath::PathPtr p;
+  // Retry until the expression is reasonably sized at this depth.
+  do {
+    p = RandomPpl(rng, {"x", "y", "z"}, depth);
+  } while (p->Size() < static_cast<std::size_t>(depth));
+  return p;
+}
+
+void BM_Fig7PplToHcl(benchmark::State& state) {
+  xpath::PathPtr p = MakeExpr(static_cast<int>(state.range(0)));
+  std::size_t out_size = 0;
+  for (auto _ : state) {
+    auto c = hcl::PplToHcl(*p);
+    out_size = (*c)->Size();
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["in_size"] = static_cast<double>(p->Size());
+  state.counters["out_size"] = static_cast<double>(out_size);
+  state.SetComplexityN(static_cast<std::int64_t>(p->Size()));
+}
+BENCHMARK(BM_Fig7PplToHcl)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity(benchmark::oN);
+
+void BM_Prop5HclToPpl(benchmark::State& state) {
+  xpath::PathPtr p = MakeExpr(static_cast<int>(state.range(0)));
+  auto c = hcl::PplToHcl(*p);
+  std::size_t out_size = 0;
+  for (auto _ : state) {
+    auto back = hcl::HclToPpl(**c);
+    out_size = (*back)->Size();
+    benchmark::DoNotOptimize(back);
+  }
+  state.counters["in_size"] = static_cast<double>((*c)->Size());
+  state.counters["out_size"] = static_cast<double>(out_size);
+  state.SetComplexityN(static_cast<std::int64_t>((*c)->Size()));
+}
+BENCHMARK(BM_Prop5HclToPpl)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity(benchmark::oN);
+
+void BM_Fig4ToPplBin(benchmark::State& state) {
+  // Variable-free expressions for the Fig. 4 direction.
+  Rng rng(static_cast<std::uint64_t>(state.range(0)) * 31 + 7);
+  xpath::PathPtr p = RandomPpl(rng, {}, static_cast<int>(state.range(0)));
+  std::size_t out_size = 0;
+  for (auto _ : state) {
+    auto bin = ppl::FromXPath(*p);
+    out_size = (*bin)->Size();
+    benchmark::DoNotOptimize(bin);
+  }
+  state.counters["in_size"] = static_cast<double>(p->Size());
+  state.counters["out_size"] = static_cast<double>(out_size);
+  state.SetComplexityN(static_cast<std::int64_t>(p->Size()));
+}
+BENCHMARK(BM_Fig4ToPplBin)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace xpv

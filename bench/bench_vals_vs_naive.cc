@@ -1,0 +1,76 @@
+// E6 -- the polynomial vs exponential contrast behind Theorem 1: the
+// Section 7 vals() pipeline vs naive assignment enumeration (|t|^k full
+// evaluations) for the same HCL-(L) queries. The naive curve grows with
+// |t|^2 (two variables) times the per-evaluation matrix cost; the pipeline
+// stays near-quadratic overall, so the gap widens rapidly with |t|.
+#include <benchmark/benchmark.h>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "hcl/answer.h"
+#include "tree/generators.h"
+
+namespace xpv {
+namespace {
+
+/// descendant::a/[child::b/x]/[child::c/y] -- a 2-variable query with
+/// moderate selectivity on 3-letter random trees.
+hcl::HclPtr TwoVarQuery() {
+  using hcl::HclExpr;
+  return HclExpr::Compose(
+      HclExpr::Binary(hcl::MakeAxisQuery(Axis::kDescendant, "a")),
+      HclExpr::Compose(
+          HclExpr::Filter(HclExpr::Compose(
+              HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "b")),
+              HclExpr::Var("x"))),
+          HclExpr::Filter(HclExpr::Compose(
+              HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "c")),
+              HclExpr::Var("y")))));
+}
+
+Tree MakeTree(std::size_t n) {
+  Rng rng(5);
+  RandomTreeOptions opts;
+  opts.num_nodes = n;
+  opts.alphabet_size = 3;
+  return RandomTree(rng, opts);
+}
+
+void BM_ValsPipeline(benchmark::State& state) {
+  Tree t = MakeTree(static_cast<std::size_t>(state.range(0)));
+  hcl::HclPtr c = TwoVarQuery();
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    auto result = hcl::AnswerQuery(t, *c, {"x", "y"});
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.SetComplexityN(static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_ValsPipeline)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity();
+
+void BM_NaiveEnumeration(benchmark::State& state) {
+  Tree t = MakeTree(static_cast<std::size_t>(state.range(0)));
+  hcl::HclPtr c = TwoVarQuery();
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    auto result = hcl::EvalHclNaryNaive(t, *c, {"x", "y"});
+    answers = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.SetComplexityN(static_cast<std::int64_t>(t.size()));
+}
+// The naive evaluator is |t|^2 whole-query matrix evaluations: cap at 64
+// nodes to keep the benchmark runnable (already ~4096 evaluations there).
+BENCHMARK(BM_NaiveEnumeration)
+    ->RangeMultiplier(2)
+    ->Range(16, 64)
+    ->Complexity();
+
+}  // namespace
+}  // namespace xpv

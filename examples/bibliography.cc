@@ -1,0 +1,79 @@
+// Binary-query engines on a bibliography document (Section 4 of the
+// paper): evaluate variable-free queries -- including one that needs the
+// `except` complement, Core XPath 1.0 cannot express it -- with the
+// Boolean-matrix engine (Theorem 2), and cross-check the positive ones
+// with the linear-time Gottlob-Koch-Pichler successor-set engine.
+//
+//   build/examples/bibliography
+#include <cstdio>
+
+#include "common/timer.h"
+#include "ppl/gkp_engine.h"
+#include "ppl/matrix_engine.h"
+#include "tree/generators.h"
+#include "xpath/parser.h"
+
+int main() {
+  using namespace xpv;
+
+  Rng rng(7);
+  Tree bib = BibliographyTree(rng, 200);
+  std::printf("bibliography: %zu nodes, 200 books\n\n", bib.size());
+
+  struct NamedQuery {
+    const char* description;
+    const char* xpath;
+  };
+  const NamedQuery kQueries[] = {
+      {"books", "descendant::book"},
+      {"authors of books", "descendant::book/child::author"},
+      {"books with a year", "descendant::book[child::year]"},
+      {"books WITHOUT a year (needs except)",
+       "descendant::book[not child::year]"},
+      {"books minus books-with-publisher (binary except)",
+       "descendant::book except descendant::book[child::publisher]"},
+  };
+
+  ppl::MatrixEngine matrix(bib);
+  ppl::GkpEngine gkp(bib);
+
+  std::printf("%-48s %9s %12s %12s\n", "query", "answers", "matrix_ms",
+              "gkp_ms");
+  for (const auto& q : kQueries) {
+    Result<xpath::PathPtr> path = xpath::ParsePath(q.xpath);
+    if (!path.ok()) {
+      std::fprintf(stderr, "parse: %s\n", path.status().ToString().c_str());
+      return 1;
+    }
+    Result<ppl::PplBinPtr> bin = ppl::FromXPath(**path);
+    if (!bin.ok()) {
+      std::fprintf(stderr, "fig4: %s\n", bin.status().ToString().c_str());
+      return 1;
+    }
+
+    // Monadic query from the root, like an XPath 1.0 engine would run it.
+    Timer timer;
+    BitVector from_root = matrix.EvaluateFromRoot(**bin);
+    const double matrix_ms = timer.ElapsedMillis();
+
+    std::string gkp_ms = "n/a (except)";
+    if ((*bin)->IsPositive()) {
+      timer.Reset();
+      Result<BitVector> gkp_result = gkp.FromRoot(**bin);
+      gkp_ms = std::to_string(timer.ElapsedMillis());
+      if (!gkp_result.ok() || !(*gkp_result == from_root)) {
+        std::fprintf(stderr, "ENGINE MISMATCH on %s\n", q.xpath);
+        return 1;
+      }
+    }
+    std::printf("%-48s %9zu %12.2f %12s\n", q.description, from_root.Count(),
+                matrix_ms, gkp_ms.c_str());
+  }
+
+  std::printf(
+      "\nThe paper's point (Section 4): the GKP successor-set trick gives "
+      "linear-time\nevaluation for Core XPath 1.0, but `except` can occur "
+      "anywhere in PPLbin, so\nthe matrix algorithm handles the full "
+      "language at O(|P||t|^3/64).\n");
+  return 0;
+}

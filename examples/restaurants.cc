@@ -1,0 +1,96 @@
+// The paper's n-ary motivation (Section 1): "n can easily get up to 10 or
+// more, for instance, when querying for attributes of restaurants such as
+// name, address, phone number, ...". This example extracts n-tuples of
+// attribute nodes per restaurant for growing n and shows the
+// output-sensitive polynomial pipeline staying fast while the naive
+// |t|^n evaluator becomes unusable (it is run only for tiny n as a
+// cross-check).
+//
+//   build/examples/restaurants
+#include <cstdio>
+#include <string>
+
+#include "common/timer.h"
+#include "hcl/answer.h"
+#include "hcl/translate.h"
+#include "tree/generators.h"
+#include "xpath/eval.h"
+#include "xpath/parser.h"
+
+namespace {
+
+/// descendant::restaurant[child::name[. is $x1] and child::address[...]
+/// ... ] -- one conjunct per requested attribute.
+std::string BuildQuery(std::size_t n) {
+  std::string test;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) test += " and ";
+    test += "child::" + xpv::RestaurantAttributeName(i) + "[. is $x" +
+            std::to_string(i) + "]";
+  }
+  return "descendant::restaurant[" + test + "]";
+}
+
+std::vector<std::string> TupleVars(std::size_t n) {
+  std::vector<std::string> vars;
+  for (std::size_t i = 0; i < n; ++i) vars.push_back("x" + std::to_string(i));
+  return vars;
+}
+
+}  // namespace
+
+int main() {
+  using namespace xpv;
+
+  Rng rng(2024);
+  Tree guide = RestaurantTree(rng, 100, 12);
+  std::printf("restaurant guide: %zu nodes, 100 restaurants\n\n",
+              guide.size());
+  std::printf("%4s  %10s  %12s  %14s\n", "n", "answers", "pipeline_ms",
+              "naive_ms");
+
+  for (std::size_t n = 1; n <= 10; ++n) {
+    const std::string query = BuildQuery(n);
+    Result<xpath::PathPtr> path = xpath::ParsePath(query);
+    if (!path.ok()) {
+      std::fprintf(stderr, "parse: %s\n", path.status().ToString().c_str());
+      return 1;
+    }
+    Result<hcl::HclPtr> c = hcl::PplToHcl(**path);
+    if (!c.ok()) {
+      std::fprintf(stderr, "fig7: %s\n", c.status().ToString().c_str());
+      return 1;
+    }
+
+    Timer timer;
+    Result<xpath::TupleSet> answers =
+        hcl::AnswerQuery(guide, **c, TupleVars(n));
+    const double pipeline_ms = timer.ElapsedMillis();
+    if (!answers.ok()) {
+      std::fprintf(stderr, "answer: %s\n",
+                   answers.status().ToString().c_str());
+      return 1;
+    }
+
+    // The naive evaluator is |t|^n full-path evaluations; on a ~1000 node
+    // tree even n = 2 means ~10^6 matrix evaluations, so the cross-check
+    // runs only for n = 1.
+    std::string naive_ms = "skipped";
+    if (n <= 1) {
+      timer.Reset();
+      xpath::DirectEvaluator direct(guide);
+      xpath::TupleSet expected = direct.EvalNaryNaive(**path, TupleVars(n));
+      naive_ms = std::to_string(timer.ElapsedMillis());
+      if (expected != *answers) {
+        std::fprintf(stderr, "MISMATCH at n=%zu\n", n);
+        return 1;
+      }
+    }
+    std::printf("%4zu  %10zu  %12.2f  %14s\n", n, answers->size(),
+                pipeline_ms, naive_ms.c_str());
+  }
+  std::printf(
+      "\nThe pipeline time scales with n * |answers| (Theorem 1), not with "
+      "|t|^n.\n");
+  return 0;
+}

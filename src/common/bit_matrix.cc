@@ -1,0 +1,270 @@
+#include "common/bit_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xpv {
+
+void BitVector::Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+void BitVector::Fill() {
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  ClearPadding();
+}
+
+void BitVector::ClearPadding() {
+  if (size_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << (size_ % 64)) - 1;
+  }
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::AndWith(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::AndNotWith(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+void BitVector::Complement() {
+  for (auto& w : words_) w = ~w;
+  ClearPadding();
+}
+
+bool BitVector::None() const {
+  for (auto w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::size_t BitVector::Count() const {
+  std::size_t count = 0;
+  for (auto w : words_) count += static_cast<std::size_t>(__builtin_popcountll(w));
+  return count;
+}
+
+std::size_t BitVector::FirstSet() const { return NextSet(0); }
+
+std::size_t BitVector::NextSet(std::size_t from) const {
+  if (from >= size_) return size_;
+  std::size_t w = from >> 6;
+  std::uint64_t bits = words_[w] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (bits != 0) {
+      return w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits));
+    }
+    if (++w >= words_.size()) return size_;
+    bits = words_[w];
+  }
+}
+
+std::vector<std::uint32_t> BitVector::ToIndices() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(Count());
+  ForEachSet([&](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
+  return out;
+}
+
+BitMatrix BitMatrix::Identity(std::size_t n) {
+  BitMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) m.Set(i, i);
+  return m;
+}
+
+BitMatrix BitMatrix::Full(std::size_t n) {
+  BitMatrix m(n);
+  std::fill(m.words_.begin(), m.words_.end(), ~std::uint64_t{0});
+  for (std::size_t r = 0; r < n; ++r) m.ClearRowPadding(r);
+  return m;
+}
+
+void BitMatrix::ClearRowPadding(std::size_t row) {
+  if (n_ % 64 != 0 && words_per_row_ > 0) {
+    words_[row * words_per_row_ + words_per_row_ - 1] &=
+        (std::uint64_t{1} << (n_ % 64)) - 1;
+  }
+}
+
+BitMatrix BitMatrix::Multiply(const BitMatrix& other) const {
+  assert(n_ == other.n_);
+  BitMatrix out(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    std::uint64_t* out_row = &out.words_[r * words_per_row_];
+    ForEachInRow(r, [&](std::size_t k) {
+      const std::uint64_t* other_row = &other.words_[k * words_per_row_];
+      for (std::size_t w = 0; w < words_per_row_; ++w) out_row[w] |= other_row[w];
+    });
+  }
+  return out;
+}
+
+BitMatrix BitMatrix::MultiplyNaive(const BitMatrix& other) const {
+  assert(n_ == other.n_);
+  BitMatrix out(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t c = 0; c < n_; ++c) {
+      for (std::size_t k = 0; k < n_; ++k) {
+        if (Get(r, k) && other.Get(k, c)) {
+          out.Set(r, c);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BitMatrix BitMatrix::Or(const BitMatrix& other) const {
+  assert(n_ == other.n_);
+  BitMatrix out = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] |= other.words_[i];
+  return out;
+}
+
+BitMatrix BitMatrix::And(const BitMatrix& other) const {
+  assert(n_ == other.n_);
+  BitMatrix out = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] &= other.words_[i];
+  return out;
+}
+
+BitMatrix BitMatrix::AndNot(const BitMatrix& other) const {
+  assert(n_ == other.n_);
+  BitMatrix out = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] &= ~other.words_[i];
+  return out;
+}
+
+BitMatrix BitMatrix::Complement() const {
+  BitMatrix out = *this;
+  for (auto& w : out.words_) w = ~w;
+  for (std::size_t r = 0; r < n_; ++r) out.ClearRowPadding(r);
+  return out;
+}
+
+BitMatrix BitMatrix::FilterDiagonal() const {
+  BitMatrix out(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::uint64_t* row = &words_[r * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      if (row[w] != 0) {
+        out.Set(r, r);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+BitMatrix BitMatrix::Transpose() const {
+  BitMatrix out(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    ForEachInRow(r, [&](std::size_t c) { out.Set(c, r); });
+  }
+  return out;
+}
+
+BitMatrix BitMatrix::SelectRows(const BitVector& rows) const {
+  assert(rows.size() == n_);
+  BitMatrix out(n_);
+  rows.ForEachSet([&](std::size_t r) {
+    std::copy(words_.begin() + static_cast<std::ptrdiff_t>(r * words_per_row_),
+              words_.begin() + static_cast<std::ptrdiff_t>((r + 1) * words_per_row_),
+              out.words_.begin() + static_cast<std::ptrdiff_t>(r * words_per_row_));
+  });
+  return out;
+}
+
+BitMatrix BitMatrix::MaskColumns(const BitVector& cols) const {
+  assert(cols.size() == n_);
+  BitMatrix out = *this;
+  for (std::size_t r = 0; r < n_; ++r) {
+    std::uint64_t* row = &out.words_[r * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) row[w] &= cols.words()[w];
+  }
+  return out;
+}
+
+BitVector BitMatrix::ColumnUnion() const {
+  BitVector out(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::uint64_t* row = &words_[r * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      out.mutable_words()[w] |= row[w];
+    }
+  }
+  return out;
+}
+
+BitVector BitMatrix::NonEmptyRows() const {
+  BitVector out(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::uint64_t* row = &words_[r * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      if (row[w] != 0) {
+        out.Set(r);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+BitVector BitMatrix::ImageOf(const BitVector& rows) const {
+  assert(rows.size() == n_);
+  BitVector out(n_);
+  rows.ForEachSet([&](std::size_t r) {
+    const std::uint64_t* row = &words_[r * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      out.mutable_words()[w] |= row[w];
+    }
+  });
+  return out;
+}
+
+std::size_t BitMatrix::Count() const {
+  std::size_t count = 0;
+  for (auto w : words_) count += static_cast<std::size_t>(__builtin_popcountll(w));
+  return count;
+}
+
+bool BitMatrix::None() const {
+  for (auto w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+BitVector BitMatrix::Row(std::size_t row) const {
+  BitVector out(n_);
+  std::copy(words_.begin() + static_cast<std::ptrdiff_t>(row * words_per_row_),
+            words_.begin() + static_cast<std::ptrdiff_t>((row + 1) * words_per_row_),
+            out.mutable_words().begin());
+  return out;
+}
+
+void BitMatrix::OrIntoRow(std::size_t row, const BitVector& v) {
+  assert(v.size() == n_);
+  std::uint64_t* dst = &words_[row * words_per_row_];
+  for (std::size_t w = 0; w < words_per_row_; ++w) dst[w] |= v.words()[w];
+}
+
+std::string BitMatrix::ToString() const {
+  std::string out;
+  out.reserve(n_ * (n_ + 1));
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t c = 0; c < n_; ++c) out.push_back(Get(r, c) ? '1' : '0');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace xpv

@@ -1,0 +1,203 @@
+// Bit-packed square Boolean matrix over the semiring ({0,1}, OR, AND).
+//
+// This is the workhorse of the PPLbin evaluation algorithm (Section 4 of the
+// paper): a binary query over a tree t is represented as a |t| x |t| Boolean
+// matrix M with M[u][u'] = 1 iff (u, u') is selected. The paper's operations
+//
+//     M_{P1/P2}        = M_{P1} . M_{P2}        (Boolean product)
+//     M_{P1 union P2}  = M_{P1} + M_{P2}        (elementwise OR)
+//     M_{except P}     = not M_P                (elementwise complement)
+//     M_{[P]}          = [M_P]                  (diagonal of nonempty rows)
+//
+// are all provided here. Rows are packed 64 bits per word, so the naive
+// cubic product runs in |t|^3 / 64 word operations -- the practical analogue
+// of the paper's remark that fast Boolean matrix multiplication
+// (Coppersmith-Winograd) improves the exponent below 3.
+#ifndef XPV_COMMON_BIT_MATRIX_H_
+#define XPV_COMMON_BIT_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xpv {
+
+/// Bit-packed vector of booleans of fixed size; one row of a BitMatrix,
+/// also used standalone for node sets.
+class BitVector {
+ public:
+  BitVector() : size_(0) {}
+  explicit BitVector(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  bool Get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+  void Reset(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  void Assign(std::size_t i, bool v) {
+    if (v) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+
+  /// Sets all bits to 0.
+  void Clear();
+  /// Sets all bits in [0, size) to 1.
+  void Fill();
+
+  /// Elementwise operations; both operands must have equal size.
+  void OrWith(const BitVector& other);
+  void AndWith(const BitVector& other);
+  void AndNotWith(const BitVector& other);  // this &= ~other
+  /// Complements every bit (within [0, size)).
+  void Complement();
+
+  /// True iff no bit is set.
+  bool None() const;
+  /// True iff any bit is set.
+  bool Any() const { return !None(); }
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// Index of the first set bit, or size() when none.
+  std::size_t FirstSet() const;
+  /// Index of the first set bit at position >= from, or size() when none.
+  std::size_t NextSet(std::size_t from) const;
+
+  /// Invokes fn(i) for every set bit index i in increasing order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Collects set bit indices into a vector.
+  std::vector<std::uint32_t> ToIndices() const;
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::vector<std::uint64_t>& mutable_words() { return words_; }
+
+ private:
+  /// Zeroes bits at positions >= size_ in the last word so that whole-word
+  /// operations (complement, equality, counting) stay canonical.
+  void ClearPadding();
+
+  std::size_t size_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Square Boolean matrix with bit-packed rows.
+class BitMatrix {
+ public:
+  BitMatrix() : n_(0), words_per_row_(0) {}
+  explicit BitMatrix(std::size_t n)
+      : n_(n), words_per_row_((n + 63) / 64), words_(n * words_per_row_, 0) {}
+
+  /// Identity relation {(v, v)}.
+  static BitMatrix Identity(std::size_t n);
+  /// Full relation nodes x nodes.
+  static BitMatrix Full(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  bool Get(std::size_t row, std::size_t col) const {
+    return (words_[row * words_per_row_ + (col >> 6)] >> (col & 63)) & 1u;
+  }
+  void Set(std::size_t row, std::size_t col) {
+    words_[row * words_per_row_ + (col >> 6)] |=
+        (std::uint64_t{1} << (col & 63));
+  }
+  void Reset(std::size_t row, std::size_t col) {
+    words_[row * words_per_row_ + (col >> 6)] &=
+        ~(std::uint64_t{1} << (col & 63));
+  }
+
+  /// Boolean matrix product: this . other. Runs in O(n^3 / 64) word ops by
+  /// OR-ing whole rows of `other` for each set bit of a row of `this`.
+  BitMatrix Multiply(const BitMatrix& other) const;
+  /// Naive O(n^3) bit-at-a-time product; reference implementation used in
+  /// tests and in the matrix-multiplication ablation benchmark.
+  BitMatrix MultiplyNaive(const BitMatrix& other) const;
+
+  /// Elementwise OR / AND / AND-NOT.
+  BitMatrix Or(const BitMatrix& other) const;
+  BitMatrix And(const BitMatrix& other) const;
+  BitMatrix AndNot(const BitMatrix& other) const;
+  /// Elementwise complement (the paper's `except P`).
+  BitMatrix Complement() const;
+  /// The paper's [M]: diagonal matrix with [M][u][u] = 1 iff row u of M is
+  /// nonempty (used for filter expressions P[T]).
+  BitMatrix FilterDiagonal() const;
+  /// Transpose (inverse relation).
+  BitMatrix Transpose() const;
+
+  /// Restricts to rows whose index is in `rows` (other rows zeroed).
+  BitMatrix SelectRows(const BitVector& rows) const;
+  /// Clears every cell whose column is not in `cols` (name-test masking).
+  BitMatrix MaskColumns(const BitVector& cols) const;
+
+  /// OR of all rows: set of columns reachable from any row.
+  BitVector ColumnUnion() const;
+  /// Set of rows with at least one set bit (the domain of the relation).
+  BitVector NonEmptyRows() const;
+  /// image(N) = { u' | exists u in N, M[u][u'] }.
+  BitVector ImageOf(const BitVector& rows) const;
+
+  /// Number of set cells.
+  std::size_t Count() const;
+  /// True iff no cell is set.
+  bool None() const;
+
+  /// Row `row` as a BitVector copy.
+  BitVector Row(std::size_t row) const;
+  /// ORs `v` into row `row`.
+  void OrIntoRow(std::size_t row, const BitVector& v);
+  /// Invokes fn(col) for every set bit of `row`.
+  template <typename Fn>
+  void ForEachInRow(std::size_t row, Fn&& fn) const {
+    const std::uint64_t* base = &words_[row * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t bits = base[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  bool operator==(const BitMatrix& other) const {
+    return n_ == other.n_ && words_ == other.words_;
+  }
+
+  /// Multi-line 0/1 dump for debugging and test failure messages.
+  std::string ToString() const;
+
+ private:
+  void ClearRowPadding(std::size_t row);
+
+  std::size_t n_;
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_COMMON_BIT_MATRIX_H_

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generator (splitmix64 + xoshiro-style
+// mixing) used by tree/expression generators in tests and benchmarks.
+// std::mt19937 is avoided so random corpora are reproducible across
+// standard-library implementations.
+#ifndef XPV_COMMON_RNG_H_
+#define XPV_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace xpv {
+
+/// Small deterministic PRNG. Same seed => same sequence, everywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next 64 random bits (splitmix64).
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t Between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// True with probability num/den.
+  bool Chance(std::uint64_t num, std::uint64_t den) {
+    return Below(den) < num;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_COMMON_RNG_H_

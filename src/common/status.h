@@ -1,0 +1,142 @@
+// Lightweight Status / Result<T> error handling in the style of
+// absl::Status / arrow::Result. Used throughout the library for operations
+// that can fail for reasons other than programmer error (parsing, fragment
+// violations, malformed input). Programmer errors use assertions (XPV_DCHECK).
+#ifndef XPV_COMMON_STATUS_H_
+#define XPV_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xpv {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  // malformed input (bad syntax, bad parameters)
+  kFragmentViolation,  // expression outside the required language fragment
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status holds either "ok" or an error code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FragmentViolation(std::string msg) {
+    return Status(StatusCode::kFragmentViolation, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Result<T> holds either a value of type T or an error Status.
+/// Accessing the value of an errored Result is a programmer error.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design,
+  // mirrors absl::StatusOr ergonomics.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace xpv
+
+/// Propagates an error Status from an expression returning Status.
+#define XPV_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::xpv::Status _xpv_status = (expr);          \
+    if (!_xpv_status.ok()) return _xpv_status;   \
+  } while (0)
+
+/// Evaluates an expression returning Result<T>; on success binds the value,
+/// on error returns the Status.
+#define XPV_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto XPV_CONCAT_(_xpv_result, __LINE__) = (expr);             \
+  if (!XPV_CONCAT_(_xpv_result, __LINE__).ok())                 \
+    return XPV_CONCAT_(_xpv_result, __LINE__).status();         \
+  lhs = std::move(XPV_CONCAT_(_xpv_result, __LINE__)).value()
+
+#define XPV_CONCAT_IMPL_(a, b) a##b
+#define XPV_CONCAT_(a, b) XPV_CONCAT_IMPL_(a, b)
+
+#endif  // XPV_COMMON_STATUS_H_

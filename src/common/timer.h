@@ -1,0 +1,31 @@
+// Monotonic wall-clock timer for examples and ad-hoc measurements.
+// Benchmarks proper use google-benchmark; this is for printing timings in
+// example programs and the experiment harnesses.
+#ifndef XPV_COMMON_TIMER_H_
+#define XPV_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace xpv {
+
+/// Measures elapsed wall time since construction or the last Reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_COMMON_TIMER_H_

@@ -1,0 +1,91 @@
+#include "fo/ef_game.h"
+
+namespace xpv::fo {
+
+bool AtomicEquivalent(const ExtendedBinaryTree& a,
+                      const ExtendedBinaryTree& b) {
+  if (a.points.size() != b.points.size()) return false;
+  const BinaryTree& ta = *a.tree;
+  const BinaryTree& tb = *b.tree;
+  const std::size_t k = a.points.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    if (ta.label(a.points[i]) != tb.label(b.points[i])) return false;
+    for (std::size_t j = 0; j < k; ++j) {
+      const NodeId ai = a.points[i], aj = a.points[j];
+      const NodeId bi = b.points[i], bj = b.points[j];
+      if ((ai == aj) != (bi == bj)) return false;
+      if ((ta.child1(ai) == aj) != (tb.child1(bi) == bj)) return false;
+      if ((ta.child2(ai) == aj) != (tb.child2(bi) == bj)) return false;
+      if (ta.IsAncestorOrSelf(ai, aj) != tb.IsAncestorOrSelf(bi, bj)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool EfEquivalent(const ExtendedBinaryTree& a, const ExtendedBinaryTree& b,
+                  int rounds) {
+  if (!AtomicEquivalent(a, b)) return false;
+  if (rounds == 0) return true;
+  // Spoiler picks a structure and a node; Duplicator must answer in the
+  // other structure so the extended structures stay (rounds-1)-equivalent.
+  auto duplicator_answers =
+      [&](const ExtendedBinaryTree& spoiler_side,
+          const ExtendedBinaryTree& duplicator_side) -> bool {
+    for (NodeId pick = 0; pick < spoiler_side.tree->size(); ++pick) {
+      ExtendedBinaryTree sp = spoiler_side;
+      sp.points.push_back(pick);
+      bool answered = false;
+      for (NodeId reply = 0; reply < duplicator_side.tree->size(); ++reply) {
+        ExtendedBinaryTree du = duplicator_side;
+        du.points.push_back(reply);
+        if (EfEquivalent(sp, du, rounds - 1)) {
+          answered = true;
+          break;
+        }
+      }
+      if (!answered) return false;
+    }
+    return true;
+  };
+  return duplicator_answers(a, b) && duplicator_answers(b, a);
+}
+
+bool Lemma4Decompose(const BinaryTree& t, const std::vector<NodeId>& points,
+                     Lemma4Split* out) {
+  if (points.size() < 2) return false;
+  bool has_two_distinct = false;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i] != points[0]) {
+      has_two_distinct = true;
+      break;
+    }
+  }
+  if (!has_two_distinct) return false;
+
+  NodeId lca = points[0];
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    lca = t.LeastCommonAncestor(lca, points[i]);
+  }
+  out->lca = lca;
+  out->e_indices.clear();
+  out->l_indices.clear();
+  out->r_indices.clear();
+  const NodeId c1 = t.child1(lca);
+  const NodeId c2 = t.child2(lca);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i] == lca) {
+      out->e_indices.push_back(i);
+    } else if (c1 != kNoNode && t.IsAncestorOrSelf(c1, points[i])) {
+      out->l_indices.push_back(i);
+    } else if (c2 != kNoNode && t.IsAncestorOrSelf(c2, points[i])) {
+      out->r_indices.push_back(i);
+    } else {
+      return false;  // not below the lca's children: malformed
+    }
+  }
+  return true;
+}
+
+}  // namespace xpv::fo

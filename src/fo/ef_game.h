@@ -1,0 +1,60 @@
+// Ehrenfeucht-Fraisse games on binary trees -- the proof machinery of
+// Section 8 of the paper. The decomposition lemma (Lemma 4) is stated for
+// the FO logic over binary trees with signature
+//
+//     { (lab_a)_{a in Sigma}, ch1, ch2, ch* }
+//
+// and extended structures (t, v1..vk) with distinguished nodes. Two such
+// structures are n-equivalent, (t,v) ==_n (t',u), iff they satisfy the
+// same FO formulas of quantifier depth <= n; by the EF theorem, iff the
+// Duplicator wins the n-round EF game.
+//
+// EfEquivalent decides ==_n by exhaustive strategy search (exponential in
+// n -- meant for the small instances the Section 8 tests use).
+// Lemma4HypothesesHold / Lemma4Decompose implement the E/L/R splitting of
+// the lemma so its statement can be validated empirically.
+#ifndef XPV_FO_EF_GAME_H_
+#define XPV_FO_EF_GAME_H_
+
+#include <vector>
+
+#include "tree/binary_encoding.h"
+
+namespace xpv::fo {
+
+/// A binary tree with a tuple of distinguished nodes.
+struct ExtendedBinaryTree {
+  const BinaryTree* tree;
+  std::vector<NodeId> points;
+};
+
+/// Quantifier-free (atomic) equivalence of the distinguished tuples:
+/// labels, ch1/ch2 edges, ch* reachability and equalities must agree
+/// pairwise.
+bool AtomicEquivalent(const ExtendedBinaryTree& a,
+                      const ExtendedBinaryTree& b);
+
+/// (t, v) ==_n (t', u): Duplicator wins the n-round EF game. Exhaustive
+/// search -- O((|t||t'|)^n) positions; use small inputs.
+bool EfEquivalent(const ExtendedBinaryTree& a, const ExtendedBinaryTree& b,
+                  int rounds);
+
+/// The E/L/R decomposition of Lemma 4 for a tuple with at least two
+/// distinct nodes: va is the least common ancestor of the tuple; E indexes
+/// components equal to va, L those below its first child, R those below
+/// its second child. Returns false when the tuple has fewer than two
+/// distinct nodes, or when some component is neither va nor below one of
+/// its children (cannot happen for a true lca on a binary tree whose
+/// inner nodes all have two children, but guards partial trees).
+struct Lemma4Split {
+  NodeId lca;
+  std::vector<std::size_t> e_indices;
+  std::vector<std::size_t> l_indices;
+  std::vector<std::size_t> r_indices;
+};
+bool Lemma4Decompose(const BinaryTree& t, const std::vector<NodeId>& points,
+                     Lemma4Split* out);
+
+}  // namespace xpv::fo
+
+#endif  // XPV_FO_EF_GAME_H_

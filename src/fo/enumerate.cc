@@ -1,0 +1,144 @@
+#include "fo/enumerate.h"
+
+#include <set>
+
+#include "fo/acq_internal.h"
+
+namespace xpv::fo {
+
+using internal::Forest;
+using internal::ParentToChild;
+using internal::ReducedQuery;
+
+struct AcqEnumerator::Impl {
+  ReducedQuery rq;
+  Forest forest;
+  std::vector<int> output_ids;
+  std::size_t num_vars = 0;
+
+  // Resumable DFS state: current value per variable (in forest.order
+  // position), kNoNode when the frame is not yet entered. `depth` is the
+  // index of the next frame to fill; -1 marks exhaustion.
+  std::vector<NodeId> assignment;         // by var id
+  std::vector<BitVector> frame_choices;   // by order position
+  std::vector<std::size_t> frame_cursor;  // next candidate to try
+  int depth = 0;
+  bool exhausted = false;
+  bool started = false;
+
+  std::set<xpath::NodeTuple> seen;
+  std::size_t produced = 0;
+
+  /// Computes the candidate row for the variable at order position
+  /// `pos` given the current parent assignment.
+  BitVector ChoicesAt(std::size_t pos) const {
+    int var = forest.order[pos];
+    BitVector choices = rq.candidates[var];
+    if (forest.parent[var] >= 0) {
+      BitMatrix rel = ParentToChild(rq, forest, var);
+      choices.AndWith(rel.Row(assignment[forest.parent[var]]));
+    }
+    return choices;
+  }
+
+  /// Advances the DFS to the next full assignment; returns false when
+  /// exhausted.
+  bool NextAssignment() {
+    if (exhausted) return false;
+    const int num_frames = static_cast<int>(forest.order.size());
+    if (num_frames == 0) {
+      // No variables at all: exactly one (empty) assignment.
+      if (started) {
+        exhausted = true;
+        return false;
+      }
+      started = true;
+      return true;
+    }
+    if (!started) {
+      started = true;
+      depth = 0;
+      frame_choices[0] = ChoicesAt(0);
+      frame_cursor[0] = frame_choices[0].FirstSet();
+    } else {
+      // Resume by advancing the deepest frame.
+      depth = num_frames - 1;
+      frame_cursor[depth] =
+          frame_choices[depth].NextSet(frame_cursor[depth] + 1);
+    }
+    while (true) {
+      if (depth < 0) {
+        exhausted = true;
+        return false;
+      }
+      const std::size_t n = frame_choices[depth].size();
+      if (frame_cursor[depth] >= n) {
+        // Frame exhausted: backtrack.
+        assignment[forest.order[depth]] = kNoNode;
+        --depth;
+        if (depth >= 0) {
+          frame_cursor[depth] =
+              frame_choices[depth].NextSet(frame_cursor[depth] + 1);
+        }
+        continue;
+      }
+      assignment[forest.order[depth]] =
+          static_cast<NodeId>(frame_cursor[depth]);
+      if (depth + 1 == num_frames) return true;  // full assignment
+      ++depth;
+      frame_choices[depth] = ChoicesAt(static_cast<std::size_t>(depth));
+      frame_cursor[depth] = frame_choices[depth].FirstSet();
+    }
+  }
+
+  xpath::NodeTuple Project() const {
+    xpath::NodeTuple tuple(output_ids.size());
+    for (std::size_t i = 0; i < output_ids.size(); ++i) {
+      tuple[i] = assignment[output_ids[i]];
+    }
+    return tuple;
+  }
+};
+
+Result<AcqEnumerator> AcqEnumerator::Create(const Tree& t,
+                                            const ConjunctiveQuery& q) {
+  auto impl = std::make_unique<Impl>();
+  internal::VarUnionFind uf;
+  XPV_RETURN_IF_ERROR(internal::BuildReduced(t, q, &uf, &impl->rq));
+  if (!internal::BuildForest(impl->rq, &impl->forest)) {
+    return Status::InvalidArgument("query is cyclic: " + q.ToString());
+  }
+  internal::SemijoinReduce(impl->forest, &impl->rq);
+  for (const std::string& v : q.output_vars) {
+    impl->output_ids.push_back(impl->rq.var_id.at(uf.Find(v)));
+  }
+  impl->num_vars = impl->rq.vars.size();
+  impl->assignment.assign(impl->num_vars, kNoNode);
+  impl->frame_choices.assign(impl->forest.order.size(), BitVector(t.size()));
+  impl->frame_cursor.assign(impl->forest.order.size(), 0);
+  return AcqEnumerator(std::move(impl));
+}
+
+AcqEnumerator::AcqEnumerator(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+AcqEnumerator::AcqEnumerator(AcqEnumerator&&) noexcept = default;
+AcqEnumerator& AcqEnumerator::operator=(AcqEnumerator&&) noexcept = default;
+AcqEnumerator::~AcqEnumerator() = default;
+
+std::optional<xpath::NodeTuple> AcqEnumerator::Next() {
+  while (impl_->NextAssignment()) {
+    xpath::NodeTuple tuple = impl_->Project();
+    // Projection may collapse distinct assignments; skip duplicates. When
+    // every variable is an output variable, assignments are already
+    // distinct and this set stays insert-only-hit-free.
+    if (impl_->seen.insert(tuple).second) {
+      ++impl_->produced;
+      return tuple;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t AcqEnumerator::produced() const { return impl_->produced; }
+
+}  // namespace xpv::fo

@@ -1,0 +1,212 @@
+#include "fo/formula.h"
+
+#include <algorithm>
+
+namespace xpv::fo {
+
+namespace {
+
+FormulaPtr Make(FormulaKind kind) {
+  auto f = std::make_unique<Formula>();
+  f->kind = kind;
+  return f;
+}
+
+void Print(const Formula& f, std::string* out) {
+  switch (f.kind) {
+    case FormulaKind::kChStar:
+      *out += "ch*(" + f.x + "," + f.y + ")";
+      return;
+    case FormulaKind::kNsStar:
+      *out += "ns*(" + f.x + "," + f.y + ")";
+      return;
+    case FormulaKind::kLabel:
+      *out += "lab_" + f.label + "(" + f.x + ")";
+      return;
+    case FormulaKind::kNot:
+      *out += "~";
+      if (f.a->kind == FormulaKind::kAnd) {
+        *out += '(';
+        Print(*f.a, out);
+        *out += ')';
+      } else {
+        Print(*f.a, out);
+      }
+      return;
+    case FormulaKind::kAnd:
+      if (f.a->kind == FormulaKind::kAnd || f.a->kind == FormulaKind::kExists) {
+        *out += '(';
+        Print(*f.a, out);
+        *out += ')';
+      } else {
+        Print(*f.a, out);
+      }
+      *out += " & ";
+      if (f.b->kind == FormulaKind::kAnd || f.b->kind == FormulaKind::kExists) {
+        *out += '(';
+        Print(*f.b, out);
+        *out += ')';
+      } else {
+        Print(*f.b, out);
+      }
+      return;
+    case FormulaKind::kExists:
+      *out += "E" + f.x + ".";
+      Print(*f.a, out);
+      return;
+  }
+}
+
+void Collect(const Formula& f, const std::set<std::string>& bound,
+             std::set<std::string>* out) {
+  switch (f.kind) {
+    case FormulaKind::kChStar:
+    case FormulaKind::kNsStar:
+      if (!bound.contains(f.x)) out->insert(f.x);
+      if (!bound.contains(f.y)) out->insert(f.y);
+      return;
+    case FormulaKind::kLabel:
+      if (!bound.contains(f.x)) out->insert(f.x);
+      return;
+    case FormulaKind::kNot:
+      Collect(*f.a, bound, out);
+      return;
+    case FormulaKind::kAnd:
+      Collect(*f.a, bound, out);
+      Collect(*f.b, bound, out);
+      return;
+    case FormulaKind::kExists: {
+      std::set<std::string> bound2 = bound;
+      bound2.insert(f.x);
+      Collect(*f.a, bound2, out);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+FormulaPtr Formula::ChStar(std::string_view x, std::string_view y) {
+  auto f = Make(FormulaKind::kChStar);
+  f->x = std::string(x);
+  f->y = std::string(y);
+  return f;
+}
+
+FormulaPtr Formula::NsStar(std::string_view x, std::string_view y) {
+  auto f = Make(FormulaKind::kNsStar);
+  f->x = std::string(x);
+  f->y = std::string(y);
+  return f;
+}
+
+FormulaPtr Formula::Label(std::string_view x, std::string_view label) {
+  auto f = Make(FormulaKind::kLabel);
+  f->x = std::string(x);
+  f->label = std::string(label);
+  return f;
+}
+
+FormulaPtr Formula::Not(FormulaPtr inner) {
+  auto f = Make(FormulaKind::kNot);
+  f->a = std::move(inner);
+  return f;
+}
+
+FormulaPtr Formula::And(FormulaPtr l, FormulaPtr r) {
+  auto f = Make(FormulaKind::kAnd);
+  f->a = std::move(l);
+  f->b = std::move(r);
+  return f;
+}
+
+FormulaPtr Formula::Exists(std::string_view x, FormulaPtr body) {
+  auto f = Make(FormulaKind::kExists);
+  f->x = std::string(x);
+  f->a = std::move(body);
+  return f;
+}
+
+FormulaPtr Formula::Or(FormulaPtr l, FormulaPtr r) {
+  return Not(And(Not(std::move(l)), Not(std::move(r))));
+}
+
+FormulaPtr Formula::Eq(std::string_view x, std::string_view y) {
+  return And(ChStar(x, y), ChStar(y, x));
+}
+
+FormulaPtr Formula::Child(std::string_view x, std::string_view y) {
+  // ch*(x,y) & x != y & ~ exists z. (ch*(x,z) & z != x & ch*(z,y) & z != y)
+  const std::string z = std::string(x) + "_" + std::string(y) + "_mid";
+  return And(
+      And(ChStar(x, y), Not(Eq(x, y))),
+      Not(Exists(z, And(And(ChStar(x, z), Not(Eq(z, x))),
+                        And(ChStar(z, y), Not(Eq(z, y)))))));
+}
+
+FormulaPtr Formula::Clone() const {
+  auto f = std::make_unique<Formula>();
+  f->kind = kind;
+  f->x = x;
+  f->y = y;
+  f->label = label;
+  if (a) f->a = a->Clone();
+  if (b) f->b = b->Clone();
+  return f;
+}
+
+bool Formula::Equals(const Formula& other) const {
+  if (kind != other.kind || x != other.x || y != other.y ||
+      label != other.label) {
+    return false;
+  }
+  if ((a == nullptr) != (other.a == nullptr)) return false;
+  if ((b == nullptr) != (other.b == nullptr)) return false;
+  if (a && !a->Equals(*other.a)) return false;
+  if (b && !b->Equals(*other.b)) return false;
+  return true;
+}
+
+std::size_t Formula::Size() const {
+  std::size_t size = 1;
+  if (a) size += a->Size();
+  if (b) size += b->Size();
+  return size;
+}
+
+std::size_t Formula::QuantifierRank() const {
+  switch (kind) {
+    case FormulaKind::kChStar:
+    case FormulaKind::kNsStar:
+    case FormulaKind::kLabel:
+      return 0;
+    case FormulaKind::kNot:
+      return a->QuantifierRank();
+    case FormulaKind::kAnd:
+      return std::max(a->QuantifierRank(), b->QuantifierRank());
+    case FormulaKind::kExists:
+      return 1 + a->QuantifierRank();
+  }
+  return 0;
+}
+
+std::string Formula::ToString() const {
+  std::string out;
+  Print(*this, &out);
+  return out;
+}
+
+bool Formula::IsQuantifierFree() const {
+  if (kind == FormulaKind::kExists) return false;
+  if (a && !a->IsQuantifierFree()) return false;
+  if (b && !b->IsQuantifierFree()) return false;
+  return true;
+}
+
+std::set<std::string> FreeVars(const Formula& f) {
+  std::set<std::string> out;
+  Collect(f, {}, &out);
+  return out;
+}
+
+}  // namespace xpv::fo

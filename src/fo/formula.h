@@ -1,0 +1,70 @@
+// First-order logic over unranked trees, exactly the abstract syntax of
+// Section 2 of the paper:
+//
+//   phi := ns*(x,y) | ch*(x,y) | lab_a(x) | not phi | phi1 and phi2
+//        | exists x. phi
+//
+// with judgments t, alpha |= phi in the usual Tarskian manner. The
+// signature {ch*, ns*, lab_a} suffices: all XPath axes and node equality
+// are FO-definable from it (derived constructors below).
+#ifndef XPV_FO_FORMULA_H_
+#define XPV_FO_FORMULA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "tree/tree.h"
+
+namespace xpv::fo {
+
+enum class FormulaKind {
+  kChStar,  // ch*(x, y): x is an ancestor-or-self of y
+  kNsStar,  // ns*(x, y): y is a following-sibling-or-self of x
+  kLabel,   // lab_a(x)
+  kNot,
+  kAnd,
+  kExists,
+};
+
+using FormulaPtr = std::unique_ptr<struct Formula>;
+
+/// An FO formula over unranked trees (Section 2 syntax).
+struct Formula {
+  FormulaKind kind;
+
+  std::string x, y;    // kChStar/kNsStar (x,y); kLabel (x); kExists (x)
+  std::string label;   // kLabel
+  FormulaPtr a, b;     // kNot (a), kAnd (a,b), kExists (a)
+
+  static FormulaPtr ChStar(std::string_view x, std::string_view y);
+  static FormulaPtr NsStar(std::string_view x, std::string_view y);
+  static FormulaPtr Label(std::string_view x, std::string_view label);
+  static FormulaPtr Not(FormulaPtr f);
+  static FormulaPtr And(FormulaPtr l, FormulaPtr r);
+  static FormulaPtr Exists(std::string_view x, FormulaPtr body);
+
+  // Derived connectives and relations (definable in the core syntax).
+  static FormulaPtr Or(FormulaPtr l, FormulaPtr r);
+  /// x = y as ch*(x,y) and ch*(y,x).
+  static FormulaPtr Eq(std::string_view x, std::string_view y);
+  /// child(x,y): ch*(x,y) and x != y and no z strictly between.
+  static FormulaPtr Child(std::string_view x, std::string_view y);
+
+  FormulaPtr Clone() const;
+  bool Equals(const Formula& other) const;
+  std::size_t Size() const;
+  /// Quantifier depth qr(phi).
+  std::size_t QuantifierRank() const;
+  std::string ToString() const;
+  /// True iff no kExists occurs (the Lemma 2 fragment).
+  bool IsQuantifierFree() const;
+};
+
+/// Free variables of phi (exists binds).
+std::set<std::string> FreeVars(const Formula& f);
+
+}  // namespace xpv::fo
+
+#endif  // XPV_FO_FORMULA_H_

@@ -1,0 +1,76 @@
+#include "fo/model_check.h"
+
+#include <cassert>
+
+namespace xpv::fo {
+
+bool Models(const Tree& t, const Formula& f, const xpath::Assignment& alpha) {
+  switch (f.kind) {
+    case FormulaKind::kChStar: {
+      auto ix = alpha.find(f.x);
+      auto iy = alpha.find(f.y);
+      assert(ix != alpha.end() && iy != alpha.end());
+      return t.IsAncestorOrSelf(ix->second, iy->second);
+    }
+    case FormulaKind::kNsStar: {
+      auto ix = alpha.find(f.x);
+      auto iy = alpha.find(f.y);
+      assert(ix != alpha.end() && iy != alpha.end());
+      return t.IsFollowingSiblingOrSelf(ix->second, iy->second);
+    }
+    case FormulaKind::kLabel: {
+      auto ix = alpha.find(f.x);
+      assert(ix != alpha.end());
+      return t.label_name(ix->second) == f.label;
+    }
+    case FormulaKind::kNot:
+      return !Models(t, *f.a, alpha);
+    case FormulaKind::kAnd:
+      return Models(t, *f.a, alpha) && Models(t, *f.b, alpha);
+    case FormulaKind::kExists: {
+      xpath::Assignment alpha2 = alpha;
+      for (NodeId v = 0; v < t.size(); ++v) {
+        alpha2[f.x] = v;
+        if (Models(t, *f.a, alpha2)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+xpath::TupleSet EvalFoNary(const Tree& t, const Formula& f,
+                           const std::vector<std::string>& tuple_vars) {
+  const std::size_t n = t.size();
+  const std::set<std::string> free_vars = FreeVars(f);
+  const std::vector<std::string> vars(free_vars.begin(), free_vars.end());
+
+  std::vector<std::size_t> wildcard_positions;
+  for (std::size_t i = 0; i < tuple_vars.size(); ++i) {
+    if (!free_vars.contains(tuple_vars[i])) wildcard_positions.push_back(i);
+  }
+
+  xpath::TupleSet constrained;
+  xpath::Assignment alpha;
+  std::vector<NodeId> counters(vars.size(), 0);
+  while (true) {
+    for (std::size_t i = 0; i < vars.size(); ++i) alpha[vars[i]] = counters[i];
+    if (Models(t, f, alpha)) {
+      xpath::NodeTuple tuple(tuple_vars.size(), 0);
+      for (std::size_t i = 0; i < tuple_vars.size(); ++i) {
+        auto it = alpha.find(tuple_vars[i]);
+        if (it != alpha.end()) tuple[i] = it->second;
+      }
+      constrained.insert(tuple);
+    }
+    std::size_t i = 0;
+    for (; i < counters.size(); ++i) {
+      if (++counters[i] < n) break;
+      counters[i] = 0;
+    }
+    if (i == counters.size()) break;
+  }
+  return xpath::ExpandWildcardPositions(constrained, wildcard_positions, n);
+}
+
+}  // namespace xpv::fo

@@ -1,0 +1,27 @@
+// Tarskian model checking t, alpha |= phi and naive n-ary FO query
+// answering q_{phi,x}(t) (Section 2 of the paper).
+//
+// Model checking for FO is PSPACE-complete (Corollary 1 via [Stockmeyer]);
+// this recursive checker takes time O(|phi| |t|^qr(phi)) and is the ground
+// truth the translations (Lemma 1, Lemma 2, Proposition 6) are verified
+// against on small instances.
+#ifndef XPV_FO_MODEL_CHECK_H_
+#define XPV_FO_MODEL_CHECK_H_
+
+#include "fo/formula.h"
+#include "xpath/eval.h"
+
+namespace xpv::fo {
+
+/// t, alpha |= phi. `alpha` must be total on FreeVars(phi).
+bool Models(const Tree& t, const Formula& f, const xpath::Assignment& alpha);
+
+/// q_{phi,x}(t) = { (alpha(x1),...,alpha(xn)) | t, alpha |= phi }, by
+/// enumeration of assignments to FreeVars(phi); positions whose variable
+/// is not free in phi range over all nodes.
+xpath::TupleSet EvalFoNary(const Tree& t, const Formula& f,
+                           const std::vector<std::string>& tuple_vars);
+
+}  // namespace xpv::fo
+
+#endif  // XPV_FO_MODEL_CHECK_H_

@@ -1,0 +1,257 @@
+#include "fo/positive.h"
+
+#include <cassert>
+
+#include "ppl/pplbin.h"
+
+namespace xpv::fo {
+
+namespace {
+
+PositivePtr Make(PositiveKind kind) {
+  auto f = std::make_unique<PositiveFormula>();
+  f->kind = kind;
+  return f;
+}
+
+void Print(const PositiveFormula& f, std::string* out) {
+  switch (f.kind) {
+    case PositiveKind::kAtom:
+      *out += f.atom->ToString() + "(" + f.x + "," + f.y + ")";
+      return;
+    case PositiveKind::kEq:
+      *out += f.x + "=" + f.y;
+      return;
+    case PositiveKind::kAnd:
+    case PositiveKind::kOr: {
+      *out += '(';
+      Print(*f.a, out);
+      *out += f.kind == PositiveKind::kAnd ? " & " : " | ";
+      Print(*f.b, out);
+      *out += ')';
+      return;
+    }
+  }
+}
+
+void Collect(const PositiveFormula& f, std::set<std::string>* out) {
+  switch (f.kind) {
+    case PositiveKind::kAtom:
+    case PositiveKind::kEq:
+      out->insert(f.x);
+      out->insert(f.y);
+      return;
+    case PositiveKind::kAnd:
+    case PositiveKind::kOr:
+      Collect(*f.a, out);
+      Collect(*f.b, out);
+      return;
+  }
+}
+
+/// ch* (ancestor-or-self) as a PPLbin-backed binary query leaf.
+hcl::HclPtr ChStarLeaf() {
+  return hcl::HclExpr::Binary(hcl::MakePplBinQuery(ppl::PplBinExpr::Union(
+      ppl::PplBinExpr::Step(Axis::kDescendant, "*"),
+      ppl::PplBinExpr::Self())));
+}
+
+/// Fresh-variable generator for HclToPositive.
+class FreshVars {
+ public:
+  std::string Next() { return "_f" + std::to_string(counter_++); }
+
+ private:
+  int counter_ = 0;
+};
+
+PositivePtr TranslateHcl(const hcl::HclExpr& c, const std::string& x,
+                         const std::string& z, FreshVars* fresh) {
+  using hcl::HclKind;
+  switch (c.kind) {
+    case HclKind::kBinary:
+      // LbM_{x,z} = b(x,z).
+      return PositiveFormula::Atom(c.binary, x, z);
+    case HclKind::kCompose: {
+      // LC/C'M_{x,z} = LCM_{x,y} & LC'M_{y,z}, y fresh.
+      std::string y = fresh->Next();
+      return PositiveFormula::And(TranslateHcl(*c.left, x, y, fresh),
+                                  TranslateHcl(*c.right, y, z, fresh));
+    }
+    case HclKind::kVar:
+      // LyM_{x,z} = x=y & y=z.
+      return PositiveFormula::And(PositiveFormula::Eq(x, c.var),
+                                  PositiveFormula::Eq(c.var, z));
+    case HclKind::kFilter: {
+      // L[C]M_{x,z} = LCM_{x,y} & x=z, y fresh.
+      std::string y = fresh->Next();
+      return PositiveFormula::And(TranslateHcl(*c.left, x, y, fresh),
+                                  PositiveFormula::Eq(x, z));
+    }
+    case HclKind::kUnion:
+      // LC u C'M_{x,z} = disjunction.
+      return PositiveFormula::Or(TranslateHcl(*c.left, x, z, fresh),
+                                 TranslateHcl(*c.right, x, z, fresh));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PositivePtr PositiveFormula::Atom(hcl::BinaryQueryPtr b, std::string x,
+                                  std::string y) {
+  auto f = Make(PositiveKind::kAtom);
+  f->atom = std::move(b);
+  f->x = std::move(x);
+  f->y = std::move(y);
+  return f;
+}
+
+PositivePtr PositiveFormula::Eq(std::string x, std::string y) {
+  auto f = Make(PositiveKind::kEq);
+  f->x = std::move(x);
+  f->y = std::move(y);
+  return f;
+}
+
+PositivePtr PositiveFormula::And(PositivePtr l, PositivePtr r) {
+  auto f = Make(PositiveKind::kAnd);
+  f->a = std::move(l);
+  f->b = std::move(r);
+  return f;
+}
+
+PositivePtr PositiveFormula::Or(PositivePtr l, PositivePtr r) {
+  auto f = Make(PositiveKind::kOr);
+  f->a = std::move(l);
+  f->b = std::move(r);
+  return f;
+}
+
+PositivePtr PositiveFormula::Clone() const {
+  auto f = std::make_unique<PositiveFormula>();
+  f->kind = kind;
+  f->atom = atom;
+  f->x = x;
+  f->y = y;
+  if (a) f->a = a->Clone();
+  if (b) f->b = b->Clone();
+  return f;
+}
+
+std::size_t PositiveFormula::Size() const {
+  std::size_t size = 1;
+  if (a) size += a->Size();
+  if (b) size += b->Size();
+  return size;
+}
+
+std::string PositiveFormula::ToString() const {
+  std::string out;
+  Print(*this, &out);
+  return out;
+}
+
+std::set<std::string> FreeVars(const PositiveFormula& f) {
+  std::set<std::string> out;
+  Collect(f, &out);
+  return out;
+}
+
+bool ModelsPositive(const Tree& t, const PositiveFormula& f,
+                    const xpath::Assignment& nu,
+                    std::map<const hcl::BinaryQuery*, BitMatrix>* relations) {
+  switch (f.kind) {
+    case PositiveKind::kAtom: {
+      auto ix = nu.find(f.x);
+      auto iy = nu.find(f.y);
+      assert(ix != nu.end() && iy != nu.end());
+      auto it = relations->find(f.atom.get());
+      if (it == relations->end()) {
+        it = relations->emplace(f.atom.get(), f.atom->Evaluate(t)).first;
+      }
+      return it->second.Get(ix->second, iy->second);
+    }
+    case PositiveKind::kEq: {
+      auto ix = nu.find(f.x);
+      auto iy = nu.find(f.y);
+      assert(ix != nu.end() && iy != nu.end());
+      return ix->second == iy->second;
+    }
+    case PositiveKind::kAnd:
+      return ModelsPositive(t, *f.a, nu, relations) &&
+             ModelsPositive(t, *f.b, nu, relations);
+    case PositiveKind::kOr:
+      return ModelsPositive(t, *f.a, nu, relations) ||
+             ModelsPositive(t, *f.b, nu, relations);
+  }
+  return false;
+}
+
+xpath::TupleSet EvalPositiveNary(const Tree& t, const PositiveFormula& f,
+                                 const std::vector<std::string>& tuple_vars) {
+  const std::size_t n = t.size();
+  const std::set<std::string> free_vars = FreeVars(f);
+  const std::vector<std::string> vars(free_vars.begin(), free_vars.end());
+
+  std::vector<std::size_t> wildcard_positions;
+  for (std::size_t i = 0; i < tuple_vars.size(); ++i) {
+    if (!free_vars.contains(tuple_vars[i])) wildcard_positions.push_back(i);
+  }
+
+  std::map<const hcl::BinaryQuery*, BitMatrix> relations;
+  xpath::TupleSet constrained;
+  xpath::Assignment nu;
+  std::vector<NodeId> counters(vars.size(), 0);
+  while (true) {
+    for (std::size_t i = 0; i < vars.size(); ++i) nu[vars[i]] = counters[i];
+    if (ModelsPositive(t, f, nu, &relations)) {
+      xpath::NodeTuple tuple(tuple_vars.size(), 0);
+      for (std::size_t i = 0; i < tuple_vars.size(); ++i) {
+        auto it = nu.find(tuple_vars[i]);
+        if (it != nu.end()) tuple[i] = it->second;
+      }
+      constrained.insert(tuple);
+    }
+    std::size_t i = 0;
+    for (; i < counters.size(); ++i) {
+      if (++counters[i] < n) break;
+      counters[i] = 0;
+    }
+    if (i == counters.size()) break;
+  }
+  return xpath::ExpandWildcardPositions(constrained, wildcard_positions, n);
+}
+
+PositivePtr HclToPositive(const hcl::HclExpr& c, const std::string& x,
+                          const std::string& z) {
+  FreshVars fresh;
+  return TranslateHcl(c, x, z, &fresh);
+}
+
+hcl::HclPtr PositiveToHcl(const PositiveFormula& f) {
+  using hcl::HclExpr;
+  switch (f.kind) {
+    case PositiveKind::kAtom:
+      // Lb(x,z)M^-1 = ch*/x/b/z.
+      return HclExpr::Compose(
+          HclExpr::Compose(
+              HclExpr::Compose(ChStarLeaf(), HclExpr::Var(f.x)),
+              HclExpr::Binary(f.atom)),
+          HclExpr::Var(f.y));
+    case PositiveKind::kEq:
+      // Lx=zM^-1 = ch*/x/z.
+      return HclExpr::Compose(
+          HclExpr::Compose(ChStarLeaf(), HclExpr::Var(f.x)),
+          HclExpr::Var(f.y));
+    case PositiveKind::kAnd:
+      // Lxi & xi'M^-1 = [LxiM^-1]/[Lxi'M^-1].
+      return HclExpr::Compose(HclExpr::Filter(PositiveToHcl(*f.a)),
+                              HclExpr::Filter(PositiveToHcl(*f.b)));
+    case PositiveKind::kOr:
+      return HclExpr::Union(PositiveToHcl(*f.a), PositiveToHcl(*f.b));
+  }
+  return nullptr;
+}
+
+}  // namespace xpv::fo

@@ -1,0 +1,72 @@
+// Positive quantifier-free FO formulas over a binary query language L
+// (Section 6 of the paper):
+//
+//   xi ::= b(x,y) | x=y | xi and xi' | xi or xi'
+//
+// and the two Proposition 6 translations witnessing that HCL(L) captures
+// exactly these formulas (when ch* is in L):
+//
+//   HclToPositive:  LC M_{x,z} with fresh intermediate variables, such that
+//                   (u,u') in [[C]]^{t,alpha} iff
+//                   t, alpha[x->u, z->u'] |= LC M_{x,z}
+//   PositiveToHcl:  L b(x,z) M^-1 = ch*/x/b/z, L xi & xi' M^-1 =
+//                   [L xi M^-1]/[L xi' M^-1], L x=z M^-1 = ch*/x/z,
+//                   L xi or xi' M^-1 = union.
+#ifndef XPV_FO_POSITIVE_H_
+#define XPV_FO_POSITIVE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "hcl/ast.h"
+
+namespace xpv::fo {
+
+enum class PositiveKind { kAtom, kEq, kAnd, kOr };
+
+using PositivePtr = std::unique_ptr<struct PositiveFormula>;
+
+/// A positive quantifier-free formula over L.
+struct PositiveFormula {
+  PositiveKind kind;
+
+  hcl::BinaryQueryPtr atom;  // kAtom: the b of b(x,y)
+  std::string x, y;          // kAtom / kEq operands
+  PositivePtr a, b;          // kAnd / kOr
+
+  static PositivePtr Atom(hcl::BinaryQueryPtr b, std::string x,
+                          std::string y);
+  static PositivePtr Eq(std::string x, std::string y);
+  static PositivePtr And(PositivePtr l, PositivePtr r);
+  static PositivePtr Or(PositivePtr l, PositivePtr r);
+
+  PositivePtr Clone() const;
+  std::size_t Size() const;
+  std::string ToString() const;
+};
+
+std::set<std::string> FreeVars(const PositiveFormula& f);
+
+/// t, nu |= xi; `relations` caches q_b(t) across calls.
+bool ModelsPositive(const Tree& t, const PositiveFormula& f,
+                    const xpath::Assignment& nu,
+                    std::map<const hcl::BinaryQuery*, BitMatrix>* relations);
+
+/// q_{xi,x}(t) = { nu(x) | t, nu |= xi } by enumeration over FreeVars(xi);
+/// variables of `tuple_vars` not free in xi range over all nodes.
+xpath::TupleSet EvalPositiveNary(const Tree& t, const PositiveFormula& f,
+                                 const std::vector<std::string>& tuple_vars);
+
+/// Proposition 6, HCL -> positive FO: LC M_{x,z}. Fresh variables are
+/// named `_f0, _f1, ...`; callers' variables must not use that prefix.
+PositivePtr HclToPositive(const hcl::HclExpr& c, const std::string& x,
+                          const std::string& z);
+
+/// Proposition 6, positive FO -> HCL (requires ch* in L; the returned
+/// expression uses a PPLbin-backed ch* leaf).
+hcl::HclPtr PositiveToHcl(const PositiveFormula& f);
+
+}  // namespace xpv::fo
+
+#endif  // XPV_FO_POSITIVE_H_

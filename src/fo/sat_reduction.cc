@@ -1,0 +1,228 @@
+#include "fo/sat_reduction.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace xpv::fo {
+
+namespace {
+
+using xpath::PathExpr;
+using xpath::PathPtr;
+using xpath::TestExpr;
+
+std::string VarName(int i) { return "x" + std::to_string(i + 1); }
+std::string VarLabel(int i) { return "v" + std::to_string(i + 1); }
+
+}  // namespace
+
+std::string CnfFormula::ToString() const {
+  std::string out;
+  for (std::size_t c = 0; c < clauses.size(); ++c) {
+    if (c > 0) out += " & ";
+    out += '(';
+    for (std::size_t l = 0; l < clauses[c].size(); ++l) {
+      if (l > 0) out += " | ";
+      int lit = clauses[c][l];
+      if (lit < 0) out += '~';
+      out += "v" + std::to_string(std::abs(lit));
+    }
+    out += ')';
+  }
+  return out;
+}
+
+SatReduction ReduceSatToQueryNonEmptiness(const CnfFormula& cnf) {
+  SatReduction out;
+
+  TreeBuilder builder;
+  builder.Open("r");
+  for (int i = 0; i < cnf.num_vars; ++i) {
+    builder.Open(VarLabel(i));
+    builder.Leaf("t");
+    builder.Leaf("f");
+    builder.Close();
+  }
+  builder.Close();
+  Result<Tree> tree = std::move(builder).Finish();
+  assert(tree.ok());
+  out.tree = std::move(tree).value();
+
+  // assign_i = $x_i[parent::v<i>].
+  PathPtr query;
+  auto append = [&](PathPtr factor) {
+    query = query == nullptr
+                ? std::move(factor)
+                : PathExpr::Compose(std::move(query), std::move(factor));
+  };
+  for (int i = 0; i < cnf.num_vars; ++i) {
+    append(PathExpr::Filter(
+        PathExpr::Var(VarName(i)),
+        TestExpr::Path(PathExpr::Step(Axis::kParent, VarLabel(i)))));
+    out.tuple_vars.push_back(VarName(i));
+  }
+  // clause_j = union over literals of $x_i/self::t or $x_i/self::f.
+  for (const auto& clause : cnf.clauses) {
+    PathPtr clause_path;
+    for (int lit : clause) {
+      assert(lit != 0 && std::abs(lit) <= cnf.num_vars);
+      PathPtr literal = PathExpr::Compose(
+          PathExpr::Var(VarName(std::abs(lit) - 1)),
+          PathExpr::Step(Axis::kSelf, lit > 0 ? "t" : "f"));
+      clause_path = clause_path == nullptr
+                        ? std::move(literal)
+                        : PathExpr::Union(std::move(clause_path),
+                                          std::move(literal));
+    }
+    // An empty clause is unsatisfiable: encode as an unsatisfiable factor.
+    if (clause_path == nullptr) {
+      clause_path = PathExpr::Step(Axis::kChild, "no_such_label");
+    }
+    append(std::move(clause_path));
+  }
+  if (query == nullptr) query = PathExpr::Dot();  // trivially satisfiable
+  out.query = std::move(query);
+  return out;
+}
+
+std::vector<bool> DecodeAssignment(const SatReduction& reduction,
+                                   const std::vector<NodeId>& tuple) {
+  std::vector<bool> out;
+  out.reserve(tuple.size());
+  for (NodeId v : tuple) {
+    out.push_back(reduction.tree.label_name(v) == "t");
+  }
+  return out;
+}
+
+bool BruteForceSat(const CnfFormula& cnf) {
+  assert(cnf.num_vars < 30);
+  const std::uint64_t limit = std::uint64_t{1} << cnf.num_vars;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    bool all = true;
+    for (const auto& clause : cnf.clauses) {
+      bool sat = false;
+      for (int lit : clause) {
+        const int var = std::abs(lit) - 1;
+        const bool value = (mask >> var) & 1;
+        if ((lit > 0) == value) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+Result<CnfFormula> ParseDimacs(std::string_view text) {
+  CnfFormula cnf;
+  bool saw_header = false;
+  std::size_t declared_clauses = 0;
+  std::vector<int> current;
+  std::size_t pos = 0;
+  auto next_line = [&](std::string_view* line) -> bool {
+    if (pos >= text.size()) return false;
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    *line = text.substr(pos, end - pos);
+    pos = end + 1;
+    return true;
+  };
+  std::string_view line;
+  while (next_line(&line)) {
+    // Tokenize the line on whitespace.
+    std::vector<std::string> tokens;
+    std::string token;
+    for (char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!token.empty()) tokens.push_back(std::move(token));
+        token.clear();
+      } else {
+        token.push_back(c);
+      }
+    }
+    if (!token.empty()) tokens.push_back(std::move(token));
+    if (tokens.empty() || tokens[0] == "c" || tokens[0][0] == 'c') continue;
+    if (tokens[0] == "p") {
+      if (saw_header || tokens.size() != 4 || tokens[1] != "cnf") {
+        return Status::InvalidArgument("malformed DIMACS header");
+      }
+      cnf.num_vars = std::atoi(tokens[2].c_str());
+      declared_clauses = static_cast<std::size_t>(std::atoi(tokens[3].c_str()));
+      if (cnf.num_vars < 0) {
+        return Status::InvalidArgument("negative variable count");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      return Status::InvalidArgument("clause before 'p cnf' header");
+    }
+    for (const std::string& tok : tokens) {
+      char* end_ptr = nullptr;
+      long lit = std::strtol(tok.c_str(), &end_ptr, 10);
+      if (end_ptr == tok.c_str() || *end_ptr != '\0') {
+        return Status::InvalidArgument("bad literal '" + tok + "'");
+      }
+      if (lit == 0) {
+        cnf.clauses.push_back(current);
+        current.clear();
+      } else {
+        if (std::abs(lit) > cnf.num_vars) {
+          return Status::InvalidArgument("literal " + tok +
+                                         " exceeds declared variable count");
+        }
+        current.push_back(static_cast<int>(lit));
+      }
+    }
+  }
+  if (!saw_header) return Status::InvalidArgument("missing 'p cnf' header");
+  if (!current.empty()) {
+    return Status::InvalidArgument("unterminated clause (missing 0)");
+  }
+  if (declared_clauses != cnf.clauses.size()) {
+    return Status::InvalidArgument(
+        "clause count mismatch: header says " +
+        std::to_string(declared_clauses) + ", found " +
+        std::to_string(cnf.clauses.size()));
+  }
+  return cnf;
+}
+
+std::string ToDimacs(const CnfFormula& cnf) {
+  std::string out = "p cnf " + std::to_string(cnf.num_vars) + " " +
+                    std::to_string(cnf.clauses.size()) + "\n";
+  for (const auto& clause : cnf.clauses) {
+    for (int lit : clause) {
+      out += std::to_string(lit);
+      out += ' ';
+    }
+    out += "0\n";
+  }
+  return out;
+}
+
+CnfFormula RandomCnf(Rng& rng, int num_vars, int num_clauses,
+                     int literals_per_clause) {
+  CnfFormula cnf;
+  cnf.num_vars = num_vars;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<int> clause;
+    for (int l = 0; l < literals_per_clause; ++l) {
+      int var = static_cast<int>(rng.Below(static_cast<std::uint64_t>(num_vars))) + 1;
+      clause.push_back(rng.Chance(1, 2) ? var : -var);
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+}  // namespace xpv::fo

@@ -1,0 +1,78 @@
+// The Proposition 3 reduction: query non-emptiness for Core XPath 2.0
+// without for-loops and without variables below negation -- but WITH
+// variable sharing in compositions -- is NP-complete, by reduction from
+// SAT.
+//
+// Construction. For a CNF formula with variables v1..vk and clauses
+// c1..cm, build the tree
+//
+//   r ( v1(t,f)  v2(t,f)  ...  vk(t,f) )
+//
+// where the i-th variable node is labeled "v<i>". The query uses one XPath
+// variable $x_i per CNF variable:
+//
+//   assign_i  =  $x_i[parent::v<i>]          pins alpha(x_i) to a value
+//                                            node of v_i,
+//   clause_j  =  union over literals:        $x_i/self::t   (positive)
+//                                            $x_i/self::f   (negative)
+//
+// and composes assign_1/.../assign_k/clause_1/.../clause_m. Each factor
+// denotes { (v, alpha(x_i)) | all v } when its test holds and {} otherwise,
+// so the composition is nonempty iff every factor is: iff alpha encodes a
+// well-formed assignment satisfying every clause. The clause factors share
+// the $x_i with the assignment factors, violating NVS(/): exactly the
+// feature PPL forbids.
+#ifndef XPV_FO_SAT_REDUCTION_H_
+#define XPV_FO_SAT_REDUCTION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+
+namespace xpv::fo {
+
+/// A CNF formula; literal +i / -i refers to variable i-1 (DIMACS style,
+/// 1-based).
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+
+  std::string ToString() const;
+};
+
+/// The Proposition 3 reduction output: q_{query, x1..xk}(tree) is nonempty
+/// iff the formula is satisfiable (and its tuples encode the satisfying
+/// assignments as value nodes).
+struct SatReduction {
+  Tree tree;
+  xpath::PathPtr query;
+  std::vector<std::string> tuple_vars;
+};
+
+/// Builds the reduction. The query contains no for-loops and no variables
+/// below negation, but shares variables across compositions.
+SatReduction ReduceSatToQueryNonEmptiness(const CnfFormula& cnf);
+
+/// Decodes an answer tuple of the reduced query back into a Boolean
+/// assignment (true iff the i-th node is a `t` node).
+std::vector<bool> DecodeAssignment(const SatReduction& reduction,
+                                   const std::vector<NodeId>& tuple);
+
+/// Reference DPLL-free brute-force SAT check (2^num_vars).
+bool BruteForceSat(const CnfFormula& cnf);
+
+/// Uniform random k-CNF generator.
+CnfFormula RandomCnf(Rng& rng, int num_vars, int num_clauses,
+                     int literals_per_clause);
+
+/// Parses DIMACS CNF ("c" comments, "p cnf <vars> <clauses>" header,
+/// 0-terminated clauses).
+Result<CnfFormula> ParseDimacs(std::string_view text);
+/// Serializes to DIMACS CNF; round-trips through ParseDimacs.
+std::string ToDimacs(const CnfFormula& cnf);
+
+}  // namespace xpv::fo
+
+#endif  // XPV_FO_SAT_REDUCTION_H_

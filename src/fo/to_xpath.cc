@@ -1,0 +1,49 @@
+#include "fo/to_xpath.h"
+
+namespace xpv::fo {
+
+namespace {
+
+using xpath::NodeRef;
+using xpath::PathExpr;
+using xpath::PathPtr;
+using xpath::TestExpr;
+
+/// $x / (A::* union .) / .[. is $y] -- the shared shape of the ns*/ch*
+/// clauses.
+PathPtr ReachabilityClause(const std::string& x, Axis axis,
+                           const std::string& y) {
+  PathPtr jump = PathExpr::Var(x);
+  PathPtr closure = PathExpr::Union(PathExpr::Step(axis, "*"),
+                                    PathExpr::Dot());
+  PathPtr target = PathExpr::Filter(
+      PathExpr::Dot(), TestExpr::Is(NodeRef::Dot(), NodeRef::Var(y)));
+  return PathExpr::Compose(
+      PathExpr::Compose(std::move(jump), std::move(closure)),
+      std::move(target));
+}
+
+}  // namespace
+
+xpath::PathPtr ToCoreXPath(const Formula& f) {
+  switch (f.kind) {
+    case FormulaKind::kChStar:
+      return ReachabilityClause(f.x, Axis::kDescendant, f.y);
+    case FormulaKind::kNsStar:
+      return ReachabilityClause(f.x, Axis::kFollowingSibling, f.y);
+    case FormulaKind::kLabel:
+      // Nonempty iff alpha(x) carries the label.
+      return PathExpr::Compose(PathExpr::Var(f.x),
+                               PathExpr::Step(Axis::kSelf, f.label));
+    case FormulaKind::kNot:
+      return PathExpr::Filter(PathExpr::Dot(),
+                              TestExpr::Not(TestExpr::Path(ToCoreXPath(*f.a))));
+    case FormulaKind::kAnd:
+      return PathExpr::Compose(ToCoreXPath(*f.a), ToCoreXPath(*f.b));
+    case FormulaKind::kExists:
+      return PathExpr::For(f.x, xpath::MakeNodesExpr(), ToCoreXPath(*f.a));
+  }
+  return nullptr;
+}
+
+}  // namespace xpv::fo

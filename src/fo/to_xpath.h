@@ -1,0 +1,28 @@
+// The Section 2 translation L.M of FO formulas into Core XPath 2.0:
+//
+//   L exists x. phi M = for $x in nodes return L phi M
+//   L not phi M       = .[not L phi M]
+//   L phi & phi' M    = L phi M / L phi' M
+//   L ns*(x,y) M      = $x/(following_sibling::* union .)/.[. is $y]
+//   L ch*(x,y) M      = $x/(descendant::* union .)/.[. is $y]
+//   L lab_a(x) M      = $x/self::a
+//
+// Lemma 1: t, alpha |= phi  iff  [[L phi M]]^{t,alpha} != {}; hence the
+// translation preserves n-ary queries, proving Core XPath 2.0 = FO
+// (Proposition 1) in the FO -> XPath direction.
+//
+// Lemma 2: on quantifier-free input the output contains no for-loops.
+#ifndef XPV_FO_TO_XPATH_H_
+#define XPV_FO_TO_XPATH_H_
+
+#include "fo/formula.h"
+#include "xpath/ast.h"
+
+namespace xpv::fo {
+
+/// L phi M -- linear-time translation into Core XPath 2.0.
+xpath::PathPtr ToCoreXPath(const Formula& f);
+
+}  // namespace xpv::fo
+
+#endif  // XPV_FO_TO_XPATH_H_

@@ -1,0 +1,253 @@
+#include "hcl/ast.h"
+
+#include <cassert>
+
+namespace xpv::hcl {
+
+namespace {
+
+HclPtr Make(HclKind kind) {
+  auto c = std::make_unique<HclExpr>();
+  c->kind = kind;
+  return c;
+}
+
+/// Print precedence: union(0) < compose(1) < atoms(2).
+int Level(const HclExpr& c) {
+  switch (c.kind) {
+    case HclKind::kUnion:
+      return 0;
+    case HclKind::kCompose:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+void Print(const HclExpr& c, std::string* out);
+
+void PrintChild(const HclExpr& child, int required, std::string* out) {
+  const bool parens = Level(child) < required;
+  if (parens) *out += '(';
+  Print(child, out);
+  if (parens) *out += ')';
+}
+
+void Print(const HclExpr& c, std::string* out) {
+  switch (c.kind) {
+    case HclKind::kBinary: {
+      // Wrap multi-token binary expressions so the printout is unambiguous.
+      std::string b = c.binary->ToString();
+      if (b.find(' ') != std::string::npos ||
+          b.find('/') != std::string::npos) {
+        *out += '{';
+        *out += b;
+        *out += '}';
+      } else {
+        *out += b;
+      }
+      return;
+    }
+    case HclKind::kCompose:
+      PrintChild(*c.left, 1, out);
+      *out += '/';
+      PrintChild(*c.right, 2, out);
+      return;
+    case HclKind::kVar:
+      *out += c.var;
+      return;
+    case HclKind::kFilter:
+      *out += '[';
+      Print(*c.left, out);
+      *out += ']';
+      return;
+    case HclKind::kUnion:
+      PrintChild(*c.left, 0, out);
+      *out += " u ";
+      PrintChild(*c.right, 1, out);
+      return;
+  }
+}
+
+void CollectVars(const HclExpr& c, std::set<std::string>* out) {
+  switch (c.kind) {
+    case HclKind::kBinary:
+      return;
+    case HclKind::kVar:
+      out->insert(c.var);
+      return;
+    case HclKind::kFilter:
+      CollectVars(*c.left, out);
+      return;
+    case HclKind::kCompose:
+    case HclKind::kUnion:
+      CollectVars(*c.left, out);
+      CollectVars(*c.right, out);
+      return;
+  }
+}
+
+}  // namespace
+
+HclPtr HclExpr::Binary(BinaryQueryPtr b) {
+  auto c = Make(HclKind::kBinary);
+  c->binary = std::move(b);
+  return c;
+}
+
+HclPtr HclExpr::Compose(HclPtr l, HclPtr r) {
+  auto c = Make(HclKind::kCompose);
+  c->left = std::move(l);
+  c->right = std::move(r);
+  return c;
+}
+
+HclPtr HclExpr::Var(std::string name) {
+  auto c = Make(HclKind::kVar);
+  c->var = std::move(name);
+  return c;
+}
+
+HclPtr HclExpr::Filter(HclPtr body) {
+  auto c = Make(HclKind::kFilter);
+  c->left = std::move(body);
+  return c;
+}
+
+HclPtr HclExpr::Union(HclPtr l, HclPtr r) {
+  auto c = Make(HclKind::kUnion);
+  c->left = std::move(l);
+  c->right = std::move(r);
+  return c;
+}
+
+HclPtr HclExpr::Clone() const {
+  auto c = std::make_unique<HclExpr>();
+  c->kind = kind;
+  c->binary = binary;  // shared, immutable
+  c->var = var;
+  if (left) c->left = left->Clone();
+  if (right) c->right = right->Clone();
+  return c;
+}
+
+std::size_t HclExpr::Size() const {
+  std::size_t size = 1;
+  if (left) size += left->Size();
+  if (right) size += right->Size();
+  return size;
+}
+
+std::string HclExpr::ToString() const {
+  std::string out;
+  Print(*this, &out);
+  return out;
+}
+
+std::set<std::string> FreeVars(const HclExpr& c) {
+  std::set<std::string> out;
+  CollectVars(c, &out);
+  return out;
+}
+
+Status CheckNoSharedComposition(const HclExpr& c) {
+  switch (c.kind) {
+    case HclKind::kBinary:
+    case HclKind::kVar:
+      return Status::OK();
+    case HclKind::kFilter:
+      return CheckNoSharedComposition(*c.left);
+    case HclKind::kUnion:
+      XPV_RETURN_IF_ERROR(CheckNoSharedComposition(*c.left));
+      return CheckNoSharedComposition(*c.right);
+    case HclKind::kCompose: {
+      std::set<std::string> lv = FreeVars(*c.left);
+      std::set<std::string> rv = FreeVars(*c.right);
+      for (const auto& v : lv) {
+        if (rv.contains(v)) {
+          return Status::FragmentViolation(
+              "NVS(/): variable " + v + " shared across composition '" +
+              c.ToString() + "'");
+        }
+      }
+      XPV_RETURN_IF_ERROR(CheckNoSharedComposition(*c.left));
+      return CheckNoSharedComposition(*c.right);
+    }
+  }
+  return Status::OK();
+}
+
+BitMatrix EvalHcl(const Tree& t, const HclExpr& c,
+                  const xpath::Assignment& alpha,
+                  std::map<const BinaryQuery*, BitMatrix>* relations) {
+  const std::size_t n = t.size();
+  switch (c.kind) {
+    case HclKind::kBinary: {
+      // [[b]] = q_b(t).
+      if (relations != nullptr) {
+        auto it = relations->find(c.binary.get());
+        if (it == relations->end()) {
+          it = relations->emplace(c.binary.get(), c.binary->Evaluate(t))
+                   .first;
+        }
+        return it->second;
+      }
+      return c.binary->Evaluate(t);
+    }
+    case HclKind::kCompose:
+      return EvalHcl(t, *c.left, alpha, relations)
+          .Multiply(EvalHcl(t, *c.right, alpha, relations));
+    case HclKind::kVar: {
+      // [[x]] = {(alpha(x), alpha(x))}.
+      auto it = alpha.find(c.var);
+      assert(it != alpha.end() && "unbound variable in HCL evaluation");
+      BitMatrix m(n);
+      m.Set(it->second, it->second);
+      return m;
+    }
+    case HclKind::kFilter:
+      // [[ [C] ]] = {(u,u) | exists u': (u,u') in [[C]]}.
+      return EvalHcl(t, *c.left, alpha, relations).FilterDiagonal();
+    case HclKind::kUnion:
+      return EvalHcl(t, *c.left, alpha, relations)
+          .Or(EvalHcl(t, *c.right, alpha, relations));
+  }
+  return BitMatrix(n);
+}
+
+xpath::TupleSet EvalHclNaryNaive(const Tree& t, const HclExpr& c,
+                                 const std::vector<std::string>& tuple_vars) {
+  const std::size_t n = t.size();
+  const std::set<std::string> free_vars = FreeVars(c);
+  const std::vector<std::string> vars(free_vars.begin(), free_vars.end());
+
+  std::vector<std::size_t> wildcard_positions;
+  for (std::size_t i = 0; i < tuple_vars.size(); ++i) {
+    if (!free_vars.contains(tuple_vars[i])) wildcard_positions.push_back(i);
+  }
+
+  std::map<const BinaryQuery*, BitMatrix> relations;
+  xpath::TupleSet constrained;
+  xpath::Assignment alpha;
+  std::vector<NodeId> counters(vars.size(), 0);
+  while (true) {
+    for (std::size_t i = 0; i < vars.size(); ++i) alpha[vars[i]] = counters[i];
+    if (!EvalHcl(t, c, alpha, &relations).None()) {
+      xpath::NodeTuple tuple(tuple_vars.size(), 0);
+      for (std::size_t i = 0; i < tuple_vars.size(); ++i) {
+        auto it = alpha.find(tuple_vars[i]);
+        if (it != alpha.end()) tuple[i] = it->second;
+      }
+      constrained.insert(tuple);
+    }
+    std::size_t i = 0;
+    for (; i < counters.size(); ++i) {
+      if (++counters[i] < n) break;
+      counters[i] = 0;
+    }
+    if (i == counters.size()) break;
+  }
+  return xpath::ExpandWildcardPositions(constrained, wildcard_positions, n);
+}
+
+}  // namespace xpv::hcl

@@ -1,0 +1,82 @@
+// The hybrid composition language HCL(L) of Section 5 (Fig. 5/6):
+//
+//   C := b          expression for a binary query (b in L)
+//      | C / C'     composition
+//      | x          variable (a node *test*, not a goto: [[x]] =
+//                   {(alpha(x), alpha(x))})
+//      | [C]        filter
+//      | C u C'     disjunction
+//
+// HCL-(L) is the fragment whose compositions share no variables
+// (condition NVS(/)). Expressions of HCL define n-ary queries via
+// q_{C,x}(t) = { alpha(x) | [[C]]^{t,alpha} != {} } exactly as in Core
+// XPath 2.0.
+#ifndef XPV_HCL_AST_H_
+#define XPV_HCL_AST_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "hcl/binary_query.h"
+#include "xpath/eval.h"
+
+namespace xpv::hcl {
+
+enum class HclKind {
+  kBinary,   // b in L
+  kCompose,  // C / C'
+  kVar,      // x
+  kFilter,   // [C]
+  kUnion,    // C u C'
+};
+
+using HclPtr = std::unique_ptr<struct HclExpr>;
+
+/// An HCL(L) composition formula (Fig. 5).
+struct HclExpr {
+  HclKind kind;
+
+  BinaryQueryPtr binary;  // kBinary
+  std::string var;        // kVar
+  HclPtr left;            // kCompose/kUnion (left), kFilter (body)
+  HclPtr right;           // kCompose/kUnion
+
+  static HclPtr Binary(BinaryQueryPtr b);
+  static HclPtr Compose(HclPtr l, HclPtr r);
+  static HclPtr Var(std::string name);
+  static HclPtr Filter(HclPtr body);
+  static HclPtr Union(HclPtr l, HclPtr r);
+
+  HclPtr Clone() const;
+  /// Composition size |C|: number of HCL nodes; binary-query leaves count
+  /// 1 regardless of their inner |b| (Section 5).
+  std::size_t Size() const;
+  std::string ToString() const;
+};
+
+/// Free variables Var(C); HCL has no binders.
+std::set<std::string> FreeVars(const HclExpr& c);
+
+/// HCL-(L) membership: no variable sharing in compositions (NVS(/)).
+Status CheckNoSharedComposition(const HclExpr& c);
+
+/// [[C]]^{t,alpha} per Fig. 6, as a node-pair matrix. `relations` caches
+/// q_b(t) per binary query across calls (pass the same map for repeated
+/// evaluation on one tree). Ground-truth oracle for the efficient
+/// algorithm of Section 7.
+BitMatrix EvalHcl(const Tree& t, const HclExpr& c,
+                  const xpath::Assignment& alpha,
+                  std::map<const BinaryQuery*, BitMatrix>* relations);
+
+/// q_{C,x}(t) by brute-force enumeration of assignments to Var(C)
+/// (|t|^|Var(C)| evaluations). Tuple positions not occurring in C range
+/// over all nodes.
+xpath::TupleSet EvalHclNaryNaive(const Tree& t, const HclExpr& c,
+                                 const std::vector<std::string>& tuple_vars);
+
+}  // namespace xpv::hcl
+
+#endif  // XPV_HCL_AST_H_

@@ -1,0 +1,37 @@
+#include "hcl/binary_query.h"
+
+#include "ppl/matrix_engine.h"
+
+namespace xpv::hcl {
+
+BitMatrix AxisQuery::Evaluate(const Tree& t) const {
+  BitMatrix m = AxisMatrix(t, axis_);
+  if (name_test_.empty()) return m;
+  return m.MaskColumns(LabelSet(t, name_test_));
+}
+
+std::string AxisQuery::ToString() const {
+  std::string out(AxisName(axis_));
+  out += "::";
+  out += name_test_.empty() ? "*" : name_test_;
+  return out;
+}
+
+BitMatrix PplBinQuery::Evaluate(const Tree& t) const {
+  ppl::MatrixEngine engine(t);
+  return engine.Evaluate(*expr_);
+}
+
+BinaryQueryPtr MakeAxisQuery(Axis axis, std::string name_test) {
+  return std::make_shared<AxisQuery>(axis, std::move(name_test));
+}
+
+BinaryQueryPtr MakePplBinQuery(ppl::PplBinPtr expr) {
+  return std::make_shared<PplBinQuery>(std::move(expr));
+}
+
+BinaryQueryPtr MakeFullRelationQuery() {
+  return std::make_shared<FullRelationQuery>();
+}
+
+}  // namespace xpv::hcl

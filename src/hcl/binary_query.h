@@ -1,0 +1,92 @@
+// The parameter language L of the hybrid composition language HCL(L)
+// (Section 5): "a set of expressions b in L that define binary queries
+// q_b". The paper instantiates L with the axes of Core XPath 2.0, with
+// PPLbin, or with FObin; BinaryQuery is the common interface and the first
+// two instantiations live here (the FObin instantiation lives in fo/).
+//
+// Implementations are immutable and shared via shared_ptr<const ...> so a
+// binary query can appear at many leaves of an HclExpr without copies.
+#ifndef XPV_HCL_BINARY_QUERY_H_
+#define XPV_HCL_BINARY_QUERY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/bit_matrix.h"
+#include "ppl/pplbin.h"
+#include "tree/axes.h"
+#include "tree/tree.h"
+
+namespace xpv::hcl {
+
+/// An expression b in some binary query language L. Evaluate() returns the
+/// full relation q_b(t); the query answering machinery precompiles it into
+/// successor lists once per (query, tree) pair (Proposition 10's
+/// "precompiled data structure that returns S_{u,b} in time |S_{u,b}|").
+class BinaryQuery {
+ public:
+  virtual ~BinaryQuery() = default;
+
+  /// q_b(t) as a Boolean relation matrix.
+  virtual BitMatrix Evaluate(const Tree& t) const = 0;
+  /// Surface syntax of b (used in HclExpr::ToString).
+  virtual std::string ToString() const = 0;
+  /// |b| -- the size of b as an expression of L (a leaf of HCL has
+  /// composition size 1 regardless; this is the inner size).
+  virtual std::size_t ExprSize() const { return 1; }
+};
+
+using BinaryQueryPtr = std::shared_ptr<const BinaryQuery>;
+
+/// L = axes of Core XPath 2.0: b = Axis::NameTest.
+class AxisQuery : public BinaryQuery {
+ public:
+  AxisQuery(Axis axis, std::string name_test)
+      : axis_(axis),
+        name_test_(name_test == "*" ? "" : std::move(name_test)) {}
+
+  BitMatrix Evaluate(const Tree& t) const override;
+  std::string ToString() const override;
+
+  Axis axis() const { return axis_; }
+  const std::string& name_test() const { return name_test_; }
+
+ private:
+  Axis axis_;
+  std::string name_test_;  // empty = wildcard
+};
+
+/// L = PPLbin (Section 4): b is a PPLbin expression evaluated by the
+/// Boolean-matrix engine in O(|b| |t|^3 / 64).
+class PplBinQuery : public BinaryQuery {
+ public:
+  explicit PplBinQuery(ppl::PplBinPtr expr) : expr_(std::move(expr)) {}
+
+  BitMatrix Evaluate(const Tree& t) const override;
+  std::string ToString() const override { return expr_->ToString(); }
+  std::size_t ExprSize() const override { return expr_->Size(); }
+
+  const ppl::PplBinExpr& expr() const { return *expr_; }
+
+ private:
+  ppl::PplBinPtr expr_;
+};
+
+/// The full relation nodes(t)^2 -- the paper's `nodes` binary query, used
+/// by the L$xM^{-1} = nodes/x clause of Fig. 7.
+class FullRelationQuery : public BinaryQuery {
+ public:
+  BitMatrix Evaluate(const Tree& t) const override {
+    return BitMatrix::Full(t.size());
+  }
+  std::string ToString() const override { return "nodes"; }
+};
+
+/// Convenience constructors.
+BinaryQueryPtr MakeAxisQuery(Axis axis, std::string name_test = "*");
+BinaryQueryPtr MakePplBinQuery(ppl::PplBinPtr expr);
+BinaryQueryPtr MakeFullRelationQuery();
+
+}  // namespace xpv::hcl
+
+#endif  // XPV_HCL_BINARY_QUERY_H_

@@ -1,0 +1,226 @@
+#include "hcl/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "ppl/parser.h"
+
+namespace xpv::hcl {
+
+namespace {
+
+enum class Tok {
+  kName,
+  kBraced,  // {raw pplbin text}
+  kSlash,
+  kLBracket,
+  kRBracket,
+  kLParen,
+  kRParen,
+  kAxisSep,
+  kStar,
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  std::size_t offset = 0;
+};
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    std::size_t start = pos;
+    if (IsNameStart(c)) {
+      ++pos;
+      while (pos < text.size() && IsNameChar(text[pos])) ++pos;
+      out.push_back({Tok::kName, std::string(text.substr(start, pos - start)),
+                     start});
+      continue;
+    }
+    switch (c) {
+      case '{': {
+        std::size_t end = text.find('}', pos);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument("unterminated '{' at offset " +
+                                         std::to_string(start));
+        }
+        out.push_back({Tok::kBraced,
+                       std::string(text.substr(pos + 1, end - pos - 1)),
+                       start});
+        pos = end + 1;
+        break;
+      }
+      case '/':
+        out.push_back({Tok::kSlash, "/", start});
+        ++pos;
+        break;
+      case '[':
+        out.push_back({Tok::kLBracket, "[", start});
+        ++pos;
+        break;
+      case ']':
+        out.push_back({Tok::kRBracket, "]", start});
+        ++pos;
+        break;
+      case '(':
+        out.push_back({Tok::kLParen, "(", start});
+        ++pos;
+        break;
+      case ')':
+        out.push_back({Tok::kRParen, ")", start});
+        ++pos;
+        break;
+      case '*':
+        out.push_back({Tok::kStar, "*", start});
+        ++pos;
+        break;
+      case ':':
+        if (pos + 1 < text.size() && text[pos + 1] == ':') {
+          out.push_back({Tok::kAxisSep, "::", start});
+          pos += 2;
+          break;
+        }
+        return Status::InvalidArgument("stray ':' at offset " +
+                                       std::to_string(start));
+      default:
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(start));
+    }
+  }
+  out.push_back({Tok::kEnd, "", text.size()});
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<HclPtr> ParseFull() {
+    XPV_ASSIGN_OR_RETURN(HclPtr c, ParseUnion());
+    if (Peek().kind != Tok::kEnd) return ErrorHere("unexpected trailing input");
+    return c;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    std::size_t i = index_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Take() {
+    return tokens_[index_ < tokens_.size() - 1 ? index_++ : index_];
+  }
+  bool TryTake(Tok kind) {
+    if (Peek().kind == kind) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+  Status ErrorHere(std::string msg) const {
+    return Status::InvalidArgument(msg + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  Result<HclPtr> ParseUnion() {
+    XPV_ASSIGN_OR_RETURN(HclPtr left, ParseCompose());
+    while (Peek().kind == Tok::kName && Peek().text == "u") {
+      Take();
+      XPV_ASSIGN_OR_RETURN(HclPtr right, ParseCompose());
+      left = HclExpr::Union(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<HclPtr> ParseCompose() {
+    XPV_ASSIGN_OR_RETURN(HclPtr left, ParseAtom());
+    while (TryTake(Tok::kSlash)) {
+      XPV_ASSIGN_OR_RETURN(HclPtr right, ParseAtom());
+      left = HclExpr::Compose(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<HclPtr> ParseAtom() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case Tok::kBraced: {
+        XPV_ASSIGN_OR_RETURN(ppl::PplBinPtr bin,
+                             ppl::ParsePplBin(Take().text));
+        return HclExpr::Binary(MakePplBinQuery(std::move(bin)));
+      }
+      case Tok::kLBracket: {
+        Take();
+        XPV_ASSIGN_OR_RETURN(HclPtr inner, ParseUnion());
+        if (!TryTake(Tok::kRBracket)) return ErrorHere("expected ']'");
+        return HclExpr::Filter(std::move(inner));
+      }
+      case Tok::kLParen: {
+        Take();
+        XPV_ASSIGN_OR_RETURN(HclPtr inner, ParseUnion());
+        if (!TryTake(Tok::kRParen)) return ErrorHere("expected ')'");
+        return inner;
+      }
+      case Tok::kName: {
+        if (tok.text == "u") {
+          return ErrorHere("'u' is the union keyword, not a variable");
+        }
+        // `nodes` is the full relation.
+        if (tok.text == "nodes" && Peek(1).kind != Tok::kAxisSep) {
+          Take();
+          return HclExpr::Binary(MakeFullRelationQuery());
+        }
+        // Axis step when followed by '::', variable otherwise.
+        if (Peek(1).kind == Tok::kAxisSep) {
+          Result<Axis> axis = xpv::ParseAxis(tok.text);
+          if (!axis.ok()) return ErrorHere("unknown axis '" + tok.text + "'");
+          Take();
+          Take();  // '::'
+          const Token& nt = Peek();
+          if (nt.kind == Tok::kStar) {
+            Take();
+            return HclExpr::Binary(
+                MakePplBinQuery(ppl::PplBinExpr::Step(*axis, "*")));
+          }
+          if (nt.kind == Tok::kName) {
+            return HclExpr::Binary(
+                MakePplBinQuery(ppl::PplBinExpr::Step(*axis, Take().text)));
+          }
+          return ErrorHere("expected a name test or '*'");
+        }
+        return HclExpr::Var(Take().text);
+      }
+      default:
+        return ErrorHere("expected an HCL expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<HclPtr> ParseHcl(std::string_view text) {
+  XPV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseFull();
+}
+
+}  // namespace xpv::hcl

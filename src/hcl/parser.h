@@ -1,0 +1,27 @@
+// Parser for the HCL(L) surface syntax as printed by HclExpr::ToString,
+// instantiated with L = PPLbin:
+//
+//   C := b | C/C' | x | [C] | C u C' | (C)
+//
+// where a binary-query leaf b is either a single step (child::a,
+// descendant::*, nodes) or an arbitrary PPLbin expression in braces
+// ({except child::a/[child::b]}). Variables are bare names without '::'.
+//
+// Round-trips with HclExpr::ToString for expressions whose leaves are
+// PplBinQuery / AxisQuery / FullRelationQuery.
+#ifndef XPV_HCL_PARSER_H_
+#define XPV_HCL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "hcl/ast.h"
+
+namespace xpv::hcl {
+
+/// Parses an HCL(PPLbin) expression.
+Result<HclPtr> ParseHcl(std::string_view text);
+
+}  // namespace xpv::hcl
+
+#endif  // XPV_HCL_PARSER_H_

@@ -1,0 +1,324 @@
+#include "hcl/sharing.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+
+namespace xpv::hcl {
+
+namespace {
+
+SharingPtr MakeSelf() {
+  auto d = std::make_unique<SharingExpr>();
+  d->kind = SharingKind::kSelf;
+  return d;
+}
+
+SharingPtr MakeParam(int p) {
+  auto d = std::make_unique<SharingExpr>();
+  d->kind = SharingKind::kParam;
+  d->param = p;
+  return d;
+}
+
+SharingPtr MakeUnion(SharingPtr l, SharingPtr r) {
+  auto d = std::make_unique<SharingExpr>();
+  d->kind = SharingKind::kUnion;
+  d->left = std::move(l);
+  d->right = std::move(r);
+  return d;
+}
+
+SharingPtr MakeCompose(std::unique_ptr<PrefixExpr> e, SharingPtr rest) {
+  auto d = std::make_unique<SharingExpr>();
+  d->kind = SharingKind::kCompose;
+  d->prefix = std::move(e);
+  d->left = std::move(rest);
+  return d;
+}
+
+std::unique_ptr<PrefixExpr> MakeVarPrefix(std::string var) {
+  auto e = std::make_unique<PrefixExpr>();
+  e->kind = PrefixKind::kVar;
+  e->var = std::move(var);
+  return e;
+}
+
+std::unique_ptr<PrefixExpr> MakeBinaryPrefix(BinaryQueryPtr b) {
+  auto e = std::make_unique<PrefixExpr>();
+  e->kind = PrefixKind::kBinary;
+  e->binary = std::move(b);
+  return e;
+}
+
+std::unique_ptr<PrefixExpr> MakeFilterPrefix(SharingPtr body) {
+  auto e = std::make_unique<PrefixExpr>();
+  e->kind = PrefixKind::kFilter;
+  e->filter_body = std::move(body);
+  return e;
+}
+
+/// The Lemma 3 conversion. `defs` accumulates the equation system.
+class Converter {
+ public:
+  explicit Converter(std::vector<SharingPtr>* defs) : defs_(defs) {}
+
+  // toD(C): the sharing formula for C followed by `self`.
+  SharingPtr ToD(const HclExpr& c) {
+    switch (c.kind) {
+      case HclKind::kBinary:
+        return MakeCompose(MakeBinaryPrefix(c.binary), MakeSelf());
+      case HclKind::kVar:
+        return MakeCompose(MakeVarPrefix(c.var), MakeSelf());
+      case HclKind::kFilter:
+        return MakeCompose(MakeFilterPrefix(ToD(*c.left)), MakeSelf());
+      case HclKind::kUnion:
+        return MakeUnion(ToD(*c.left), ToD(*c.right));
+      case HclKind::kCompose:
+        return Prepend(*c.left, ToD(*c.right));
+    }
+    return nullptr;
+  }
+
+ private:
+  // Prepend(C1, D) computes a sharing formula for C1/D_Delta. When C1 is a
+  // union, D is shared through a fresh parameter (the Lemma 3 rewrite
+  // (C1 u C2)/C => C1/p u C2/p with Delta(p) = C).
+  SharingPtr Prepend(const HclExpr& c1, SharingPtr d) {
+    switch (c1.kind) {
+      case HclKind::kBinary:
+        return MakeCompose(MakeBinaryPrefix(c1.binary), std::move(d));
+      case HclKind::kVar:
+        return MakeCompose(MakeVarPrefix(c1.var), std::move(d));
+      case HclKind::kFilter:
+        return MakeCompose(MakeFilterPrefix(ToD(*c1.left)), std::move(d));
+      case HclKind::kCompose:
+        return Prepend(*c1.left, Prepend(*c1.right, std::move(d)));
+      case HclKind::kUnion: {
+        // Avoid a fresh parameter when D is already a trivial reference.
+        if (d->kind == SharingKind::kParam || d->kind == SharingKind::kSelf) {
+          SharingPtr copy;
+          if (d->kind == SharingKind::kParam) {
+            copy = MakeParam(d->param);
+          } else {
+            copy = MakeSelf();
+          }
+          return MakeUnion(Prepend(*c1.left, std::move(copy)),
+                           Prepend(*c1.right, std::move(d)));
+        }
+        const int p = static_cast<int>(defs_->size());
+        defs_->push_back(std::move(d));
+        return MakeUnion(Prepend(*c1.left, MakeParam(p)),
+                         Prepend(*c1.right, MakeParam(p)));
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<SharingPtr>* defs_;
+};
+
+void PrintD(const SharingExpr& d, std::string* out);
+
+void PrintE(const PrefixExpr& e, std::string* out) {
+  switch (e.kind) {
+    case PrefixKind::kVar:
+      *out += e.var;
+      return;
+    case PrefixKind::kBinary: {
+      std::string b = e.binary->ToString();
+      if (b.find(' ') != std::string::npos ||
+          b.find('/') != std::string::npos) {
+        *out += '{';
+        *out += b;
+        *out += '}';
+      } else {
+        *out += b;
+      }
+      return;
+    }
+    case PrefixKind::kFilter:
+      *out += '[';
+      PrintD(*e.filter_body, out);
+      *out += ']';
+      return;
+  }
+}
+
+void PrintD(const SharingExpr& d, std::string* out) {
+  switch (d.kind) {
+    case SharingKind::kSelf:
+      *out += "self";
+      return;
+    case SharingKind::kParam:
+      *out += 'p';
+      *out += std::to_string(d.param);
+      return;
+    case SharingKind::kUnion:
+      if (d.left->kind == SharingKind::kUnion) {
+        *out += '(';
+        PrintD(*d.left, out);
+        *out += ')';
+      } else {
+        PrintD(*d.left, out);
+      }
+      *out += " u ";
+      if (d.right->kind == SharingKind::kUnion) {
+        *out += '(';
+        PrintD(*d.right, out);
+        *out += ')';
+      } else {
+        PrintD(*d.right, out);
+      }
+      return;
+    case SharingKind::kCompose:
+      PrintE(*d.prefix, out);
+      *out += '/';
+      if (d.left->kind == SharingKind::kUnion) {
+        *out += '(';
+        PrintD(*d.left, out);
+        *out += ')';
+      } else {
+        PrintD(*d.left, out);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+std::string SharingExpr::ToString() const {
+  std::string out;
+  PrintD(*this, &out);
+  return out;
+}
+
+std::size_t SharingExpr::Size() const {
+  std::size_t size = 1;
+  if (prefix != nullptr && prefix->filter_body != nullptr) {
+    size += prefix->filter_body->Size();
+  }
+  if (left) size += left->Size();
+  if (right) size += right->Size();
+  return size;
+}
+
+SharingForm SharingForm::FromHcl(const HclExpr& c) {
+  SharingForm form;
+  Converter converter(&form.defs_);
+  form.root_ = converter.ToD(c);
+  form.Index();
+  return form;
+}
+
+std::size_t SharingForm::TotalSize() const {
+  std::size_t size = root_->Size();
+  for (const auto& def : defs_) size += def->Size();
+  return size;
+}
+
+void SharingForm::Index() {
+  subformulas_.clear();
+  binaries_.clear();
+  std::map<const BinaryQuery*, bool> seen_binaries;
+
+  std::function<void(SharingExpr&)> walk = [&](SharingExpr& d) {
+    d.id = static_cast<int>(subformulas_.size());
+    subformulas_.push_back(&d);
+    if (d.kind == SharingKind::kCompose) {
+      PrefixExpr& e = *d.prefix;
+      if (e.kind == PrefixKind::kFilter) {
+        walk(*e.filter_body);
+      } else if (e.kind == PrefixKind::kBinary) {
+        if (!seen_binaries[e.binary.get()]) {
+          seen_binaries[e.binary.get()] = true;
+          binaries_.push_back(e.binary);
+        }
+      }
+      walk(*d.left);
+    } else if (d.kind == SharingKind::kUnion) {
+      walk(*d.left);
+      walk(*d.right);
+    }
+  };
+  walk(*root_);
+  for (auto& def : defs_) walk(*def);
+
+  // Free variables of each subformula's expansion, parameters followed.
+  // Definitions precede uses acyclically, so a fixpoint in reverse
+  // indexing order is unnecessary: compute with memoization instead.
+  vars_.assign(subformulas_.size(), {});
+  std::vector<char> done(subformulas_.size(), 0);
+  std::function<const std::set<std::string>&(const SharingExpr&)> vars_of =
+      [&](const SharingExpr& d) -> const std::set<std::string>& {
+    if (done[d.id]) return vars_[d.id];
+    done[d.id] = 1;
+    std::set<std::string>& out = vars_[d.id];
+    switch (d.kind) {
+      case SharingKind::kSelf:
+        break;
+      case SharingKind::kParam:
+        out = vars_of(*defs_[d.param]);
+        break;
+      case SharingKind::kUnion: {
+        out = vars_of(*d.left);
+        const auto& rv = vars_of(*d.right);
+        out.insert(rv.begin(), rv.end());
+        break;
+      }
+      case SharingKind::kCompose: {
+        const PrefixExpr& e = *d.prefix;
+        if (e.kind == PrefixKind::kVar) {
+          out.insert(e.var);
+        } else if (e.kind == PrefixKind::kFilter) {
+          const auto& fv = vars_of(*e.filter_body);
+          out.insert(fv.begin(), fv.end());
+        }
+        const auto& rv = vars_of(*d.left);
+        out.insert(rv.begin(), rv.end());
+        break;
+      }
+    }
+    return out;
+  };
+  for (const SharingExpr* d : subformulas_) vars_of(*d);
+}
+
+HclPtr SharingForm::ExpandExpr(const SharingExpr& d) const {
+  switch (d.kind) {
+    case SharingKind::kSelf:
+      return HclExpr::Binary(MakeAxisQuery(Axis::kSelf));
+    case SharingKind::kParam:
+      return ExpandExpr(*defs_[d.param]);
+    case SharingKind::kUnion:
+      return HclExpr::Union(ExpandExpr(*d.left), ExpandExpr(*d.right));
+    case SharingKind::kCompose: {
+      HclPtr prefix;
+      switch (d.prefix->kind) {
+        case PrefixKind::kVar:
+          prefix = HclExpr::Var(d.prefix->var);
+          break;
+        case PrefixKind::kBinary:
+          prefix = HclExpr::Binary(d.prefix->binary);
+          break;
+        case PrefixKind::kFilter:
+          prefix = HclExpr::Filter(ExpandExpr(*d.prefix->filter_body));
+          break;
+      }
+      return HclExpr::Compose(std::move(prefix), ExpandExpr(*d.left));
+    }
+  }
+  return nullptr;
+}
+
+HclPtr SharingForm::Expand() const { return ExpandExpr(*root_); }
+
+std::string SharingForm::ToString() const {
+  std::string out = root_->ToString();
+  for (std::size_t p = 0; p < defs_.size(); ++p) {
+    out += "\n  p" + std::to_string(p) + " -> " + defs_[p]->ToString();
+  }
+  return out;
+}
+
+}  // namespace xpv::hcl

@@ -1,0 +1,125 @@
+// Sharing expressions and equation systems (Section 7, Lemma 3).
+//
+// Naively distributing unions out of compositions, (C1 u C2)/C =>
+// C1/C u C2/C, copies C and can explode exponentially. The paper instead
+// introduces *sharing expressions* with parameters p referring to shared
+// subformulas:
+//
+//   E ::= x | [D] | b                 (composition prefixes)
+//   D ::= p | D u D' | E/D | self
+//
+// together with an acyclic equation system Delta = [p1 -> D1, ...]. Every
+// HCL formula C converts in linear time to a pair (D, Delta) with
+// D_Delta = C and |D| + |Delta| = O(|C|) (Lemma 3), by rewriting
+//
+//   (C1 u C2)/C  =>  C1/p u C2/p   where Delta(p) = C
+//
+// exhaustively and terminating every branch with .../self.
+//
+// The SharingForm class owns (D, Delta) plus the bookkeeping the Section 7
+// algorithms need: an id per D-subformula, the free variables
+// Var(D0_Delta) per subformula, and the set of distinct binary queries.
+#ifndef XPV_HCL_SHARING_H_
+#define XPV_HCL_SHARING_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hcl/ast.h"
+
+namespace xpv::hcl {
+
+enum class SharingKind {
+  kSelf,     // self
+  kParam,    // p
+  kUnion,    // D u D'
+  kCompose,  // E/D
+};
+
+enum class PrefixKind {
+  kVar,     // x
+  kFilter,  // [D]
+  kBinary,  // b
+};
+
+using SharingPtr = std::unique_ptr<struct SharingExpr>;
+
+/// A composition prefix E ::= x | [D] | b.
+struct PrefixExpr {
+  PrefixKind kind;
+  std::string var;         // kVar
+  BinaryQueryPtr binary;   // kBinary
+  SharingPtr filter_body;  // kFilter
+};
+
+/// A sharing formula D.
+struct SharingExpr {
+  SharingKind kind;
+  int param = -1;                      // kParam: index into Delta
+  std::unique_ptr<PrefixExpr> prefix;  // kCompose: the E
+  SharingPtr left;                     // kUnion (left), kCompose (the D)
+  SharingPtr right;                    // kUnion (right)
+
+  // Assigned by SharingForm::Index(): dense id over all D-subformulas
+  // reachable from the root and the equation system.
+  int id = -1;
+
+  std::string ToString() const;
+  /// Number of nodes of this formula (prefixes and their filter bodies
+  /// included), not following parameters.
+  std::size_t Size() const;
+};
+
+/// The pair (D, Delta) of Lemma 3 plus indexing for the Section 7
+/// algorithms.
+class SharingForm {
+ public:
+  /// Converts an HCL formula to sharing normal form in linear time.
+  static SharingForm FromHcl(const HclExpr& c);
+
+  const SharingExpr& root() const { return *root_; }
+  /// Delta(p).
+  const SharingExpr& Def(int param) const { return *defs_[param]; }
+  std::size_t num_params() const { return defs_.size(); }
+
+  /// Total number of indexed D-subformulas (root + definitions).
+  std::size_t num_subformulas() const { return subformulas_.size(); }
+  const SharingExpr& Subformula(int id) const { return *subformulas_[id]; }
+
+  /// |D| + |Delta| (the size measure of Lemma 3 / Prop. 10).
+  std::size_t TotalSize() const;
+
+  /// Var(D0_Delta) for the subformula with the given id (variables of the
+  /// expansion, following parameters).
+  const std::set<std::string>& VarsOf(int id) const { return vars_[id]; }
+
+  /// Distinct binary queries occurring anywhere (the paper's L(C)).
+  const std::vector<BinaryQueryPtr>& binary_queries() const {
+    return binaries_;
+  }
+
+  /// Expands D_Delta back into a plain HCL formula (exponential in the
+  /// worst case -- used by tests to validate Lemma 3's semantics
+  /// preservation on small inputs).
+  HclPtr Expand() const;
+
+  std::string ToString() const;
+
+ private:
+  SharingForm() = default;
+
+  void Index();
+  HclPtr ExpandExpr(const SharingExpr& d) const;
+
+  SharingPtr root_;
+  std::vector<SharingPtr> defs_;
+  std::vector<const SharingExpr*> subformulas_;
+  std::vector<std::set<std::string>> vars_;
+  std::vector<BinaryQueryPtr> binaries_;
+};
+
+}  // namespace xpv::hcl
+
+#endif  // XPV_HCL_SHARING_H_

@@ -1,0 +1,36 @@
+// The two translations proving HCL-(PPLbin) = PPL (Proposition 5):
+//
+//   PplToHcl  -- Fig. 7, PPL -> HCL-(PPLbin). Variable-free subexpressions
+//                (intersections, exceptions, negated tests) collapse into
+//                single PPLbin binary-query leaves via the Fig. 4
+//                translation; variables become HCL variable node tests;
+//                goto-variables $x become nodes/x.
+//
+//   HclToPpl  -- the inclusion HCL-(PPLbin) -> PPL from the proof of
+//                Proposition 5: LbM = b, LC/C'M = LCM/LC'M,
+//                LxM = .[. is $x], L[C]M = .[LCM], LC u C'M = LCM union LC'M.
+//
+// Both translations are linear time and preserve n-ary query semantics;
+// the round-trip tests in translations_test.cc verify this differentially.
+#ifndef XPV_HCL_TRANSLATE_H_
+#define XPV_HCL_TRANSLATE_H_
+
+#include "common/status.h"
+#include "hcl/ast.h"
+#include "xpath/ast.h"
+
+namespace xpv::hcl {
+
+/// Fig. 7: translates a PPL expression (Definition 1) into HCL-(PPLbin).
+/// Fails with FragmentViolation when `p` is not in PPL.
+Result<HclPtr> PplToHcl(const xpath::PathExpr& p);
+
+/// Proposition 5 inclusion: translates HCL-(PPLbin) into PPL syntax.
+/// Binary-query leaves must be PplBinQuery, AxisQuery or
+/// FullRelationQuery; fails otherwise. The output satisfies CheckPpl
+/// whenever the input satisfies NVS(/).
+Result<xpath::PathPtr> HclToPpl(const HclExpr& c);
+
+}  // namespace xpv::hcl
+
+#endif  // XPV_HCL_TRANSLATE_H_

@@ -1,0 +1,119 @@
+#include "ppl/gkp_engine.h"
+
+#include <cassert>
+
+namespace xpv::ppl {
+
+namespace {
+
+/// Syntactic reversal: Reverse(P) denotes the inverse relation of P.
+///   Reverse(A::N)    = self::N / A^{-1}::*   (label moves to the source)
+///   Reverse(P1/P2)   = Reverse(P2)/Reverse(P1)
+///   Reverse(P1 u P2) = Reverse(P1) u Reverse(P2)
+///   Reverse([P])     = [P]                   (partial identities are
+///                                             symmetric)
+PplBinPtr Reverse(const PplBinExpr& p) {
+  switch (p.kind) {
+    case PplBinKind::kStep: {
+      PplBinPtr label_filter = PplBinExpr::Step(
+          Axis::kSelf, p.name_test.empty() ? "*" : p.name_test);
+      if (p.axis == Axis::kSelf) return label_filter;
+      return PplBinExpr::Compose(std::move(label_filter),
+                                 PplBinExpr::Step(InverseAxis(p.axis), "*"));
+    }
+    case PplBinKind::kCompose:
+      return PplBinExpr::Compose(Reverse(*p.right), Reverse(*p.left));
+    case PplBinKind::kUnion:
+      return PplBinExpr::Union(Reverse(*p.left), Reverse(*p.right));
+    case PplBinKind::kFilter:
+      return p.Clone();
+    case PplBinKind::kComplement:
+      assert(false && "Reverse() requires a positive expression");
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+BitVector GkpEngine::ImagePositive(const PplBinExpr& p,
+                                   const BitVector& from) {
+  switch (p.kind) {
+    case PplBinKind::kStep: {
+      BitVector out = AxisImage(tree_, p.axis, from);
+      if (!p.name_test.empty()) out.AndWith(LabelSet(tree_, p.name_test));
+      return out;
+    }
+    case PplBinKind::kCompose: {
+      BitVector mid = ImagePositive(*p.left, from);
+      return ImagePositive(*p.right, mid);
+    }
+    case PplBinKind::kUnion: {
+      BitVector out = ImagePositive(*p.left, from);
+      out.OrWith(ImagePositive(*p.right, from));
+      return out;
+    }
+    case PplBinKind::kFilter: {
+      // S_{[P]}(N) = N  intersect  domain(P).
+      auto it = domain_cache_.find(p.left.get());
+      if (it == domain_cache_.end()) {
+        PplBinPtr reversed = Reverse(*p.left);
+        BitVector all(tree_.size());
+        all.Fill();
+        BitVector domain = ImagePositive(*reversed, all);
+        it = domain_cache_.emplace(p.left.get(), std::move(domain)).first;
+      }
+      BitVector out = from;
+      out.AndWith(it->second);
+      return out;
+    }
+    case PplBinKind::kComplement:
+      assert(false && "positive fragment only");
+      return BitVector(tree_.size());
+  }
+  return BitVector(tree_.size());
+}
+
+Result<BitVector> GkpEngine::Image(const PplBinExpr& p,
+                                   const BitVector& from) {
+  if (!p.IsPositive()) {
+    return Status::FragmentViolation(
+        "GkpEngine evaluates the positive fragment only; '" + p.ToString() +
+        "' contains except");
+  }
+  return ImagePositive(p, from);
+}
+
+Result<BitVector> GkpEngine::Domain(const PplBinExpr& p) {
+  if (!p.IsPositive()) {
+    return Status::FragmentViolation(
+        "GkpEngine evaluates the positive fragment only");
+  }
+  PplBinPtr reversed = Reverse(p);
+  BitVector all(tree_.size());
+  all.Fill();
+  return ImagePositive(*reversed, all);
+}
+
+Result<BitMatrix> GkpEngine::Relation(const PplBinExpr& p) {
+  if (!p.IsPositive()) {
+    return Status::FragmentViolation(
+        "GkpEngine evaluates the positive fragment only");
+  }
+  BitMatrix out(tree_.size());
+  BitVector from(tree_.size());
+  for (NodeId u = 0; u < tree_.size(); ++u) {
+    from.Clear();
+    from.Set(u);
+    out.OrIntoRow(u, ImagePositive(p, from));
+  }
+  return out;
+}
+
+Result<BitVector> GkpEngine::FromRoot(const PplBinExpr& p) {
+  BitVector root_only(tree_.size());
+  root_only.Set(tree_.root());
+  return Image(p, root_only);
+}
+
+}  // namespace xpv::ppl

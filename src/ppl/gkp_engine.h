@@ -1,0 +1,57 @@
+// Successor-set evaluation for the positive (complement-free) fragment of
+// PPLbin -- "the main evaluation trick of Core XPath 1.0" recalled in
+// Section 4 of the paper (Gottlob, Koch, Pichler): the image
+// S_P(N) = { u' | exists u in N, (u, u') in [[P]] } of a node set N is
+// computable in O(|P| |t|) time, because each axis image is linear and
+// filter tests reduce to domain computations via path reversal.
+//
+// This yields:
+//   * monadic queries from the root in O(|P| |t|),
+//   * the full binary relation in O(|P| |t|^2) (one image per start node),
+// which the E10 benchmark contrasts with the O(|P| |t|^3 / 64) matrix
+// engine. The paper points out exactly this asymmetry: "it is not clear
+// whether this trick can be used for evaluating PPLbin, since the except
+// operator can occur at any position" -- hence the matrix algorithm for
+// the full language, and this engine for its positive part.
+#ifndef XPV_PPL_GKP_ENGINE_H_
+#define XPV_PPL_GKP_ENGINE_H_
+
+#include <map>
+
+#include "common/bit_matrix.h"
+#include "common/status.h"
+#include "ppl/pplbin.h"
+#include "tree/tree.h"
+
+namespace xpv::ppl {
+
+/// Linear-time set-image evaluator for positive PPLbin expressions.
+/// Domain sets of filter subexpressions are cached across Image() calls,
+/// so evaluating the full binary relation costs O(|P| |t|^2) overall.
+class GkpEngine {
+ public:
+  explicit GkpEngine(const Tree& tree) : tree_(tree) {}
+
+  /// S_P(N). Fails with FragmentViolation if P contains `except`.
+  Result<BitVector> Image(const PplBinExpr& p, const BitVector& from);
+
+  /// domain(P) = { u | exists u': (u, u') in [[P]] }, via reversal.
+  Result<BitVector> Domain(const PplBinExpr& p);
+
+  /// The full relation [[P]], one Image() per start node.
+  Result<BitMatrix> Relation(const PplBinExpr& p);
+
+  /// Monadic query from the root.
+  Result<BitVector> FromRoot(const PplBinExpr& p);
+
+ private:
+  BitVector ImagePositive(const PplBinExpr& p, const BitVector& from);
+
+  const Tree& tree_;
+  // Domain cache keyed by filter-subexpression identity.
+  std::map<const PplBinExpr*, BitVector> domain_cache_;
+};
+
+}  // namespace xpv::ppl
+
+#endif  // XPV_PPL_GKP_ENGINE_H_

@@ -1,0 +1,59 @@
+// The Boolean-matrix evaluation algorithm for PPLbin (Section 4 of the
+// paper, Theorem 2): a binary query q^bin_P(t) is represented as the
+// |t| x |t| matrix M^t_P computed bottom-up by
+//
+//   M_{P1/P2} = M_{P1} . M_{P2}     M_{except P}  = not M_P
+//   M_{P1 union P2} = M_{P1} + M_{P2}     M_{[P]} = [M_P]
+//
+// over the Boolean algebra ({0,1}, or, and). With the naive product this
+// is O(|P| |t|^3); the bit-packed product used here performs
+// |t|^3 / 64 word operations (the same asymptotic bound; the paper notes
+// the exponent can be lowered to 2.376 with Coppersmith-Winograd).
+#ifndef XPV_PPL_MATRIX_ENGINE_H_
+#define XPV_PPL_MATRIX_ENGINE_H_
+
+#include <map>
+#include <string>
+
+#include "common/bit_matrix.h"
+#include "ppl/pplbin.h"
+#include "tree/tree.h"
+
+namespace xpv::ppl {
+
+/// Matrix multiplication strategy, for the E3 ablation benchmark.
+enum class MultiplyMode {
+  kBitPacked,  // row-OR word-parallel product (default)
+  kNaive,      // triple loop, one bit at a time (reference)
+};
+
+/// Evaluates PPLbin expressions on one fixed tree via Boolean matrices.
+/// Axis relation matrices and label sets are cached across calls.
+class MatrixEngine {
+ public:
+  explicit MatrixEngine(const Tree& tree,
+                        MultiplyMode mode = MultiplyMode::kBitPacked)
+      : tree_(tree), mode_(mode) {}
+
+  /// M^t_P, i.e. the binary query q^bin_P(t) as a matrix.
+  BitMatrix Evaluate(const PplBinExpr& p);
+
+  /// Monadic query from the root: nodes reachable from the root via P.
+  BitVector EvaluateFromRoot(const PplBinExpr& p);
+
+  const Tree& tree() const { return tree_; }
+
+ private:
+  const BitMatrix& AxisMatrixCached(Axis axis);
+  const BitVector& LabelSetCached(const std::string& name_test);
+  BitMatrix Product(const BitMatrix& a, const BitMatrix& b) const;
+
+  const Tree& tree_;
+  MultiplyMode mode_;
+  std::map<Axis, BitMatrix> axis_cache_;
+  std::map<std::string, BitVector> label_cache_;
+};
+
+}  // namespace xpv::ppl
+
+#endif  // XPV_PPL_MATRIX_ENGINE_H_

@@ -1,0 +1,220 @@
+#include "ppl/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace xpv::ppl {
+
+namespace {
+
+enum class Tok {
+  kName,
+  kDot,
+  kSlash,
+  kLBracket,
+  kRBracket,
+  kLParen,
+  kRParen,
+  kAxisSep,
+  kStar,
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  std::size_t offset = 0;
+};
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    std::size_t start = pos;
+    if (IsNameStart(c)) {
+      ++pos;
+      while (pos < text.size() && IsNameChar(text[pos])) ++pos;
+      out.push_back({Tok::kName, std::string(text.substr(start, pos - start)),
+                     start});
+      continue;
+    }
+    switch (c) {
+      case '.':
+        out.push_back({Tok::kDot, ".", start});
+        ++pos;
+        break;
+      case '/':
+        out.push_back({Tok::kSlash, "/", start});
+        ++pos;
+        break;
+      case '[':
+        out.push_back({Tok::kLBracket, "[", start});
+        ++pos;
+        break;
+      case ']':
+        out.push_back({Tok::kRBracket, "]", start});
+        ++pos;
+        break;
+      case '(':
+        out.push_back({Tok::kLParen, "(", start});
+        ++pos;
+        break;
+      case ')':
+        out.push_back({Tok::kRParen, ")", start});
+        ++pos;
+        break;
+      case '*':
+        out.push_back({Tok::kStar, "*", start});
+        ++pos;
+        break;
+      case ':':
+        if (pos + 1 < text.size() && text[pos + 1] == ':') {
+          out.push_back({Tok::kAxisSep, "::", start});
+          pos += 2;
+          break;
+        }
+        return Status::InvalidArgument("stray ':' at offset " +
+                                       std::to_string(start));
+      default:
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(start));
+    }
+  }
+  out.push_back({Tok::kEnd, "", text.size()});
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<PplBinPtr> ParseFull() {
+    XPV_ASSIGN_OR_RETURN(PplBinPtr p, ParseUnion());
+    if (Peek().kind != Tok::kEnd) {
+      return ErrorHere("unexpected trailing input");
+    }
+    return p;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    std::size_t i = index_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Take() {
+    return tokens_[index_ < tokens_.size() - 1 ? index_++ : index_];
+  }
+  bool TryTake(Tok kind) {
+    if (Peek().kind == kind) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+  bool TryTakeKeyword(std::string_view kw) {
+    if (Peek().kind == Tok::kName && Peek().text == kw) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+  Status ErrorHere(std::string msg) const {
+    return Status::InvalidArgument(msg + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  Result<PplBinPtr> ParseUnion() {
+    XPV_ASSIGN_OR_RETURN(PplBinPtr left, ParseCompose());
+    while (TryTakeKeyword("union")) {
+      XPV_ASSIGN_OR_RETURN(PplBinPtr right, ParseCompose());
+      left = PplBinExpr::Union(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<PplBinPtr> ParseCompose() {
+    XPV_ASSIGN_OR_RETURN(PplBinPtr left, ParsePrefix());
+    while (TryTake(Tok::kSlash)) {
+      XPV_ASSIGN_OR_RETURN(PplBinPtr right, ParsePrefix());
+      left = PplBinExpr::Compose(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<PplBinPtr> ParsePrefix() {
+    if (TryTakeKeyword("except")) {
+      XPV_ASSIGN_OR_RETURN(PplBinPtr inner, ParsePrefix());
+      return PplBinExpr::Complement(std::move(inner));
+    }
+    return ParseAtom();
+  }
+
+  Result<PplBinPtr> ParseAtom() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case Tok::kDot:
+        Take();
+        return PplBinExpr::Self();
+      case Tok::kLBracket: {
+        Take();
+        XPV_ASSIGN_OR_RETURN(PplBinPtr inner, ParseUnion());
+        if (!TryTake(Tok::kRBracket)) return ErrorHere("expected ']'");
+        return PplBinExpr::Filter(std::move(inner));
+      }
+      case Tok::kLParen: {
+        Take();
+        XPV_ASSIGN_OR_RETURN(PplBinPtr inner, ParseUnion());
+        if (!TryTake(Tok::kRParen)) return ErrorHere("expected ')'");
+        return inner;
+      }
+      case Tok::kName: {
+        if (tok.text == "union" || tok.text == "except") {
+          return ErrorHere("keyword '" + tok.text + "' cannot start a path");
+        }
+        Result<Axis> axis = xpv::ParseAxis(tok.text);
+        if (!axis.ok()) return ErrorHere("unknown axis '" + tok.text + "'");
+        Take();
+        if (!TryTake(Tok::kAxisSep)) return ErrorHere("expected '::'");
+        const Token& nt = Peek();
+        if (nt.kind == Tok::kStar) {
+          Take();
+          return PplBinExpr::Step(*axis, "*");
+        }
+        if (nt.kind == Tok::kName && nt.text != "union" &&
+            nt.text != "except") {
+          return PplBinExpr::Step(*axis, Take().text);
+        }
+        return ErrorHere("expected a name test or '*'");
+      }
+      default:
+        return ErrorHere("expected a PPLbin expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<PplBinPtr> ParsePplBin(std::string_view text) {
+  XPV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseFull();
+}
+
+}  // namespace xpv::ppl

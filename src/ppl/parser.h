@@ -1,0 +1,29 @@
+// Parser for the PPLbin surface syntax (the Fig. 3 grammar as printed by
+// PplBinExpr::ToString):
+//
+//   P := Axis::NameTest | .          (self::* sugar)
+//      | P / P                       (composition, binds tighter than union)
+//      | P union P
+//      | except P                    (prefix complement, binds tighter
+//                                     than / so `a/except b` parses as
+//                                     a/(except b))
+//      | [ P ]                       (domain partial identity)
+//      | ( P )
+//
+// Round-trips with PplBinExpr::ToString: Parse(p.ToString()).Equals(p).
+#ifndef XPV_PPL_PARSER_H_
+#define XPV_PPL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "ppl/pplbin.h"
+
+namespace xpv::ppl {
+
+/// Parses a PPLbin expression.
+Result<PplBinPtr> ParsePplBin(std::string_view text);
+
+}  // namespace xpv::ppl
+
+#endif  // XPV_PPL_PARSER_H_

@@ -1,0 +1,294 @@
+#include "ppl/pplbin.h"
+
+#include <cassert>
+
+namespace xpv::ppl {
+
+namespace {
+
+PplBinPtr Make(PplBinKind kind) {
+  auto p = std::make_unique<PplBinExpr>();
+  p->kind = kind;
+  return p;
+}
+
+/// Print precedence: union(0) < compose(1) < prefix-except(2) < atoms(3).
+int Level(const PplBinExpr& p) {
+  switch (p.kind) {
+    case PplBinKind::kUnion:
+      return 0;
+    case PplBinKind::kCompose:
+      return 1;
+    case PplBinKind::kComplement:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+void Print(const PplBinExpr& p, std::string* out);
+
+void PrintChild(const PplBinExpr& child, int required, std::string* out) {
+  const bool parens = Level(child) < required;
+  if (parens) *out += '(';
+  Print(child, out);
+  if (parens) *out += ')';
+}
+
+void Print(const PplBinExpr& p, std::string* out) {
+  switch (p.kind) {
+    case PplBinKind::kStep:
+      *out += AxisName(p.axis);
+      *out += "::";
+      *out += p.name_test.empty() ? "*" : p.name_test;
+      return;
+    case PplBinKind::kCompose:
+      PrintChild(*p.left, 1, out);
+      *out += '/';
+      PrintChild(*p.right, 2, out);
+      return;
+    case PplBinKind::kUnion:
+      PrintChild(*p.left, 0, out);
+      *out += " union ";
+      PrintChild(*p.right, 1, out);
+      return;
+    case PplBinKind::kComplement:
+      *out += "except ";
+      PrintChild(*p.left, 2, out);
+      return;
+    case PplBinKind::kFilter:
+      *out += '[';
+      Print(*p.left, out);
+      *out += ']';
+      return;
+  }
+}
+
+}  // namespace
+
+PplBinPtr PplBinExpr::Step(Axis axis, std::string_view name_test) {
+  auto p = Make(PplBinKind::kStep);
+  p->axis = axis;
+  p->name_test = (name_test == "*") ? "" : std::string(name_test);
+  return p;
+}
+
+PplBinPtr PplBinExpr::Compose(PplBinPtr l, PplBinPtr r) {
+  auto p = Make(PplBinKind::kCompose);
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+PplBinPtr PplBinExpr::Union(PplBinPtr l, PplBinPtr r) {
+  auto p = Make(PplBinKind::kUnion);
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+PplBinPtr PplBinExpr::Complement(PplBinPtr inner) {
+  auto p = Make(PplBinKind::kComplement);
+  p->left = std::move(inner);
+  return p;
+}
+
+PplBinPtr PplBinExpr::Filter(PplBinPtr inner) {
+  auto p = Make(PplBinKind::kFilter);
+  p->left = std::move(inner);
+  return p;
+}
+
+PplBinPtr PplBinExpr::Clone() const {
+  auto p = std::make_unique<PplBinExpr>();
+  p->kind = kind;
+  p->axis = axis;
+  p->name_test = name_test;
+  if (left) p->left = left->Clone();
+  if (right) p->right = right->Clone();
+  return p;
+}
+
+bool PplBinExpr::Equals(const PplBinExpr& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case PplBinKind::kStep:
+      return axis == other.axis && name_test == other.name_test;
+    case PplBinKind::kCompose:
+    case PplBinKind::kUnion:
+      return left->Equals(*other.left) && right->Equals(*other.right);
+    case PplBinKind::kComplement:
+    case PplBinKind::kFilter:
+      return left->Equals(*other.left);
+  }
+  return false;
+}
+
+std::size_t PplBinExpr::Size() const {
+  std::size_t size = 1;
+  if (left) size += left->Size();
+  if (right) size += right->Size();
+  return size;
+}
+
+std::string PplBinExpr::ToString() const {
+  std::string out;
+  Print(*this, &out);
+  return out;
+}
+
+bool PplBinExpr::IsPositive() const {
+  if (kind == PplBinKind::kComplement) return false;
+  if (left && !left->IsPositive()) return false;
+  if (right && !right->IsPositive()) return false;
+  return true;
+}
+
+PplBinPtr MakeNodesRelation() {
+  return PplBinExpr::Compose(
+      PplBinExpr::Union(PplBinExpr::Step(Axis::kAncestor, "*"),
+                        PplBinExpr::Self()),
+      PplBinExpr::Union(PplBinExpr::Step(Axis::kDescendant, "*"),
+                        PplBinExpr::Self()));
+}
+
+namespace {
+
+using xpath::PathExpr;
+using xpath::PathKind;
+using xpath::TestExpr;
+using xpath::TestKind;
+
+/// Fig. 4 test translation, with the polarity of enclosing negations
+/// tracked so `not` is pushed down to atoms by De Morgan rules. Returns a
+/// PPLbin path denoting the partial identity on [[T]]_test (or its
+/// complement when negated).
+Result<PplBinPtr> TranslateTest(const TestExpr& t, bool negated);
+
+Result<PplBinPtr> Translate(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kStep:
+      return PplBinExpr::Step(p.axis, p.name_test.empty() ? "*" : p.name_test);
+    case PathKind::kDot:
+      // L.M = self.
+      return PplBinExpr::Self();
+    case PathKind::kVar:
+      return Status::FragmentViolation(
+          "Fig. 4 translation requires N($x): variable $" + p.var);
+    case PathKind::kFor:
+      return Status::FragmentViolation(
+          "Fig. 4 translation requires N($x): for-loop");
+    case PathKind::kCompose: {
+      XPV_ASSIGN_OR_RETURN(PplBinPtr l, Translate(*p.left));
+      XPV_ASSIGN_OR_RETURN(PplBinPtr r, Translate(*p.right));
+      return PplBinExpr::Compose(std::move(l), std::move(r));
+    }
+    case PathKind::kUnion: {
+      XPV_ASSIGN_OR_RETURN(PplBinPtr l, Translate(*p.left));
+      XPV_ASSIGN_OR_RETURN(PplBinPtr r, Translate(*p.right));
+      return PplBinExpr::Union(std::move(l), std::move(r));
+    }
+    case PathKind::kIntersect: {
+      // LP intersect P'M = except (except LPM union except LP'M).
+      XPV_ASSIGN_OR_RETURN(PplBinPtr l, Translate(*p.left));
+      XPV_ASSIGN_OR_RETURN(PplBinPtr r, Translate(*p.right));
+      return PplBinExpr::Complement(
+          PplBinExpr::Union(PplBinExpr::Complement(std::move(l)),
+                            PplBinExpr::Complement(std::move(r))));
+    }
+    case PathKind::kExcept: {
+      // LP except P'M = except (except LPM union LP'M).
+      XPV_ASSIGN_OR_RETURN(PplBinPtr l, Translate(*p.left));
+      XPV_ASSIGN_OR_RETURN(PplBinPtr r, Translate(*p.right));
+      return PplBinExpr::Complement(PplBinExpr::Union(
+          PplBinExpr::Complement(std::move(l)), std::move(r)));
+    }
+    case PathKind::kFilter: {
+      // LP[T]M = LPM / L[T]M_test.
+      XPV_ASSIGN_OR_RETURN(PplBinPtr l, Translate(*p.left));
+      XPV_ASSIGN_OR_RETURN(PplBinPtr t, TranslateTest(*p.test, false));
+      return PplBinExpr::Compose(std::move(l), std::move(t));
+    }
+  }
+  return Status::Internal("unreachable path kind");
+}
+
+Result<PplBinPtr> TranslateTest(const TestExpr& t, bool negated) {
+  switch (t.kind) {
+    case TestKind::kPath: {
+      XPV_ASSIGN_OR_RETURN(PplBinPtr inner, Translate(*t.path));
+      if (!negated) {
+        // L[P]M_test = [LPM].
+        return PplBinExpr::Filter(std::move(inner));
+      }
+      // L[not P]M_test = [except (LPM/nodes)]: rows of LPM/nodes are full
+      // exactly on domain(P), so the complement's nonempty rows are exactly
+      // the nodes with no P-successor. (Fig. 4 prints [except LPM]; see the
+      // header comment for why the /nodes normalization is required.)
+      return PplBinExpr::Filter(PplBinExpr::Complement(
+          PplBinExpr::Compose(std::move(inner), MakeNodesRelation())));
+    }
+    case TestKind::kIs: {
+      if (!t.lhs.is_dot || !t.rhs.is_dot) {
+        return Status::FragmentViolation(
+            "Fig. 4 translation requires N($x): comparison '" + t.ToString() +
+            "'");
+      }
+      if (!negated) {
+        // L[. is .]M_test = self.
+        return PplBinExpr::Self();
+      }
+      // not (. is .) never holds: the empty partial identity.
+      return PplBinExpr::Filter(
+          PplBinExpr::Complement(MakeNodesRelation()));
+    }
+    case TestKind::kNot:
+      // L[not not T]M = L[T]M and the De Morgan pushdowns below.
+      return TranslateTest(*t.a, !negated);
+    case TestKind::kAnd: {
+      XPV_ASSIGN_OR_RETURN(PplBinPtr l, TranslateTest(*t.a, negated));
+      XPV_ASSIGN_OR_RETURN(PplBinPtr r, TranslateTest(*t.b, negated));
+      if (!negated) {
+        // L[T and T']M = L[T]M / L[T']M (composition of partial identities).
+        return PplBinExpr::Compose(std::move(l), std::move(r));
+      }
+      // L[not (T and T')]M = L[not T]M union L[not T']M.
+      return PplBinExpr::Union(std::move(l), std::move(r));
+    }
+    case TestKind::kOr: {
+      XPV_ASSIGN_OR_RETURN(PplBinPtr l, TranslateTest(*t.a, negated));
+      XPV_ASSIGN_OR_RETURN(PplBinPtr r, TranslateTest(*t.b, negated));
+      if (!negated) {
+        // L[T or T']M = L[T]M union L[T']M.
+        return PplBinExpr::Union(std::move(l), std::move(r));
+      }
+      // L[not (T or T')]M = L[not T]M / L[not T']M.
+      return PplBinExpr::Compose(std::move(l), std::move(r));
+    }
+  }
+  return Status::Internal("unreachable test kind");
+}
+
+}  // namespace
+
+Result<PplBinPtr> FromXPath(const xpath::PathExpr& p) { return Translate(p); }
+
+xpath::PathPtr ToXPath(const PplBinExpr& p) {
+  switch (p.kind) {
+    case PplBinKind::kStep:
+      return PathExpr::Step(p.axis, p.name_test.empty() ? "*" : p.name_test);
+    case PplBinKind::kCompose:
+      return PathExpr::Compose(ToXPath(*p.left), ToXPath(*p.right));
+    case PplBinKind::kUnion:
+      return PathExpr::Union(ToXPath(*p.left), ToXPath(*p.right));
+    case PplBinKind::kComplement:
+      // except P = nodes except P (Section 4).
+      return PathExpr::Except(xpath::MakeNodesExpr(), ToXPath(*p.left));
+    case PplBinKind::kFilter:
+      return PathExpr::Filter(PathExpr::Dot(),
+                              TestExpr::Path(ToXPath(*p.left)));
+  }
+  return nullptr;
+}
+
+}  // namespace xpv::ppl

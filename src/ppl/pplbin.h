@@ -1,0 +1,92 @@
+// PPLbin -- the binary polynomial-time path language of Section 4, i.e.
+// the variable-free fragment of PPL, identifiable with Core XPath 1.0
+// extended by complementation. The grammar (Fig. 3):
+//
+//   PathExpr := Axis::NameTest | PathExpr / PathExpr
+//             | PathExpr union PathExpr | except PathExpr | [ PathExpr ]
+//
+// `except` here is unary: the paper restricts the binary except operator to
+// its "negative side", except P = nodes except P, the complement of the
+// relation [[P]] within nodes(t)^2. We additionally keep `self` steps
+// (self::*), which the Fig. 4 translation produces for `.`.
+//
+// By Proposition 4, PPLbin = PPL inter N($x) = Core XPath 1.0 + except
+// = Core XPath 2.0 inter N($x), all modulo linear-time translations; the
+// translation from Core XPath 2.0 inter N($x) is FromXPath below (Fig. 4),
+// the inclusion back into Core XPath 2.0 syntax is ToXPath.
+#ifndef XPV_PPL_PPLBIN_H_
+#define XPV_PPL_PPLBIN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tree/axes.h"
+#include "xpath/ast.h"
+
+namespace xpv::ppl {
+
+enum class PplBinKind {
+  kStep,        // Axis::NameTest
+  kCompose,     // P1 / P2
+  kUnion,       // P1 union P2
+  kComplement,  // except P   (complement of the binary relation)
+  kFilter,      // [ P ]      (partial identity on the domain of P)
+};
+
+using PplBinPtr = std::unique_ptr<struct PplBinExpr>;
+
+/// A PPLbin expression (Fig. 3 grammar).
+struct PplBinExpr {
+  PplBinKind kind;
+
+  Axis axis = Axis::kChild;    // kStep
+  std::string name_test;       // kStep; empty = wildcard *
+
+  PplBinPtr left;   // all compound kinds
+  PplBinPtr right;  // kCompose, kUnion
+
+  static PplBinPtr Step(Axis axis, std::string_view name_test);
+  /// self::* -- the translation image of `.`.
+  static PplBinPtr Self() { return Step(Axis::kSelf, "*"); }
+  static PplBinPtr Compose(PplBinPtr l, PplBinPtr r);
+  static PplBinPtr Union(PplBinPtr l, PplBinPtr r);
+  static PplBinPtr Complement(PplBinPtr p);
+  static PplBinPtr Filter(PplBinPtr p);
+
+  PplBinPtr Clone() const;
+  bool Equals(const PplBinExpr& other) const;
+  /// Number of AST nodes (the paper's |P|).
+  std::size_t Size() const;
+  /// Surface syntax: `except` prints as a prefix operator, e.g.
+  /// "except (child::a/[descendant::b])".
+  std::string ToString() const;
+
+  /// True iff no kComplement occurs (the positive fragment evaluable by
+  /// the Gottlob-Koch-Pichler successor-set engine).
+  bool IsPositive() const;
+};
+
+/// The full relation nodes(t)^2 as a PPLbin expression:
+/// (ancestor::* union self::*)/(descendant::* union self::*).
+PplBinPtr MakeNodesRelation();
+
+/// Fig. 4: translates a Core XPath 2.0 expression satisfying N($x) (no
+/// variables, no for-loops, no node comparisons other than `. is .`) into
+/// an equivalent PPLbin expression, in linear time.
+///
+/// Deviation from the paper: Fig. 4 states L[not P]M_test = [except LPM],
+/// which does not produce the complement of P's domain (a node u with at
+/// least one non-P-successor would pass). We use the corrected
+/// [except (LPM/nodes)], whose complement has empty rows exactly on
+/// domain(P). See DESIGN.md.
+Result<PplBinPtr> FromXPath(const xpath::PathExpr& p);
+
+/// Inclusion of PPLbin into Core XPath 2.0 / PPL syntax (Section 4):
+/// unary `except P` maps to `nodes except P`.
+xpath::PathPtr ToXPath(const PplBinExpr& p);
+
+}  // namespace xpv::ppl
+
+#endif  // XPV_PPL_PPLBIN_H_

@@ -1,0 +1,52 @@
+#include "ppl/simplify.h"
+
+namespace xpv::ppl {
+
+namespace {
+
+bool IsSelfStar(const PplBinExpr& p) {
+  return p.kind == PplBinKind::kStep && p.axis == Axis::kSelf &&
+         p.name_test.empty();
+}
+
+}  // namespace
+
+PplBinPtr Simplify(PplBinPtr p) {
+  switch (p->kind) {
+    case PplBinKind::kStep:
+      return p;
+    case PplBinKind::kCompose: {
+      p->left = Simplify(std::move(p->left));
+      p->right = Simplify(std::move(p->right));
+      // self::* is the identity relation.
+      if (IsSelfStar(*p->right)) return std::move(p->left);
+      if (IsSelfStar(*p->left)) return std::move(p->right);
+      return p;
+    }
+    case PplBinKind::kUnion: {
+      p->left = Simplify(std::move(p->left));
+      p->right = Simplify(std::move(p->right));
+      if (p->left->Equals(*p->right)) return std::move(p->left);
+      return p;
+    }
+    case PplBinKind::kComplement: {
+      p->left = Simplify(std::move(p->left));
+      // except except P => P.
+      if (p->left->kind == PplBinKind::kComplement) {
+        return std::move(p->left->left);
+      }
+      return p;
+    }
+    case PplBinKind::kFilter: {
+      p->left = Simplify(std::move(p->left));
+      // [[P]] => [P]: both denote the partial identity on domain(P),
+      // because [P] is itself a partial identity with domain(P) as both
+      // domain and range.
+      if (p->left->kind == PplBinKind::kFilter) return std::move(p->left);
+      return p;
+    }
+  }
+  return p;
+}
+
+}  // namespace xpv::ppl

@@ -1,0 +1,21 @@
+// Algebraic simplification of PPLbin expressions; the Fig. 4 translation
+// emits double complements (intersect elimination) and identity
+// compositions that these semantics-preserving rewrites remove:
+//
+//   P/self::* => P   self::*/P => P   P union P => P
+//   except except P => P              [[P]] => [P]
+//
+// Checked differentially in simplify_test.cc.
+#ifndef XPV_PPL_SIMPLIFY_H_
+#define XPV_PPL_SIMPLIFY_H_
+
+#include "ppl/pplbin.h"
+
+namespace xpv::ppl {
+
+/// Simplifies a PPLbin expression; never grows it.
+PplBinPtr Simplify(PplBinPtr p);
+
+}  // namespace xpv::ppl
+
+#endif  // XPV_PPL_SIMPLIFY_H_

@@ -1,0 +1,197 @@
+#include "tree/axes.h"
+
+#include <cassert>
+
+namespace xpv {
+
+std::string_view AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf:
+      return "self";
+    case Axis::kChild:
+      return "child";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kFollowingSibling:
+      return "following_sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding_sibling";
+  }
+  return "?";
+}
+
+Result<Axis> ParseAxis(std::string_view name) {
+  if (name == "self") return Axis::kSelf;
+  if (name == "child") return Axis::kChild;
+  if (name == "parent") return Axis::kParent;
+  if (name == "descendant") return Axis::kDescendant;
+  if (name == "ancestor") return Axis::kAncestor;
+  if (name == "following_sibling" || name == "following-sibling") {
+    return Axis::kFollowingSibling;
+  }
+  if (name == "preceding_sibling" || name == "preceding-sibling") {
+    return Axis::kPrecedingSibling;
+  }
+  return Status::InvalidArgument("unknown axis '" + std::string(name) + "'");
+}
+
+Axis InverseAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf:
+      return Axis::kSelf;
+    case Axis::kChild:
+      return Axis::kParent;
+    case Axis::kParent:
+      return Axis::kChild;
+    case Axis::kDescendant:
+      return Axis::kAncestor;
+    case Axis::kAncestor:
+      return Axis::kDescendant;
+    case Axis::kFollowingSibling:
+      return Axis::kPrecedingSibling;
+    case Axis::kPrecedingSibling:
+      return Axis::kFollowingSibling;
+  }
+  return axis;
+}
+
+bool AxisHolds(const Tree& t, Axis axis, NodeId u, NodeId v) {
+  switch (axis) {
+    case Axis::kSelf:
+      return u == v;
+    case Axis::kChild:
+      return t.parent(v) == u;
+    case Axis::kParent:
+      return t.parent(u) == v;
+    case Axis::kDescendant:
+      return u != v && t.IsAncestorOrSelf(u, v);
+    case Axis::kAncestor:
+      return u != v && t.IsAncestorOrSelf(v, u);
+    case Axis::kFollowingSibling:
+      return u != v && t.IsFollowingSiblingOrSelf(u, v);
+    case Axis::kPrecedingSibling:
+      return u != v && t.IsFollowingSiblingOrSelf(v, u);
+  }
+  return false;
+}
+
+BitMatrix AxisMatrix(const Tree& t, Axis axis) {
+  const std::size_t n = t.size();
+  BitMatrix m(n);
+  switch (axis) {
+    case Axis::kSelf:
+      return BitMatrix::Identity(n);
+    case Axis::kChild:
+      for (NodeId v = 0; v < n; ++v) {
+        if (t.parent(v) != kNoNode) m.Set(t.parent(v), v);
+      }
+      return m;
+    case Axis::kParent:
+      for (NodeId v = 0; v < n; ++v) {
+        if (t.parent(v) != kNoNode) m.Set(v, t.parent(v));
+      }
+      return m;
+    case Axis::kDescendant:
+      // Row of a node = union of rows of its children plus the children
+      // themselves. Children have larger pre-order ids, so sweep backwards.
+      for (NodeId v = static_cast<NodeId>(n); v-- > 0;) {
+        for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
+          BitVector row = m.Row(c);
+          row.Set(c);
+          m.OrIntoRow(v, row);
+        }
+      }
+      return m;
+    case Axis::kAncestor:
+      return AxisMatrix(t, Axis::kDescendant).Transpose();
+    case Axis::kFollowingSibling:
+      // Row of a node = row of its next sibling plus that sibling; next
+      // siblings have larger ids, so sweep backwards.
+      for (NodeId v = static_cast<NodeId>(n); v-- > 0;) {
+        NodeId ns = t.next_sibling(v);
+        if (ns != kNoNode) {
+          BitVector row = m.Row(ns);
+          row.Set(ns);
+          m.OrIntoRow(v, row);
+        }
+      }
+      return m;
+    case Axis::kPrecedingSibling:
+      return AxisMatrix(t, Axis::kFollowingSibling).Transpose();
+  }
+  return m;
+}
+
+BitVector AxisImage(const Tree& t, Axis axis, const BitVector& from) {
+  const std::size_t n = t.size();
+  assert(from.size() == n);
+  BitVector out(n);
+  switch (axis) {
+    case Axis::kSelf:
+      out = from;
+      return out;
+    case Axis::kChild:
+      for (NodeId v = 0; v < n; ++v) {
+        NodeId p = t.parent(v);
+        if (p != kNoNode && from.Get(p)) out.Set(v);
+      }
+      return out;
+    case Axis::kParent:
+      from.ForEachSet([&](std::size_t v) {
+        NodeId p = t.parent(static_cast<NodeId>(v));
+        if (p != kNoNode) out.Set(p);
+      });
+      return out;
+    case Axis::kDescendant:
+      // out[v] = from[parent] or out[parent]; parents precede children in
+      // pre-order, so a single forward sweep suffices.
+      for (NodeId v = 1; v < n; ++v) {
+        NodeId p = t.parent(v);
+        if (from.Get(p) || out.Get(p)) out.Set(v);
+      }
+      return out;
+    case Axis::kAncestor:
+      // out[p] = from[child] or out[child] for any child; children follow
+      // parents in pre-order, so sweep backwards.
+      for (NodeId v = static_cast<NodeId>(n); v-- > 1;) {
+        NodeId p = t.parent(v);
+        if (from.Get(v) || out.Get(v)) out.Set(p);
+      }
+      return out;
+    case Axis::kFollowingSibling:
+      // out[v] = from[prev_sibling] or out[prev_sibling]; previous siblings
+      // have smaller pre-order ids.
+      for (NodeId v = 1; v < n; ++v) {
+        NodeId ps = t.prev_sibling(v);
+        if (ps != kNoNode && (from.Get(ps) || out.Get(ps))) out.Set(v);
+      }
+      return out;
+    case Axis::kPrecedingSibling:
+      for (NodeId v = static_cast<NodeId>(n); v-- > 0;) {
+        NodeId ns = t.next_sibling(v);
+        if (ns != kNoNode && (from.Get(ns) || out.Get(ns))) out.Set(v);
+      }
+      return out;
+  }
+  return out;
+}
+
+BitVector LabelSet(const Tree& t, std::string_view label) {
+  BitVector out(t.size());
+  if (label.empty()) {
+    out.Fill();
+    return out;
+  }
+  LabelId id = t.FindLabel(label);
+  if (id == kNoLabel) return out;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.label(v) == id) out.Set(v);
+  }
+  return out;
+}
+
+}  // namespace xpv

@@ -1,0 +1,140 @@
+#include "tree/binary_encoding.h"
+
+#include <cassert>
+#include <functional>
+
+namespace xpv {
+
+NodeId BinaryTree::AddNode(std::string_view label, NodeId child1,
+                           NodeId child2) {
+  NodeId id = static_cast<NodeId>(label_.size());
+  label_.emplace_back(label);
+  child1_.push_back(child1);
+  child2_.push_back(child2);
+  parent_.push_back(kNoNode);
+  if (child1 != kNoNode) {
+    assert(child1 < id && parent_[child1] == kNoNode);
+    parent_[child1] = id;
+  }
+  if (child2 != kNoNode) {
+    assert(child2 < id && parent_[child2] == kNoNode);
+    parent_[child2] = id;
+  }
+  return id;
+}
+
+NodeId BinaryTree::root() const {
+  if (root_ != kNoNode) return root_;
+  for (NodeId v = 0; v < size(); ++v) {
+    if (parent_[v] == kNoNode) return v;
+  }
+  return kNoNode;
+}
+
+bool BinaryTree::IsAncestorOrSelf(NodeId u, NodeId v) const {
+  for (NodeId w = v; w != kNoNode; w = parent_[w]) {
+    if (w == u) return true;
+  }
+  return false;
+}
+
+NodeId BinaryTree::LeastCommonAncestor(NodeId u, NodeId v) const {
+  std::size_t du = Depth(u);
+  std::size_t dv = Depth(v);
+  while (du > dv) {
+    u = parent_[u];
+    --du;
+  }
+  while (dv > du) {
+    v = parent_[v];
+    --dv;
+  }
+  while (u != v) {
+    u = parent_[u];
+    v = parent_[v];
+  }
+  return u;
+}
+
+std::size_t BinaryTree::Depth(NodeId v) const {
+  std::size_t depth = 0;
+  for (NodeId p = parent_[v]; p != kNoNode; p = parent_[p]) ++depth;
+  return depth;
+}
+
+BinaryTree BinaryTree::Subtree(NodeId u) const {
+  BinaryTree out;
+  std::function<NodeId(NodeId)> copy = [&](NodeId v) -> NodeId {
+    if (v == kNoNode) return kNoNode;
+    NodeId c1 = copy(child1_[v]);
+    NodeId c2 = copy(child2_[v]);
+    return out.AddNode(label_[v], c1, c2);
+  };
+  NodeId new_root = copy(u);
+  out.set_root(new_root);
+  return out;
+}
+
+std::string BinaryTree::ToTerm() const {
+  std::string out;
+  std::function<void(NodeId)> emit = [&](NodeId v) {
+    if (v == kNoNode) {
+      out += '-';
+      return;
+    }
+    out += label_[v];
+    if (child1_[v] != kNoNode || child2_[v] != kNoNode) {
+      out += '(';
+      emit(child1_[v]);
+      out += ',';
+      emit(child2_[v]);
+      out += ')';
+    }
+  };
+  if (root_ != kNoNode) emit(root_);
+  return out;
+}
+
+BinaryTree EncodeFcns(const Tree& t, std::vector<NodeId>* unranked_to_binary) {
+  BinaryTree out;
+  std::vector<NodeId> mapping(t.size(), kNoNode);
+  // Post-order over a node's (first child, next sibling) pair: children of
+  // a BinaryTree node must exist before the node itself.
+  std::function<NodeId(NodeId)> encode = [&](NodeId u) -> NodeId {
+    if (u == kNoNode) return kNoNode;
+    NodeId c1 = encode(t.first_child(u));
+    NodeId c2 = encode(t.next_sibling(u));
+    NodeId b = out.AddNode(t.label_name(u), c1, c2);
+    mapping[u] = b;
+    return b;
+  };
+  NodeId broot = encode(t.empty() ? kNoNode : t.root());
+  out.set_root(broot);
+  if (unranked_to_binary != nullptr) *unranked_to_binary = std::move(mapping);
+  return out;
+}
+
+Result<Tree> DecodeFcns(const BinaryTree& b) {
+  if (b.size() == 0) {
+    return Status::InvalidArgument("cannot decode an empty binary tree");
+  }
+  if (b.child2(b.root()) != kNoNode) {
+    return Status::InvalidArgument(
+        "binary root has a next-sibling (child2); not an fcns encoding");
+  }
+  TreeBuilder builder;
+  // child1 = first child, child2 = next sibling.
+  std::function<void(NodeId)> decode = [&](NodeId v) {
+    builder.Open(b.label(v));
+    if (b.child1(v) != kNoNode) {
+      for (NodeId c = b.child1(v); c != kNoNode; c = b.child2(c)) {
+        decode(c);
+      }
+    }
+    builder.Close();
+  };
+  decode(b.root());
+  return std::move(builder).Finish();
+}
+
+}  // namespace xpv

@@ -1,0 +1,75 @@
+// Binary trees and the firstchild-nextsibling (fcns) encoding of unranked
+// trees, used by Section 8 of the paper to lift FO-completeness results
+// from binary to unranked trees.
+//
+// The encoding maps an unranked tree node to a binary tree node whose
+// first child (child1) is the node's first child in the unranked tree and
+// whose second child (child2) is its next sibling. Missing children are
+// filled with a distinguished nil label so the binary tree is "full enough"
+// to decode unambiguously -- we instead keep missing children as kNoNode
+// and track presence explicitly.
+#ifndef XPV_TREE_BINARY_ENCODING_H_
+#define XPV_TREE_BINARY_ENCODING_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/tree.h"
+
+namespace xpv {
+
+/// A binary tree: every node has an optional first child (child1) and an
+/// optional second child (child2). Signature of Section 8's FO logic:
+/// lab_a, ch1, ch2, ch*.
+class BinaryTree {
+ public:
+  BinaryTree() = default;
+
+  /// Adds a node; children may be kNoNode. Children must already exist.
+  NodeId AddNode(std::string_view label, NodeId child1, NodeId child2);
+
+  std::size_t size() const { return label_.size(); }
+  /// The designated root (set_root), or the unique parentless node.
+  NodeId root() const;
+  void set_root(NodeId r) { root_ = r; }
+
+  NodeId child1(NodeId v) const { return child1_[v]; }
+  NodeId child2(NodeId v) const { return child2_[v]; }
+  NodeId parent(NodeId v) const { return parent_[v]; }
+  const std::string& label(NodeId v) const { return label_[v]; }
+
+  /// True iff u = v or v is reachable from u via child1/child2 steps
+  /// (the ch* relation of Section 8).
+  bool IsAncestorOrSelf(NodeId u, NodeId v) const;
+  /// Least common ancestor of u and v.
+  NodeId LeastCommonAncestor(NodeId u, NodeId v) const;
+  /// Subtree rooted at u as a fresh binary tree (Section 8's t|u).
+  BinaryTree Subtree(NodeId u) const;
+  std::size_t Depth(NodeId v) const;
+
+  /// Term dump: a(b,-) with '-' marking absent children (omitted when both
+  /// children are absent).
+  std::string ToTerm() const;
+
+ private:
+  std::vector<std::string> label_;
+  std::vector<NodeId> child1_;
+  std::vector<NodeId> child2_;
+  std::vector<NodeId> parent_;
+  NodeId root_ = kNoNode;
+};
+
+/// Encodes an unranked tree via firstchild-nextsibling. The returned mapping
+/// `unranked_to_binary[u]` gives the binary node corresponding to unranked
+/// node u (node counts are equal; the encoding is a bijection on nodes).
+BinaryTree EncodeFcns(const Tree& t, std::vector<NodeId>* unranked_to_binary);
+
+/// Decodes an fcns-encoded binary tree back to the unranked original.
+/// Fails if the binary root has a child2 (the unranked root has no sibling).
+Result<Tree> DecodeFcns(const BinaryTree& b);
+
+}  // namespace xpv
+
+#endif  // XPV_TREE_BINARY_ENCODING_H_

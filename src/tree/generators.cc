@@ -1,0 +1,139 @@
+#include "tree/generators.h"
+
+#include <cassert>
+#include <functional>
+#include <vector>
+
+namespace xpv {
+
+std::string GeneratorLabel(std::size_t i) {
+  std::string out;
+  out.push_back(static_cast<char>('a' + i % 26));
+  if (i >= 26) out.insert(out.begin(), static_cast<char>('a' + (i / 26 - 1) % 26));
+  return out;
+}
+
+Tree RandomTree(Rng& rng, const RandomTreeOptions& options) {
+  assert(options.num_nodes > 0);
+  // Phase 1: choose a random parent (uniform over earlier nodes) for each
+  // node, respecting max_children.
+  std::vector<std::size_t> parent(options.num_nodes, 0);
+  std::vector<std::size_t> child_count(options.num_nodes, 0);
+  for (std::size_t v = 1; v < options.num_nodes; ++v) {
+    std::size_t p;
+    do {
+      p = rng.Below(v);
+    } while (options.max_children != 0 &&
+             child_count[p] >= options.max_children);
+    parent[v] = p;
+    ++child_count[p];
+  }
+  // Phase 2: collect child lists (attachment order = sibling order) and
+  // emit in pre-order through a builder so node ids are document order.
+  std::vector<std::vector<std::size_t>> children(options.num_nodes);
+  for (std::size_t v = 1; v < options.num_nodes; ++v) {
+    children[parent[v]].push_back(v);
+  }
+  std::vector<std::string> labels(options.num_nodes);
+  for (auto& l : labels) {
+    l = GeneratorLabel(rng.Below(options.alphabet_size));
+  }
+  TreeBuilder builder;
+  std::function<void(std::size_t)> emit = [&](std::size_t v) {
+    builder.Open(labels[v]);
+    for (std::size_t c : children[v]) emit(c);
+    builder.Close();
+  };
+  emit(0);
+  Result<Tree> result = std::move(builder).Finish();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+Tree BibliographyTree(Rng& rng, std::size_t num_books) {
+  TreeBuilder builder;
+  builder.Open("bib");
+  for (std::size_t i = 0; i < num_books; ++i) {
+    builder.Open("book");
+    const std::size_t num_authors = 1 + rng.Below(3);
+    for (std::size_t a = 0; a < num_authors; ++a) builder.Leaf("author");
+    builder.Leaf("title");
+    if (rng.Chance(1, 2)) builder.Leaf("year");
+    if (rng.Chance(1, 2)) builder.Leaf("publisher");
+    builder.Close();
+  }
+  builder.Close();
+  Result<Tree> result = std::move(builder).Finish();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+std::string RestaurantAttributeName(std::size_t i) {
+  static const char* kNames[] = {
+      "name",     "address",  "phone",    "fax",   "street", "streetnumber",
+      "district", "city",     "country",  "price", "style",  "rating",
+  };
+  constexpr std::size_t kNumNames = sizeof(kNames) / sizeof(kNames[0]);
+  if (i < kNumNames) return kNames[i];
+  return "attr" + std::to_string(i);
+}
+
+Tree RestaurantTree(Rng& rng, std::size_t num_restaurants,
+                    std::size_t num_attributes) {
+  TreeBuilder builder;
+  builder.Open("guide");
+  for (std::size_t r = 0; r < num_restaurants; ++r) {
+    builder.Open("restaurant");
+    for (std::size_t a = 0; a < num_attributes; ++a) {
+      // Attributes occasionally missing, so answer sets vary in size.
+      if (a < 2 || !rng.Chance(1, 8)) {
+        builder.Leaf(RestaurantAttributeName(a));
+      }
+    }
+    builder.Close();
+  }
+  builder.Close();
+  Result<Tree> result = std::move(builder).Finish();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+Tree PathTree(std::size_t num_nodes, std::string_view label) {
+  assert(num_nodes > 0);
+  TreeBuilder builder;
+  for (std::size_t i = 0; i < num_nodes; ++i) builder.Open(label);
+  for (std::size_t i = 0; i < num_nodes; ++i) builder.Close();
+  Result<Tree> result = std::move(builder).Finish();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+Tree StarTree(std::size_t num_leaves, std::string_view root_label,
+              std::string_view leaf_label) {
+  TreeBuilder builder;
+  builder.Open(root_label);
+  for (std::size_t i = 0; i < num_leaves; ++i) builder.Leaf(leaf_label);
+  builder.Close();
+  Result<Tree> result = std::move(builder).Finish();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+Tree PerfectBinaryTree(std::size_t height, std::size_t alphabet_size) {
+  TreeBuilder builder;
+  std::function<void(std::size_t, std::size_t)> emit =
+      [&](std::size_t level, std::size_t index) {
+        builder.Open(GeneratorLabel((level + index) % alphabet_size));
+        if (level < height) {
+          emit(level + 1, 2 * index);
+          emit(level + 1, 2 * index + 1);
+        }
+        builder.Close();
+      };
+  emit(0, 0);
+  Result<Tree> result = std::move(builder).Finish();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace xpv

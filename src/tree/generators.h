@@ -1,0 +1,62 @@
+// Synthetic tree generators for tests, examples and benchmarks.
+//
+// The paper has no experimental section; these workloads stand in for the
+// XML documents its examples reference (the `bib.xml` bibliography of the
+// introduction, the restaurant-attribute motivation of Section 1) plus
+// shape-extreme trees (paths, stars) and uniformly random trees used to
+// probe the complexity bounds.
+#ifndef XPV_TREE_GENERATORS_H_
+#define XPV_TREE_GENERATORS_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "tree/tree.h"
+
+namespace xpv {
+
+/// Options for RandomTree.
+struct RandomTreeOptions {
+  std::size_t num_nodes = 16;
+  /// Number of distinct labels; labels are "a", "b", ..., cycling through
+  /// letter pairs past 26.
+  std::size_t alphabet_size = 3;
+  /// Maximum number of children per node (0 = unbounded).
+  std::size_t max_children = 0;
+};
+
+/// Uniformly-shaped random tree: each new node attaches beneath a random
+/// existing node; nodes are renumbered to pre-order.
+Tree RandomTree(Rng& rng, const RandomTreeOptions& options);
+
+/// Label string used by the random generators for index i: "a".."z",
+/// then "aa", "ab", ...
+std::string GeneratorLabel(std::size_t i);
+
+/// Bibliography-shaped document mirroring the paper's introduction:
+///   bib ( book ( author+ title year? publisher? )* )
+/// Each book has 1..3 authors; year/publisher appear with probability 1/2.
+Tree BibliographyTree(Rng& rng, std::size_t num_books);
+
+/// Restaurant guide with `num_attributes` attribute children per restaurant
+/// (name, address, phone, ...), modeling the paper's "n can easily get up
+/// to 10 or more" motivation for n-ary queries.
+Tree RestaurantTree(Rng& rng, std::size_t num_restaurants,
+                    std::size_t num_attributes);
+/// Attribute label used at position i of a restaurant entry.
+std::string RestaurantAttributeName(std::size_t i);
+
+/// Unary chain a(a(...a)) with `num_nodes` nodes -- worst case for
+/// ancestor/descendant density.
+Tree PathTree(std::size_t num_nodes, std::string_view label = "a");
+
+/// Root with `num_leaves` leaf children -- worst case for sibling axes.
+Tree StarTree(std::size_t num_leaves, std::string_view root_label = "r",
+              std::string_view leaf_label = "a");
+
+/// Perfect binary tree of the given height (height 0 = single node).
+Tree PerfectBinaryTree(std::size_t height, std::size_t alphabet_size = 2);
+
+}  // namespace xpv
+
+#endif  // XPV_TREE_GENERATORS_H_

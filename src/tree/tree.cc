@@ -1,0 +1,403 @@
+#include "tree/tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+
+namespace xpv {
+
+std::size_t Tree::NumChildren(NodeId v) const {
+  std::size_t count = 0;
+  for (NodeId c = first_child_[v]; c != kNoNode; c = next_sibling_[c]) ++count;
+  return count;
+}
+
+std::vector<NodeId> Tree::Children(NodeId v) const {
+  std::vector<NodeId> out;
+  for (NodeId c = first_child_[v]; c != kNoNode; c = next_sibling_[c]) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::size_t Tree::Depth(NodeId v) const {
+  std::size_t depth = 0;
+  for (NodeId p = parent_[v]; p != kNoNode; p = parent_[p]) ++depth;
+  return depth;
+}
+
+bool Tree::IsAncestorOrSelf(NodeId u, NodeId v) const {
+  for (NodeId w = v; w != kNoNode; w = parent_[w]) {
+    if (w == u) return true;
+  }
+  return false;
+}
+
+bool Tree::IsFollowingSiblingOrSelf(NodeId u, NodeId v) const {
+  for (NodeId w = u; w != kNoNode; w = next_sibling_[w]) {
+    if (w == v) return true;
+  }
+  return false;
+}
+
+NodeId Tree::LeastCommonAncestor(NodeId u, NodeId v) const {
+  std::size_t du = Depth(u);
+  std::size_t dv = Depth(v);
+  while (du > dv) {
+    u = parent_[u];
+    --du;
+  }
+  while (dv > du) {
+    v = parent_[v];
+    --dv;
+  }
+  while (u != v) {
+    u = parent_[u];
+    v = parent_[v];
+  }
+  return u;
+}
+
+NodeId Tree::LeastCommonAncestor(const std::vector<NodeId>& nodes) const {
+  assert(!nodes.empty());
+  NodeId acc = nodes[0];
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    acc = LeastCommonAncestor(acc, nodes[i]);
+  }
+  return acc;
+}
+
+LabelId Tree::FindLabel(std::string_view name) const {
+  auto it = label_ids_.find(std::string(name));
+  return it == label_ids_.end() ? kNoLabel : it->second;
+}
+
+namespace {
+
+void CopySubtree(const Tree& t, NodeId v, TreeBuilder* builder) {
+  builder->Open(t.label_name(v));
+  for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
+    CopySubtree(t, c, builder);
+  }
+  builder->Close();
+}
+
+}  // namespace
+
+Tree Tree::Subtree(NodeId u) const {
+  TreeBuilder builder;
+  CopySubtree(*this, u, &builder);
+  Result<Tree> result = std::move(builder).Finish();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+bool Tree::operator==(const Tree& other) const {
+  if (size() != other.size()) return false;
+  for (NodeId v = 0; v < size(); ++v) {
+    if (parent_[v] != other.parent_[v] ||
+        first_child_[v] != other.first_child_[v] ||
+        next_sibling_[v] != other.next_sibling_[v] ||
+        label_name(v) != other.label_name(v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void AppendTerm(const Tree& t, NodeId v, std::string* out) {
+  *out += t.label_name(v);
+  if (!t.IsLeaf(v)) {
+    *out += '(';
+    bool first = true;
+    for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
+      if (!first) *out += ',';
+      first = false;
+      AppendTerm(t, c, out);
+    }
+    *out += ')';
+  }
+}
+
+void AppendXml(const Tree& t, NodeId v, std::string* out) {
+  *out += '<';
+  *out += t.label_name(v);
+  if (t.IsLeaf(v)) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
+    AppendXml(t, c, out);
+  }
+  *out += "</";
+  *out += t.label_name(v);
+  *out += '>';
+}
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace
+
+std::string Tree::ToTerm() const {
+  std::string out;
+  if (!empty()) AppendTerm(*this, root(), &out);
+  return out;
+}
+
+std::string Tree::ToXml() const {
+  std::string out;
+  if (!empty()) AppendXml(*this, root(), &out);
+  return out;
+}
+
+Result<Tree> Tree::ParseTerm(std::string_view text) {
+  std::size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  auto parse_name = [&]() -> std::string {
+    std::size_t start = pos;
+    if (pos < text.size() && IsNameStart(text[pos])) {
+      ++pos;
+      while (pos < text.size() && IsNameChar(text[pos])) ++pos;
+    }
+    return std::string(text.substr(start, pos - start));
+  };
+
+  TreeBuilder builder;
+  // Recursive-descent on the term grammar: node := name [ '(' node
+  // ((','|ws) node)* ')' ].
+  struct Parser {
+    std::string_view text;
+    std::size_t& pos;
+    TreeBuilder& builder;
+    decltype(skip_ws)& skip;
+    decltype(parse_name)& name;
+
+    Status ParseNode() {
+      skip();
+      std::string label = name();
+      if (label.empty()) {
+        return Status::InvalidArgument(
+            "expected a label at offset " + std::to_string(pos));
+      }
+      builder.Open(label);
+      skip();
+      if (pos < text.size() && text[pos] == '(') {
+        ++pos;
+        skip();
+        if (pos < text.size() && text[pos] == ')') {
+          return Status::InvalidArgument("empty child list at offset " +
+                                         std::to_string(pos));
+        }
+        while (true) {
+          XPV_RETURN_IF_ERROR(ParseNode());
+          skip();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (pos < text.size() && text[pos] == ')') {
+            ++pos;
+            break;
+          }
+          if (pos < text.size() && IsNameStart(text[pos])) continue;
+          return Status::InvalidArgument(
+              "expected ',', ')' or a label at offset " + std::to_string(pos));
+        }
+      }
+      builder.Close();
+      return Status::OK();
+    }
+  };
+
+  Parser parser{text, pos, builder, skip_ws, parse_name};
+  XPV_RETURN_IF_ERROR(parser.ParseNode());
+  skip_ws();
+  if (pos != text.size()) {
+    return Status::InvalidArgument("trailing characters at offset " +
+                                   std::to_string(pos));
+  }
+  return std::move(builder).Finish();
+}
+
+Result<Tree> Tree::ParseXml(std::string_view text) {
+  std::size_t pos = 0;
+  TreeBuilder builder;
+  std::vector<std::string> open_tags;
+
+  auto skip_ws = [&] {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  auto parse_name = [&]() -> std::string {
+    std::size_t start = pos;
+    if (pos < text.size() && IsNameStart(text[pos])) {
+      ++pos;
+      while (pos < text.size() && (IsNameChar(text[pos]) || text[pos] == ':')) {
+        ++pos;
+      }
+    }
+    return std::string(text.substr(start, pos - start));
+  };
+
+  skip_ws();
+  // Optional XML declaration / processing instructions and comments.
+  while (pos + 1 < text.size() && text[pos] == '<' &&
+         (text[pos + 1] == '?' || text[pos + 1] == '!')) {
+    std::size_t end = text.find('>', pos);
+    if (end == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated declaration");
+    }
+    pos = end + 1;
+    skip_ws();
+  }
+
+  while (pos < text.size()) {
+    skip_ws();
+    if (pos >= text.size()) break;
+    if (text[pos] != '<') {
+      return Status::InvalidArgument(
+          "text content is not supported by the navigational data model "
+          "(offset " +
+          std::to_string(pos) + ")");
+    }
+    ++pos;
+    if (pos < text.size() && text[pos] == '/') {
+      ++pos;
+      std::string name = parse_name();
+      skip_ws();
+      if (pos >= text.size() || text[pos] != '>') {
+        return Status::InvalidArgument("malformed closing tag");
+      }
+      ++pos;
+      if (open_tags.empty() || open_tags.back() != name) {
+        return Status::InvalidArgument("mismatched closing tag </" + name +
+                                       ">");
+      }
+      open_tags.pop_back();
+      builder.Close();
+      if (open_tags.empty()) break;
+      continue;
+    }
+    if (pos + 2 < text.size() && text[pos] == '!') {
+      // Comment: <!-- ... -->
+      std::size_t end = text.find("-->", pos);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated comment");
+      }
+      pos = end + 3;
+      continue;
+    }
+    std::string name = parse_name();
+    if (name.empty()) {
+      return Status::InvalidArgument("expected element name at offset " +
+                                     std::to_string(pos));
+    }
+    skip_ws();
+    if (pos < text.size() && IsNameStart(text[pos])) {
+      return Status::InvalidArgument(
+          "attributes are not supported by the navigational data model "
+          "(element <" +
+          name + ">)");
+    }
+    builder.Open(name);
+    if (pos + 1 < text.size() && text[pos] == '/' && text[pos + 1] == '>') {
+      pos += 2;
+      builder.Close();
+      if (open_tags.empty()) break;
+      continue;
+    }
+    if (pos < text.size() && text[pos] == '>') {
+      ++pos;
+      open_tags.push_back(name);
+      continue;
+    }
+    return Status::InvalidArgument("malformed start tag <" + name + ">");
+  }
+
+  skip_ws();
+  if (pos != text.size()) {
+    return Status::InvalidArgument("trailing characters after root element");
+  }
+  if (!open_tags.empty()) {
+    return Status::InvalidArgument("unclosed element <" + open_tags.back() +
+                                   ">");
+  }
+  return std::move(builder).Finish();
+}
+
+NodeId TreeBuilder::Open(std::string_view label) {
+  NodeId id = static_cast<NodeId>(tree_.parent_.size());
+  NodeId parent = stack_.empty() ? kNoNode : stack_.back();
+  tree_.parent_.push_back(parent);
+  tree_.first_child_.push_back(kNoNode);
+  tree_.last_child_.push_back(kNoNode);
+  tree_.next_sibling_.push_back(kNoNode);
+  tree_.prev_sibling_.push_back(kNoNode);
+  tree_.label_.push_back(Intern(label));
+  if (parent != kNoNode) {
+    NodeId prev = tree_.last_child_[parent];
+    if (prev == kNoNode) {
+      tree_.first_child_[parent] = id;
+    } else {
+      tree_.next_sibling_[prev] = id;
+      tree_.prev_sibling_[id] = prev;
+    }
+    tree_.last_child_[parent] = id;
+  } else {
+    saw_root_ = true;
+  }
+  stack_.push_back(id);
+  return id;
+}
+
+void TreeBuilder::Close() {
+  assert(!stack_.empty() && "Close() without matching Open()");
+  stack_.pop_back();
+}
+
+Result<Tree> TreeBuilder::Finish() && {
+  if (!stack_.empty()) {
+    return Status::InvalidArgument("Finish() with " +
+                                   std::to_string(stack_.size()) +
+                                   " unclosed nodes");
+  }
+  if (!saw_root_) {
+    return Status::InvalidArgument("Finish() on an empty builder");
+  }
+  // Exactly one root: the first node opened at depth 0. A second depth-0
+  // Open would have parent kNoNode as well; detect it.
+  std::size_t roots = 0;
+  for (NodeId p : tree_.parent_) {
+    if (p == kNoNode) ++roots;
+  }
+  if (roots != 1) {
+    return Status::InvalidArgument("tree must have exactly one root, got " +
+                                   std::to_string(roots));
+  }
+  return std::move(tree_);
+}
+
+LabelId TreeBuilder::Intern(std::string_view label) {
+  auto [it, inserted] =
+      tree_.label_ids_.emplace(std::string(label), tree_.labels_.size());
+  if (inserted) tree_.labels_.emplace_back(label);
+  return it->second;
+}
+
+}  // namespace xpv

@@ -1,0 +1,146 @@
+// Unranked sibling-ordered labeled trees -- the data model of the paper
+// (Section 2): "an unranked tree t in T_Sigma is a pair a(t1 ... tn)
+// consisting of a label a in Sigma and a possibly empty sequence of trees".
+//
+// Nodes are stored in a flat arena indexed by NodeId; a tree built through
+// TreeBuilder (and hence by the parsers and generators) always numbers its
+// nodes in document order (pre-order), with the root at id 0. Several axis
+// algorithms in axes.h rely on this numbering.
+#ifndef XPV_TREE_TREE_H_
+#define XPV_TREE_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xpv {
+
+/// Index of a node within a Tree; document (pre-)order for built trees.
+using NodeId = std::uint32_t;
+/// Interned label identifier.
+using LabelId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+inline constexpr LabelId kNoLabel = static_cast<LabelId>(-1);
+
+/// An unranked sibling-ordered tree over an interned label alphabet.
+class Tree {
+ public:
+  Tree() = default;
+
+  std::size_t size() const { return parent_.size(); }
+  bool empty() const { return parent_.empty(); }
+  NodeId root() const { return 0; }
+
+  NodeId parent(NodeId v) const { return parent_[v]; }
+  NodeId first_child(NodeId v) const { return first_child_[v]; }
+  NodeId last_child(NodeId v) const { return last_child_[v]; }
+  NodeId next_sibling(NodeId v) const { return next_sibling_[v]; }
+  NodeId prev_sibling(NodeId v) const { return prev_sibling_[v]; }
+
+  LabelId label(NodeId v) const { return label_[v]; }
+  const std::string& label_name(NodeId v) const { return labels_[label_[v]]; }
+
+  bool IsLeaf(NodeId v) const { return first_child_[v] == kNoNode; }
+  bool IsRoot(NodeId v) const { return parent_[v] == kNoNode; }
+
+  /// Number of children of v.
+  std::size_t NumChildren(NodeId v) const;
+  /// Children of v in sibling order.
+  std::vector<NodeId> Children(NodeId v) const;
+  /// Depth of v (root has depth 0).
+  std::size_t Depth(NodeId v) const;
+
+  /// True iff u is an ancestor of v or u == v (the paper's ch*).
+  bool IsAncestorOrSelf(NodeId u, NodeId v) const;
+  /// True iff v is a following sibling of u or u == v (the paper's ns*).
+  bool IsFollowingSiblingOrSelf(NodeId u, NodeId v) const;
+  /// Least common ancestor of u and v.
+  NodeId LeastCommonAncestor(NodeId u, NodeId v) const;
+  /// Least common ancestor of a nonempty node set.
+  NodeId LeastCommonAncestor(const std::vector<NodeId>& nodes) const;
+
+  /// Number of distinct labels interned in this tree's alphabet.
+  std::size_t alphabet_size() const { return labels_.size(); }
+  const std::string& label_string(LabelId id) const { return labels_[id]; }
+  /// Id of `name` in the alphabet, or kNoLabel when absent.
+  LabelId FindLabel(std::string_view name) const;
+
+  /// Copy of the subtree rooted at u, as a fresh tree (Section 8's t|u).
+  Tree Subtree(NodeId u) const;
+
+  /// Structural + label equality.
+  bool operator==(const Tree& other) const;
+
+  /// Compact term syntax: a(b,c(d)). Round-trips through ParseTerm().
+  std::string ToTerm() const;
+  /// XML serialization: <a><b/><c><d/></c></a>.
+  std::string ToXml() const;
+
+  /// Parses the compact term syntax: `a(b, c(d))`. Whitespace and the commas
+  /// between siblings are optional: `a(b c(d))` is accepted too. Labels are
+  /// XML-style names.
+  static Result<Tree> ParseTerm(std::string_view text);
+  /// Parses an XML subset: elements and whitespace only -- matching the
+  /// paper's data model, which abstracts from attributes and data values.
+  /// Attributes and text content are rejected with an explanatory error.
+  static Result<Tree> ParseXml(std::string_view text);
+
+ private:
+  friend class TreeBuilder;
+
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> first_child_;
+  std::vector<NodeId> last_child_;
+  std::vector<NodeId> next_sibling_;
+  std::vector<NodeId> prev_sibling_;
+  std::vector<LabelId> label_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, LabelId> label_ids_;
+};
+
+/// Incremental pre-order tree construction:
+///
+///   TreeBuilder b;
+///   b.Open("a"); b.Open("b"); b.Close(); b.Close();
+///   Tree t = std::move(b).Finish();
+///
+/// Nodes receive ids in the order they are opened, so ids are document order.
+class TreeBuilder {
+ public:
+  TreeBuilder() = default;
+
+  /// Starts a new node labeled `label` as the next child of the currently
+  /// open node (or as root if none is open). Returns its id.
+  NodeId Open(std::string_view label);
+  /// Closes the most recently opened unclosed node.
+  void Close();
+  /// Open + Close in one step.
+  NodeId Leaf(std::string_view label) {
+    NodeId id = Open(label);
+    Close();
+    return id;
+  }
+
+  /// Number of currently open (unclosed) nodes.
+  std::size_t open_depth() const { return stack_.size(); }
+
+  /// Finalizes the tree. All opened nodes must be closed and exactly one
+  /// root must have been created.
+  Result<Tree> Finish() &&;
+
+ private:
+  LabelId Intern(std::string_view label);
+
+  Tree tree_;
+  std::vector<NodeId> stack_;
+  bool saw_root_ = false;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_TREE_TREE_H_

@@ -1,0 +1,417 @@
+#include "xpath/ast.h"
+
+#include <cassert>
+
+namespace xpv::xpath {
+
+namespace {
+
+PathPtr MakePath(PathKind kind) {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = kind;
+  return p;
+}
+
+TestPtr MakeTest(TestKind kind) {
+  auto t = std::make_unique<TestExpr>();
+  t->kind = kind;
+  return t;
+}
+
+/// Printing precedence levels, loosest to tightest:
+///   for(0) < union(1) < intersect/except(2) < compose(3) < postfix(4).
+int PathLevel(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kFor:
+      return 0;
+    case PathKind::kUnion:
+      return 1;
+    case PathKind::kIntersect:
+    case PathKind::kExcept:
+      return 2;
+    case PathKind::kCompose:
+      return 3;
+    case PathKind::kFilter:
+      return 4;
+    default:
+      return 5;
+  }
+}
+
+void PrintPath(const PathExpr& p, int min_level, std::string* out);
+
+void PrintChild(const PathExpr& child, int required, std::string* out) {
+  const bool parens = PathLevel(child) < required;
+  if (parens) *out += '(';
+  PrintPath(child, 0, out);
+  if (parens) *out += ')';
+}
+
+/// Test precedence: or(0) < and(1) < not(2) < atoms(3).
+int TestLevel(const TestExpr& t) {
+  switch (t.kind) {
+    case TestKind::kOr:
+      return 0;
+    case TestKind::kAnd:
+      return 1;
+    case TestKind::kNot:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+void PrintTest(const TestExpr& t, std::string* out);
+
+void PrintTestChild(const TestExpr& child, int required, std::string* out) {
+  const bool parens = TestLevel(child) < required;
+  if (parens) *out += '(';
+  PrintTest(child, out);
+  if (parens) *out += ')';
+}
+
+void PrintTest(const TestExpr& t, std::string* out) {
+  switch (t.kind) {
+    case TestKind::kPath:
+      PrintPath(*t.path, 0, out);
+      return;
+    case TestKind::kIs:
+      *out += t.lhs.ToString();
+      *out += " is ";
+      *out += t.rhs.ToString();
+      return;
+    case TestKind::kNot:
+      *out += "not ";
+      PrintTestChild(*t.a, 2, out);
+      return;
+    case TestKind::kAnd:
+      PrintTestChild(*t.a, 1, out);
+      *out += " and ";
+      PrintTestChild(*t.b, 2, out);
+      return;
+    case TestKind::kOr:
+      PrintTestChild(*t.a, 0, out);
+      *out += " or ";
+      PrintTestChild(*t.b, 1, out);
+      return;
+  }
+}
+
+void PrintPath(const PathExpr& p, int min_level, std::string* out) {
+  (void)min_level;
+  switch (p.kind) {
+    case PathKind::kStep:
+      *out += AxisName(p.axis);
+      *out += "::";
+      *out += p.name_test.empty() ? "*" : p.name_test;
+      return;
+    case PathKind::kDot:
+      *out += '.';
+      return;
+    case PathKind::kVar:
+      *out += '$';
+      *out += p.var;
+      return;
+    case PathKind::kCompose:
+      PrintChild(*p.left, 3, out);
+      *out += '/';
+      PrintChild(*p.right, 4, out);
+      return;
+    case PathKind::kUnion:
+      PrintChild(*p.left, 1, out);
+      *out += " union ";
+      PrintChild(*p.right, 2, out);
+      return;
+    case PathKind::kIntersect:
+      PrintChild(*p.left, 2, out);
+      *out += " intersect ";
+      PrintChild(*p.right, 3, out);
+      return;
+    case PathKind::kExcept:
+      PrintChild(*p.left, 2, out);
+      *out += " except ";
+      PrintChild(*p.right, 3, out);
+      return;
+    case PathKind::kFilter:
+      PrintChild(*p.left, 4, out);
+      *out += '[';
+      PrintTest(*p.test, out);
+      *out += ']';
+      return;
+    case PathKind::kFor:
+      *out += "for $";
+      *out += p.var;
+      *out += " in ";
+      PrintChild(*p.left, 1, out);
+      *out += " return ";
+      PrintChild(*p.right, 0, out);
+      return;
+  }
+}
+
+void CollectPathVars(const PathExpr& p, const std::set<std::string>& bound,
+                     std::set<std::string>* out);
+
+void CollectTestVars(const TestExpr& t, const std::set<std::string>& bound,
+                     std::set<std::string>* out) {
+  switch (t.kind) {
+    case TestKind::kPath:
+      CollectPathVars(*t.path, bound, out);
+      return;
+    case TestKind::kIs:
+      if (!t.lhs.is_dot && !bound.contains(t.lhs.var)) out->insert(t.lhs.var);
+      if (!t.rhs.is_dot && !bound.contains(t.rhs.var)) out->insert(t.rhs.var);
+      return;
+    case TestKind::kNot:
+      CollectTestVars(*t.a, bound, out);
+      return;
+    case TestKind::kAnd:
+    case TestKind::kOr:
+      CollectTestVars(*t.a, bound, out);
+      CollectTestVars(*t.b, bound, out);
+      return;
+  }
+}
+
+void CollectPathVars(const PathExpr& p, const std::set<std::string>& bound,
+                     std::set<std::string>* out) {
+  switch (p.kind) {
+    case PathKind::kStep:
+    case PathKind::kDot:
+      return;
+    case PathKind::kVar:
+      if (!bound.contains(p.var)) out->insert(p.var);
+      return;
+    case PathKind::kCompose:
+    case PathKind::kUnion:
+    case PathKind::kIntersect:
+    case PathKind::kExcept:
+      CollectPathVars(*p.left, bound, out);
+      CollectPathVars(*p.right, bound, out);
+      return;
+    case PathKind::kFilter:
+      CollectPathVars(*p.left, bound, out);
+      CollectTestVars(*p.test, bound, out);
+      return;
+    case PathKind::kFor: {
+      CollectPathVars(*p.left, bound, out);
+      std::set<std::string> bound2 = bound;
+      bound2.insert(p.var);
+      CollectPathVars(*p.right, bound2, out);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+PathPtr PathExpr::Step(Axis axis, std::string_view name_test) {
+  auto p = MakePath(PathKind::kStep);
+  p->axis = axis;
+  p->name_test = (name_test == "*") ? "" : std::string(name_test);
+  return p;
+}
+
+PathPtr PathExpr::Dot() { return MakePath(PathKind::kDot); }
+
+PathPtr PathExpr::Var(std::string_view name) {
+  auto p = MakePath(PathKind::kVar);
+  p->var = std::string(name);
+  return p;
+}
+
+PathPtr PathExpr::Compose(PathPtr l, PathPtr r) {
+  auto p = MakePath(PathKind::kCompose);
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+PathPtr PathExpr::Union(PathPtr l, PathPtr r) {
+  auto p = MakePath(PathKind::kUnion);
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+PathPtr PathExpr::Intersect(PathPtr l, PathPtr r) {
+  auto p = MakePath(PathKind::kIntersect);
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+PathPtr PathExpr::Except(PathPtr l, PathPtr r) {
+  auto p = MakePath(PathKind::kExcept);
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+PathPtr PathExpr::Filter(PathPtr p, TestPtr t) {
+  auto f = MakePath(PathKind::kFilter);
+  f->left = std::move(p);
+  f->test = std::move(t);
+  return f;
+}
+
+PathPtr PathExpr::For(std::string_view var, PathPtr seq, PathPtr body) {
+  auto p = MakePath(PathKind::kFor);
+  p->var = std::string(var);
+  p->left = std::move(seq);
+  p->right = std::move(body);
+  return p;
+}
+
+PathPtr PathExpr::Clone() const {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = kind;
+  p->axis = axis;
+  p->name_test = name_test;
+  p->var = var;
+  if (left) p->left = left->Clone();
+  if (right) p->right = right->Clone();
+  if (test) p->test = test->Clone();
+  return p;
+}
+
+bool PathExpr::Equals(const PathExpr& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case PathKind::kStep:
+      return axis == other.axis && name_test == other.name_test;
+    case PathKind::kDot:
+      return true;
+    case PathKind::kVar:
+      return var == other.var;
+    case PathKind::kCompose:
+    case PathKind::kUnion:
+    case PathKind::kIntersect:
+    case PathKind::kExcept:
+      return left->Equals(*other.left) && right->Equals(*other.right);
+    case PathKind::kFilter:
+      return left->Equals(*other.left) && test->Equals(*other.test);
+    case PathKind::kFor:
+      return var == other.var && left->Equals(*other.left) &&
+             right->Equals(*other.right);
+  }
+  return false;
+}
+
+std::size_t PathExpr::Size() const {
+  std::size_t size = 1;
+  if (left) size += left->Size();
+  if (right) size += right->Size();
+  if (test) size += test->Size();
+  return size;
+}
+
+std::string PathExpr::ToString() const {
+  std::string out;
+  PrintPath(*this, 0, &out);
+  return out;
+}
+
+TestPtr TestExpr::Path(PathPtr p) {
+  auto t = MakeTest(TestKind::kPath);
+  t->path = std::move(p);
+  return t;
+}
+
+TestPtr TestExpr::Is(NodeRef l, NodeRef r) {
+  auto t = MakeTest(TestKind::kIs);
+  t->lhs = std::move(l);
+  t->rhs = std::move(r);
+  return t;
+}
+
+TestPtr TestExpr::Not(TestPtr inner) {
+  auto t = MakeTest(TestKind::kNot);
+  t->a = std::move(inner);
+  return t;
+}
+
+TestPtr TestExpr::And(TestPtr l, TestPtr r) {
+  auto t = MakeTest(TestKind::kAnd);
+  t->a = std::move(l);
+  t->b = std::move(r);
+  return t;
+}
+
+TestPtr TestExpr::Or(TestPtr l, TestPtr r) {
+  auto t = MakeTest(TestKind::kOr);
+  t->a = std::move(l);
+  t->b = std::move(r);
+  return t;
+}
+
+TestPtr TestExpr::Clone() const {
+  auto t = std::make_unique<TestExpr>();
+  t->kind = kind;
+  t->lhs = lhs;
+  t->rhs = rhs;
+  if (path) t->path = path->Clone();
+  if (a) t->a = a->Clone();
+  if (b) t->b = b->Clone();
+  return t;
+}
+
+bool TestExpr::Equals(const TestExpr& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case TestKind::kPath:
+      return path->Equals(*other.path);
+    case TestKind::kIs:
+      return lhs == other.lhs && rhs == other.rhs;
+    case TestKind::kNot:
+      return a->Equals(*other.a);
+    case TestKind::kAnd:
+    case TestKind::kOr:
+      return a->Equals(*other.a) && b->Equals(*other.b);
+  }
+  return false;
+}
+
+std::size_t TestExpr::Size() const {
+  std::size_t size = 1;
+  if (path) size += path->Size();
+  if (a) size += a->Size();
+  if (b) size += b->Size();
+  return size;
+}
+
+std::string TestExpr::ToString() const {
+  std::string out;
+  PrintTest(*this, &out);
+  return out;
+}
+
+std::set<std::string> FreeVars(const PathExpr& p) {
+  std::set<std::string> out;
+  CollectPathVars(p, {}, &out);
+  return out;
+}
+
+std::set<std::string> FreeVars(const TestExpr& t) {
+  std::set<std::string> out;
+  CollectTestVars(t, {}, &out);
+  return out;
+}
+
+PathPtr MakeNodesExpr() {
+  return PathExpr::Compose(
+      PathExpr::Union(PathExpr::Step(Axis::kAncestor, "*"), PathExpr::Dot()),
+      PathExpr::Union(PathExpr::Step(Axis::kDescendant, "*"),
+                      PathExpr::Dot()));
+}
+
+PathPtr AnchorAtRoot(std::string_view var, PathPtr p) {
+  TestPtr anchor = TestExpr::And(
+      TestExpr::Is(NodeRef::Dot(), NodeRef::Var(var)),
+      TestExpr::Not(
+          TestExpr::Path(PathExpr::Step(Axis::kParent, "*"))));
+  return PathExpr::Compose(
+      PathExpr::Filter(PathExpr::Dot(), std::move(anchor)), std::move(p));
+}
+
+}  // namespace xpv::xpath

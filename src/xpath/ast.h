@@ -1,0 +1,141 @@
+// Abstract syntax of Core XPath 2.0, exactly the grammar of Fig. 1 of the
+// paper:
+//
+//   PathExpr := Step | NodeRef | PathExpr / PathExpr
+//             | PathExpr union PathExpr | PathExpr intersect PathExpr
+//             | PathExpr except PathExpr | PathExpr [ TestExpr ]
+//             | for $x in PathExpr return PathExpr
+//   TestExpr := PathExpr | CompTest | not TestExpr
+//             | TestExpr and TestExpr | TestExpr or TestExpr
+//   CompTest := NodeRef is NodeRef
+//   NodeRef  := . | $x
+//   Step     := Axis :: (QName | *)
+//
+// The AST is an owning tree of unique_ptrs. Expressions are immutable after
+// construction; Clone() produces deep copies. `|P|`, the paper's expression
+// size, is the number of AST nodes (Size()).
+#ifndef XPV_XPATH_AST_H_
+#define XPV_XPATH_AST_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "tree/axes.h"
+
+namespace xpv::xpath {
+
+enum class PathKind {
+  kStep,       // Axis::NameTest
+  kDot,        // .
+  kVar,        // $x
+  kCompose,    // P1 / P2
+  kUnion,      // P1 union P2
+  kIntersect,  // P1 intersect P2
+  kExcept,     // P1 except P2
+  kFilter,     // P [ T ]
+  kFor,        // for $x in P1 return P2
+};
+
+enum class TestKind {
+  kPath,  // PathExpr used as a test
+  kIs,    // NodeRef is NodeRef
+  kNot,   // not T
+  kAnd,   // T1 and T2
+  kOr,    // T1 or T2
+};
+
+/// `.` or `$x` -- the operands of a CompTest.
+struct NodeRef {
+  bool is_dot = true;
+  std::string var;  // meaningful when !is_dot
+
+  static NodeRef Dot() { return NodeRef{true, {}}; }
+  static NodeRef Var(std::string_view name) {
+    return NodeRef{false, std::string(name)};
+  }
+  bool operator==(const NodeRef& other) const {
+    return is_dot == other.is_dot && (is_dot || var == other.var);
+  }
+  std::string ToString() const { return is_dot ? "." : "$" + var; }
+};
+
+struct TestExpr;
+using PathPtr = std::unique_ptr<struct PathExpr>;
+using TestPtr = std::unique_ptr<TestExpr>;
+
+/// A Core XPath 2.0 path expression (Fig. 1).
+struct PathExpr {
+  PathKind kind;
+
+  // kStep fields. An empty name_test denotes the wildcard `*`.
+  Axis axis = Axis::kChild;
+  std::string name_test;
+
+  // kVar: the referenced variable; kFor: the bound loop variable.
+  std::string var;
+
+  // Binary operators use left/right. kFilter uses left + test.
+  // kFor uses left (the sequence P1) and right (the body P2).
+  PathPtr left;
+  PathPtr right;
+  TestPtr test;
+
+  static PathPtr Step(Axis axis, std::string_view name_test);
+  static PathPtr Dot();
+  static PathPtr Var(std::string_view name);
+  static PathPtr Compose(PathPtr l, PathPtr r);
+  static PathPtr Union(PathPtr l, PathPtr r);
+  static PathPtr Intersect(PathPtr l, PathPtr r);
+  static PathPtr Except(PathPtr l, PathPtr r);
+  static PathPtr Filter(PathPtr p, TestPtr t);
+  static PathPtr For(std::string_view var, PathPtr seq, PathPtr body);
+
+  PathPtr Clone() const;
+  bool Equals(const PathExpr& other) const;
+  /// Number of AST nodes (the paper's |P|).
+  std::size_t Size() const;
+  /// Round-trippable surface syntax.
+  std::string ToString() const;
+};
+
+/// A Core XPath 2.0 test expression (Fig. 1).
+struct TestExpr {
+  TestKind kind;
+
+  PathPtr path;      // kPath
+  NodeRef lhs, rhs;  // kIs
+  TestPtr a;         // kNot (operand), kAnd/kOr (left)
+  TestPtr b;         // kAnd/kOr (right)
+
+  static TestPtr Path(PathPtr p);
+  static TestPtr Is(NodeRef l, NodeRef r);
+  static TestPtr Not(TestPtr t);
+  static TestPtr And(TestPtr l, TestPtr r);
+  static TestPtr Or(TestPtr l, TestPtr r);
+
+  TestPtr Clone() const;
+  bool Equals(const TestExpr& other) const;
+  std::size_t Size() const;
+  std::string ToString() const;
+};
+
+/// Free variables Var(P) of a path expression; `for $x in P1 return P2`
+/// binds x within P2.
+std::set<std::string> FreeVars(const PathExpr& p);
+/// Free variables Var(T) of a test expression.
+std::set<std::string> FreeVars(const TestExpr& t);
+
+/// The paper's auxiliary expression reaching every node of a tree from
+/// every node:  (ancestor::* union .)/(descendant::* union .).
+PathPtr MakeNodesExpr();
+
+/// Prefixes P with the paper's root anchor
+/// `.[. is $x and not(parent::*)]/P`, fixing the start of navigation to
+/// the root and naming it $x (Section 2).
+PathPtr AnchorAtRoot(std::string_view var, PathPtr p);
+
+}  // namespace xpv::xpath
+
+#endif  // XPV_XPATH_AST_H_

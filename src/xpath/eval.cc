@@ -1,0 +1,192 @@
+#include "xpath/eval.h"
+
+#include <cassert>
+
+namespace xpv::xpath {
+
+const BitMatrix& DirectEvaluator::AxisMatrixCached(Axis axis) {
+  auto it = axis_cache_.find(axis);
+  if (it == axis_cache_.end()) {
+    it = axis_cache_.emplace(axis, AxisMatrix(tree_, axis)).first;
+  }
+  return it->second;
+}
+
+const BitVector& DirectEvaluator::LabelSetCached(const std::string& name_test) {
+  auto it = label_cache_.find(name_test);
+  if (it == label_cache_.end()) {
+    it = label_cache_.emplace(name_test, LabelSet(tree_, name_test)).first;
+  }
+  return it->second;
+}
+
+BitMatrix DirectEvaluator::EvalPath(const PathExpr& p,
+                                    const Assignment& alpha) {
+  const std::size_t n = tree_.size();
+  switch (p.kind) {
+    case PathKind::kStep: {
+      // [[A::N]] = {(v1,v2) in A(t) | v2 in lab_N(t)}.
+      const BitMatrix& axis = AxisMatrixCached(p.axis);
+      if (p.name_test.empty()) return axis;
+      return axis.MaskColumns(LabelSetCached(p.name_test));
+    }
+    case PathKind::kDot:
+      // [[.]] = {(v,v)}.
+      return BitMatrix::Identity(n);
+    case PathKind::kVar: {
+      // [[$x]] = {(v, alpha(x)) | v in nodes(t)}.
+      auto it = alpha.find(p.var);
+      assert(it != alpha.end() && "unbound variable in path evaluation");
+      BitMatrix m(n);
+      for (NodeId v = 0; v < n; ++v) m.Set(v, it->second);
+      return m;
+    }
+    case PathKind::kCompose:
+      // [[P1/P2]] = [[P1]] o [[P2]].
+      return EvalPath(*p.left, alpha).Multiply(EvalPath(*p.right, alpha));
+    case PathKind::kUnion:
+      return EvalPath(*p.left, alpha).Or(EvalPath(*p.right, alpha));
+    case PathKind::kIntersect:
+      return EvalPath(*p.left, alpha).And(EvalPath(*p.right, alpha));
+    case PathKind::kExcept:
+      // [[P1 except P2]] = [[P1]] - [[P2]].
+      return EvalPath(*p.left, alpha).AndNot(EvalPath(*p.right, alpha));
+    case PathKind::kFilter:
+      // [[P[T]]] = {(v1,v2) in [[P]] | v2 in [[T]]_test}.
+      return EvalPath(*p.left, alpha).MaskColumns(EvalTest(*p.test, alpha));
+    case PathKind::kFor: {
+      // [[for $x in P1 return P2]] =
+      //   {(v1,v3) | ex. v2: (v1,v2) in [[P1]]^alpha
+      //              and (v1,v3) in [[P2]]^{alpha[x->v2]}}.
+      BitMatrix seq = EvalPath(*p.left, alpha);
+      BitMatrix out(n);
+      for (NodeId v2 = 0; v2 < n; ++v2) {
+        // Rows v1 for which (v1, v2) in [[P1]].
+        BitVector rows(n);
+        for (NodeId v1 = 0; v1 < n; ++v1) {
+          if (seq.Get(v1, v2)) rows.Set(v1);
+        }
+        if (rows.None()) continue;
+        Assignment alpha2 = alpha;
+        alpha2[p.var] = v2;
+        BitMatrix body = EvalPath(*p.right, alpha2);
+        rows.ForEachSet([&](std::size_t v1) {
+          out.OrIntoRow(v1, body.Row(v1));
+        });
+      }
+      return out;
+    }
+  }
+  return BitMatrix(n);
+}
+
+BitVector DirectEvaluator::EvalTest(const TestExpr& t,
+                                    const Assignment& alpha) {
+  const std::size_t n = tree_.size();
+  switch (t.kind) {
+    case TestKind::kPath:
+      // [[P]]_test = {v | (v, v') in [[P]]}.
+      return EvalPath(*t.path, alpha).NonEmptyRows();
+    case TestKind::kIs: {
+      BitVector out(n);
+      if (t.lhs.is_dot && t.rhs.is_dot) {
+        // [[. is .]] = nodes(t).
+        out.Fill();
+        return out;
+      }
+      if (t.lhs.is_dot != t.rhs.is_dot) {
+        // [[. is $x]] = {alpha(x)} (and symmetrically).
+        const std::string& var = t.lhs.is_dot ? t.rhs.var : t.lhs.var;
+        auto it = alpha.find(var);
+        assert(it != alpha.end() && "unbound variable in comparison test");
+        out.Set(it->second);
+        return out;
+      }
+      // [[$x is $y]] = {alpha(x)} when alpha(x) = alpha(y), else {}.
+      auto ix = alpha.find(t.lhs.var);
+      auto iy = alpha.find(t.rhs.var);
+      assert(ix != alpha.end() && iy != alpha.end());
+      if (ix->second == iy->second) out.Set(ix->second);
+      return out;
+    }
+    case TestKind::kNot: {
+      BitVector out = EvalTest(*t.a, alpha);
+      out.Complement();
+      return out;
+    }
+    case TestKind::kAnd: {
+      BitVector out = EvalTest(*t.a, alpha);
+      out.AndWith(EvalTest(*t.b, alpha));
+      return out;
+    }
+    case TestKind::kOr: {
+      BitVector out = EvalTest(*t.a, alpha);
+      out.OrWith(EvalTest(*t.b, alpha));
+      return out;
+    }
+  }
+  return BitVector(n);
+}
+
+TupleSet ExpandWildcardPositions(const TupleSet& tuples,
+                                 const std::vector<std::size_t>& free_positions,
+                                 std::size_t num_nodes) {
+  if (free_positions.empty()) return tuples;
+  TupleSet out;
+  for (const NodeTuple& base : tuples) {
+    // Odometer over the free positions.
+    NodeTuple tuple = base;
+    std::vector<NodeId> counters(free_positions.size(), 0);
+    while (true) {
+      for (std::size_t i = 0; i < free_positions.size(); ++i) {
+        tuple[free_positions[i]] = counters[i];
+      }
+      out.insert(tuple);
+      std::size_t i = 0;
+      for (; i < counters.size(); ++i) {
+        if (++counters[i] < num_nodes) break;
+        counters[i] = 0;
+      }
+      if (i == counters.size()) break;
+    }
+  }
+  return out;
+}
+
+TupleSet DirectEvaluator::EvalNaryNaive(
+    const PathExpr& p, const std::vector<std::string>& tuple_vars) {
+  const std::size_t n = tree_.size();
+  const std::set<std::string> free_vars = FreeVars(p);
+  const std::vector<std::string> vars(free_vars.begin(), free_vars.end());
+
+  // Tuple positions whose variable is not constrained by P.
+  std::vector<std::size_t> wildcard_positions;
+  for (std::size_t i = 0; i < tuple_vars.size(); ++i) {
+    if (!free_vars.contains(tuple_vars[i])) wildcard_positions.push_back(i);
+  }
+
+  TupleSet constrained;
+  Assignment alpha;
+  // Odometer over assignments to Var(P).
+  std::vector<NodeId> counters(vars.size(), 0);
+  while (true) {
+    for (std::size_t i = 0; i < vars.size(); ++i) alpha[vars[i]] = counters[i];
+    if (!EvalPath(p, alpha).None()) {
+      NodeTuple tuple(tuple_vars.size(), 0);
+      for (std::size_t i = 0; i < tuple_vars.size(); ++i) {
+        auto it = alpha.find(tuple_vars[i]);
+        if (it != alpha.end()) tuple[i] = it->second;
+      }
+      constrained.insert(tuple);
+    }
+    std::size_t i = 0;
+    for (; i < counters.size(); ++i) {
+      if (++counters[i] < n) break;
+      counters[i] = 0;
+    }
+    if (i == counters.size() || vars.empty()) break;
+  }
+  return ExpandWildcardPositions(constrained, wildcard_positions, n);
+}
+
+}  // namespace xpv::xpath

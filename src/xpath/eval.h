@@ -1,0 +1,75 @@
+// Direct denotational semantics of Core XPath 2.0 (Fig. 2 of the paper).
+//
+// A path expression P denotes a set of node pairs [[P]]^{t,alpha} (here a
+// BitMatrix with rows = start nodes), a test expression T a set of nodes
+// [[T]]_test^{t,alpha} (a BitVector), both relative to a tree t and a
+// variable assignment alpha : Var -> nodes(t).
+//
+// This evaluator is the semantic ground truth of the library: it follows
+// the paper's equations literally with no algorithmic shortcuts, and the
+// efficient engines (ppl::MatrixEngine, hcl::AnswerQuery) are differentially
+// tested against it. For-loops cost a factor |t| per nesting level and
+// naive n-ary answering enumerates |t|^k assignments, mirroring the
+// PSPACE/NP lower bounds of Section 2 and 3; use it on small inputs only.
+#ifndef XPV_XPATH_EVAL_H_
+#define XPV_XPATH_EVAL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+
+namespace xpv::xpath {
+
+/// Variable assignment alpha : Var -> nodes(t). Must be total on the free
+/// variables of the expression being evaluated.
+using Assignment = std::map<std::string, NodeId>;
+
+/// An n-tuple of selected nodes.
+using NodeTuple = std::vector<NodeId>;
+/// An n-ary answer set, ordered lexicographically.
+using TupleSet = std::set<NodeTuple>;
+
+/// Evaluates Core XPath 2.0 expressions on one fixed tree, caching axis
+/// relation matrices and label sets across calls.
+class DirectEvaluator {
+ public:
+  explicit DirectEvaluator(const Tree& tree) : tree_(tree) {}
+
+  /// [[P]]^{t,alpha}: matrix M with M[v1][v2] = 1 iff (v1,v2) selected.
+  BitMatrix EvalPath(const PathExpr& p, const Assignment& alpha);
+  /// [[T]]_test^{t,alpha}.
+  BitVector EvalTest(const TestExpr& t, const Assignment& alpha);
+
+  /// The n-ary query q_{P,x}(t) = { alpha(x1..xn) | [[P]]^{t,alpha} != {} },
+  /// computed by brute-force enumeration of assignments to Var(P). Tuple
+  /// positions whose variable does not occur in P range over all nodes.
+  /// Cost: |t|^|Var(P)| path evaluations -- ground truth for small inputs.
+  TupleSet EvalNaryNaive(const PathExpr& p,
+                         const std::vector<std::string>& tuple_vars);
+
+  const Tree& tree() const { return tree_; }
+
+ private:
+  const BitMatrix& AxisMatrixCached(Axis axis);
+  const BitVector& LabelSetCached(const std::string& name_test);
+
+  const Tree& tree_;
+  std::map<Axis, BitMatrix> axis_cache_;
+  std::map<std::string, BitVector> label_cache_;
+};
+
+/// Expands a set of tuples with wildcard positions: every tuple position
+/// whose index is in `free_positions` is replaced by all |t| node choices.
+/// Shared helper for the naive n-ary evaluators.
+TupleSet ExpandWildcardPositions(const TupleSet& tuples,
+                                 const std::vector<std::size_t>& free_positions,
+                                 std::size_t num_nodes);
+
+}  // namespace xpv::xpath
+
+#endif  // XPV_XPATH_EVAL_H_

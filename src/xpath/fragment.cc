@@ -1,0 +1,224 @@
+#include "xpath/fragment.h"
+
+#include <string>
+
+namespace xpv::xpath {
+
+namespace {
+
+std::string JoinVars(const std::set<std::string>& vars) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& v : vars) {
+    if (!first) out += ", ";
+    first = false;
+    out += v;
+  }
+  out += "}";
+  return out;
+}
+
+std::set<std::string> Intersection(const std::set<std::string>& a,
+                                   const std::set<std::string>& b) {
+  std::set<std::string> out;
+  for (const auto& v : a) {
+    if (b.contains(v)) out.insert(v);
+  }
+  return out;
+}
+
+Status CheckPplTest(const TestExpr& t);
+
+Status CheckPplPath(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kStep:
+    case PathKind::kDot:
+    case PathKind::kVar:
+      return Status::OK();
+    case PathKind::kFor:
+      return Status::FragmentViolation("N(for): for-loop in '" +
+                                       p.ToString() + "'");
+    case PathKind::kIntersect: {
+      if (!FreeVars(*p.left).empty() || !FreeVars(*p.right).empty()) {
+        return Status::FragmentViolation(
+            "NV(intersect): variables occur in 'P1 intersect P2' "
+            "subexpression '" +
+            p.ToString() + "'");
+      }
+      XPV_RETURN_IF_ERROR(CheckPplPath(*p.left));
+      return CheckPplPath(*p.right);
+    }
+    case PathKind::kExcept: {
+      if (!FreeVars(*p.left).empty() || !FreeVars(*p.right).empty()) {
+        return Status::FragmentViolation(
+            "NV(except): variables occur in 'P1 except P2' subexpression '" +
+            p.ToString() + "'");
+      }
+      XPV_RETURN_IF_ERROR(CheckPplPath(*p.left));
+      return CheckPplPath(*p.right);
+    }
+    case PathKind::kCompose: {
+      const auto shared =
+          Intersection(FreeVars(*p.left), FreeVars(*p.right));
+      if (!shared.empty()) {
+        return Status::FragmentViolation(
+            "NVS(/): variables " + JoinVars(shared) +
+            " shared across composition '" + p.ToString() + "'");
+      }
+      XPV_RETURN_IF_ERROR(CheckPplPath(*p.left));
+      return CheckPplPath(*p.right);
+    }
+    case PathKind::kUnion:
+      // No restriction on union (variables may be shared).
+      XPV_RETURN_IF_ERROR(CheckPplPath(*p.left));
+      return CheckPplPath(*p.right);
+    case PathKind::kFilter: {
+      const auto shared = Intersection(FreeVars(*p.left), FreeVars(*p.test));
+      if (!shared.empty()) {
+        return Status::FragmentViolation(
+            "NVS([]): variables " + JoinVars(shared) +
+            " shared between path and filter in '" + p.ToString() + "'");
+      }
+      XPV_RETURN_IF_ERROR(CheckPplPath(*p.left));
+      return CheckPplTest(*p.test);
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckPplTest(const TestExpr& t) {
+  switch (t.kind) {
+    case TestKind::kPath:
+      return CheckPplPath(*t.path);
+    case TestKind::kIs:
+      return Status::OK();
+    case TestKind::kNot: {
+      if (!FreeVars(*t.a).empty()) {
+        return Status::FragmentViolation(
+            "NV(not): variables " + JoinVars(FreeVars(*t.a)) +
+            " below negation in 'not " + t.a->ToString() + "'");
+      }
+      return CheckPplTest(*t.a);
+    }
+    case TestKind::kAnd: {
+      const auto shared = Intersection(FreeVars(*t.a), FreeVars(*t.b));
+      if (!shared.empty()) {
+        return Status::FragmentViolation(
+            "NVS(and): variables " + JoinVars(shared) +
+            " shared across conjunction '" + t.ToString() + "'");
+      }
+      XPV_RETURN_IF_ERROR(CheckPplTest(*t.a));
+      return CheckPplTest(*t.b);
+    }
+    case TestKind::kOr:
+      // No restriction on or.
+      XPV_RETURN_IF_ERROR(CheckPplTest(*t.a));
+      return CheckPplTest(*t.b);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckNoVariables(const TestExpr& t) {
+  switch (t.kind) {
+    case TestKind::kPath:
+      return CheckNoVariables(*t.path);
+    case TestKind::kIs:
+      if (!t.lhs.is_dot || !t.rhs.is_dot) {
+        return Status::FragmentViolation(
+            "N($x): node comparison '" + t.ToString() + "' uses a variable");
+      }
+      return Status::OK();
+    case TestKind::kNot:
+      return CheckNoVariables(*t.a);
+    case TestKind::kAnd:
+    case TestKind::kOr:
+      XPV_RETURN_IF_ERROR(CheckNoVariables(*t.a));
+      return CheckNoVariables(*t.b);
+  }
+  return Status::OK();
+}
+
+Status CheckNoVariables(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kStep:
+    case PathKind::kDot:
+      return Status::OK();
+    case PathKind::kVar:
+      return Status::FragmentViolation("N($x): variable $" + p.var +
+                                       " occurs");
+    case PathKind::kFor:
+      return Status::FragmentViolation("N($x): for-loop occurs");
+    case PathKind::kCompose:
+    case PathKind::kUnion:
+    case PathKind::kIntersect:
+    case PathKind::kExcept:
+      XPV_RETURN_IF_ERROR(CheckNoVariables(*p.left));
+      return CheckNoVariables(*p.right);
+    case PathKind::kFilter:
+      XPV_RETURN_IF_ERROR(CheckNoVariables(*p.left));
+      return CheckNoVariables(*p.test);
+  }
+  return Status::OK();
+}
+
+Status CheckPpl(const PathExpr& p) { return CheckPplPath(p); }
+
+Status CheckPplBinSyntax(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kStep:
+    case PathKind::kDot:
+      return Status::OK();
+    case PathKind::kVar:
+      return Status::FragmentViolation("PPLbin: variable $" + p.var +
+                                       " not allowed");
+    case PathKind::kFor:
+      return Status::FragmentViolation("PPLbin: for-loop not allowed");
+    case PathKind::kIntersect:
+      return Status::FragmentViolation(
+          "PPLbin: 'intersect' not in the Fig. 3 grammar (use the Prop. 4 "
+          "translation)");
+    case PathKind::kExcept:
+      // Fig. 3 has unary `except P`, encoded here as `nodes except P` with
+      // a wildcard full-relation left operand produced by ppl::FromXPath.
+      return Status::FragmentViolation(
+          "PPLbin: binary 'except' not in the Fig. 3 grammar (use the "
+          "Prop. 4 translation)");
+    case PathKind::kCompose:
+    case PathKind::kUnion:
+      XPV_RETURN_IF_ERROR(CheckPplBinSyntax(*p.left));
+      return CheckPplBinSyntax(*p.right);
+    case PathKind::kFilter:
+      XPV_RETURN_IF_ERROR(CheckPplBinSyntax(*p.left));
+      if (p.test->kind != TestKind::kPath) {
+        return Status::FragmentViolation(
+            "PPLbin: filter test must be a path, got '" +
+            p.test->ToString() + "'");
+      }
+      return CheckPplBinSyntax(*p.test->path);
+  }
+  return Status::OK();
+}
+
+bool ContainsFor(const PathExpr& p) {
+  if (p.kind == PathKind::kFor) return true;
+  if (p.left && ContainsFor(*p.left)) return true;
+  if (p.right && ContainsFor(*p.right)) return true;
+  if (p.test) {
+    const TestExpr& t = *p.test;
+    if (t.path && ContainsFor(*t.path)) return true;
+    // Tests contain paths only through kPath and nested tests.
+    std::vector<const TestExpr*> stack = {&t};
+    while (!stack.empty()) {
+      const TestExpr* cur = stack.back();
+      stack.pop_back();
+      if (cur->path && ContainsFor(*cur->path)) return true;
+      if (cur->a) stack.push_back(cur->a.get());
+      if (cur->b) stack.push_back(cur->b.get());
+    }
+  }
+  return false;
+}
+
+}  // namespace xpv::xpath

@@ -1,0 +1,41 @@
+// Syntactic fragment checkers for the languages distinguished by the paper.
+//
+//   * N($x)      -- no variables, no for-loops, no node comparisons
+//                   (Section 4). Core XPath 2.0 restricted to N($x) equals
+//                   PPLbin modulo the Fig. 4 translation (Proposition 4).
+//   * PPL        -- Definition 1: the polynomial-time path language. The
+//                   checker reports the first violated condition using the
+//                   paper's condition names (N(for), NV(intersect),
+//                   NV(except), NV(not), NVS(/), NVS([]), NVS(and)).
+//   * PPLbin     -- the exact grammar of Fig. 3 (plus `.`/self steps):
+//                   steps, composition, union, unary `except`, filters
+//                   whose test is itself a PPLbin path.
+#ifndef XPV_XPATH_FRAGMENT_H_
+#define XPV_XPATH_FRAGMENT_H_
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xpv::xpath {
+
+/// Checks the N($x) condition: no variables, no for-loops, no node
+/// comparison tests anywhere in P.
+Status CheckNoVariables(const PathExpr& p);
+Status CheckNoVariables(const TestExpr& t);
+
+/// Checks membership in PPL (Definition 1). On violation, the error message
+/// names the failed condition, e.g. "NVS(/): variables {x} shared ...".
+Status CheckPpl(const PathExpr& p);
+
+/// Checks the stricter Fig. 3 PPLbin surface grammar: Axis::NameTest,
+/// P/P, P union P, unary `except P` (written `P1 except P2` is NOT in this
+/// grammar; see ppl::FromXPath for the Prop. 4 translation), and [P]
+/// filters with path tests. `.` is accepted as sugar for self::*.
+Status CheckPplBinSyntax(const PathExpr& p);
+
+/// True iff P contains a for-loop.
+bool ContainsFor(const PathExpr& p);
+
+}  // namespace xpv::xpath
+
+#endif  // XPV_XPATH_FRAGMENT_H_

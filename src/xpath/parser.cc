@@ -1,0 +1,478 @@
+#include "xpath/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace xpv::xpath {
+
+namespace {
+
+enum class TokKind {
+  kName,    // identifier or keyword
+  kVar,     // $name
+  kDot,     // .
+  kSlash,   // /
+  kLBracket,
+  kRBracket,
+  kLParen,
+  kRParen,
+  kAxisSep,  // ::
+  kStar,     // *
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  // kName/kVar payload
+  std::size_t offset = 0;
+};
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    std::size_t start = pos;
+    if (IsNameStart(c)) {
+      ++pos;
+      // A trailing '.' is ambiguous with the context-item dot only at the
+      // very end; XPath QNames here are letters/digits/_/-.
+      while (pos < text.size() && IsNameChar(text[pos]) &&
+             text[pos] != '.') {
+        ++pos;
+      }
+      out.push_back(
+          {TokKind::kName, std::string(text.substr(start, pos - start)),
+           start});
+      continue;
+    }
+    if (c == '$') {
+      ++pos;
+      if (pos >= text.size() || !IsNameStart(text[pos])) {
+        return Status::InvalidArgument("expected variable name after '$' at " +
+                                       std::to_string(start));
+      }
+      std::size_t name_start = pos;
+      ++pos;
+      while (pos < text.size() && IsNameChar(text[pos]) && text[pos] != '.') {
+        ++pos;
+      }
+      out.push_back({TokKind::kVar,
+                     std::string(text.substr(name_start, pos - name_start)),
+                     start});
+      continue;
+    }
+    switch (c) {
+      case '.':
+        out.push_back({TokKind::kDot, ".", start});
+        ++pos;
+        break;
+      case '/':
+        out.push_back({TokKind::kSlash, "/", start});
+        ++pos;
+        break;
+      case '[':
+        out.push_back({TokKind::kLBracket, "[", start});
+        ++pos;
+        break;
+      case ']':
+        out.push_back({TokKind::kRBracket, "]", start});
+        ++pos;
+        break;
+      case '(':
+        out.push_back({TokKind::kLParen, "(", start});
+        ++pos;
+        break;
+      case ')':
+        out.push_back({TokKind::kRParen, ")", start});
+        ++pos;
+        break;
+      case '*':
+        out.push_back({TokKind::kStar, "*", start});
+        ++pos;
+        break;
+      case ':':
+        if (pos + 1 < text.size() && text[pos + 1] == ':') {
+          out.push_back({TokKind::kAxisSep, "::", start});
+          pos += 2;
+          break;
+        }
+        return Status::InvalidArgument("stray ':' at offset " +
+                                       std::to_string(start));
+      default:
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(start));
+    }
+  }
+  out.push_back({TokKind::kEnd, "", text.size()});
+  return out;
+}
+
+bool IsKeyword(const Token& t, std::string_view kw) {
+  return t.kind == TokKind::kName && t.text == kw;
+}
+
+bool IsReserved(std::string_view name) {
+  return name == "union" || name == "intersect" || name == "except" ||
+         name == "for" || name == "in" || name == "return" || name == "not" ||
+         name == "and" || name == "or" || name == "is";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens, bool abbreviated = false)
+      : tokens_(std::move(tokens)), abbreviated_(abbreviated) {}
+
+  Result<PathPtr> ParseFullPath() {
+    XPV_ASSIGN_OR_RETURN(PathPtr p, ParsePathExpr());
+    XPV_RETURN_IF_ERROR(ExpectEnd());
+    return p;
+  }
+
+  Result<TestPtr> ParseFullTest() {
+    XPV_ASSIGN_OR_RETURN(TestPtr t, ParseTestExpr());
+    XPV_RETURN_IF_ERROR(ExpectEnd());
+    return std::move(t);
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    std::size_t i = index_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Take() { return tokens_[index_ < tokens_.size() - 1 ? index_++ : index_]; }
+  bool TryTake(TokKind kind) {
+    if (Peek().kind == kind) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+  bool TryTakeKeyword(std::string_view kw) {
+    if (IsKeyword(Peek(), kw)) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+  Status ErrorHere(std::string msg) const {
+    return Status::InvalidArgument(msg + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+  Status ExpectEnd() const {
+    if (Peek().kind != TokKind::kEnd) {
+      return ErrorHere("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+  // PathExpr := for-expr | union-expr
+  Result<PathPtr> ParsePathExpr() {
+    if (IsKeyword(Peek(), "for")) return ParseForExpr();
+    return ParseUnionExpr();
+  }
+
+  Result<PathPtr> ParseForExpr() {
+    Take();  // 'for'
+    if (Peek().kind != TokKind::kVar) {
+      return ErrorHere("expected $variable after 'for'");
+    }
+    std::string var = Take().text;
+    if (!TryTakeKeyword("in")) return ErrorHere("expected 'in'");
+    XPV_ASSIGN_OR_RETURN(PathPtr seq, ParseUnionExpr());
+    if (!TryTakeKeyword("return")) return ErrorHere("expected 'return'");
+    XPV_ASSIGN_OR_RETURN(PathPtr body, ParsePathExpr());
+    return PathExpr::For(var, std::move(seq), std::move(body));
+  }
+
+  Result<PathPtr> ParseUnionExpr() {
+    XPV_ASSIGN_OR_RETURN(PathPtr left, ParseIntersectExpr());
+    return ParseUnionRest(std::move(left));
+  }
+
+  Result<PathPtr> ParseUnionRest(PathPtr left) {
+    while (TryTakeKeyword("union")) {
+      XPV_ASSIGN_OR_RETURN(PathPtr right, ParseIntersectExpr());
+      left = PathExpr::Union(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<PathPtr> ParseIntersectExpr() {
+    XPV_ASSIGN_OR_RETURN(PathPtr left, ParseRelativePath());
+    return ParseIntersectRest(std::move(left));
+  }
+
+  Result<PathPtr> ParseIntersectRest(PathPtr left) {
+    while (true) {
+      if (TryTakeKeyword("intersect")) {
+        XPV_ASSIGN_OR_RETURN(PathPtr right, ParseRelativePath());
+        left = PathExpr::Intersect(std::move(left), std::move(right));
+      } else if (TryTakeKeyword("except")) {
+        XPV_ASSIGN_OR_RETURN(PathPtr right, ParseRelativePath());
+        left = PathExpr::Except(std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  /// (descendant::* union .) -- the abbreviated `//` connective.
+  static PathPtr DescendantOrSelf() {
+    return PathExpr::Union(PathExpr::Step(Axis::kDescendant, "*"),
+                           PathExpr::Dot());
+  }
+  /// .[not parent::*] -- the abbreviated leading-`/` root anchor.
+  static PathPtr RootAnchor() {
+    return PathExpr::Filter(
+        PathExpr::Dot(),
+        TestExpr::Not(TestExpr::Path(PathExpr::Step(Axis::kParent, "*"))));
+  }
+
+  bool StartsPrimary() const {
+    switch (Peek().kind) {
+      case TokKind::kDot:
+      case TokKind::kVar:
+      case TokKind::kLParen:
+        return true;
+      case TokKind::kName:
+        return !IsReserved(Peek().text);
+      case TokKind::kStar:
+        return abbreviated_;
+      default:
+        return false;
+    }
+  }
+
+  Result<PathPtr> ParseRelativePath() {
+    PathPtr left;
+    if (abbreviated_ && Peek().kind == TokKind::kSlash) {
+      // Absolute path: / or //: jump to the root first.
+      Take();
+      left = RootAnchor();
+      if (TryTake(TokKind::kSlash)) {
+        left = PathExpr::Compose(std::move(left), DescendantOrSelf());
+        // `//` must be followed by a step.
+        XPV_ASSIGN_OR_RETURN(PathPtr right, ParsePostfixExpr());
+        left = PathExpr::Compose(std::move(left), std::move(right));
+      } else if (StartsPrimary()) {
+        XPV_ASSIGN_OR_RETURN(PathPtr right, ParsePostfixExpr());
+        left = PathExpr::Compose(std::move(left), std::move(right));
+      }
+      // bare "/" selects just the root anchor.
+    } else {
+      XPV_ASSIGN_OR_RETURN(PathPtr first, ParsePostfixExpr());
+      left = std::move(first);
+    }
+    return ParseRelativePathRest(std::move(left));
+  }
+
+  Result<PathPtr> ParseRelativePathRest(PathPtr left) {
+    while (TryTake(TokKind::kSlash)) {
+      if (abbreviated_ && TryTake(TokKind::kSlash)) {
+        // a//b = a/(descendant::* union .)/b.
+        left = PathExpr::Compose(std::move(left), DescendantOrSelf());
+      }
+      XPV_ASSIGN_OR_RETURN(PathPtr right, ParsePostfixExpr());
+      left = PathExpr::Compose(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<PathPtr> ParsePostfixExpr() {
+    XPV_ASSIGN_OR_RETURN(PathPtr primary, ParsePrimary());
+    return ParsePostfixRest(std::move(primary));
+  }
+
+  Result<PathPtr> ParsePostfixRest(PathPtr primary) {
+    while (TryTake(TokKind::kLBracket)) {
+      XPV_ASSIGN_OR_RETURN(TestPtr test, ParseTestExpr());
+      if (!TryTake(TokKind::kRBracket)) return ErrorHere("expected ']'");
+      primary = PathExpr::Filter(std::move(primary), std::move(test));
+    }
+    return primary;
+  }
+
+  Result<PathPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokKind::kDot:
+        // Abbreviated `..` lexes as two adjacent dots.
+        if (abbreviated_ && Peek(1).kind == TokKind::kDot &&
+            Peek(1).offset == tok.offset + 1) {
+          Take();
+          Take();
+          return PathExpr::Step(Axis::kParent, "*");
+        }
+        Take();
+        return PathExpr::Dot();
+      case TokKind::kVar:
+        return PathExpr::Var(Take().text);
+      case TokKind::kStar:
+        if (abbreviated_) {
+          Take();
+          return PathExpr::Step(Axis::kChild, "*");
+        }
+        return ErrorHere("expected a path expression");
+      case TokKind::kLParen: {
+        Take();
+        XPV_ASSIGN_OR_RETURN(PathPtr p, ParsePathExpr());
+        if (!TryTake(TokKind::kRParen)) return ErrorHere("expected ')'");
+        return p;
+      }
+      case TokKind::kName: {
+        if (IsReserved(tok.text)) {
+          return ErrorHere("reserved keyword '" + tok.text +
+                           "' cannot start a path");
+        }
+        // Abbreviated: a bare name (no `::` following) is a child step.
+        if (abbreviated_ && Peek(1).kind != TokKind::kAxisSep) {
+          return PathExpr::Step(Axis::kChild, Take().text);
+        }
+        Result<Axis> axis = xpv::ParseAxis(tok.text);
+        if (!axis.ok()) {
+          return ErrorHere("unknown axis '" + tok.text + "'");
+        }
+        Take();
+        if (!TryTake(TokKind::kAxisSep)) return ErrorHere("expected '::'");
+        const Token& nt = Peek();
+        if (nt.kind == TokKind::kStar) {
+          Take();
+          return PathExpr::Step(*axis, "*");
+        }
+        if (nt.kind == TokKind::kName) {
+          if (IsReserved(nt.text)) {
+            return ErrorHere("reserved keyword '" + nt.text +
+                             "' cannot be a name test");
+          }
+          return PathExpr::Step(*axis, Take().text);
+        }
+        return ErrorHere("expected a name test or '*'");
+      }
+      default:
+        return ErrorHere("expected a path expression");
+    }
+  }
+
+  // TestExpr := or-test
+  Result<TestPtr> ParseTestExpr() {
+    XPV_ASSIGN_OR_RETURN(TestPtr left, ParseAndTest());
+    while (TryTakeKeyword("or")) {
+      XPV_ASSIGN_OR_RETURN(TestPtr right, ParseAndTest());
+      left = TestExpr::Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<TestPtr> ParseAndTest() {
+    XPV_ASSIGN_OR_RETURN(TestPtr left, ParseUnaryTest());
+    while (TryTakeKeyword("and")) {
+      XPV_ASSIGN_OR_RETURN(TestPtr right, ParseUnaryTest());
+      left = TestExpr::And(std::move(left), std::move(right));
+    }
+    return Result<TestPtr>(std::move(left));
+  }
+
+  Result<TestPtr> ParseUnaryTest() {
+    if (TryTakeKeyword("not")) {
+      XPV_ASSIGN_OR_RETURN(TestPtr inner, ParseUnaryTest());
+      return TestExpr::Not(std::move(inner));
+    }
+    return ParseTestAtom();
+  }
+
+  // A test atom is a CompTest (NodeRef is NodeRef), a parenthesized test,
+  // or a path expression. Both '(' and NodeRefs are prefix-ambiguous with
+  // paths, so each case resolves by lookahead / continuation.
+  Result<TestPtr> ParseTestAtom() {
+    const Token& tok = Peek();
+    // CompTest lookahead: NodeRef 'is'.
+    if ((tok.kind == TokKind::kDot || tok.kind == TokKind::kVar) &&
+        IsKeyword(Peek(1), "is")) {
+      NodeRef lhs = tok.kind == TokKind::kDot ? NodeRef::Dot()
+                                              : NodeRef::Var(tok.text);
+      Take();
+      Take();  // 'is'
+      const Token& rt = Peek();
+      if (rt.kind == TokKind::kDot) {
+        Take();
+        return TestExpr::Is(lhs, NodeRef::Dot());
+      }
+      if (rt.kind == TokKind::kVar) {
+        return TestExpr::Is(lhs, NodeRef::Var(Take().text));
+      }
+      return ErrorHere("expected '.' or '$var' after 'is'");
+    }
+    if (tok.kind == TokKind::kLParen) {
+      Take();
+      XPV_ASSIGN_OR_RETURN(TestPtr inner, ParseTestExpr());
+      if (!TryTake(TokKind::kRParen)) return ErrorHere("expected ')'");
+      // If a path continuation follows, the parenthesized expression must
+      // itself be a path; resume path parsing with it as the left operand.
+      if (inner->kind == TestKind::kPath && IsPathContinuation()) {
+        XPV_ASSIGN_OR_RETURN(PathPtr p,
+                             ContinuePath(std::move(inner->path)));
+        return TestExpr::Path(std::move(p));
+      }
+      return Result<TestPtr>(std::move(inner));
+    }
+    XPV_ASSIGN_OR_RETURN(PathPtr p, ParsePathExpr());
+    return TestExpr::Path(std::move(p));
+  }
+
+  bool IsPathContinuation() const {
+    const Token& t = Peek();
+    return t.kind == TokKind::kSlash || t.kind == TokKind::kLBracket ||
+           IsKeyword(t, "union") || IsKeyword(t, "intersect") ||
+           IsKeyword(t, "except");
+  }
+
+  // Continues parsing a path whose leftmost constituent has already been
+  // parsed (it came out of parentheses inside a test).
+  Result<PathPtr> ContinuePath(PathPtr left) {
+    XPV_ASSIGN_OR_RETURN(PathPtr p1, ParsePostfixRest(std::move(left)));
+    XPV_ASSIGN_OR_RETURN(PathPtr p2, ParseRelativePathRest(std::move(p1)));
+    XPV_ASSIGN_OR_RETURN(PathPtr p3, ParseIntersectRest(std::move(p2)));
+    return ParseUnionRest(std::move(p3));
+  }
+
+  std::vector<Token> tokens_;
+  bool abbreviated_ = false;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<PathPtr> ParsePath(std::string_view text) {
+  XPV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseFullPath();
+}
+
+Result<TestPtr> ParseTest(std::string_view text) {
+  XPV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseFullTest();
+}
+
+Result<PathPtr> ParseAbbreviatedPath(std::string_view text) {
+  XPV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), /*abbreviated=*/true);
+  return parser.ParseFullPath();
+}
+
+}  // namespace xpv::xpath

@@ -1,0 +1,46 @@
+// Recursive-descent parser for the Core XPath 2.0 surface syntax of Fig. 1.
+//
+// Operator precedence, loosest to tightest:
+//
+//   for $x in .. return ..   <   union   <   intersect / except   <   /
+//   <   postfix filters [T]
+//
+// Test expressions:  or  <  and  <  not  <  atoms. A parenthesized
+// expression inside a test is disambiguated by what follows it: if a path
+// continuation ('/', '[', 'union', 'intersect', 'except') follows the
+// closing parenthesis, the parenthesized expression must be a path and
+// parsing continues as a path.
+//
+// The keywords union/intersect/except/for/in/return/not/and/or/is are
+// reserved and cannot be used as QNames.
+#ifndef XPV_XPATH_PARSER_H_
+#define XPV_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xpv::xpath {
+
+/// Parses a Core XPath 2.0 path expression.
+Result<PathPtr> ParsePath(std::string_view text);
+
+/// Parses a Core XPath 2.0 test expression (the bracket-interior syntax).
+Result<TestPtr> ParseTest(std::string_view text);
+
+/// Parses a path in ABBREVIATED XPath syntax and desugars into the core
+/// grammar:
+///
+///   name       => child::name          *     => child::*
+///   ..         => parent::*            a//b  => a/(descendant::* union .)/b
+///   //a        => (descendant::* union .)/a   (from the context node)
+///   /a         => .[not parent::*]/a    /     alone => .[not parent::*]
+///
+/// Everything from the core grammar (axes, filters, variables, for,
+/// union/intersect/except) remains available.
+Result<PathPtr> ParseAbbreviatedPath(std::string_view text);
+
+}  // namespace xpv::xpath
+
+#endif  // XPV_XPATH_PARSER_H_

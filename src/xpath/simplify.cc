@@ -1,0 +1,92 @@
+#include "xpath/simplify.h"
+
+namespace xpv::xpath {
+
+namespace {
+
+bool IsDot(const PathExpr& p) { return p.kind == PathKind::kDot; }
+
+bool IsTriviallyTrueTest(const TestExpr& t) {
+  // [. is .] denotes all nodes (Fig. 2).
+  return t.kind == TestKind::kIs && t.lhs.is_dot && t.rhs.is_dot;
+}
+
+}  // namespace
+
+TestPtr Simplify(TestPtr t) {
+  switch (t->kind) {
+    case TestKind::kPath:
+      t->path = Simplify(std::move(t->path));
+      return t;
+    case TestKind::kIs:
+      return t;
+    case TestKind::kNot: {
+      t->a = Simplify(std::move(t->a));
+      // not not T => T.
+      if (t->a->kind == TestKind::kNot) return std::move(t->a->a);
+      return t;
+    }
+    case TestKind::kAnd:
+    case TestKind::kOr: {
+      t->a = Simplify(std::move(t->a));
+      t->b = Simplify(std::move(t->b));
+      // T and T => T;  T or T => T (idempotence).
+      if (t->a->Equals(*t->b)) return std::move(t->a);
+      // [. is .] is neutral for and, absorbing for or.
+      if (t->kind == TestKind::kAnd) {
+        if (IsTriviallyTrueTest(*t->a)) return std::move(t->b);
+        if (IsTriviallyTrueTest(*t->b)) return std::move(t->a);
+      } else {
+        if (IsTriviallyTrueTest(*t->a)) return std::move(t->a);
+        if (IsTriviallyTrueTest(*t->b)) return std::move(t->b);
+      }
+      return t;
+    }
+  }
+  return t;
+}
+
+PathPtr Simplify(PathPtr p) {
+  switch (p->kind) {
+    case PathKind::kStep:
+    case PathKind::kDot:
+    case PathKind::kVar:
+      return p;
+    case PathKind::kCompose: {
+      p->left = Simplify(std::move(p->left));
+      p->right = Simplify(std::move(p->right));
+      // P/. => P and ./P => P ([[.]] is the identity relation).
+      if (IsDot(*p->right)) return std::move(p->left);
+      if (IsDot(*p->left)) return std::move(p->right);
+      return p;
+    }
+    case PathKind::kUnion:
+    case PathKind::kIntersect: {
+      p->left = Simplify(std::move(p->left));
+      p->right = Simplify(std::move(p->right));
+      // Idempotence.
+      if (p->left->Equals(*p->right)) return std::move(p->left);
+      return p;
+    }
+    case PathKind::kExcept: {
+      p->left = Simplify(std::move(p->left));
+      p->right = Simplify(std::move(p->right));
+      return p;
+    }
+    case PathKind::kFilter: {
+      p->left = Simplify(std::move(p->left));
+      p->test = Simplify(std::move(p->test));
+      // P[. is .] => P (the test passes at every node).
+      if (IsTriviallyTrueTest(*p->test)) return std::move(p->left);
+      return p;
+    }
+    case PathKind::kFor: {
+      p->left = Simplify(std::move(p->left));
+      p->right = Simplify(std::move(p->right));
+      return p;
+    }
+  }
+  return p;
+}
+
+}  // namespace xpv::xpath

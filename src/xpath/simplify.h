@@ -1,0 +1,33 @@
+// Algebraic simplification of Core XPath 2.0 and PPLbin expressions.
+//
+// The translations of the paper (Fig. 4, Fig. 7, Section 2 L.M) are
+// defined for clarity, not economy: they emit identity compositions
+// (P/., ./P, P/self::*), double complements (from intersect elimination)
+// and duplicated union branches. This pass applies a small set of
+// semantics-preserving rewrites, bottom-up to a fixpoint:
+//
+//   Core XPath 2.0:  P/. => P        ./P => P        P union P => P
+//                    P intersect P => P              P[. is .] => P
+//                    not not T => T                  T and T => T
+//                    T or T => T
+//
+//   PPLbin:          P/self::* => P  self::*/P => P  P union P => P
+//                    except except P => P            [[P]] => [P]
+//
+// Every rule is justified by the Fig. 2 / Section 4 semantics and checked
+// differentially in simplify_test.cc.
+#ifndef XPV_XPATH_SIMPLIFY_H_
+#define XPV_XPATH_SIMPLIFY_H_
+
+#include "xpath/ast.h"
+
+namespace xpv::xpath {
+
+/// Simplifies a path expression; returns the (possibly smaller)
+/// replacement. Never grows the expression.
+PathPtr Simplify(PathPtr p);
+TestPtr Simplify(TestPtr t);
+
+}  // namespace xpv::xpath
+
+#endif  // XPV_XPATH_SIMPLIFY_H_

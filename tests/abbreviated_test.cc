@@ -1,0 +1,138 @@
+// Tests for the abbreviated XPath surface syntax: every abbreviation
+// desugars into the core Fig. 1 grammar and agrees with its explicit
+// spelling both structurally and semantically.
+#include <gtest/gtest.h>
+
+#include "tree/generators.h"
+#include "xpath/eval.h"
+#include "xpath/parser.h"
+
+namespace xpv::xpath {
+namespace {
+
+Tree MustTree(std::string_view term) {
+  Result<Tree> t = Tree::ParseTerm(term);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return std::move(t).value();
+}
+
+PathPtr MustAbbrev(std::string_view text) {
+  Result<PathPtr> p = ParseAbbreviatedPath(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status();
+  return std::move(p).value();
+}
+
+PathPtr MustCore(std::string_view text) {
+  Result<PathPtr> p = ParsePath(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status();
+  return std::move(p).value();
+}
+
+void ExpectDesugarsTo(std::string_view abbreviated, std::string_view core) {
+  PathPtr a = MustAbbrev(abbreviated);
+  PathPtr c = MustCore(core);
+  EXPECT_TRUE(a->Equals(*c))
+      << abbreviated << " desugared to " << a->ToString() << ", expected "
+      << c->ToString();
+}
+
+TEST(AbbreviatedTest, BareNamesAreChildSteps) {
+  ExpectDesugarsTo("book", "child::book");
+  ExpectDesugarsTo("book/author", "child::book/child::author");
+  ExpectDesugarsTo("*", "child::*");
+  ExpectDesugarsTo("book/*", "child::book/child::*");
+}
+
+TEST(AbbreviatedTest, DotDotIsParent) {
+  ExpectDesugarsTo("..", "parent::*");
+  ExpectDesugarsTo("a/..", "child::a/parent::*");
+}
+
+TEST(AbbreviatedTest, DoubleSlashInsertsDescendantOrSelf) {
+  ExpectDesugarsTo("a//b",
+                   "child::a/(descendant::* union .)/child::b");
+  ExpectDesugarsTo("a//b//c",
+                   "child::a/(descendant::* union .)/child::b/"
+                   "(descendant::* union .)/child::c");
+}
+
+TEST(AbbreviatedTest, LeadingSlashAnchorsAtRoot) {
+  ExpectDesugarsTo("/a", ".[not parent::*]/child::a");
+  ExpectDesugarsTo("/", ".[not parent::*]");
+  ExpectDesugarsTo("//a",
+                   ".[not parent::*]/(descendant::* union .)/child::a");
+}
+
+TEST(AbbreviatedTest, ExplicitAxesStillWork) {
+  ExpectDesugarsTo("descendant::a[following_sibling::b]",
+                   "descendant::a[following_sibling::b]");
+  ExpectDesugarsTo("a[descendant::b]", "child::a[descendant::b]");
+}
+
+TEST(AbbreviatedTest, VariablesAndFiltersCompose) {
+  ExpectDesugarsTo("book[author[. is $y]]",
+                   "child::book[child::author[. is $y]]");
+  ExpectDesugarsTo("$x//b", "$x/(descendant::* union .)/child::b");
+}
+
+TEST(AbbreviatedTest, UnionAndFor) {
+  ExpectDesugarsTo("a union b", "child::a union child::b");
+  ExpectDesugarsTo("for $x in a return $x/b",
+                   "for $x in child::a return $x/child::b");
+}
+
+TEST(AbbreviatedTest, CoreParserRejectsAbbreviations) {
+  EXPECT_FALSE(ParsePath("book").ok());
+  EXPECT_FALSE(ParsePath("a//b").ok());
+  EXPECT_FALSE(ParsePath("/a").ok());
+  EXPECT_FALSE(ParsePath("..").ok());
+  EXPECT_FALSE(ParsePath("*").ok());
+}
+
+TEST(AbbreviatedTest, Errors) {
+  EXPECT_FALSE(ParseAbbreviatedPath("a//").ok());
+  EXPECT_FALSE(ParseAbbreviatedPath("//").ok());
+  EXPECT_FALSE(ParseAbbreviatedPath("a/").ok());
+  EXPECT_FALSE(ParseAbbreviatedPath("child::").ok());
+}
+
+// Semantics: // reaches descendants at any depth; / anchors at the root
+// regardless of start node.
+TEST(AbbreviatedTest, SemanticsOnHandcraftedTree) {
+  Tree t = MustTree("a(b(c(b)),b)");
+  DirectEvaluator eval(t);
+  BitMatrix m = eval.EvalPath(*MustAbbrev("//b"), {});
+  // The root anchor is a PARTIAL IDENTITY: pairs exist only when the
+  // start node IS the root (absolute paths navigate from the root), and
+  // they reach every b at any depth.
+  EXPECT_TRUE(m.Get(0, 1));
+  EXPECT_TRUE(m.Get(0, 3));
+  EXPECT_TRUE(m.Get(0, 4));
+  EXPECT_FALSE(m.Get(0, 0));
+  EXPECT_FALSE(m.Get(0, 2));
+  for (NodeId v = 1; v < t.size(); ++v) {
+    for (NodeId w = 0; w < t.size(); ++w) {
+      EXPECT_FALSE(m.Get(v, w)) << v << "," << w;
+    }
+  }
+  // Relative a//... does navigate from anywhere: c//b from node 2.
+  BitMatrix rel = eval.EvalPath(*MustAbbrev("c//b"), {});
+  EXPECT_TRUE(rel.Get(1, 3));   // b(c(b)): from b, child c, descendant b
+  EXPECT_FALSE(rel.Get(0, 3));  // root's c-children: none
+}
+
+TEST(AbbreviatedTest, PaperIntroInAbbreviatedForm) {
+  Tree t = MustTree("bib(book(author,title),book(author,author,title))");
+  PathPtr abbreviated = MustAbbrev(
+      "//book[author[. is $y] and title[. is $z]]");
+  PathPtr core = MustCore(
+      ".[not parent::*]/(descendant::* union .)/"
+      "child::book[child::author[. is $y] and child::title[. is $z]]");
+  ASSERT_TRUE(abbreviated->Equals(*core));
+  DirectEvaluator eval(t);
+  TupleSet answers = eval.EvalNaryNaive(*abbreviated, {"y", "z"});
+  EXPECT_EQ(answers, (TupleSet{{2, 3}, {5, 7}, {6, 7}}));
+}
+
+}  // namespace
+}  // namespace xpv::xpath

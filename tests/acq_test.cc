@@ -1,0 +1,262 @@
+// Tests for acyclic conjunctive queries over binary relations (Section 6):
+// GYO-style acyclicity, Yannakakis evaluation vs naive enumeration, and
+// the Proposition 8 correspondence with union-free HCL-(L).
+#include <gtest/gtest.h>
+
+#include "fo/acq.h"
+#include "tree/generators.h"
+
+namespace xpv::fo {
+namespace {
+
+Tree MustTree(std::string_view term) {
+  Result<Tree> t = Tree::ParseTerm(term);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return std::move(t).value();
+}
+
+CqAtom Atom(Axis axis, std::string name, std::string x, std::string y) {
+  return {hcl::MakeAxisQuery(axis, std::move(name)), std::move(x),
+          std::move(y)};
+}
+
+TEST(AcyclicityTest, PathsAndStarsAreAcyclic) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "*", "x", "y"));
+  q.atoms.push_back(Atom(Axis::kChild, "*", "y", "z"));
+  q.atoms.push_back(Atom(Axis::kDescendant, "*", "y", "w"));
+  EXPECT_TRUE(IsAcyclic(q));
+}
+
+TEST(AcyclicityTest, TriangleIsCyclic) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "*", "x", "y"));
+  q.atoms.push_back(Atom(Axis::kChild, "*", "y", "z"));
+  q.atoms.push_back(Atom(Axis::kDescendant, "*", "x", "z"));
+  EXPECT_FALSE(IsAcyclic(q));
+}
+
+TEST(AcyclicityTest, ParallelEdgesCollapse) {
+  // Two atoms over the same pair are one hyperedge: still acyclic.
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "*", "x", "y"));
+  q.atoms.push_back(Atom(Axis::kDescendant, "*", "x", "y"));
+  EXPECT_TRUE(IsAcyclic(q));
+}
+
+TEST(AcyclicityTest, SelfLoopsIgnored) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kSelf, "a", "x", "x"));
+  q.atoms.push_back(Atom(Axis::kChild, "*", "x", "y"));
+  EXPECT_TRUE(IsAcyclic(q));
+}
+
+TEST(AcyclicityTest, EqualityMergingCanCreateCycles) {
+  // child(x,y) & child(y,z) & x=z is cyclic after merging? Merging x,z
+  // gives edges {x,y} twice -> still a single hyperedge, acyclic.
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "*", "x", "y"));
+  q.atoms.push_back(Atom(Axis::kChild, "*", "y", "z"));
+  q.equalities.push_back({"x", "z"});
+  EXPECT_TRUE(IsAcyclic(q));
+  // Triangle via equalities.
+  ConjunctiveQuery q2;
+  q2.atoms.push_back(Atom(Axis::kChild, "*", "x", "y"));
+  q2.atoms.push_back(Atom(Axis::kChild, "*", "y", "z"));
+  q2.atoms.push_back(Atom(Axis::kDescendant, "*", "w", "z"));
+  q2.equalities.push_back({"w", "x"});
+  EXPECT_FALSE(IsAcyclic(q2));
+}
+
+TEST(YannakakisTest, RejectsCyclicQueries) {
+  Tree t = MustTree("a(b)");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "*", "x", "y"));
+  q.atoms.push_back(Atom(Axis::kChild, "*", "y", "z"));
+  q.atoms.push_back(Atom(Axis::kDescendant, "*", "x", "z"));
+  q.output_vars = {"x"};
+  EXPECT_FALSE(AnswerAcqYannakakis(t, q).ok());
+}
+
+TEST(YannakakisTest, SimpleChain) {
+  // a(b(c),d): child(x,y) & child(y,z) has only (0,1,2).
+  Tree t = MustTree("a(b(c),d)");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "*", "x", "y"));
+  q.atoms.push_back(Atom(Axis::kChild, "*", "y", "z"));
+  q.output_vars = {"x", "y", "z"};
+  Result<xpath::TupleSet> answers = AnswerAcqYannakakis(t, q);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(*answers, (xpath::TupleSet{{0, 1, 2}}));
+}
+
+TEST(YannakakisTest, ProjectionDeduplicates) {
+  // Many (x,y) pairs project to few x.
+  Tree t = MustTree("a(b,b,b)");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "b", "x", "y"));
+  q.output_vars = {"x"};
+  Result<xpath::TupleSet> answers = AnswerAcqYannakakis(t, q);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(*answers, (xpath::TupleSet{{0}}));
+}
+
+TEST(YannakakisTest, UnconstrainedOutputVariable) {
+  Tree t = MustTree("a(b)");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "b", "x", "y"));
+  q.output_vars = {"w"};
+  Result<xpath::TupleSet> answers = AnswerAcqYannakakis(t, q);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(*answers, (xpath::TupleSet{{0}, {1}}));
+}
+
+TEST(YannakakisTest, EmptyOnUnsatisfiable) {
+  Tree t = MustTree("a(b)");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "zzz", "x", "y"));
+  q.output_vars = {"x"};
+  Result<xpath::TupleSet> answers = AnswerAcqYannakakis(t, q);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+}
+
+TEST(YannakakisTest, SelfLoopFiltersCandidates) {
+  // self::a(x,x) pins x to a-labeled nodes.
+  Tree t = MustTree("a(b,a)");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kSelf, "a", "x", "x"));
+  q.output_vars = {"x"};
+  Result<xpath::TupleSet> answers = AnswerAcqYannakakis(t, q);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(*answers, (xpath::TupleSet{{0}, {2}}));
+}
+
+TEST(YannakakisTest, EqualitiesMergeVariables) {
+  Tree t = MustTree("a(b(c),d)");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "*", "x", "y"));
+  q.atoms.push_back(Atom(Axis::kChild, "*", "w", "z"));
+  q.equalities.push_back({"y", "w"});
+  q.output_vars = {"x", "z"};
+  Result<xpath::TupleSet> answers = AnswerAcqYannakakis(t, q);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(*answers, (xpath::TupleSet{{0, 2}}));
+}
+
+// Randomized differential test: Yannakakis vs naive enumeration on random
+// acyclic queries (random forests over up to 4 variables).
+class YannakakisRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(YannakakisRandomTest, MatchesNaive) {
+  Rng rng(GetParam());
+  const std::vector<std::string> var_names = {"x", "y", "z", "w"};
+  for (int trial = 0; trial < 12; ++trial) {
+    RandomTreeOptions opts;
+    opts.num_nodes = 1 + rng.Below(9);
+    Tree t = RandomTree(rng, opts);
+
+    // Random forest: attach each variable i>0 to a random earlier one.
+    ConjunctiveQuery q;
+    std::size_t num_vars = 2 + rng.Below(3);
+    for (std::size_t i = 1; i < num_vars; ++i) {
+      Axis axis = kAllAxes[rng.Below(kAllAxes.size())];
+      std::string name = rng.Chance(1, 3) ? "*" : GeneratorLabel(rng.Below(2));
+      q.atoms.push_back(
+          Atom(axis, name, var_names[rng.Below(i)], var_names[i]));
+    }
+    // Occasional self-loop and output projection.
+    if (rng.Chance(1, 3)) {
+      q.atoms.push_back(Atom(Axis::kSelf, GeneratorLabel(rng.Below(2)),
+                             var_names[rng.Below(num_vars)],
+                             var_names[rng.Below(num_vars)]));
+    }
+    for (std::size_t i = 0; i < num_vars; ++i) {
+      if (rng.Chance(2, 3)) q.output_vars.push_back(var_names[i]);
+    }
+    if (q.output_vars.empty()) q.output_vars.push_back("x");
+
+    if (!IsAcyclic(q)) continue;  // random self-loops stay acyclic anyway
+    Result<xpath::TupleSet> fast = AnswerAcqYannakakis(t, q);
+    ASSERT_TRUE(fast.ok()) << fast.status() << " " << q.ToString();
+    EXPECT_EQ(*fast, AnswerCqNaive(t, q))
+        << q.ToString() << "\ntree: " << t.ToTerm();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YannakakisRandomTest,
+                         ::testing::Values(31, 32, 33, 34, 35, 36));
+
+// Proposition 8: union-free HCL- formulas convert to ACQs with the same
+// answers.
+TEST(HclToConjunctiveTest, ConversionPreservesAnswers) {
+  Tree t = MustTree("a(b(c),b,c)");
+  hcl::HclPtr c = hcl::HclExpr::Compose(
+      hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "b")),
+      hcl::HclExpr::Compose(
+          hcl::HclExpr::Var("x"),
+          hcl::HclExpr::Compose(
+              hcl::HclExpr::Filter(hcl::HclExpr::Compose(
+                  hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "c")),
+                  hcl::HclExpr::Var("y"))),
+              hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kSelf)))));
+  std::vector<std::string> vars = {"x", "y"};
+  Result<ConjunctiveQuery> q = HclToConjunctive(*c, vars);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(IsAcyclic(*q)) << q->ToString();
+  Result<xpath::TupleSet> yannakakis = AnswerAcqYannakakis(t, *q);
+  ASSERT_TRUE(yannakakis.ok());
+  EXPECT_EQ(*yannakakis, hcl::EvalHclNaryNaive(t, *c, vars));
+}
+
+TEST(HclToConjunctiveTest, RejectsUnions) {
+  hcl::HclPtr c = hcl::HclExpr::Union(
+      hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild)),
+      hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kParent)));
+  EXPECT_FALSE(HclToConjunctive(*c, {}).ok());
+}
+
+TEST(HclToConjunctiveTest, RandomUnionFreeAgree) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomTreeOptions opts;
+    opts.num_nodes = 1 + rng.Below(7);
+    Tree t = RandomTree(rng, opts);
+    // Union-free random HCL-: chain of steps/vars/filters.
+    std::vector<std::string> available = {"x", "y"};
+    std::function<hcl::HclPtr(int, std::vector<std::string>)> gen =
+        [&](int depth, std::vector<std::string> vars) -> hcl::HclPtr {
+      if (depth <= 0 || rng.Chance(1, 4)) {
+        if (!vars.empty() && rng.Chance(1, 2)) {
+          return hcl::HclExpr::Var(vars[rng.Below(vars.size())]);
+        }
+        return hcl::HclExpr::Binary(hcl::MakeAxisQuery(
+            kAllAxes[rng.Below(kAllAxes.size())],
+            rng.Chance(1, 2) ? "*" : GeneratorLabel(rng.Below(2))));
+      }
+      std::vector<std::string> left, right;
+      for (const auto& v : vars) {
+        (rng.Chance(1, 2) ? left : right).push_back(v);
+      }
+      if (rng.Chance(1, 3)) {
+        return hcl::HclExpr::Compose(
+            hcl::HclExpr::Filter(gen(depth - 1, left)),
+            gen(depth - 1, right));
+      }
+      return hcl::HclExpr::Compose(gen(depth - 1, left),
+                                   gen(depth - 1, right));
+    };
+    hcl::HclPtr c = gen(3, available);
+    Result<ConjunctiveQuery> q = HclToConjunctive(*c, available);
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(IsAcyclic(*q)) << q->ToString();
+    Result<xpath::TupleSet> fast = AnswerAcqYannakakis(t, *q);
+    ASSERT_TRUE(fast.ok());
+    EXPECT_EQ(*fast, hcl::EvalHclNaryNaive(t, *c, available))
+        << c->ToString() << "\ncq: " << q->ToString()
+        << "\ntree: " << t.ToTerm();
+  }
+}
+
+}  // namespace
+}  // namespace xpv::fo

@@ -1,0 +1,190 @@
+// Tests for axis relations: matrix construction, linear-time set images,
+// and algebraic properties (inverses, closures) over random trees.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tree/axes.h"
+#include "tree/generators.h"
+#include "tree/tree.h"
+
+namespace xpv {
+namespace {
+
+Tree MustParse(std::string_view term) {
+  Result<Tree> t = Tree::ParseTerm(term);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return std::move(t).value();
+}
+
+TEST(AxisNameTest, RoundTrip) {
+  for (Axis axis : kAllAxes) {
+    Result<Axis> parsed = ParseAxis(AxisName(axis));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, axis);
+  }
+}
+
+TEST(AxisNameTest, AcceptsXPathHyphens) {
+  EXPECT_TRUE(ParseAxis("following-sibling").ok());
+  EXPECT_TRUE(ParseAxis("preceding-sibling").ok());
+  EXPECT_FALSE(ParseAxis("descendant-or-self").ok());
+  EXPECT_FALSE(ParseAxis("attribute").ok());
+}
+
+TEST(InverseAxisTest, IsInvolutive) {
+  for (Axis axis : kAllAxes) {
+    EXPECT_EQ(InverseAxis(InverseAxis(axis)), axis);
+  }
+  EXPECT_EQ(InverseAxis(Axis::kChild), Axis::kParent);
+  EXPECT_EQ(InverseAxis(Axis::kDescendant), Axis::kAncestor);
+  EXPECT_EQ(InverseAxis(Axis::kFollowingSibling), Axis::kPrecedingSibling);
+  EXPECT_EQ(InverseAxis(Axis::kSelf), Axis::kSelf);
+}
+
+TEST(AxisMatrixTest, HandcraftedChildAndParent) {
+  // a(b(c,d),e) -- ids: a=0 b=1 c=2 d=3 e=4.
+  Tree t = MustParse("a(b(c,d),e)");
+  BitMatrix child = AxisMatrix(t, Axis::kChild);
+  EXPECT_TRUE(child.Get(0, 1));
+  EXPECT_TRUE(child.Get(0, 4));
+  EXPECT_TRUE(child.Get(1, 2));
+  EXPECT_TRUE(child.Get(1, 3));
+  EXPECT_EQ(child.Count(), 4u);
+  EXPECT_EQ(AxisMatrix(t, Axis::kParent), child.Transpose());
+}
+
+TEST(AxisMatrixTest, HandcraftedDescendant) {
+  Tree t = MustParse("a(b(c,d),e)");
+  BitMatrix desc = AxisMatrix(t, Axis::kDescendant);
+  EXPECT_EQ(desc.Count(), 6u);  // a->{b,c,d,e}, b->{c,d}
+  EXPECT_TRUE(desc.Get(0, 3));
+  EXPECT_TRUE(desc.Get(1, 2));
+  EXPECT_FALSE(desc.Get(0, 0));
+  EXPECT_FALSE(desc.Get(2, 3));
+}
+
+TEST(AxisMatrixTest, HandcraftedSiblings) {
+  Tree t = MustParse("a(b,c,d)");
+  BitMatrix fs = AxisMatrix(t, Axis::kFollowingSibling);
+  EXPECT_TRUE(fs.Get(1, 2));
+  EXPECT_TRUE(fs.Get(1, 3));
+  EXPECT_TRUE(fs.Get(2, 3));
+  EXPECT_EQ(fs.Count(), 3u);
+  EXPECT_EQ(AxisMatrix(t, Axis::kPrecedingSibling), fs.Transpose());
+}
+
+class AxisRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// AxisMatrix agrees with the brute-force AxisHolds oracle on random trees.
+TEST_P(AxisRandomTest, MatrixMatchesOracle) {
+  Rng rng(GetParam());
+  RandomTreeOptions opts;
+  opts.num_nodes = 1 + rng.Below(40);
+  Tree t = RandomTree(rng, opts);
+  for (Axis axis : kAllAxes) {
+    BitMatrix m = AxisMatrix(t, axis);
+    for (NodeId u = 0; u < t.size(); ++u) {
+      for (NodeId v = 0; v < t.size(); ++v) {
+        EXPECT_EQ(m.Get(u, v), AxisHolds(t, axis, u, v))
+            << AxisName(axis) << " u=" << u << " v=" << v
+            << " tree=" << t.ToTerm();
+      }
+    }
+  }
+}
+
+// AxisImage(t, a, N) == columns reachable from N in AxisMatrix.
+TEST_P(AxisRandomTest, ImageMatchesMatrix) {
+  Rng rng(GetParam() + 1000);
+  RandomTreeOptions opts;
+  opts.num_nodes = 1 + rng.Below(50);
+  Tree t = RandomTree(rng, opts);
+  for (Axis axis : kAllAxes) {
+    BitMatrix m = AxisMatrix(t, axis);
+    for (int trial = 0; trial < 5; ++trial) {
+      BitVector from(t.size());
+      for (std::size_t k = 0; k < t.size() / 2 + 1; ++k) {
+        from.Set(rng.Below(t.size()));
+      }
+      EXPECT_EQ(AxisImage(t, axis, from), m.ImageOf(from))
+          << AxisName(axis) << " tree=" << t.ToTerm();
+    }
+  }
+}
+
+// Inverse axis relation == transposed matrix.
+TEST_P(AxisRandomTest, InverseIsTranspose) {
+  Rng rng(GetParam() + 2000);
+  RandomTreeOptions opts;
+  opts.num_nodes = 1 + rng.Below(40);
+  Tree t = RandomTree(rng, opts);
+  for (Axis axis : kAllAxes) {
+    EXPECT_EQ(AxisMatrix(t, InverseAxis(axis)),
+              AxisMatrix(t, axis).Transpose());
+  }
+}
+
+// descendant == transitive closure of child; following_sibling == closure
+// of the next-sibling relation.
+TEST_P(AxisRandomTest, ClosureLaws) {
+  Rng rng(GetParam() + 3000);
+  RandomTreeOptions opts;
+  opts.num_nodes = 1 + rng.Below(30);
+  Tree t = RandomTree(rng, opts);
+
+  BitMatrix child = AxisMatrix(t, Axis::kChild);
+  BitMatrix closure(t.size());
+  BitMatrix power = child;
+  while (!power.None()) {
+    closure = closure.Or(power);
+    power = power.Multiply(child);
+  }
+  EXPECT_EQ(closure, AxisMatrix(t, Axis::kDescendant));
+
+  BitMatrix ns(t.size());
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.next_sibling(v) != kNoNode) ns.Set(v, t.next_sibling(v));
+  }
+  BitMatrix ns_closure(t.size());
+  power = ns;
+  while (!power.None()) {
+    ns_closure = ns_closure.Or(power);
+    power = power.Multiply(ns);
+  }
+  EXPECT_EQ(ns_closure, AxisMatrix(t, Axis::kFollowingSibling));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AxisRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(AxisImageTest, PathTreeExtremes) {
+  Tree t = PathTree(50);
+  BitVector root_only(t.size());
+  root_only.Set(0);
+  BitVector desc = AxisImage(t, Axis::kDescendant, root_only);
+  EXPECT_EQ(desc.Count(), 49u);
+  BitVector leaf_only(t.size());
+  leaf_only.Set(49);
+  BitVector anc = AxisImage(t, Axis::kAncestor, leaf_only);
+  EXPECT_EQ(anc.Count(), 49u);
+}
+
+TEST(AxisImageTest, StarTreeSiblings) {
+  Tree t = StarTree(20);
+  BitVector first(t.size());
+  first.Set(1);  // first leaf
+  EXPECT_EQ(AxisImage(t, Axis::kFollowingSibling, first).Count(), 19u);
+  EXPECT_EQ(AxisImage(t, Axis::kPrecedingSibling, first).Count(), 0u);
+}
+
+TEST(LabelSetTest, WildcardAndNames) {
+  Tree t = MustParse("a(b,a(b,c))");
+  EXPECT_EQ(LabelSet(t, "").Count(), 5u);
+  EXPECT_EQ(LabelSet(t, "a").Count(), 2u);
+  EXPECT_EQ(LabelSet(t, "b").Count(), 2u);
+  EXPECT_EQ(LabelSet(t, "c").Count(), 1u);
+  EXPECT_EQ(LabelSet(t, "nope").Count(), 0u);
+}
+
+}  // namespace
+}  // namespace xpv

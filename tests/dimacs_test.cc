@@ -1,0 +1,70 @@
+// Tests for the DIMACS CNF parser/serializer used by the Proposition 3
+// tooling.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fo/sat_reduction.h"
+
+namespace xpv::fo {
+namespace {
+
+TEST(DimacsTest, ParsesBasicFile) {
+  Result<CnfFormula> cnf = ParseDimacs(
+      "c a comment\n"
+      "p cnf 3 2\n"
+      "1 -2 0\n"
+      "2 3 0\n");
+  ASSERT_TRUE(cnf.ok()) << cnf.status();
+  EXPECT_EQ(cnf->num_vars, 3);
+  ASSERT_EQ(cnf->clauses.size(), 2u);
+  EXPECT_EQ(cnf->clauses[0], (std::vector<int>{1, -2}));
+  EXPECT_EQ(cnf->clauses[1], (std::vector<int>{2, 3}));
+}
+
+TEST(DimacsTest, MultipleClausesPerLine) {
+  Result<CnfFormula> cnf = ParseDimacs("p cnf 2 2\n1 0 -1 2 0\n");
+  ASSERT_TRUE(cnf.ok());
+  EXPECT_EQ(cnf->clauses[0], (std::vector<int>{1}));
+  EXPECT_EQ(cnf->clauses[1], (std::vector<int>{-1, 2}));
+}
+
+TEST(DimacsTest, EmptyClause) {
+  Result<CnfFormula> cnf = ParseDimacs("p cnf 1 1\n0\n");
+  ASSERT_TRUE(cnf.ok());
+  ASSERT_EQ(cnf->clauses.size(), 1u);
+  EXPECT_TRUE(cnf->clauses[0].empty());
+  EXPECT_FALSE(BruteForceSat(*cnf));
+}
+
+TEST(DimacsTest, Errors) {
+  EXPECT_FALSE(ParseDimacs("").ok());                       // no header
+  EXPECT_FALSE(ParseDimacs("1 0\n").ok());                  // clause first
+  EXPECT_FALSE(ParseDimacs("p cnf 1 1\n1\n").ok());         // missing 0
+  EXPECT_FALSE(ParseDimacs("p cnf 1 2\n1 0\n").ok());       // count mismatch
+  EXPECT_FALSE(ParseDimacs("p cnf 1 1\n5 0\n").ok());       // var overflow
+  EXPECT_FALSE(ParseDimacs("p cnf 1 1\nx 0\n").ok());       // bad literal
+  EXPECT_FALSE(ParseDimacs("p dnf 1 1\n1 0\n").ok());       // wrong format
+}
+
+TEST(DimacsTest, RoundTrip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    CnfFormula cnf = RandomCnf(rng, 2 + static_cast<int>(rng.Below(8)),
+                               1 + static_cast<int>(rng.Below(10)), 3);
+    Result<CnfFormula> back = ParseDimacs(ToDimacs(cnf));
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(back->num_vars, cnf.num_vars);
+    EXPECT_EQ(back->clauses, cnf.clauses);
+  }
+}
+
+TEST(DimacsTest, ParsedFormulaFeedsReduction) {
+  Result<CnfFormula> cnf = ParseDimacs("p cnf 2 2\n1 2 0\n-1 -2 0\n");
+  ASSERT_TRUE(cnf.ok());
+  SatReduction red = ReduceSatToQueryNonEmptiness(*cnf);
+  EXPECT_EQ(red.tree.size(), 7u);
+  EXPECT_EQ(red.tuple_vars.size(), 2u);
+}
+
+}  // namespace
+}  // namespace xpv::fo

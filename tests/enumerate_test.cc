@@ -1,0 +1,193 @@
+// Tests for the answer enumerator (the paper's closing open question on
+// enumeration algorithms) and for the E11 ablation switches of the Fig. 8
+// algorithm (MC filtering / memoization off preserve correctness).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fo/acq.h"
+#include "fo/enumerate.h"
+#include "hcl/answer.h"
+#include "tree/generators.h"
+
+namespace xpv::fo {
+namespace {
+
+Tree MustTree(std::string_view term) {
+  Result<Tree> t = Tree::ParseTerm(term);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return std::move(t).value();
+}
+
+CqAtom Atom(Axis axis, std::string name, std::string x, std::string y) {
+  return {hcl::MakeAxisQuery(axis, std::move(name)), std::move(x),
+          std::move(y)};
+}
+
+xpath::TupleSet Drain(AcqEnumerator& e) {
+  xpath::TupleSet out;
+  while (auto tuple = e.Next()) out.insert(*tuple);
+  return out;
+}
+
+TEST(AcqEnumeratorTest, MatchesBatchAnswerOnChain) {
+  Tree t = MustTree("a(b(c),b(c,c),d)");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "b", "x", "y"));
+  q.atoms.push_back(Atom(Axis::kChild, "c", "y", "z"));
+  q.output_vars = {"x", "y", "z"};
+  Result<AcqEnumerator> e = AcqEnumerator::Create(t, q);
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ(Drain(*e), *AnswerAcqYannakakis(t, q));
+  EXPECT_EQ(e->produced(), 3u);
+}
+
+TEST(AcqEnumeratorTest, ProjectionDeduplicates) {
+  Tree t = MustTree("a(b,b,b)");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "b", "x", "y"));
+  q.output_vars = {"x"};
+  Result<AcqEnumerator> e = AcqEnumerator::Create(t, q);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(Drain(*e), (xpath::TupleSet{{0}}));
+  EXPECT_EQ(e->produced(), 1u);
+}
+
+TEST(AcqEnumeratorTest, EmptyQueryYieldsEmptyTupleOnce) {
+  Tree t = MustTree("a(b)");
+  ConjunctiveQuery q;  // no atoms, no outputs: trivially true once
+  Result<AcqEnumerator> e = AcqEnumerator::Create(t, q);
+  ASSERT_TRUE(e.ok());
+  auto first = e->Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->empty());
+  EXPECT_FALSE(e->Next().has_value());
+}
+
+TEST(AcqEnumeratorTest, UnsatisfiableYieldsNothing) {
+  Tree t = MustTree("a(b)");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "zzz", "x", "y"));
+  q.output_vars = {"x"};
+  Result<AcqEnumerator> e = AcqEnumerator::Create(t, q);
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->Next().has_value());
+  EXPECT_FALSE(e->Next().has_value());  // stays exhausted
+}
+
+TEST(AcqEnumeratorTest, RejectsCyclicQueries) {
+  Tree t = MustTree("a(b)");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "*", "x", "y"));
+  q.atoms.push_back(Atom(Axis::kChild, "*", "y", "z"));
+  q.atoms.push_back(Atom(Axis::kDescendant, "*", "x", "z"));
+  EXPECT_FALSE(AcqEnumerator::Create(t, q).ok());
+}
+
+class AcqEnumeratorRandomTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AcqEnumeratorRandomTest, AgreesWithYannakakis) {
+  Rng rng(GetParam());
+  const std::vector<std::string> var_names = {"x", "y", "z", "w"};
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomTreeOptions opts;
+    opts.num_nodes = 1 + rng.Below(10);
+    Tree t = RandomTree(rng, opts);
+    ConjunctiveQuery q;
+    std::size_t num_vars = 2 + rng.Below(3);
+    for (std::size_t i = 1; i < num_vars; ++i) {
+      q.atoms.push_back(Atom(kAllAxes[rng.Below(kAllAxes.size())],
+                             rng.Chance(1, 3) ? "*"
+                                              : GeneratorLabel(rng.Below(2)),
+                             var_names[rng.Below(i)], var_names[i]));
+    }
+    for (std::size_t i = 0; i < num_vars; ++i) {
+      if (rng.Chance(2, 3)) q.output_vars.push_back(var_names[i]);
+    }
+    if (q.output_vars.empty()) q.output_vars.push_back("x");
+
+    Result<AcqEnumerator> e = AcqEnumerator::Create(t, q);
+    ASSERT_TRUE(e.ok()) << e.status();
+    Result<xpath::TupleSet> batch = AnswerAcqYannakakis(t, q);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(Drain(*e), *batch)
+        << q.ToString() << "\ntree: " << t.ToTerm();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcqEnumeratorRandomTest,
+                         ::testing::Values(51, 52, 53, 54, 55, 56));
+
+// When every variable is an output variable, the underlying DFS produces
+// each answer exactly once: the dedup set never rejects.
+TEST(AcqEnumeratorTest, FullOutputHasNoDuplicateWork) {
+  Rng rng(99);
+  RandomTreeOptions opts;
+  opts.num_nodes = 20;
+  Tree t = RandomTree(rng, opts);
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kDescendant, "*", "x", "y"));
+  q.atoms.push_back(Atom(Axis::kChild, "*", "y", "z"));
+  q.output_vars = {"x", "y", "z"};
+  Result<AcqEnumerator> e = AcqEnumerator::Create(t, q);
+  ASSERT_TRUE(e.ok());
+  std::size_t count = 0;
+  while (e->Next()) ++count;
+  EXPECT_EQ(count, e->produced());
+  EXPECT_EQ(count, AnswerAcqYannakakis(t, q)->size());
+}
+
+// E11 ablation correctness: disabling the MC filter and/or memoization
+// must not change answers, only performance.
+class AblationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AblationTest, AllConfigurationsAgree) {
+  Rng rng(GetParam());
+  using hcl::HclExpr;
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomTreeOptions opts;
+    opts.num_nodes = 1 + rng.Below(8);
+    Tree t = RandomTree(rng, opts);
+    // A query with unions and filters: exercises both the MC pruning and
+    // the memo sharing.
+    hcl::HclPtr c = HclExpr::Compose(
+        HclExpr::Union(
+            HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "a")),
+            HclExpr::Binary(hcl::MakeAxisQuery(Axis::kDescendant, "b"))),
+        HclExpr::Compose(
+            HclExpr::Filter(HclExpr::Compose(
+                HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild)),
+                HclExpr::Var("x"))),
+            HclExpr::Union(HclExpr::Var("y"),
+                           HclExpr::Binary(hcl::MakeAxisQuery(Axis::kSelf)))));
+    const std::vector<std::string> vars = {"x", "y"};
+
+    xpath::TupleSet reference;
+    bool have_reference = false;
+    for (bool mc : {true, false}) {
+      for (bool memo : {true, false}) {
+        hcl::AnswerOptions options;
+        options.use_mc_filter = mc;
+        options.memoize_vals = memo;
+        hcl::QueryAnswerer answerer(t, *c, vars, options);
+        ASSERT_TRUE(answerer.Prepare().ok());
+        xpath::TupleSet answers = answerer.Answer();
+        if (!have_reference) {
+          reference = answers;
+          have_reference = true;
+        } else {
+          EXPECT_EQ(answers, reference)
+              << "mc=" << mc << " memo=" << memo
+              << " tree=" << t.ToTerm();
+        }
+      }
+    }
+    EXPECT_EQ(reference, hcl::EvalHclNaryNaive(t, *c, vars));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AblationTest,
+                         ::testing::Values(61, 62, 63, 64));
+
+}  // namespace
+}  // namespace xpv::fo

@@ -1,0 +1,238 @@
+// Tests for the FO substrate (Section 2): formulas, Tarskian model
+// checking, the L.M translation to Core XPath 2.0 (Lemma 1), and the
+// quantifier-free case (Lemma 2).
+#include <gtest/gtest.h>
+
+#include "fo/formula.h"
+#include "fo/model_check.h"
+#include "fo/to_xpath.h"
+#include "tree/generators.h"
+#include "xpath/eval.h"
+#include "xpath/fragment.h"
+
+namespace xpv::fo {
+namespace {
+
+Tree MustTree(std::string_view term) {
+  Result<Tree> t = Tree::ParseTerm(term);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return std::move(t).value();
+}
+
+TEST(FormulaTest, PrintingAndSize) {
+  FormulaPtr f = Formula::And(Formula::ChStar("x", "y"),
+                              Formula::Not(Formula::Label("y", "a")));
+  EXPECT_EQ(f->ToString(), "ch*(x,y) & ~lab_a(y)");
+  EXPECT_EQ(f->Size(), 4u);
+  EXPECT_TRUE(f->IsQuantifierFree());
+  EXPECT_EQ(f->QuantifierRank(), 0u);
+}
+
+TEST(FormulaTest, QuantifierRank) {
+  FormulaPtr f = Formula::Exists(
+      "x", Formula::And(Formula::Label("x", "a"),
+                        Formula::Exists("y", Formula::ChStar("x", "y"))));
+  EXPECT_EQ(f->QuantifierRank(), 2u);
+  EXPECT_FALSE(f->IsQuantifierFree());
+}
+
+TEST(FormulaTest, FreeVarsRespectBinding) {
+  FormulaPtr f = Formula::Exists("x", Formula::ChStar("x", "y"));
+  EXPECT_EQ(FreeVars(*f), (std::set<std::string>{"y"}));
+  f = Formula::And(Formula::Label("x", "a"),
+                   Formula::Exists("x", Formula::Label("x", "b")));
+  EXPECT_EQ(FreeVars(*f), (std::set<std::string>{"x"}));
+}
+
+TEST(FormulaTest, CloneEquals) {
+  FormulaPtr f = Formula::Or(Formula::Eq("x", "y"),
+                             Formula::NsStar("x", "y"));
+  FormulaPtr g = f->Clone();
+  EXPECT_TRUE(f->Equals(*g));
+  g->a->x = "zzz";
+  EXPECT_FALSE(f->Equals(*g));
+}
+
+TEST(ModelCheckTest, Atoms) {
+  // a(b(c),d): ids a=0 b=1 c=2 d=3.
+  Tree t = MustTree("a(b(c),d)");
+  EXPECT_TRUE(Models(t, *Formula::ChStar("x", "y"), {{"x", 0}, {"y", 2}}));
+  EXPECT_TRUE(Models(t, *Formula::ChStar("x", "y"), {{"x", 1}, {"y", 1}}));
+  EXPECT_FALSE(Models(t, *Formula::ChStar("x", "y"), {{"x", 2}, {"y", 0}}));
+  EXPECT_TRUE(Models(t, *Formula::NsStar("x", "y"), {{"x", 1}, {"y", 3}}));
+  EXPECT_FALSE(Models(t, *Formula::NsStar("x", "y"), {{"x", 3}, {"y", 1}}));
+  EXPECT_TRUE(Models(t, *Formula::Label("x", "b"), {{"x", 1}}));
+  EXPECT_FALSE(Models(t, *Formula::Label("x", "b"), {{"x", 0}}));
+}
+
+TEST(ModelCheckTest, Connectives) {
+  Tree t = MustTree("a(b)");
+  FormulaPtr f = Formula::And(Formula::Label("x", "a"),
+                              Formula::Not(Formula::Label("x", "b")));
+  EXPECT_TRUE(Models(t, *f, {{"x", 0}}));
+  EXPECT_FALSE(Models(t, *f, {{"x", 1}}));
+}
+
+TEST(ModelCheckTest, Quantification) {
+  Tree t = MustTree("a(b,c)");
+  // Exists a b-labeled node.
+  FormulaPtr f = Formula::Exists("x", Formula::Label("x", "b"));
+  EXPECT_TRUE(Models(t, *f, {}));
+  f = Formula::Exists("x", Formula::Label("x", "zzz"));
+  EXPECT_FALSE(Models(t, *f, {}));
+}
+
+TEST(ModelCheckTest, DerivedEqAndChild) {
+  Tree t = MustTree("a(b(c),d)");
+  EXPECT_TRUE(Models(t, *Formula::Eq("x", "y"), {{"x", 2}, {"y", 2}}));
+  EXPECT_FALSE(Models(t, *Formula::Eq("x", "y"), {{"x", 2}, {"y", 1}}));
+  EXPECT_TRUE(Models(t, *Formula::Child("x", "y"), {{"x", 0}, {"y", 1}}));
+  EXPECT_FALSE(Models(t, *Formula::Child("x", "y"), {{"x", 0}, {"y", 2}}));
+  EXPECT_FALSE(Models(t, *Formula::Child("x", "y"), {{"x", 0}, {"y", 0}}));
+}
+
+TEST(EvalFoNaryTest, SelectsTuples) {
+  Tree t = MustTree("a(b,b)");
+  // All pairs (x,y) with x ancestor-or-self of y and y labeled b.
+  FormulaPtr f = Formula::And(Formula::ChStar("x", "y"),
+                              Formula::Label("y", "b"));
+  xpath::TupleSet expected = {{0, 1}, {0, 2}, {1, 1}, {2, 2}};
+  EXPECT_EQ(EvalFoNary(t, *f, {"x", "y"}), expected);
+}
+
+// Lemma 1: t, alpha |= phi iff [[LphiM]]^{t,alpha} != {}.
+class Lemma1Test : public ::testing::TestWithParam<std::uint64_t> {};
+
+FormulaPtr RandomFormula(Rng& rng, const std::vector<std::string>& vars,
+                         int depth) {
+  auto var = [&] { return vars[rng.Below(vars.size())]; };
+  if (depth <= 0 || rng.Chance(1, 3)) {
+    switch (rng.Below(3)) {
+      case 0:
+        return Formula::ChStar(var(), var());
+      case 1:
+        return Formula::NsStar(var(), var());
+      default:
+        return Formula::Label(var(), GeneratorLabel(rng.Below(2)));
+    }
+  }
+  switch (rng.Below(3)) {
+    case 0:
+      return Formula::Not(RandomFormula(rng, vars, depth - 1));
+    case 1:
+      return Formula::And(RandomFormula(rng, vars, depth - 1),
+                          RandomFormula(rng, vars, depth - 1));
+    default: {
+      // Quantify over one of the variables.
+      std::string x = var();
+      return Formula::Exists(x, RandomFormula(rng, vars, depth - 1));
+    }
+  }
+}
+
+TEST_P(Lemma1Test, TranslationPreservesSatisfaction) {
+  Rng rng(GetParam());
+  const std::vector<std::string> vars = {"x", "y"};
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomTreeOptions opts;
+    opts.num_nodes = 1 + rng.Below(6);
+    Tree t = RandomTree(rng, opts);
+    FormulaPtr f = RandomFormula(rng, vars, 3);
+    xpath::PathPtr p = ToCoreXPath(*f);
+    ASSERT_TRUE(p);
+    xpath::DirectEvaluator eval(t);
+
+    // Check the Lemma 1 equivalence for every assignment of the free vars.
+    std::set<std::string> free = FreeVars(*f);
+    std::vector<std::string> fv(free.begin(), free.end());
+    std::vector<NodeId> counters(fv.size(), 0);
+    while (true) {
+      xpath::Assignment alpha;
+      for (std::size_t i = 0; i < fv.size(); ++i) alpha[fv[i]] = counters[i];
+      // The XPath side may mention MORE free variables than phi (never
+      // fewer); bind any extras arbitrarily -- they cannot affect
+      // emptiness... they do! Bind exactly the XPath side's variables.
+      xpath::Assignment beta = alpha;
+      for (const auto& v : xpath::FreeVars(*p)) {
+        if (!beta.contains(v)) beta[v] = 0;
+      }
+      EXPECT_EQ(Models(t, *f, alpha), !eval.EvalPath(*p, beta).None())
+          << "phi: " << f->ToString() << "\npath: " << p->ToString()
+          << "\ntree: " << t.ToTerm();
+      std::size_t i = 0;
+      for (; i < counters.size(); ++i) {
+        if (++counters[i] < t.size()) break;
+        counters[i] = 0;
+      }
+      if (i == counters.size() || fv.empty()) break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1Test,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+// Lemma 1 corollary: the translation preserves n-ary queries.
+TEST(Lemma1Test, PreservesNaryQueries) {
+  Tree t = MustTree("a(b(c),b)");
+  FormulaPtr f = Formula::And(Formula::ChStar("x", "y"),
+                              Formula::Label("y", "b"));
+  xpath::PathPtr p = ToCoreXPath(*f);
+  xpath::DirectEvaluator eval(t);
+  EXPECT_EQ(eval.EvalNaryNaive(*p, {"x", "y"}),
+            EvalFoNary(t, *f, {"x", "y"}));
+}
+
+// Lemma 2: quantifier-free formulas translate to for-loop-free paths.
+TEST(Lemma2Test, QuantifierFreeYieldsNoForLoops) {
+  FormulaPtr f = Formula::And(
+      Formula::Not(Formula::ChStar("x", "y")),
+      Formula::Or(Formula::Label("x", "a"), Formula::NsStar("y", "x")));
+  ASSERT_TRUE(f->IsQuantifierFree());
+  xpath::PathPtr p = ToCoreXPath(*f);
+  EXPECT_FALSE(xpath::ContainsFor(*p));
+}
+
+TEST(Lemma2Test, QuantifiedYieldsForLoops) {
+  FormulaPtr f = Formula::Exists("x", Formula::Label("x", "a"));
+  xpath::PathPtr p = ToCoreXPath(*f);
+  EXPECT_TRUE(xpath::ContainsFor(*p));
+}
+
+// The paper's Section 3 counterexample formula phi_0(x,y): if x is an
+// ancestor of y, no nextsibling step occurs on the path from x to y --
+// expressible without for-loops as
+// .[not ($x/descendant::*/nextsibling-ish/descendant::*[. is $y])].
+// We verify the variant from the paper using following_sibling for the
+// single ns step approximated by following_sibling composition, checking
+// that the direct evaluator agrees with a hand-rolled characterization on
+// a comb tree. (The point here is exercising deep negation with variables,
+// which Core XPath 2.0 allows but PPL forbids.)
+TEST(Section3Test, NegatedReachabilityWithVariables) {
+  Tree t = MustTree("a(b(c(d)),e(f))");
+  // phi: NOT exists z,z': ch*(x,z) & z' next-ish sibling of z & ch*(z',y).
+  FormulaPtr phi = Formula::Not(Formula::Exists(
+      "z", Formula::Exists(
+               "zp", Formula::And(
+                         Formula::And(Formula::ChStar("x", "z"),
+                                      Formula::And(Formula::NsStar("z", "zp"),
+                                                   Formula::Not(Formula::Eq(
+                                                       "z", "zp")))),
+                         Formula::ChStar("zp", "y")))));
+  xpath::PathPtr p = ToCoreXPath(*phi);
+  xpath::DirectEvaluator eval(t);
+  for (NodeId x = 0; x < t.size(); ++x) {
+    for (NodeId y = 0; y < t.size(); ++y) {
+      xpath::Assignment alpha = {{"x", x}, {"y", y}};
+      xpath::Assignment beta = alpha;
+      for (const auto& v : xpath::FreeVars(*p)) {
+        if (!beta.contains(v)) beta[v] = 0;
+      }
+      EXPECT_EQ(Models(t, *phi, alpha), !eval.EvalPath(*p, beta).None())
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpv::fo

@@ -1,0 +1,144 @@
+// Tests for the Proposition 3 SAT reduction: query non-emptiness for Core
+// XPath 2.0 without for-loops and without variables below negation is
+// NP-hard via variable sharing in compositions.
+#include <gtest/gtest.h>
+
+#include "fo/sat_reduction.h"
+#include "xpath/eval.h"
+#include "xpath/fragment.h"
+
+namespace xpv::fo {
+namespace {
+
+TEST(SatReductionTest, TreeShape) {
+  CnfFormula cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {{1, -2}, {2, 3}};
+  SatReduction red = ReduceSatToQueryNonEmptiness(cnf);
+  // r + 3 * (v, t, f).
+  EXPECT_EQ(red.tree.size(), 10u);
+  EXPECT_EQ(red.tree.label_name(0), "r");
+  EXPECT_EQ(red.tree.NumChildren(0), 3u);
+}
+
+TEST(SatReductionTest, QueryShapeRespectsStatedRestrictions) {
+  CnfFormula cnf;
+  cnf.num_vars = 2;
+  cnf.clauses = {{1, 2}, {-1, -2}};
+  SatReduction red = ReduceSatToQueryNonEmptiness(cnf);
+  // No for-loops, no variables below negation (there is no negation at
+  // all), but NVS(/) is violated -- exactly Proposition 3's fragment.
+  EXPECT_FALSE(xpath::ContainsFor(*red.query));
+  Status ppl = xpath::CheckPpl(*red.query);
+  ASSERT_FALSE(ppl.ok());
+  EXPECT_NE(ppl.message().find("NVS(/)"), std::string::npos) << ppl;
+}
+
+TEST(SatReductionTest, SatisfiableFormulaYieldsNonEmptyQuery) {
+  CnfFormula cnf;
+  cnf.num_vars = 2;
+  cnf.clauses = {{1}, {-1, 2}};
+  ASSERT_TRUE(BruteForceSat(cnf));
+  SatReduction red = ReduceSatToQueryNonEmptiness(cnf);
+  xpath::DirectEvaluator eval(red.tree);
+  xpath::TupleSet answers = eval.EvalNaryNaive(*red.query, red.tuple_vars);
+  ASSERT_FALSE(answers.empty());
+  // Every answer decodes to a satisfying assignment; v1=t, v2=t expected.
+  for (const auto& tuple : answers) {
+    std::vector<bool> assignment = DecodeAssignment(red, tuple);
+    EXPECT_TRUE(assignment[0]);
+    EXPECT_TRUE(assignment[1]);
+  }
+}
+
+TEST(SatReductionTest, UnsatisfiableFormulaYieldsEmptyQuery) {
+  CnfFormula cnf;
+  cnf.num_vars = 1;
+  cnf.clauses = {{1}, {-1}};
+  ASSERT_FALSE(BruteForceSat(cnf));
+  SatReduction red = ReduceSatToQueryNonEmptiness(cnf);
+  xpath::DirectEvaluator eval(red.tree);
+  EXPECT_TRUE(eval.EvalNaryNaive(*red.query, red.tuple_vars).empty());
+}
+
+TEST(SatReductionTest, EmptyClauseIsUnsatisfiable) {
+  CnfFormula cnf;
+  cnf.num_vars = 1;
+  cnf.clauses = {{}};
+  SatReduction red = ReduceSatToQueryNonEmptiness(cnf);
+  xpath::DirectEvaluator eval(red.tree);
+  EXPECT_TRUE(eval.EvalNaryNaive(*red.query, red.tuple_vars).empty());
+}
+
+TEST(SatReductionTest, NoClausesIsTriviallySatisfiable) {
+  CnfFormula cnf;
+  cnf.num_vars = 1;
+  cnf.clauses = {};
+  ASSERT_TRUE(BruteForceSat(cnf));
+  SatReduction red = ReduceSatToQueryNonEmptiness(cnf);
+  xpath::DirectEvaluator eval(red.tree);
+  EXPECT_FALSE(eval.EvalNaryNaive(*red.query, red.tuple_vars).empty());
+}
+
+TEST(BruteForceSatTest, KnownInstances) {
+  CnfFormula sat;
+  sat.num_vars = 3;
+  sat.clauses = {{1, 2}, {-1, 3}, {-2, -3}};
+  EXPECT_TRUE(BruteForceSat(sat));
+
+  CnfFormula unsat;
+  unsat.num_vars = 2;
+  unsat.clauses = {{1, 2}, {1, -2}, {-1, 2}, {-1, -2}};
+  EXPECT_FALSE(BruteForceSat(unsat));
+}
+
+// The reduction is correct on random CNFs: query nonempty iff satisfiable,
+// and answers decode to satisfying assignments.
+class SatRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SatRandomTest, ReductionAgreesWithBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    const int num_vars = 2 + static_cast<int>(rng.Below(2));  // 2..3
+    const int num_clauses = 1 + static_cast<int>(rng.Below(5));
+    CnfFormula cnf = RandomCnf(rng, num_vars, num_clauses, 3);
+    SatReduction red = ReduceSatToQueryNonEmptiness(cnf);
+    xpath::DirectEvaluator eval(red.tree);
+    xpath::TupleSet answers = eval.EvalNaryNaive(*red.query, red.tuple_vars);
+    EXPECT_EQ(!answers.empty(), BruteForceSat(cnf)) << cnf.ToString();
+    // Verify each decoded assignment actually satisfies the formula.
+    for (const auto& tuple : answers) {
+      std::vector<bool> assignment = DecodeAssignment(red, tuple);
+      for (const auto& clause : cnf.clauses) {
+        bool clause_sat = false;
+        for (int lit : clause) {
+          if ((lit > 0) == assignment[std::abs(lit) - 1]) {
+            clause_sat = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(clause_sat) << cnf.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomTest,
+                         ::testing::Values(41, 42, 43, 44));
+
+TEST(RandomCnfTest, ShapeIsRespected) {
+  Rng rng(1);
+  CnfFormula cnf = RandomCnf(rng, 5, 7, 3);
+  EXPECT_EQ(cnf.num_vars, 5);
+  EXPECT_EQ(cnf.clauses.size(), 7u);
+  for (const auto& clause : cnf.clauses) {
+    EXPECT_EQ(clause.size(), 3u);
+    for (int lit : clause) {
+      EXPECT_NE(lit, 0);
+      EXPECT_LE(std::abs(lit), 5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpv::fo

@@ -1,0 +1,214 @@
+// Tests for the algebraic simplifier: each rewrite preserves the Fig. 2 /
+// Section 4 semantics (checked differentially) and never grows the
+// expression.
+#include <gtest/gtest.h>
+
+#include "ppl/matrix_engine.h"
+#include "ppl/simplify.h"
+#include "tree/generators.h"
+#include "xpath/eval.h"
+#include "xpath/parser.h"
+#include "xpath/simplify.h"
+
+namespace xpv {
+namespace {
+
+Tree MustTree(std::string_view term) {
+  Result<Tree> t = Tree::ParseTerm(term);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return std::move(t).value();
+}
+
+xpath::PathPtr MustPath(std::string_view text) {
+  Result<xpath::PathPtr> p = xpath::ParsePath(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status();
+  return std::move(p).value();
+}
+
+TEST(XPathSimplifyTest, IdentityComposition) {
+  EXPECT_EQ(xpath::Simplify(MustPath("child::a/."))->ToString(), "child::a");
+  EXPECT_EQ(xpath::Simplify(MustPath("./child::a"))->ToString(), "child::a");
+  EXPECT_EQ(xpath::Simplify(MustPath("./././child::a/./."))->ToString(),
+            "child::a");
+}
+
+TEST(XPathSimplifyTest, IdempotentUnionAndIntersect) {
+  EXPECT_EQ(xpath::Simplify(MustPath("child::a union child::a"))->ToString(),
+            "child::a");
+  EXPECT_EQ(
+      xpath::Simplify(MustPath("child::a intersect child::a"))->ToString(),
+      "child::a");
+  // Different operands survive.
+  EXPECT_EQ(xpath::Simplify(MustPath("child::a union child::b"))->ToString(),
+            "child::a union child::b");
+}
+
+TEST(XPathSimplifyTest, TrivialTests) {
+  EXPECT_EQ(xpath::Simplify(MustPath("child::a[. is .]"))->ToString(),
+            "child::a");
+  EXPECT_EQ(
+      xpath::Simplify(MustPath("child::a[child::b and . is .]"))->ToString(),
+      "child::a[child::b]");
+  // `. is .` is absorbing for `or`, and the resulting trivial filter drops.
+  EXPECT_EQ(
+      xpath::Simplify(MustPath("child::a[child::b or . is .]"))->ToString(),
+      "child::a");
+}
+
+TEST(XPathSimplifyTest, DoubleNegation) {
+  EXPECT_EQ(
+      xpath::Simplify(MustPath("child::a[not not child::b]"))->ToString(),
+      "child::a[child::b]");
+  EXPECT_EQ(
+      xpath::Simplify(MustPath("child::a[not not not child::b]"))->ToString(),
+      "child::a[not child::b]");
+}
+
+TEST(XPathSimplifyTest, IdempotentTests) {
+  EXPECT_EQ(
+      xpath::Simplify(MustPath("child::a[child::b and child::b]"))->ToString(),
+      "child::a[child::b]");
+  EXPECT_EQ(
+      xpath::Simplify(MustPath("child::a[child::b or child::b]"))->ToString(),
+      "child::a[child::b]");
+}
+
+TEST(XPathSimplifyTest, NeverGrows) {
+  Rng rng(7);
+  for (const char* text :
+       {"child::a/./child::b union child::a/./child::b",
+        "for $x in ./child::a return $x/.",
+        "child::a[not not (child::b and child::b)]",
+        "(. union .)/child::a[. is .]"}) {
+    xpath::PathPtr p = MustPath(text);
+    std::size_t before = p->Size();
+    xpath::PathPtr s = xpath::Simplify(std::move(p));
+    EXPECT_LE(s->Size(), before) << text;
+  }
+}
+
+// Semantic preservation on random trees, including for-loops and
+// variables.
+class XPathSimplifySemanticsTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XPathSimplifySemanticsTest, PreservesQueries) {
+  xpath::PathPtr original = MustPath(GetParam());
+  xpath::PathPtr simplified = xpath::Simplify(original->Clone());
+  std::set<std::string> var_set = xpath::FreeVars(*original);
+  std::vector<std::string> vars(var_set.begin(), var_set.end());
+  // Simplification must not change free variables.
+  EXPECT_EQ(xpath::FreeVars(*simplified), var_set);
+  for (const char* term : {"a(b(c),b)", "a(a(a))", "c(b,a,b)"}) {
+    Tree t = MustTree(term);
+    xpath::DirectEvaluator eval(t);
+    EXPECT_EQ(eval.EvalNaryNaive(*simplified, vars),
+              eval.EvalNaryNaive(*original, vars))
+        << GetParam() << " simplified to " << simplified->ToString()
+        << " on " << term;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, XPathSimplifySemanticsTest,
+    ::testing::Values(
+        "child::a/./child::b", "./child::a[. is .]",
+        "child::a[. is $x]/.", "child::a union child::a",
+        "child::a[not not child::b]",
+        "child::a[child::b and . is .][. is $x]",
+        "for $x in ./child::a return $x/.",
+        "(child::a intersect child::a)[not not (. is .)]",
+        "descendant::*[. is $x or . is $x]"));
+
+TEST(PplBinSimplifyTest, DoubleComplement) {
+  auto p = ppl::PplBinExpr::Complement(ppl::PplBinExpr::Complement(
+      ppl::PplBinExpr::Step(Axis::kChild, "a")));
+  EXPECT_EQ(ppl::Simplify(std::move(p))->ToString(), "child::a");
+}
+
+TEST(PplBinSimplifyTest, SelfComposition) {
+  auto p = ppl::PplBinExpr::Compose(ppl::PplBinExpr::Self(),
+                                    ppl::PplBinExpr::Step(Axis::kChild, "a"));
+  EXPECT_EQ(ppl::Simplify(std::move(p))->ToString(), "child::a");
+  auto q = ppl::PplBinExpr::Compose(ppl::PplBinExpr::Step(Axis::kChild, "a"),
+                                    ppl::PplBinExpr::Self());
+  EXPECT_EQ(ppl::Simplify(std::move(q))->ToString(), "child::a");
+}
+
+TEST(PplBinSimplifyTest, NestedFilter) {
+  auto p = ppl::PplBinExpr::Filter(
+      ppl::PplBinExpr::Filter(ppl::PplBinExpr::Step(Axis::kChild, "a")));
+  EXPECT_EQ(ppl::Simplify(std::move(p))->ToString(), "[child::a]");
+}
+
+// Fig. 4 output benefits from simplification and stays semantically
+// equivalent: the double complements from intersect elimination collapse.
+TEST(PplBinSimplifyTest, Fig4OutputShrinksAndAgrees) {
+  Rng rng(13);
+  for (const char* text :
+       {"child::a intersect child::a",
+        "child::a intersect (child::b intersect child::b)",
+        "child::a[not not child::b]",
+        "(child::a union child::a) except child::b"}) {
+    Result<xpath::PathPtr> parsed = xpath::ParsePath(text);
+    ASSERT_TRUE(parsed.ok());
+    Result<ppl::PplBinPtr> bin = ppl::FromXPath(**parsed);
+    ASSERT_TRUE(bin.ok());
+    std::size_t before = (*bin)->Size();
+    ppl::PplBinPtr before_copy = (*bin)->Clone();
+    ppl::PplBinPtr simplified = ppl::Simplify(std::move(*bin));
+    EXPECT_LE(simplified->Size(), before) << text;
+
+    RandomTreeOptions opts;
+    opts.num_nodes = 15;
+    Tree t = RandomTree(rng, opts);
+    ppl::MatrixEngine engine(t);
+    EXPECT_EQ(engine.Evaluate(*simplified), engine.Evaluate(*before_copy))
+        << text << " simplified to " << simplified->ToString();
+  }
+}
+
+class PplBinSimplifyRandomTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PplBinSimplifyRandomTest, PreservesSemantics) {
+  Rng rng(GetParam());
+  // Random PPLbin built directly from the constructors.
+  std::function<ppl::PplBinPtr(int)> gen = [&](int depth) -> ppl::PplBinPtr {
+    if (depth <= 0 || rng.Chance(1, 3)) {
+      if (rng.Chance(1, 4)) return ppl::PplBinExpr::Self();
+      return ppl::PplBinExpr::Step(kAllAxes[rng.Below(kAllAxes.size())],
+                                   GeneratorLabel(rng.Below(2)));
+    }
+    switch (rng.Below(4)) {
+      case 0:
+        return ppl::PplBinExpr::Compose(gen(depth - 1), gen(depth - 1));
+      case 1:
+        return ppl::PplBinExpr::Union(gen(depth - 1), gen(depth - 1));
+      case 2:
+        return ppl::PplBinExpr::Complement(gen(depth - 1));
+      default:
+        return ppl::PplBinExpr::Filter(gen(depth - 1));
+    }
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomTreeOptions opts;
+    opts.num_nodes = 1 + rng.Below(15);
+    Tree t = RandomTree(rng, opts);
+    ppl::PplBinPtr p = gen(4);
+    ppl::PplBinPtr copy = p->Clone();
+    std::size_t before = p->Size();
+    ppl::PplBinPtr simplified = ppl::Simplify(std::move(p));
+    EXPECT_LE(simplified->Size(), before);
+    ppl::MatrixEngine engine(t);
+    EXPECT_EQ(engine.Evaluate(*simplified), engine.Evaluate(*copy))
+        << copy->ToString() << " => " << simplified->ToString()
+        << "\ntree: " << t.ToTerm();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PplBinSimplifyRandomTest,
+                         ::testing::Values(71, 72, 73, 74, 75, 76));
+
+}  // namespace
+}  // namespace xpv

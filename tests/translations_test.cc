@@ -1,0 +1,239 @@
+// Tests for the Proposition 5 language equivalence HCL-(PPLbin) = PPL:
+// the Fig. 7 translation PPL -> HCL-(PPLbin), the inclusion back, and the
+// Proposition 6 translations between HCL(L) and positive quantifier-free
+// FO formulas.
+#include <gtest/gtest.h>
+
+#include "fo/positive.h"
+#include "hcl/answer.h"
+#include "hcl/translate.h"
+#include "tree/generators.h"
+#include "xpath/eval.h"
+#include "xpath/fragment.h"
+#include "xpath/parser.h"
+
+namespace xpv {
+namespace {
+
+Tree MustTree(std::string_view term) {
+  Result<Tree> t = Tree::ParseTerm(term);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return std::move(t).value();
+}
+
+xpath::PathPtr MustPath(std::string_view text) {
+  Result<xpath::PathPtr> p = xpath::ParsePath(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status();
+  return std::move(p).value();
+}
+
+hcl::HclPtr MustFig7(std::string_view text) {
+  Result<hcl::HclPtr> c = hcl::PplToHcl(*MustPath(text));
+  EXPECT_TRUE(c.ok()) << text << ": " << c.status();
+  return std::move(c).value();
+}
+
+std::vector<std::string> SortedVars(const xpath::PathExpr& p) {
+  auto vars = xpath::FreeVars(p);
+  return {vars.begin(), vars.end()};
+}
+
+TEST(Fig7Test, RejectsNonPpl) {
+  EXPECT_FALSE(hcl::PplToHcl(*MustPath("$x/$x")).ok());
+  EXPECT_FALSE(
+      hcl::PplToHcl(*MustPath("for $x in child::a return $x")).ok());
+  EXPECT_FALSE(hcl::PplToHcl(*MustPath("$x intersect child::a")).ok());
+}
+
+TEST(Fig7Test, OutputIsInHclMinus) {
+  for (const char* text :
+       {"child::a", "$x", "child::a[. is $x]/child::b[. is $y]",
+        "descendant::book[child::author[. is $y] and child::title[. is $z]]",
+        "child::a[. is $x] union child::b[. is $x]",
+        "child::a[$x is $y]", "child::a[not child::b][. is $x]",
+        "child::a except child::b"}) {
+    hcl::HclPtr c = MustFig7(text);
+    EXPECT_TRUE(hcl::CheckNoSharedComposition(*c).ok())
+        << text << " -> " << c->ToString();
+  }
+}
+
+TEST(Fig7Test, VariableFreeSubexpressionsCollapseToLeaves) {
+  hcl::HclPtr c = MustFig7("child::a intersect descendant::a");
+  EXPECT_EQ(c->kind, hcl::HclKind::kBinary);
+  c = MustFig7("child::a except child::b");
+  EXPECT_EQ(c->kind, hcl::HclKind::kBinary);
+}
+
+TEST(Fig7Test, GotoVariableBecomesNodesThenVar) {
+  hcl::HclPtr c = MustFig7("$x");
+  ASSERT_EQ(c->kind, hcl::HclKind::kCompose);
+  EXPECT_EQ(c->left->kind, hcl::HclKind::kBinary);
+  EXPECT_EQ(c->right->kind, hcl::HclKind::kVar);
+  EXPECT_EQ(c->right->var, "x");
+}
+
+// Semantic preservation of Fig. 7: q_{P,x} computed naively on the Core
+// XPath 2.0 side equals q_{C,x} computed by the Section 7 algorithm on the
+// HCL side.
+class Fig7SemanticsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Fig7SemanticsTest, PreservesNaryQueries) {
+  const char* text = GetParam();
+  xpath::PathPtr p = MustPath(text);
+  hcl::HclPtr c = MustFig7(text);
+  std::vector<std::string> vars = SortedVars(*p);
+
+  for (const char* term :
+       {"a(b(c,a),c(a(b),b),b)", "a(a(a))", "b(a,a,c(a))"}) {
+    Tree t = MustTree(term);
+    xpath::DirectEvaluator direct(t);
+    xpath::TupleSet expected = direct.EvalNaryNaive(*p, vars);
+    Result<xpath::TupleSet> actual = hcl::AnswerQuery(t, *c, vars);
+    ASSERT_TRUE(actual.ok()) << actual.status();
+    EXPECT_EQ(*actual, expected)
+        << "expr: " << text << "\nhcl: " << c->ToString()
+        << "\ntree: " << term;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Fig7SemanticsTest,
+    ::testing::Values(
+        "child::a", ".", "$x", "child::a[. is $x]",
+        "child::a[. is $x]/child::b[. is $y]",
+        "descendant::a[child::b[. is $x] or child::c[. is $x]]",
+        "child::a[. is $x] union descendant::b[. is $x]",
+        "child::a[$x is $y]", "child::a[. is .]",
+        "child::a[not child::b][. is $x]",
+        "child::a intersect descendant::*",
+        "(child::a except child::b)[. is $x]",
+        "descendant::*[child::a[. is $x] and child::b[. is $y]]",
+        "$x/child::a[. is $y]",
+        "descendant::a[. is $x or not child::b]"));
+
+// Proposition 5 inclusion: HclToPpl output is PPL and preserves semantics.
+TEST(Prop5InclusionTest, RoundTripPplToHclToPpl) {
+  for (const char* text :
+       {"child::a[. is $x]/child::b[. is $y]",
+        "descendant::book[child::author[. is $y] and child::title[. is $z]]",
+        "child::a union child::b[. is $x]",
+        "child::a[not child::b]"}) {
+    xpath::PathPtr original = MustPath(text);
+    hcl::HclPtr c = MustFig7(text);
+    Result<xpath::PathPtr> back = hcl::HclToPpl(*c);
+    ASSERT_TRUE(back.ok()) << back.status();
+    // The back translation lands in PPL.
+    EXPECT_TRUE(xpath::CheckPpl(**back).ok()) << (*back)->ToString();
+    // And preserves the n-ary query.
+    std::vector<std::string> vars = SortedVars(*original);
+    Tree t = MustTree("a(book(author,title),b(a),c)");
+    xpath::DirectEvaluator direct(t);
+    EXPECT_EQ(direct.EvalNaryNaive(**back, vars),
+              direct.EvalNaryNaive(*original, vars))
+        << text << " -> " << (*back)->ToString();
+  }
+}
+
+TEST(Prop5InclusionTest, VariableTranslation) {
+  hcl::HclPtr c = hcl::HclExpr::Var("x");
+  Result<xpath::PathPtr> p = hcl::HclToPpl(*c);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->ToString(), ".[. is $x]");
+}
+
+TEST(Prop5InclusionTest, FilterTranslation) {
+  hcl::HclPtr c = hcl::HclExpr::Filter(
+      hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "a")));
+  Result<xpath::PathPtr> p = hcl::HclToPpl(*c);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->ToString(), ".[child::a]");
+}
+
+// Proposition 6: HCL -> positive FO.
+TEST(Prop6Test, HclToPositiveCharacterizesPairs) {
+  // (u,u') in [[C]]^{t,alpha} iff t, alpha[x->u,z->u'] |= LCM_{x,z}.
+  Tree t = MustTree("a(b(c),d)");
+  hcl::HclPtr c = hcl::HclExpr::Compose(
+      hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild)),
+      hcl::HclExpr::Compose(
+          hcl::HclExpr::Var("v"),
+          hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kChild, "c"))));
+  fo::PositivePtr xi = fo::HclToPositive(*c, "s", "e");
+
+  std::map<const hcl::BinaryQuery*, BitMatrix> cache;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    xpath::Assignment alpha = {{"v", v}};
+    BitMatrix pairs = hcl::EvalHcl(t, *c, alpha, &cache);
+    for (NodeId u = 0; u < t.size(); ++u) {
+      for (NodeId w = 0; w < t.size(); ++w) {
+        // Quantify the fresh variables existentially: the formula holds
+        // for SOME assignment of the fresh vars iff the pair is selected.
+        xpath::Assignment nu = {{"v", v}, {"s", u}, {"e", w}};
+        // Enumerate fresh vars (at most 2 compositions deep here).
+        std::set<std::string> all = fo::FreeVars(*xi);
+        std::vector<std::string> fresh;
+        for (const auto& name : all) {
+          if (!nu.contains(name)) fresh.push_back(name);
+        }
+        bool holds = false;
+        std::vector<NodeId> counters(fresh.size(), 0);
+        while (true) {
+          for (std::size_t i = 0; i < fresh.size(); ++i) {
+            nu[fresh[i]] = counters[i];
+          }
+          if (fo::ModelsPositive(t, *xi, nu, &cache)) {
+            holds = true;
+            break;
+          }
+          std::size_t i = 0;
+          for (; i < counters.size(); ++i) {
+            if (++counters[i] < t.size()) break;
+            counters[i] = 0;
+          }
+          if (i == counters.size()) break;
+        }
+        EXPECT_EQ(holds, pairs.Get(u, w))
+            << "alpha(v)=" << v << " u=" << u << " w=" << w;
+      }
+    }
+  }
+}
+
+// Proposition 6 back translation: positive FO -> HCL preserves n-ary
+// queries (evaluated naively on both sides).
+TEST(Prop6Test, PositiveToHclPreservesQueries) {
+  Tree t = MustTree("a(b(c),b,c)");
+  auto chstar_atom = [&](std::string x, std::string y) {
+    return fo::PositiveFormula::Atom(
+        hcl::MakePplBinQuery(ppl::PplBinExpr::Union(
+            ppl::PplBinExpr::Step(Axis::kDescendant, "*"),
+            ppl::PplBinExpr::Self())),
+        std::move(x), std::move(y));
+  };
+  auto child_atom = [&](std::string x, std::string y) {
+    return fo::PositiveFormula::Atom(hcl::MakeAxisQuery(Axis::kChild),
+                                     std::move(x), std::move(y));
+  };
+
+  std::vector<fo::PositivePtr> formulas;
+  formulas.push_back(child_atom("x", "y"));
+  formulas.push_back(fo::PositiveFormula::And(child_atom("x", "y"),
+                                              chstar_atom("y", "z")));
+  formulas.push_back(fo::PositiveFormula::Or(
+      child_atom("x", "y"), fo::PositiveFormula::Eq("x", "y")));
+  formulas.push_back(fo::PositiveFormula::And(
+      fo::PositiveFormula::Eq("x", "y"), child_atom("y", "z")));
+
+  for (const auto& xi : formulas) {
+    std::set<std::string> var_set = fo::FreeVars(*xi);
+    std::vector<std::string> vars(var_set.begin(), var_set.end());
+    hcl::HclPtr c = fo::PositiveToHcl(*xi);
+    xpath::TupleSet expected = fo::EvalPositiveNary(t, *xi, vars);
+    xpath::TupleSet actual = hcl::EvalHclNaryNaive(t, *c, vars);
+    EXPECT_EQ(actual, expected) << xi->ToString() << " -> " << c->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,237 @@
+// Tests for the direct denotational semantics of Core XPath 2.0 (Fig. 2),
+// including each semantic equation individually and the naive n-ary query
+// evaluation q_{P,x}.
+#include <gtest/gtest.h>
+
+#include "tree/generators.h"
+#include "xpath/eval.h"
+#include "xpath/parser.h"
+
+namespace xpv::xpath {
+namespace {
+
+Tree MustTree(std::string_view term) {
+  Result<Tree> t = Tree::ParseTerm(term);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return std::move(t).value();
+}
+
+PathPtr MustPath(std::string_view text) {
+  Result<PathPtr> p = ParsePath(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status();
+  return std::move(p).value();
+}
+
+// Pairs selected by P on t under alpha, as a sorted list.
+std::vector<std::pair<NodeId, NodeId>> Pairs(const Tree& t,
+                                             std::string_view path,
+                                             const Assignment& alpha = {}) {
+  DirectEvaluator eval(t);
+  BitMatrix m = eval.EvalPath(*MustPath(path), alpha);
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId u = 0; u < t.size(); ++u) {
+    m.ForEachInRow(u, [&](std::size_t v) {
+      out.emplace_back(u, static_cast<NodeId>(v));
+    });
+  }
+  return out;
+}
+
+using P = std::pair<NodeId, NodeId>;
+
+TEST(EvalStepTest, ChildWithNameTest) {
+  // a(b,c(b)) -- ids a=0 b=1 c=2 b=3.
+  Tree t = MustTree("a(b,c(b))");
+  EXPECT_EQ(Pairs(t, "child::b"), (std::vector<P>{{0, 1}, {2, 3}}));
+  EXPECT_EQ(Pairs(t, "child::*"),
+            (std::vector<P>{{0, 1}, {0, 2}, {2, 3}}));
+  EXPECT_EQ(Pairs(t, "child::zzz"), (std::vector<P>{}));
+}
+
+TEST(EvalStepTest, SelfAxisFiltersLabel) {
+  Tree t = MustTree("a(b,c)");
+  EXPECT_EQ(Pairs(t, "self::b"), (std::vector<P>{{1, 1}}));
+  EXPECT_EQ(Pairs(t, "self::*"),
+            (std::vector<P>{{0, 0}, {1, 1}, {2, 2}}));
+}
+
+TEST(EvalDotTest, IsIdentity) {
+  Tree t = MustTree("a(b,c)");
+  EXPECT_EQ(Pairs(t, "."), (std::vector<P>{{0, 0}, {1, 1}, {2, 2}}));
+}
+
+TEST(EvalVarTest, JumpsToAssignedNode) {
+  Tree t = MustTree("a(b,c)");
+  EXPECT_EQ(Pairs(t, "$x", {{"x", 2}}),
+            (std::vector<P>{{0, 2}, {1, 2}, {2, 2}}));
+}
+
+TEST(EvalComposeTest, RelationComposition) {
+  Tree t = MustTree("a(b(c),d)");
+  EXPECT_EQ(Pairs(t, "child::*/child::*"), (std::vector<P>{{0, 2}}));
+}
+
+TEST(EvalUnionIntersectExceptTest, SetOperations) {
+  Tree t = MustTree("a(b,c)");
+  EXPECT_EQ(Pairs(t, "child::b union child::c"),
+            (std::vector<P>{{0, 1}, {0, 2}}));
+  EXPECT_EQ(Pairs(t, "child::* intersect child::b"),
+            (std::vector<P>{{0, 1}}));
+  EXPECT_EQ(Pairs(t, "child::* except child::b"),
+            (std::vector<P>{{0, 2}}));
+}
+
+TEST(EvalFilterTest, KeepsPairsWhoseTargetPasses) {
+  // a(b(c),b) -- first b has a child, second does not.
+  Tree t = MustTree("a(b(c),b)");
+  EXPECT_EQ(Pairs(t, "child::b[child::c]"), (std::vector<P>{{0, 1}}));
+  EXPECT_EQ(Pairs(t, "child::b[not child::c]"), (std::vector<P>{{0, 3}}));
+}
+
+TEST(EvalFilterTest, IsTests) {
+  Tree t = MustTree("a(b,c)");
+  EXPECT_EQ(Pairs(t, "child::*[. is $x]", {{"x", 2}}),
+            (std::vector<P>{{0, 2}}));
+  EXPECT_EQ(Pairs(t, "child::*[. is .]"),
+            (std::vector<P>{{0, 1}, {0, 2}}));
+  // $x is $y passes only at alpha(x) and only when alpha(x) == alpha(y).
+  EXPECT_EQ(Pairs(t, "child::*[$x is $y]", {{"x", 1}, {"y", 1}}),
+            (std::vector<P>{{0, 1}}));
+  EXPECT_EQ(Pairs(t, "child::*[$x is $y]", {{"x", 1}, {"y", 2}}),
+            (std::vector<P>{}));
+}
+
+TEST(EvalFilterTest, AndOrNot) {
+  Tree t = MustTree("a(b(c,d),b(c),b)");
+  // ids: a=0 b=1 c=2 d=3 b=4 c=5 b=6
+  EXPECT_EQ(Pairs(t, "child::b[child::c and child::d]"),
+            (std::vector<P>{{0, 1}}));
+  EXPECT_EQ(Pairs(t, "child::b[child::c or child::d]"),
+            (std::vector<P>{{0, 1}, {0, 4}}));
+  EXPECT_EQ(Pairs(t, "child::b[not (child::c or child::d)]"),
+            (std::vector<P>{{0, 6}}));
+}
+
+TEST(EvalForTest, PaperSemantics) {
+  // for $x in P1 return P2: pairs (v1,v3) s.t. some v2 with (v1,v2) in P1
+  // and (v1,v3) in P2 under [x -> v2].
+  Tree t = MustTree("a(b,c)");
+  // For every child v2 of the root, select pairs (v1, v2): the for-loop
+  // re-binds x and $x jumps there from v1 = any node with a child.
+  EXPECT_EQ(Pairs(t, "for $x in child::* return $x"),
+            (std::vector<P>{{0, 1}, {0, 2}}));
+}
+
+TEST(EvalForTest, SequenceMustBeNonEmptyAtStart) {
+  Tree t = MustTree("a(b(c))");
+  // Nodes without children produce no binding, hence no pairs.
+  EXPECT_EQ(Pairs(t, "for $x in child::* return ."),
+            (std::vector<P>{{0, 0}, {1, 1}}));
+}
+
+TEST(EvalForTest, NestedQuantification) {
+  Tree t = MustTree("a(b,c)");
+  // Both children exist: pairs (0, v3) where v3 is any child.
+  EXPECT_EQ(
+      Pairs(t, "for $x in child::b return for $y in child::c return "
+               "child::*"),
+      (std::vector<P>{{0, 1}, {0, 2}}));
+}
+
+TEST(EvalNodesTest, NodesReachesAllPairs) {
+  Tree t = MustTree("a(b(c),d(e))");
+  EXPECT_EQ(Pairs(t, "(ancestor::* union .)/(descendant::* union .)").size(),
+            t.size() * t.size());
+}
+
+TEST(EvalAnchorTest, RootAnchor) {
+  Tree t = MustTree("a(b)");
+  // .[. is $x and not parent::*] is nonempty iff alpha(x) is the root.
+  EXPECT_EQ(Pairs(t, ".[. is $x and not parent::*]", {{"x", 0}}),
+            (std::vector<P>{{0, 0}}));
+  EXPECT_EQ(Pairs(t, ".[. is $x and not parent::*]", {{"x", 1}}),
+            (std::vector<P>{}));
+}
+
+TEST(EvalNaryTest, IntroductionAuthorTitlePairs) {
+  // bib(book(author,title), book(author,author,title))
+  // ids: bib=0 book=1 author=2 title=3 book=4 author=5 author=6 title=7.
+  Tree t = MustTree("bib(book(author,title),book(author,author,title))");
+  PathPtr p = MustPath(
+      "descendant::book[child::author[. is $y] and child::title[. is $z]]");
+  DirectEvaluator eval(t);
+  TupleSet answers = eval.EvalNaryNaive(*p, {"y", "z"});
+  TupleSet expected = {{2, 3}, {5, 7}, {6, 7}};
+  EXPECT_EQ(answers, expected);
+}
+
+TEST(EvalNaryTest, UnconstrainedVariableRangesOverAllNodes) {
+  Tree t = MustTree("a(b)");
+  PathPtr p = MustPath("child::b");  // no variables at all
+  DirectEvaluator eval(t);
+  TupleSet answers = eval.EvalNaryNaive(*p, {"w"});
+  EXPECT_EQ(answers, (TupleSet{{0}, {1}}));
+}
+
+TEST(EvalNaryTest, EmptyWhenPathEmpty) {
+  Tree t = MustTree("a(b)");
+  PathPtr p = MustPath("child::zzz[. is $x]");
+  DirectEvaluator eval(t);
+  EXPECT_TRUE(eval.EvalNaryNaive(*p, {"x"}).empty());
+}
+
+TEST(EvalNaryTest, RepeatedVariableInTuple) {
+  Tree t = MustTree("a(b)");
+  PathPtr p = MustPath("child::b[. is $x]");
+  DirectEvaluator eval(t);
+  EXPECT_EQ(eval.EvalNaryNaive(*p, {"x", "x"}), (TupleSet{{1, 1}}));
+}
+
+TEST(EvalNaryTest, BooleanQueryIsEmptyTupleSet) {
+  Tree t = MustTree("a(b)");
+  DirectEvaluator eval(t);
+  // Arity 0: answer is { () } iff the path is satisfiable.
+  EXPECT_EQ(eval.EvalNaryNaive(*MustPath("child::b"), {}),
+            (TupleSet{{}}));
+  EXPECT_TRUE(eval.EvalNaryNaive(*MustPath("child::c"), {}).empty());
+}
+
+// Algebraic equivalences from Section 2 of the paper, checked on random
+// trees: P1 intersect P2 == P1 except (nodes except P2).
+class EquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquivalenceTest, IntersectViaExcept) {
+  Rng rng(GetParam());
+  RandomTreeOptions opts;
+  opts.num_nodes = 1 + rng.Below(15);
+  Tree t = RandomTree(rng, opts);
+  DirectEvaluator eval(t);
+  PathPtr lhs = MustPath("child::a intersect descendant::a");
+  PathPtr rhs = MustPath(
+      "child::a except ((ancestor::* union .)/(descendant::* union .) "
+      "except descendant::a)");
+  EXPECT_EQ(eval.EvalPath(*lhs, {}), eval.EvalPath(*rhs, {}))
+      << t.ToTerm();
+}
+
+TEST_P(EquivalenceTest, FilterEqualsSelfIntersection) {
+  // P[T] with path test == P intersect P/T-as-partial-identity: check the
+  // simpler law [[P[P2]]] == [[P]] restricted to domain of P2.
+  Rng rng(GetParam() + 100);
+  RandomTreeOptions opts;
+  opts.num_nodes = 1 + rng.Below(15);
+  Tree t = RandomTree(rng, opts);
+  DirectEvaluator eval(t);
+  BitMatrix filtered =
+      eval.EvalPath(*MustPath("descendant::*[child::a]"), {});
+  BitMatrix plain = eval.EvalPath(*MustPath("descendant::*"), {});
+  BitVector domain =
+      eval.EvalPath(*MustPath("child::a"), {}).NonEmptyRows();
+  EXPECT_EQ(filtered, plain.MaskColumns(domain)) << t.ToTerm();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace xpv::xpath

@@ -1,0 +1,152 @@
+// Tests for the fragment checkers: Definition 1 (PPL), N($x), and the
+// Fig. 3 PPLbin surface grammar.
+#include <gtest/gtest.h>
+
+#include "xpath/fragment.h"
+#include "xpath/parser.h"
+
+namespace xpv::xpath {
+namespace {
+
+PathPtr MustPath(std::string_view text) {
+  Result<PathPtr> p = ParsePath(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status();
+  return std::move(p).value();
+}
+
+void ExpectPpl(std::string_view text) {
+  Status s = CheckPpl(*MustPath(text));
+  EXPECT_TRUE(s.ok()) << text << ": " << s;
+}
+
+void ExpectNotPpl(std::string_view text, std::string_view condition) {
+  Status s = CheckPpl(*MustPath(text));
+  ASSERT_FALSE(s.ok()) << text << " should violate " << condition;
+  EXPECT_EQ(s.code(), StatusCode::kFragmentViolation);
+  EXPECT_NE(s.message().find(condition), std::string::npos)
+      << "message '" << s.message() << "' should name " << condition;
+}
+
+TEST(PplCheckerTest, AcceptsVariableFreeCore) {
+  ExpectPpl("child::a");
+  ExpectPpl("descendant::a/child::b[child::c]");
+  ExpectPpl("child::a union child::b");
+  ExpectPpl("child::a intersect child::b");
+  ExpectPpl("child::a except child::b");
+  ExpectPpl("child::a[not child::b]");
+  ExpectPpl("child::a[child::b and child::c]");
+}
+
+TEST(PplCheckerTest, AcceptsPaperIntroductionQuery) {
+  // The motivating example from Section 1 satisfies all conditions.
+  ExpectPpl(
+      "descendant::book[child::author[. is $y] and child::title[. is $z]]");
+}
+
+TEST(PplCheckerTest, AcceptsVariablesInUnionsAndOr) {
+  // No restriction on union / or: variables may be shared there.
+  ExpectPpl("child::a[. is $x] union child::b[. is $x]");
+  ExpectPpl("child::a[. is $x or . is $x]");
+}
+
+TEST(PplCheckerTest, AcceptsDisjointCompositionVariables) {
+  ExpectPpl("child::a[. is $x]/child::b[. is $y]");
+}
+
+TEST(PplCheckerTest, RejectsForLoops) {
+  ExpectNotPpl("for $x in child::a return $x", "N(for)");
+}
+
+TEST(PplCheckerTest, RejectsVariablesInIntersect) {
+  ExpectNotPpl("$x intersect child::a", "NV(intersect)");
+  ExpectNotPpl("child::a intersect child::b[. is $x]", "NV(intersect)");
+}
+
+TEST(PplCheckerTest, RejectsVariablesInExcept) {
+  ExpectNotPpl("$x except child::a", "NV(except)");
+  ExpectNotPpl("child::a except $x", "NV(except)");
+}
+
+TEST(PplCheckerTest, RejectsVariablesBelowNegation) {
+  ExpectNotPpl("child::a[not (child::b[. is $x])]", "NV(not)");
+  ExpectNotPpl("child::a[not ($x is $y)]", "NV(not)");
+}
+
+TEST(PplCheckerTest, RejectsVariableSharingInComposition) {
+  ExpectNotPpl("child::a[. is $x]/child::b[. is $x]", "NVS(/)");
+  ExpectNotPpl("$x/$x", "NVS(/)");
+}
+
+TEST(PplCheckerTest, RejectsVariableSharingInFilters) {
+  ExpectNotPpl("child::a[. is $x][$x is $y]", "NVS([])");
+  ExpectNotPpl("$x[. is $x]", "NVS([])");
+}
+
+TEST(PplCheckerTest, RejectsVariableSharingInConjunction) {
+  ExpectNotPpl("child::a[child::b[. is $x] and child::c[. is $x]]",
+               "NVS(and)");
+}
+
+TEST(PplCheckerTest, NestedViolationsAreFound) {
+  ExpectNotPpl("child::a union (child::b[$x is $x]/child::c[. is $x])",
+               "NVS(/)");
+  ExpectNotPpl("child::a[child::b or ($x/$x)]", "NVS(/)");
+}
+
+TEST(NoVariablesTest, AcceptsAndRejects) {
+  EXPECT_TRUE(CheckNoVariables(*MustPath("child::a[not child::b]")).ok());
+  EXPECT_TRUE(CheckNoVariables(*MustPath("child::a[. is .]")).ok());
+  EXPECT_FALSE(CheckNoVariables(*MustPath("$x")).ok());
+  EXPECT_FALSE(CheckNoVariables(*MustPath("child::a[. is $x]")).ok());
+  EXPECT_FALSE(
+      CheckNoVariables(*MustPath("for $x in child::a return child::b")).ok());
+  // Even a bound variable disqualifies N($x): "no variables, no for loops".
+  EXPECT_FALSE(
+      CheckNoVariables(*MustPath("for $x in child::a return $x")).ok());
+}
+
+TEST(PplBinSyntaxTest, AcceptsFig3Grammar) {
+  EXPECT_TRUE(CheckPplBinSyntax(*MustPath("child::a")).ok());
+  EXPECT_TRUE(CheckPplBinSyntax(*MustPath("child::a/child::b")).ok());
+  EXPECT_TRUE(CheckPplBinSyntax(*MustPath("child::a union child::b")).ok());
+  EXPECT_TRUE(CheckPplBinSyntax(*MustPath("child::a[child::b]")).ok());
+  EXPECT_TRUE(CheckPplBinSyntax(*MustPath(".")).ok());
+}
+
+TEST(PplBinSyntaxTest, RejectsOutsideFig3) {
+  EXPECT_FALSE(CheckPplBinSyntax(*MustPath("$x")).ok());
+  EXPECT_FALSE(CheckPplBinSyntax(*MustPath("child::a intersect child::b")).ok());
+  EXPECT_FALSE(CheckPplBinSyntax(*MustPath("child::a except child::b")).ok());
+  EXPECT_FALSE(CheckPplBinSyntax(*MustPath("child::a[not child::b]")).ok());
+  EXPECT_FALSE(CheckPplBinSyntax(*MustPath("child::a[. is .]")).ok());
+}
+
+TEST(ContainsForTest, DetectsNestedForLoops) {
+  EXPECT_TRUE(ContainsFor(*MustPath("for $x in child::a return child::b")));
+  EXPECT_TRUE(ContainsFor(
+      *MustPath("child::a[for $x in child::b return $x]")));
+  EXPECT_TRUE(ContainsFor(*MustPath(
+      "child::a union (child::b/(for $x in child::c return $x))")));
+  EXPECT_FALSE(ContainsFor(*MustPath("child::a[child::b and child::c]")));
+}
+
+// PPL is closed under subexpressions of accepted operators; spot-check that
+// the checker is monotone: any subexpression of a PPL expression is PPL.
+TEST(PplCheckerTest, SubexpressionsOfPplArePpl) {
+  PathPtr p = MustPath(
+      "descendant::book[child::author[. is $y] and child::title[. is $z]]"
+      "/child::a[. is $w] union child::b");
+  ASSERT_TRUE(CheckPpl(*p).ok());
+  // Walk all path subexpressions and re-check.
+  std::vector<const PathExpr*> stack = {p.get()};
+  while (!stack.empty()) {
+    const PathExpr* cur = stack.back();
+    stack.pop_back();
+    EXPECT_TRUE(CheckPpl(*cur).ok()) << cur->ToString();
+    if (cur->left) stack.push_back(cur->left.get());
+    if (cur->right) stack.push_back(cur->right.get());
+  }
+}
+
+}  // namespace
+}  // namespace xpv::xpath

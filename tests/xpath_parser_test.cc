@@ -1,0 +1,266 @@
+// Tests for the Core XPath 2.0 parser and pretty-printer (Fig. 1 grammar).
+#include <gtest/gtest.h>
+
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace xpv::xpath {
+namespace {
+
+PathPtr MustParsePath(std::string_view text) {
+  Result<PathPtr> p = ParsePath(text);
+  EXPECT_TRUE(p.ok()) << "input: " << text << " -- " << p.status();
+  return p.ok() ? std::move(p).value() : nullptr;
+}
+
+TEST(ParserTest, Steps) {
+  PathPtr p = MustParsePath("child::book");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->kind, PathKind::kStep);
+  EXPECT_EQ(p->axis, Axis::kChild);
+  EXPECT_EQ(p->name_test, "book");
+
+  p = MustParsePath("descendant::*");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->axis, Axis::kDescendant);
+  EXPECT_TRUE(p->name_test.empty());
+}
+
+TEST(ParserTest, AllAxes) {
+  for (Axis axis : kAllAxes) {
+    std::string text = std::string(AxisName(axis)) + "::x";
+    PathPtr p = MustParsePath(text);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->axis, axis);
+  }
+}
+
+TEST(ParserTest, DotAndVar) {
+  EXPECT_EQ(MustParsePath(".")->kind, PathKind::kDot);
+  PathPtr v = MustParsePath("$x");
+  EXPECT_EQ(v->kind, PathKind::kVar);
+  EXPECT_EQ(v->var, "x");
+}
+
+TEST(ParserTest, ComposeIsLeftAssociative) {
+  PathPtr p = MustParsePath("child::a/child::b/child::c");
+  ASSERT_EQ(p->kind, PathKind::kCompose);
+  EXPECT_EQ(p->left->kind, PathKind::kCompose);
+  EXPECT_EQ(p->right->kind, PathKind::kStep);
+  EXPECT_EQ(p->right->name_test, "c");
+}
+
+TEST(ParserTest, PrecedenceUnionVsCompose) {
+  // '/' binds tighter than 'union'.
+  PathPtr p = MustParsePath("child::a/child::b union child::c");
+  ASSERT_EQ(p->kind, PathKind::kUnion);
+  EXPECT_EQ(p->left->kind, PathKind::kCompose);
+  EXPECT_EQ(p->right->kind, PathKind::kStep);
+}
+
+TEST(ParserTest, PrecedenceIntersectVsUnion) {
+  // 'intersect' binds tighter than 'union'.
+  PathPtr p = MustParsePath("child::a union child::b intersect child::c");
+  ASSERT_EQ(p->kind, PathKind::kUnion);
+  EXPECT_EQ(p->right->kind, PathKind::kIntersect);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  PathPtr p = MustParsePath("(child::a union child::b)/child::c");
+  ASSERT_EQ(p->kind, PathKind::kCompose);
+  EXPECT_EQ(p->left->kind, PathKind::kUnion);
+}
+
+TEST(ParserTest, Filters) {
+  PathPtr p = MustParsePath("child::book[child::author]");
+  ASSERT_EQ(p->kind, PathKind::kFilter);
+  EXPECT_EQ(p->left->name_test, "book");
+  EXPECT_EQ(p->test->kind, TestKind::kPath);
+}
+
+TEST(ParserTest, StackedFilters) {
+  PathPtr p = MustParsePath("child::a[child::b][child::c]");
+  ASSERT_EQ(p->kind, PathKind::kFilter);
+  EXPECT_EQ(p->left->kind, PathKind::kFilter);
+}
+
+TEST(ParserTest, CompTests) {
+  PathPtr p = MustParsePath("child::a[. is $x]");
+  ASSERT_EQ(p->kind, PathKind::kFilter);
+  ASSERT_EQ(p->test->kind, TestKind::kIs);
+  EXPECT_TRUE(p->test->lhs.is_dot);
+  EXPECT_EQ(p->test->rhs.var, "x");
+
+  p = MustParsePath("child::a[$x is $y]");
+  ASSERT_EQ(p->test->kind, TestKind::kIs);
+  EXPECT_EQ(p->test->lhs.var, "x");
+  EXPECT_EQ(p->test->rhs.var, "y");
+
+  p = MustParsePath("child::a[. is .]");
+  ASSERT_EQ(p->test->kind, TestKind::kIs);
+}
+
+TEST(ParserTest, TestBooleans) {
+  PathPtr p = MustParsePath(
+      "child::a[child::b and child::c or not child::d]");
+  ASSERT_EQ(p->kind, PathKind::kFilter);
+  // 'and' binds tighter than 'or'.
+  ASSERT_EQ(p->test->kind, TestKind::kOr);
+  EXPECT_EQ(p->test->a->kind, TestKind::kAnd);
+  EXPECT_EQ(p->test->b->kind, TestKind::kNot);
+}
+
+TEST(ParserTest, NotWithParens) {
+  PathPtr p = MustParsePath("child::a[not (child::b or child::c)]");
+  ASSERT_EQ(p->test->kind, TestKind::kNot);
+  EXPECT_EQ(p->test->a->kind, TestKind::kOr);
+}
+
+TEST(ParserTest, ParenthesizedPathInsideTestContinues) {
+  // The parenthesized expression is a path continued by '/'.
+  PathPtr p = MustParsePath(
+      "child::a[(child::b union child::c)/child::d]");
+  ASSERT_EQ(p->test->kind, TestKind::kPath);
+  EXPECT_EQ(p->test->path->kind, PathKind::kCompose);
+  EXPECT_EQ(p->test->path->left->kind, PathKind::kUnion);
+}
+
+TEST(ParserTest, ForLoops) {
+  PathPtr p = MustParsePath(
+      "for $x in child::a return child::b[. is $x]");
+  ASSERT_EQ(p->kind, PathKind::kFor);
+  EXPECT_EQ(p->var, "x");
+  EXPECT_EQ(p->left->kind, PathKind::kStep);
+  EXPECT_EQ(p->right->kind, PathKind::kFilter);
+}
+
+TEST(ParserTest, NestedForBodiesExtendRight) {
+  PathPtr p = MustParsePath(
+      "for $x in child::a return for $y in child::b return $x");
+  ASSERT_EQ(p->kind, PathKind::kFor);
+  EXPECT_EQ(p->right->kind, PathKind::kFor);
+}
+
+TEST(ParserTest, PaperIntroductionExample) {
+  PathPtr p = MustParsePath(
+      "descendant::book[child::author[. is $y] and child::title[. is $z]]");
+  ASSERT_TRUE(p);
+  ASSERT_EQ(p->kind, PathKind::kFilter);
+  EXPECT_EQ(FreeVars(*p), (std::set<std::string>{"y", "z"}));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParsePath("").ok());
+  EXPECT_FALSE(ParsePath("child::").ok());
+  EXPECT_FALSE(ParsePath("child:a").ok());
+  EXPECT_FALSE(ParsePath("frobnicate::a").ok());
+  EXPECT_FALSE(ParsePath("child::a/").ok());
+  EXPECT_FALSE(ParsePath("child::a[").ok());
+  EXPECT_FALSE(ParsePath("child::a]").ok());
+  EXPECT_FALSE(ParsePath("(child::a").ok());
+  EXPECT_FALSE(ParsePath("child::a child::b").ok());
+  EXPECT_FALSE(ParsePath("$").ok());
+  EXPECT_FALSE(ParsePath("for $x child::a").ok());
+  EXPECT_FALSE(ParsePath("for $x in child::a").ok());
+  EXPECT_FALSE(ParsePath("child::union").ok());
+  EXPECT_FALSE(ParsePath("union::a").ok());
+}
+
+TEST(ParserTest, ReservedKeywordsRejectedAsNames) {
+  for (const char* kw : {"union", "intersect", "except", "for", "in",
+                         "return", "not", "and", "or", "is"}) {
+    EXPECT_FALSE(ParsePath("child::" + std::string(kw)).ok()) << kw;
+  }
+}
+
+// Print-parse round trip: parse, print, re-parse, compare ASTs.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParseIdentity) {
+  PathPtr p1 = MustParsePath(GetParam());
+  ASSERT_TRUE(p1);
+  std::string printed = p1->ToString();
+  PathPtr p2 = MustParsePath(printed);
+  ASSERT_TRUE(p2) << "re-parse of: " << printed;
+  EXPECT_TRUE(p1->Equals(*p2)) << "printed: " << printed;
+  // Printing is a fixpoint.
+  EXPECT_EQ(p2->ToString(), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTripTest,
+    ::testing::Values(
+        "child::a", "descendant::*", ".", "$x", "child::a/child::b",
+        "child::a union child::b", "child::a intersect child::b",
+        "child::a except child::b", "child::a[child::b]",
+        "child::a[. is $x]", "child::a[$x is $y]", "child::a[. is .]",
+        "child::a[not child::b]", "child::a[child::b and child::c]",
+        "child::a[child::b or child::c]",
+        "child::a[(child::b or child::c) and child::d]",
+        "(child::a union child::b)/child::c",
+        "child::a/(child::b union child::c)",
+        "child::a except (child::b union child::c)",
+        "(child::a union child::b) intersect child::c",
+        "for $x in child::a return $x/child::b",
+        "for $x in child::a return for $y in child::b return "
+        "child::c[$x is $y]",
+        "descendant::book[child::author[. is $y] and child::title[. is $z]]",
+        "(ancestor::* union .)/(descendant::* union .)",
+        ".[. is $x and not parent::*]/descendant::a",
+        "child::a[not not child::b]",
+        "child::a[not (child::b and child::c)]",
+        "$x/(following_sibling::* union .)/.[. is $y]"));
+
+TEST(PrinterTest, PreservesRightAssociativeCompose) {
+  PathPtr inner = PathExpr::Compose(PathExpr::Step(Axis::kChild, "b"),
+                                    PathExpr::Step(Axis::kChild, "c"));
+  PathPtr p = PathExpr::Compose(PathExpr::Step(Axis::kChild, "a"),
+                                std::move(inner));
+  EXPECT_EQ(p->ToString(), "child::a/(child::b/child::c)");
+  PathPtr reparsed = MustParsePath(p->ToString());
+  EXPECT_TRUE(reparsed->Equals(*p));
+}
+
+TEST(FreeVarsTest, ForBindsItsVariable) {
+  PathPtr p = MustParsePath("for $x in $y return $x/child::a[. is $z]");
+  EXPECT_EQ(FreeVars(*p), (std::set<std::string>{"y", "z"}));
+}
+
+TEST(FreeVarsTest, ForDoesNotBindInSequence) {
+  PathPtr p = MustParsePath("for $x in $x return child::a");
+  EXPECT_EQ(FreeVars(*p), (std::set<std::string>{"x"}));
+}
+
+TEST(FreeVarsTest, TestVariablesCount) {
+  PathPtr p = MustParsePath("child::a[$x is $y]");
+  EXPECT_EQ(FreeVars(*p), (std::set<std::string>{"x", "y"}));
+}
+
+TEST(SizeTest, CountsAstNodes) {
+  EXPECT_EQ(MustParsePath("child::a")->Size(), 1u);
+  EXPECT_EQ(MustParsePath("child::a/child::b")->Size(), 3u);
+  // filter + path + test(kPath) + inner step = 4
+  EXPECT_EQ(MustParsePath("child::a[child::b]")->Size(), 4u);
+}
+
+TEST(CloneTest, DeepCopyIsEqualAndIndependent) {
+  PathPtr p = MustParsePath(
+      "for $x in child::a return child::b[. is $x and not child::c]");
+  PathPtr q = p->Clone();
+  EXPECT_TRUE(p->Equals(*q));
+  q->var = "zzz";
+  EXPECT_FALSE(p->Equals(*q));
+}
+
+TEST(MakeNodesExprTest, MatchesPaperDefinition) {
+  EXPECT_EQ(MakeNodesExpr()->ToString(),
+            "(ancestor::* union .)/(descendant::* union .)");
+}
+
+TEST(AnchorAtRootTest, MatchesPaperDefinition) {
+  PathPtr p = AnchorAtRoot("x", MustParsePath("descendant::a"));
+  EXPECT_EQ(p->ToString(), ".[. is $x and not parent::*]/descendant::a");
+}
+
+}  // namespace
+}  // namespace xpv::xpath
