@@ -1,0 +1,120 @@
+// E12 -- throughput of the batched QueryService: a fixed 100-job batch of
+// mixed positive/general PPLbin queries over a handful of trees, evaluated
+// at 1..8 worker threads. Jobs on one tree share a per-tree AxisCache and
+// distinct query texts compile once, so the scaling curve isolates the
+// execute stage. Also measures the compile stage alone (cold vs warm
+// query cache).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/query_service.h"
+#include "ppl/pplbin.h"
+#include "tree/generators.h"
+
+namespace xpv {
+namespace {
+
+ppl::PplBinPtr RandomPplBin(Rng& rng, int depth) {
+  if (depth <= 0 || rng.Chance(1, 3)) {
+    if (rng.Chance(1, 5)) return ppl::PplBinExpr::Self();
+    return ppl::PplBinExpr::Step(
+        kAllAxes[rng.Below(kAllAxes.size())],
+        rng.Chance(1, 3) ? "*" : GeneratorLabel(rng.Below(3)));
+  }
+  switch (rng.Below(4)) {
+    case 0:
+      return ppl::PplBinExpr::Compose(RandomPplBin(rng, depth - 1),
+                                      RandomPplBin(rng, depth - 1));
+    case 1:
+      return ppl::PplBinExpr::Union(RandomPplBin(rng, depth - 1),
+                                    RandomPplBin(rng, depth - 1));
+    case 2:
+      return ppl::PplBinExpr::Filter(RandomPplBin(rng, depth - 1));
+    default:
+      return ppl::PplBinExpr::Complement(RandomPplBin(rng, depth - 1));
+  }
+}
+
+struct Workload {
+  std::vector<Tree> trees;
+  std::vector<engine::QueryJob> jobs;
+};
+
+/// 100 jobs: depth-4 queries over 4 trees of `tree_nodes` nodes, with
+/// every 3rd job repeating an earlier query text (cache hits, as in a
+/// template-driven serving workload).
+Workload MakeWorkload(std::size_t tree_nodes) {
+  Workload w;
+  Rng rng(42);
+  for (int i = 0; i < 4; ++i) {
+    RandomTreeOptions opts;
+    opts.num_nodes = tree_nodes;
+    w.trees.push_back(RandomTree(rng, opts));
+  }
+  std::vector<std::string> texts;
+  for (int i = 0; i < 100; ++i) {
+    std::string text;
+    if (i % 3 == 2 && !texts.empty()) {
+      text = texts[rng.Below(texts.size())];
+    } else {
+      text = ppl::ToXPath(*RandomPplBin(rng, 4))->ToString();
+      texts.push_back(text);
+    }
+    engine::QueryJob job;
+    job.tree = &w.trees[rng.Below(w.trees.size())];
+    job.query = std::move(text);
+    w.jobs.push_back(std::move(job));
+  }
+  return w;
+}
+
+void BM_Batch100(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto tree_nodes = static_cast<std::size_t>(state.range(1));
+  Workload w = MakeWorkload(tree_nodes);
+  engine::QueryService service({.num_threads = threads});
+  // Warm the compiled-query cache so steady-state throughput is measured.
+  benchmark::DoNotOptimize(service.EvaluateBatch(w.jobs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.EvaluateBatch(w.jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_Batch100)
+    ->ArgsProduct({{1, 2, 4, 8}, {64, 256}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_CompileColdCache(benchmark::State& state) {
+  Workload w = MakeWorkload(16);
+  for (auto _ : state) {
+    engine::QueryCache cache;
+    for (const auto& job : w.jobs) {
+      benchmark::DoNotOptimize(cache.GetOrCompile(job.query));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_CompileColdCache);
+
+void BM_CompileWarmCache(benchmark::State& state) {
+  Workload w = MakeWorkload(16);
+  engine::QueryCache cache;
+  for (const auto& job : w.jobs) {
+    benchmark::DoNotOptimize(cache.GetOrCompile(job.query));
+  }
+  for (auto _ : state) {
+    for (const auto& job : w.jobs) {
+      benchmark::DoNotOptimize(cache.GetOrCompile(job.query));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_CompileWarmCache);
+
+}  // namespace
+}  // namespace xpv

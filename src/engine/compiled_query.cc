@@ -1,0 +1,56 @@
+#include "engine/compiled_query.h"
+
+#include <utility>
+
+#include "hcl/translate.h"
+#include "ppl/simplify.h"
+#include "xpath/fragment.h"
+#include "xpath/parser.h"
+#include "xpath/simplify.h"
+
+namespace xpv::engine {
+
+std::string_view EnginePlanName(EnginePlan plan) {
+  switch (plan) {
+    case EnginePlan::kGkpPositive:
+      return "gkp-positive";
+    case EnginePlan::kMatrixGeneral:
+      return "matrix-general";
+    case EnginePlan::kNaryAnswer:
+      return "nary-answer";
+  }
+  return "unknown";
+}
+
+Result<std::shared_ptr<const CompiledQuery>> CompileQuery(
+    std::string_view text) {
+  // The abbreviated parser is a superset of the core grammar (bare names,
+  // //, .. desugar; every core construct still parses).
+  XPV_ASSIGN_OR_RETURN(xpath::PathPtr path, xpath::ParseAbbreviatedPath(text));
+  path = xpath::Simplify(std::move(path));
+
+  auto q = std::make_shared<CompiledQuery>();
+  q->text = std::string(text);
+
+  if (xpath::CheckNoVariables(*path).ok()) {
+    // Variable-free: Fig. 4 into PPLbin, then pick the cheapest engine.
+    XPV_ASSIGN_OR_RETURN(ppl::PplBinPtr bin, ppl::FromXPath(*path));
+    q->pplbin = ppl::Simplify(std::move(bin));
+    q->plan = q->pplbin->IsPositive() ? EnginePlan::kGkpPositive
+                                      : EnginePlan::kMatrixGeneral;
+  } else {
+    // Variables present: must be PPL; Fig. 7 into HCL-(PPLbin) for the
+    // output-sensitive n-ary answering machinery.
+    XPV_RETURN_IF_ERROR(xpath::CheckPpl(*path));
+    XPV_ASSIGN_OR_RETURN(hcl::HclPtr c, hcl::PplToHcl(*path));
+    q->hcl = std::move(c);
+    for (const std::string& v : xpath::FreeVars(*path)) {
+      q->tuple_vars.push_back(v);  // std::set iterates sorted
+    }
+    q->plan = EnginePlan::kNaryAnswer;
+  }
+  q->path = std::move(path);
+  return std::shared_ptr<const CompiledQuery>(std::move(q));
+}
+
+}  // namespace xpv::engine

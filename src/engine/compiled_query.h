@@ -1,0 +1,68 @@
+// Query compilation for the batch evaluation service: parse once, simplify,
+// classify into the cheapest applicable engine of the paper's hierarchy.
+//
+// The plan mirrors the complexity landscape of FiliotNTT07:
+//
+//   kGkpPositive   -- variable-free (N($x)) queries whose Fig. 4 image is a
+//                     positive PPLbin expression: the Gottlob-Koch-Pichler
+//                     successor-set engine, O(|P| |t|) per start node.
+//   kMatrixGeneral -- variable-free queries with complement: the Section 4
+//                     Boolean-matrix engine, O(|P| |t|^3 / 64).
+//   kNaryAnswer    -- queries with free variables inside PPL: translated to
+//                     HCL-(PPLbin) (Fig. 7) and answered by the
+//                     output-sensitive Section 7 machinery.
+//
+// Queries outside PPL (e.g. shared variables across compositions, for-loops
+// violating N(for)) are rejected at compile time -- by Theorems in Sections
+// 2-3 they are NP-/PSPACE-hard, so the service refuses rather than risking
+// exponential work on the serving path.
+#ifndef XPV_ENGINE_COMPILED_QUERY_H_
+#define XPV_ENGINE_COMPILED_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "hcl/ast.h"
+#include "ppl/pplbin.h"
+#include "xpath/ast.h"
+
+namespace xpv::engine {
+
+/// Which engine a compiled query is dispatched to.
+enum class EnginePlan {
+  kGkpPositive,
+  kMatrixGeneral,
+  kNaryAnswer,
+};
+
+std::string_view EnginePlanName(EnginePlan plan);
+
+/// A query compiled once and shared (immutably) by every job that uses it,
+/// across trees and threads.
+struct CompiledQuery {
+  /// Original query text (the cache key).
+  std::string text;
+  /// Parsed + simplified Core XPath 2.0 form.
+  xpath::PathPtr path;
+  EnginePlan plan;
+
+  /// Plan kGkpPositive / kMatrixGeneral: the Fig. 4 translation image.
+  ppl::PplBinPtr pplbin;
+
+  /// Plan kNaryAnswer: the Fig. 7 HCL-(PPLbin) translation and the output
+  /// variable tuple (free variables of the query, sorted).
+  hcl::HclPtr hcl;
+  std::vector<std::string> tuple_vars;
+};
+
+/// Parses (abbreviated or core syntax), simplifies, classifies. Fails with
+/// InvalidArgument on syntax errors and FragmentViolation outside PPL.
+Result<std::shared_ptr<const CompiledQuery>> CompileQuery(
+    std::string_view text);
+
+}  // namespace xpv::engine
+
+#endif  // XPV_ENGINE_COMPILED_QUERY_H_

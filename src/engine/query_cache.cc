@@ -1,0 +1,53 @@
+#include "engine/query_cache.h"
+
+namespace xpv::engine {
+
+Result<std::shared_ptr<const CompiledQuery>> QueryCache::GetOrCompile(
+    std::string_view text) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(std::string(text));
+    if (it != entries_.end()) {
+      ++hits_;
+      if (it->second.query != nullptr) return it->second.query;
+      return it->second.error;
+    }
+  }
+  // Compile outside the lock; concurrent first sightings may compile the
+  // same text twice, but both produce equivalent immutable results and the
+  // first insert wins.
+  Result<std::shared_ptr<const CompiledQuery>> compiled = CompileQuery(text);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  if (entries_.size() >= max_entries_ &&
+      !entries_.contains(std::string(text))) {
+    return compiled;  // full: serve uncached
+  }
+  auto [it, inserted] = entries_.try_emplace(std::string(text));
+  if (inserted) {
+    if (compiled.ok()) {
+      it->second.query = *compiled;
+    } else {
+      it->second.error = compiled.status();
+    }
+  }
+  if (it->second.query != nullptr) return it->second.query;
+  return it->second.error;
+}
+
+std::size_t QueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t QueryCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t QueryCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace xpv::engine

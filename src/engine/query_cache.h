@@ -1,0 +1,66 @@
+// Thread-safe compiled-query cache keyed by query text.
+//
+// A production service sees the same query strings over and over (the
+// paper's motivating bibliography/restaurant lookups are templates); the
+// cache makes parse + simplify + classify a once-per-distinct-query cost.
+// Failed compilations are cached too, so malformed queries hammering the
+// service stay O(1) after the first attempt. The entry count is bounded:
+// once full, unseen texts are still compiled and served but no longer
+// inserted, so a stream of distinct (e.g. adversarial) query strings
+// cannot grow the cache without limit.
+#ifndef XPV_ENGINE_QUERY_CACHE_H_
+#define XPV_ENGINE_QUERY_CACHE_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "engine/compiled_query.h"
+
+namespace xpv::engine {
+
+/// Memoizes CompileQuery by exact query text. Shared_ptr values are
+/// immutable, so returned queries can be used concurrently with further
+/// cache mutation.
+class QueryCache {
+ public:
+  /// `max_entries` caps the number of cached texts (successes and
+  /// failures alike); 0 disables caching entirely.
+  explicit QueryCache(std::size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries) {}
+
+  static constexpr std::size_t kDefaultMaxEntries = 1 << 16;
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// The compiled form of `text`, compiling on first sight.
+  Result<std::shared_ptr<const CompiledQuery>> GetOrCompile(
+      std::string_view text);
+
+  /// Number of cached entries (successes + failures).
+  std::size_t size() const;
+  /// Hits = lookups served from the cache; misses = compilations.
+  std::size_t hits() const;
+  std::size_t misses() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CompiledQuery> query;  // null on compile failure
+    Status error;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace xpv::engine
+
+#endif  // XPV_ENGINE_QUERY_CACHE_H_

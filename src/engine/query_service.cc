@@ -1,0 +1,131 @@
+#include "engine/query_service.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "hcl/answer.h"
+#include "ppl/gkp_engine.h"
+#include "ppl/matrix_engine.h"
+
+namespace xpv::engine {
+
+QueryService::QueryService(QueryServiceOptions options)
+    : num_threads_(options.num_threads) {
+  if (num_threads_ == 0) {
+    num_threads_ = std::thread::hardware_concurrency();
+    if (num_threads_ == 0) num_threads_ = 1;
+  }
+  if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+}
+
+QueryService::~QueryService() = default;
+
+QueryResult QueryService::Evaluate(const Tree& tree, std::string_view query) {
+  QueryJob job;
+  job.tree = &tree;
+  job.query = std::string(query);
+  return RunJob(job, std::make_shared<AxisCache>(tree));
+}
+
+QueryResult QueryService::RunJob(
+    const QueryJob& job, const std::shared_ptr<AxisCache>& tree_cache) {
+  QueryResult result;
+  if (job.tree == nullptr || job.tree->empty()) {
+    result.status = Status::InvalidArgument("job has no tree");
+    return result;
+  }
+  Result<std::shared_ptr<const CompiledQuery>> compiled =
+      cache_.GetOrCompile(job.query);
+  if (!compiled.ok()) {
+    result.status = compiled.status();
+    return result;
+  }
+  const CompiledQuery& q = **compiled;
+  const Tree& t = *job.tree;
+  result.plan = q.plan;
+  switch (q.plan) {
+    case EnginePlan::kGkpPositive: {
+      ppl::GkpEngine engine(t);
+      Result<BitMatrix> rel = engine.Relation(*q.pplbin);
+      if (!rel.ok()) {
+        result.status = rel.status();
+        return result;
+      }
+      result.relation = std::move(rel).value();
+      break;
+    }
+    case EnginePlan::kMatrixGeneral: {
+      ppl::MatrixEngine engine(tree_cache);
+      result.relation = engine.Evaluate(*q.pplbin);
+      break;
+    }
+    case EnginePlan::kNaryAnswer: {
+      hcl::QueryAnswerer answerer(t, *q.hcl, q.tuple_vars, {}, tree_cache);
+      Status prepared = answerer.Prepare();
+      if (!prepared.ok()) {
+        result.status = prepared;
+        return result;
+      }
+      result.tuples = answerer.Answer();
+      return result;
+    }
+  }
+  BitVector root_only(t.size());
+  root_only.Set(t.root());
+  result.from_root = result.relation.ImageOf(root_only);
+  return result;
+}
+
+std::vector<QueryResult> QueryService::EvaluateBatch(
+    const std::vector<QueryJob>& jobs) {
+  std::vector<QueryResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  // One shared axis cache per distinct tree in the batch.
+  std::unordered_map<const Tree*, std::shared_ptr<AxisCache>> tree_caches;
+  for (const QueryJob& job : jobs) {
+    if (job.tree != nullptr && !tree_caches.contains(job.tree)) {
+      tree_caches.emplace(job.tree, std::make_shared<AxisCache>(*job.tree));
+    }
+  }
+
+  auto run_one = [&](std::size_t i) {
+    const QueryJob& job = jobs[i];
+    auto it = tree_caches.find(job.tree);
+    results[i] = RunJob(
+        job, it == tree_caches.end() ? nullptr : it->second);
+  };
+
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+    return results;
+  }
+
+  // Work-stealing by atomic counter: every worker claims the next
+  // unclaimed job index. Each job writes only results[i], so the output
+  // is independent of which worker ran it.
+  std::atomic<std::size_t> next{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t live_workers = std::min(num_threads_, jobs.size());
+  std::size_t remaining = live_workers;
+  for (std::size_t w = 0; w < live_workers; ++w) {
+    pool_->Submit([&] {
+      for (std::size_t i = next.fetch_add(1); i < jobs.size();
+           i = next.fetch_add(1)) {
+        run_one(i);
+      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  return results;
+}
+
+}  // namespace xpv::engine

@@ -1,0 +1,101 @@
+// Batched parallel query evaluation -- the serving layer over the paper's
+// engines.
+//
+// A QueryService accepts batches of (tree, query-text) jobs and:
+//
+//   1. compiles each distinct query text once (QueryCache),
+//   2. plans it onto the cheapest applicable engine (CompileQuery):
+//      positive PPLbin -> ppl::GkpEngine, general PPLbin ->
+//      ppl::MatrixEngine, n-ary PPL -> the Section 7 answer machinery,
+//   3. executes jobs across a fixed thread pool, sharing one AxisCache per
+//      distinct tree in the batch so concurrent jobs on the same tree
+//      materialize each axis relation matrix exactly once.
+//
+// Results are deterministic: each job writes only its own result slot and
+// every engine is a pure function of (tree, compiled query), so the output
+// vector is byte-identical across thread counts and scheduling orders.
+#ifndef XPV_ENGINE_QUERY_SERVICE_H_
+#define XPV_ENGINE_QUERY_SERVICE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/status.h"
+#include "engine/compiled_query.h"
+#include "engine/query_cache.h"
+#include "engine/thread_pool.h"
+#include "tree/axis_cache.h"
+#include "tree/tree.h"
+#include "xpath/eval.h"
+
+namespace xpv::engine {
+
+/// One unit of work: evaluate `query` on `*tree`. The tree must stay alive
+/// until the batch returns.
+struct QueryJob {
+  const Tree* tree = nullptr;
+  std::string query;
+};
+
+/// Outcome of one job.
+struct QueryResult {
+  /// Non-OK when the query failed to compile (syntax / fragment) or the
+  /// job was malformed; engine fields are then empty.
+  Status status;
+  /// Which engine produced the result (valid when status is OK).
+  EnginePlan plan = EnginePlan::kMatrixGeneral;
+
+  /// Binary plans (kGkpPositive, kMatrixGeneral): the full relation
+  /// q^bin_P(t) and its monadic from-the-root restriction.
+  BitMatrix relation;
+  BitVector from_root;
+
+  /// N-ary plan (kNaryAnswer): the answer set q_{C,x}(t).
+  xpath::TupleSet tuples;
+};
+
+struct QueryServiceOptions {
+  /// Worker threads for batch evaluation. 0 = hardware concurrency;
+  /// 1 = evaluate inline on the calling thread (no pool).
+  std::size_t num_threads = 0;
+};
+
+/// Compile-plan-execute service over the three engines. Thread-safe:
+/// concurrent EvaluateBatch calls share the query cache and the pool.
+class QueryService {
+ public:
+  explicit QueryService(QueryServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Evaluates one query immediately on the calling thread.
+  QueryResult Evaluate(const Tree& tree, std::string_view query);
+
+  /// Evaluates a batch; results[i] corresponds to jobs[i]. Jobs on the
+  /// same Tree pointer share one AxisCache for the duration of the batch.
+  std::vector<QueryResult> EvaluateBatch(const std::vector<QueryJob>& jobs);
+
+  /// Compiled-query cache (hit/miss stats for monitoring and tests).
+  const QueryCache& cache() const { return cache_; }
+
+  /// Effective worker count (>= 1).
+  std::size_t num_threads() const { return num_threads_; }
+
+ private:
+  QueryResult RunJob(const QueryJob& job,
+                     const std::shared_ptr<AxisCache>& tree_cache);
+
+  std::size_t num_threads_;
+  QueryCache cache_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
+};
+
+}  // namespace xpv::engine
+
+#endif  // XPV_ENGINE_QUERY_SERVICE_H_

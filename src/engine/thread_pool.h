@@ -1,0 +1,48 @@
+// Fixed-size worker pool for the batch query-evaluation service.
+//
+// Deliberately minimal: a locked deque of std::function jobs drained by N
+// long-lived workers. The QueryService keeps result determinism by giving
+// every job its own output slot, so scheduling order never affects
+// results -- the pool therefore needs no ordering guarantees beyond
+// running every submitted job exactly once.
+#ifndef XPV_ENGINE_THREAD_POOL_H_
+#define XPV_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xpv::engine {
+
+/// N worker threads draining a shared job queue. Destruction drains the
+/// queue (all submitted jobs run) and joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a job; runs on some worker thread.
+  void Submit(std::function<void()> job);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xpv::engine
+
+#endif  // XPV_ENGINE_THREAD_POOL_H_

@@ -7,11 +7,13 @@ namespace xpv::hcl {
 
 QueryAnswerer::QueryAnswerer(const Tree& t, const HclExpr& c,
                              std::vector<std::string> tuple_vars,
-                             AnswerOptions options)
+                             AnswerOptions options,
+                             std::shared_ptr<AxisCache> axis_cache)
     : tree_(t),
       expr_(c),
       tuple_vars_(std::move(tuple_vars)),
-      options_(options) {
+      options_(options),
+      axis_cache_(std::move(axis_cache)) {
   for (const auto& v : tuple_vars_) {
     if (!var_index_.contains(v)) {
       var_index_[v] = static_cast<int>(query_vars_.size());
@@ -24,9 +26,12 @@ Status QueryAnswerer::Prepare() {
   XPV_RETURN_IF_ERROR(CheckNoSharedComposition(expr_));
   form_ = SharingForm::FromHcl(expr_);
 
-  // Precompile all binary queries into successor lists.
+  // Precompile all binary queries into successor lists, sharing one
+  // per-tree axis cache across every leaf of the composition (and with
+  // the caller, e.g. other batch jobs on this tree, when one was given).
+  if (axis_cache_ == nullptr) axis_cache_ = std::make_shared<AxisCache>(tree_);
   for (const BinaryQueryPtr& b : form_->binary_queries()) {
-    BitMatrix relation = b->Evaluate(tree_);
+    BitMatrix relation = b->EvaluateCached(axis_cache_);
     std::vector<std::vector<NodeId>> adj(tree_.size());
     for (NodeId u = 0; u < tree_.size(); ++u) {
       relation.ForEachInRow(u, [&](std::size_t v) {

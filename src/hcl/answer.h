@@ -22,6 +22,7 @@
 #define XPV_HCL_ANSWER_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -30,6 +31,7 @@
 #include "common/status.h"
 #include "hcl/ast.h"
 #include "hcl/sharing.h"
+#include "tree/axis_cache.h"
 
 namespace xpv::hcl {
 
@@ -55,10 +57,13 @@ struct AnswerOptions {
 class QueryAnswerer {
  public:
   /// `tuple_vars` is the output variable sequence x = x1...xn (repeats
-  /// allowed).
+  /// allowed). `axis_cache` optionally shares a per-tree axis-relation
+  /// cache with other evaluations on `t` (e.g. other jobs of a
+  /// QueryService batch); when null, Prepare() builds a private one.
   QueryAnswerer(const Tree& t, const HclExpr& c,
                 std::vector<std::string> tuple_vars,
-                AnswerOptions options = {});
+                AnswerOptions options = {},
+                std::shared_ptr<AxisCache> axis_cache = nullptr);
 
   /// Steps 1-3: fragment check, sharing normal form, binary-query
   /// precompilation, MC table. Fails with FragmentViolation when C is not
@@ -90,6 +95,7 @@ class QueryAnswerer {
   const HclExpr& expr_;
   std::vector<std::string> tuple_vars_;
   AnswerOptions options_;
+  std::shared_ptr<AxisCache> axis_cache_;
   /// Deduplicated query variables; valuations index into this.
   std::vector<std::string> query_vars_;
   std::map<std::string, int> var_index_;

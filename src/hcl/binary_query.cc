@@ -10,6 +10,13 @@ BitMatrix AxisQuery::Evaluate(const Tree& t) const {
   return m.MaskColumns(LabelSet(t, name_test_));
 }
 
+BitMatrix AxisQuery::EvaluateCached(
+    const std::shared_ptr<AxisCache>& cache) const {
+  const BitMatrix& m = cache->Matrix(axis_);
+  if (name_test_.empty()) return m;
+  return m.MaskColumns(cache->Labels(name_test_));
+}
+
 std::string AxisQuery::ToString() const {
   std::string out(AxisName(axis_));
   out += "::";
@@ -19,6 +26,12 @@ std::string AxisQuery::ToString() const {
 
 BitMatrix PplBinQuery::Evaluate(const Tree& t) const {
   ppl::MatrixEngine engine(t);
+  return engine.Evaluate(*expr_);
+}
+
+BitMatrix PplBinQuery::EvaluateCached(
+    const std::shared_ptr<AxisCache>& cache) const {
+  ppl::MatrixEngine engine(cache);
   return engine.Evaluate(*expr_);
 }
 

@@ -15,6 +15,7 @@
 #include "common/bit_matrix.h"
 #include "ppl/pplbin.h"
 #include "tree/axes.h"
+#include "tree/axis_cache.h"
 #include "tree/tree.h"
 
 namespace xpv::hcl {
@@ -29,6 +30,13 @@ class BinaryQuery {
 
   /// q_b(t) as a Boolean relation matrix.
   virtual BitMatrix Evaluate(const Tree& t) const = 0;
+  /// q_b(t) drawing axis relations and label sets from a shared per-tree
+  /// cache, so all leaves of one composition (and all concurrent jobs on
+  /// one tree) materialize each axis matrix once. Default: uncached.
+  virtual BitMatrix EvaluateCached(
+      const std::shared_ptr<AxisCache>& cache) const {
+    return Evaluate(cache->tree());
+  }
   /// Surface syntax of b (used in HclExpr::ToString).
   virtual std::string ToString() const = 0;
   /// |b| -- the size of b as an expression of L (a leaf of HCL has
@@ -46,6 +54,8 @@ class AxisQuery : public BinaryQuery {
         name_test_(name_test == "*" ? "" : std::move(name_test)) {}
 
   BitMatrix Evaluate(const Tree& t) const override;
+  BitMatrix EvaluateCached(
+      const std::shared_ptr<AxisCache>& cache) const override;
   std::string ToString() const override;
 
   Axis axis() const { return axis_; }
@@ -63,6 +73,8 @@ class PplBinQuery : public BinaryQuery {
   explicit PplBinQuery(ppl::PplBinPtr expr) : expr_(std::move(expr)) {}
 
   BitMatrix Evaluate(const Tree& t) const override;
+  BitMatrix EvaluateCached(
+      const std::shared_ptr<AxisCache>& cache) const override;
   std::string ToString() const override { return expr_->ToString(); }
   std::size_t ExprSize() const override { return expr_->Size(); }
 

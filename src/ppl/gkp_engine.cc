@@ -55,13 +55,14 @@ BitVector GkpEngine::ImagePositive(const PplBinExpr& p,
     }
     case PplBinKind::kFilter: {
       // S_{[P]}(N) = N  intersect  domain(P).
-      auto it = domain_cache_.find(p.left.get());
+      std::string key = p.left->ToString();
+      auto it = domain_cache_.find(key);
       if (it == domain_cache_.end()) {
         PplBinPtr reversed = Reverse(*p.left);
         BitVector all(tree_.size());
         all.Fill();
         BitVector domain = ImagePositive(*reversed, all);
-        it = domain_cache_.emplace(p.left.get(), std::move(domain)).first;
+        it = domain_cache_.emplace(std::move(key), std::move(domain)).first;
       }
       BitVector out = from;
       out.AndWith(it->second);

@@ -17,6 +17,7 @@
 #define XPV_PPL_GKP_ENGINE_H_
 
 #include <map>
+#include <string>
 
 #include "common/bit_matrix.h"
 #include "common/status.h"
@@ -48,8 +49,12 @@ class GkpEngine {
   BitVector ImagePositive(const PplBinExpr& p, const BitVector& from);
 
   const Tree& tree_;
-  // Domain cache keyed by filter-subexpression identity.
-  std::map<const PplBinExpr*, BitVector> domain_cache_;
+  // Domain cache keyed by the filter subexpression's surface text.
+  // ToString round-trips, so equal keys mean equal expressions; pointer
+  // keys would dangle across calls (expressions -- including the
+  // temporaries built by syntactic reversal -- die while the engine
+  // lives, and the allocator reuses their addresses).
+  std::map<std::string, BitVector> domain_cache_;
 };
 
 }  // namespace xpv::ppl

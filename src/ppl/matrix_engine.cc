@@ -2,22 +2,6 @@
 
 namespace xpv::ppl {
 
-const BitMatrix& MatrixEngine::AxisMatrixCached(Axis axis) {
-  auto it = axis_cache_.find(axis);
-  if (it == axis_cache_.end()) {
-    it = axis_cache_.emplace(axis, AxisMatrix(tree_, axis)).first;
-  }
-  return it->second;
-}
-
-const BitVector& MatrixEngine::LabelSetCached(const std::string& name_test) {
-  auto it = label_cache_.find(name_test);
-  if (it == label_cache_.end()) {
-    it = label_cache_.emplace(name_test, LabelSet(tree_, name_test)).first;
-  }
-  return it->second;
-}
-
 BitMatrix MatrixEngine::Product(const BitMatrix& a, const BitMatrix& b) const {
   return mode_ == MultiplyMode::kBitPacked ? a.Multiply(b)
                                            : a.MultiplyNaive(b);
@@ -26,9 +10,9 @@ BitMatrix MatrixEngine::Product(const BitMatrix& a, const BitMatrix& b) const {
 BitMatrix MatrixEngine::Evaluate(const PplBinExpr& p) {
   switch (p.kind) {
     case PplBinKind::kStep: {
-      const BitMatrix& axis = AxisMatrixCached(p.axis);
+      const BitMatrix& axis = cache_->Matrix(p.axis);
       if (p.name_test.empty()) return axis;
-      return axis.MaskColumns(LabelSetCached(p.name_test));
+      return axis.MaskColumns(cache_->Labels(p.name_test));
     }
     case PplBinKind::kCompose:
       return Product(Evaluate(*p.left), Evaluate(*p.right));

@@ -12,28 +12,37 @@
 #ifndef XPV_PPL_MATRIX_ENGINE_H_
 #define XPV_PPL_MATRIX_ENGINE_H_
 
-#include <map>
+#include <memory>
 #include <string>
 
 #include "common/bit_matrix.h"
 #include "ppl/pplbin.h"
+#include "tree/axis_cache.h"
 #include "tree/tree.h"
 
 namespace xpv::ppl {
 
 /// Matrix multiplication strategy, for the E3 ablation benchmark.
 enum class MultiplyMode {
-  kBitPacked,  // row-OR word-parallel product (default)
+  kBitPacked,  // blocked row-OR word-parallel product (default)
   kNaive,      // triple loop, one bit at a time (reference)
 };
 
 /// Evaluates PPLbin expressions on one fixed tree via Boolean matrices.
-/// Axis relation matrices and label sets are cached across calls.
+/// Axis relation matrices and label sets live in an AxisCache: private by
+/// default, or shared across engines (and threads) evaluating the same
+/// tree when one is supplied.
 class MatrixEngine {
  public:
   explicit MatrixEngine(const Tree& tree,
                         MultiplyMode mode = MultiplyMode::kBitPacked)
-      : tree_(tree), mode_(mode) {}
+      : MatrixEngine(std::make_shared<AxisCache>(tree), mode) {}
+
+  /// Shares the given per-tree cache; jobs of the batch QueryService
+  /// evaluating different queries on one tree pass the same cache here.
+  explicit MatrixEngine(std::shared_ptr<AxisCache> cache,
+                        MultiplyMode mode = MultiplyMode::kBitPacked)
+      : tree_(cache->tree()), mode_(mode), cache_(std::move(cache)) {}
 
   /// M^t_P, i.e. the binary query q^bin_P(t) as a matrix.
   BitMatrix Evaluate(const PplBinExpr& p);
@@ -44,14 +53,11 @@ class MatrixEngine {
   const Tree& tree() const { return tree_; }
 
  private:
-  const BitMatrix& AxisMatrixCached(Axis axis);
-  const BitVector& LabelSetCached(const std::string& name_test);
   BitMatrix Product(const BitMatrix& a, const BitMatrix& b) const;
 
   const Tree& tree_;
   MultiplyMode mode_;
-  std::map<Axis, BitMatrix> axis_cache_;
-  std::map<std::string, BitVector> label_cache_;
+  std::shared_ptr<AxisCache> cache_;
 };
 
 }  // namespace xpv::ppl

@@ -1,0 +1,22 @@
+#include "tree/axis_cache.h"
+
+namespace xpv {
+
+const BitMatrix& AxisCache::Matrix(Axis axis) {
+  const auto i = static_cast<std::size_t>(axis);
+  std::call_once(axis_once_[i],
+                 [&] { axis_[i].emplace(AxisMatrix(tree_, axis)); });
+  return *axis_[i];
+}
+
+const BitVector& AxisCache::Labels(const std::string& name_test) {
+  const std::string key = name_test == "*" ? std::string() : name_test;
+  std::lock_guard<std::mutex> lock(label_mu_);
+  auto it = labels_.find(key);
+  if (it == labels_.end()) {
+    it = labels_.emplace(key, LabelSet(tree_, key)).first;
+  }
+  return it->second;
+}
+
+}  // namespace xpv

@@ -1,0 +1,58 @@
+// Thread-safe per-tree cache of axis relation matrices and label sets.
+//
+// Every matrix-based evaluator (ppl::MatrixEngine, xpath::DirectEvaluator,
+// the HCL binary-query leaves) needs the same |t| x |t| axis relations
+// A(t) and the same label sets lab_N(t). Historically each engine instance
+// kept a private copy; an AxisCache lifts that state to the tree itself so
+// that many engines -- and many concurrent jobs of the batch QueryService
+// in engine/ -- evaluating over one tree compute each relation exactly
+// once and share the result.
+//
+// Thread safety: Matrix() uses one std::once_flag per axis, Labels() a
+// mutex around a node-stable std::map, so returned references stay valid
+// for the lifetime of the cache and concurrent callers never observe a
+// partially built relation.
+#ifndef XPV_TREE_AXIS_CACHE_H_
+#define XPV_TREE_AXIS_CACHE_H_
+
+#include <array>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/bit_matrix.h"
+#include "tree/axes.h"
+#include "tree/tree.h"
+
+namespace xpv {
+
+/// Lazily materialized, thread-safe per-tree cache of AxisMatrix() and
+/// LabelSet() results. The referenced tree must outlive the cache.
+class AxisCache {
+ public:
+  explicit AxisCache(const Tree& tree) : tree_(tree) {}
+
+  AxisCache(const AxisCache&) = delete;
+  AxisCache& operator=(const AxisCache&) = delete;
+
+  const Tree& tree() const { return tree_; }
+
+  /// A(t) for the given axis, computed on first use.
+  const BitMatrix& Matrix(Axis axis);
+
+  /// lab_N(t) for the given name test (empty or "*" = all nodes), computed
+  /// on first use.
+  const BitVector& Labels(const std::string& name_test);
+
+ private:
+  const Tree& tree_;
+  std::array<std::once_flag, kAllAxes.size()> axis_once_;
+  std::array<std::optional<BitMatrix>, kAllAxes.size()> axis_;
+  std::mutex label_mu_;
+  std::map<std::string, BitVector> labels_;  // node-stable addresses
+};
+
+}  // namespace xpv
+
+#endif  // XPV_TREE_AXIS_CACHE_H_

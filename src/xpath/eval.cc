@@ -4,31 +4,15 @@
 
 namespace xpv::xpath {
 
-const BitMatrix& DirectEvaluator::AxisMatrixCached(Axis axis) {
-  auto it = axis_cache_.find(axis);
-  if (it == axis_cache_.end()) {
-    it = axis_cache_.emplace(axis, AxisMatrix(tree_, axis)).first;
-  }
-  return it->second;
-}
-
-const BitVector& DirectEvaluator::LabelSetCached(const std::string& name_test) {
-  auto it = label_cache_.find(name_test);
-  if (it == label_cache_.end()) {
-    it = label_cache_.emplace(name_test, LabelSet(tree_, name_test)).first;
-  }
-  return it->second;
-}
-
 BitMatrix DirectEvaluator::EvalPath(const PathExpr& p,
                                     const Assignment& alpha) {
   const std::size_t n = tree_.size();
   switch (p.kind) {
     case PathKind::kStep: {
       // [[A::N]] = {(v1,v2) in A(t) | v2 in lab_N(t)}.
-      const BitMatrix& axis = AxisMatrixCached(p.axis);
+      const BitMatrix& axis = cache_->Matrix(p.axis);
       if (p.name_test.empty()) return axis;
-      return axis.MaskColumns(LabelSetCached(p.name_test));
+      return axis.MaskColumns(cache_->Labels(p.name_test));
     }
     case PathKind::kDot:
       // [[.]] = {(v,v)}.

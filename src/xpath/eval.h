@@ -15,11 +15,13 @@
 #define XPV_XPATH_EVAL_H_
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/bit_matrix.h"
+#include "tree/axis_cache.h"
 #include "tree/tree.h"
 #include "xpath/ast.h"
 
@@ -35,10 +37,14 @@ using NodeTuple = std::vector<NodeId>;
 using TupleSet = std::set<NodeTuple>;
 
 /// Evaluates Core XPath 2.0 expressions on one fixed tree, caching axis
-/// relation matrices and label sets across calls.
+/// relation matrices and label sets across calls (in a private AxisCache,
+/// or a shared per-tree one when supplied).
 class DirectEvaluator {
  public:
-  explicit DirectEvaluator(const Tree& tree) : tree_(tree) {}
+  explicit DirectEvaluator(const Tree& tree)
+      : DirectEvaluator(std::make_shared<AxisCache>(tree)) {}
+  explicit DirectEvaluator(std::shared_ptr<AxisCache> cache)
+      : tree_(cache->tree()), cache_(std::move(cache)) {}
 
   /// [[P]]^{t,alpha}: matrix M with M[v1][v2] = 1 iff (v1,v2) selected.
   BitMatrix EvalPath(const PathExpr& p, const Assignment& alpha);
@@ -55,12 +61,8 @@ class DirectEvaluator {
   const Tree& tree() const { return tree_; }
 
  private:
-  const BitMatrix& AxisMatrixCached(Axis axis);
-  const BitVector& LabelSetCached(const std::string& name_test);
-
   const Tree& tree_;
-  std::map<Axis, BitMatrix> axis_cache_;
-  std::map<std::string, BitVector> label_cache_;
+  std::shared_ptr<AxisCache> cache_;
 };
 
 /// Expands a set of tuples with wildcard positions: every tuple position

@@ -1,0 +1,275 @@
+// Differential equivalence suite for the batch query-evaluation subsystem:
+// on seeded random trees and random queries, the efficient engines
+// (ppl::GkpEngine, ppl::MatrixEngine) and the batched QueryService at
+// every thread count must agree with the literal Fig. 2 semantics
+// (xpath::DirectEvaluator), and batch results must be byte-identical
+// across thread counts.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/compiled_query.h"
+#include "engine/query_service.h"
+#include "ppl/gkp_engine.h"
+#include "ppl/matrix_engine.h"
+#include "ppl/pplbin.h"
+#include "tree/generators.h"
+#include "xpath/eval.h"
+#include "xpath/parser.h"
+
+namespace xpv {
+namespace {
+
+ppl::PplBinPtr RandomPplBin(Rng& rng, int depth, bool allow_complement) {
+  if (depth <= 0 || rng.Chance(1, 3)) {
+    if (rng.Chance(1, 5)) return ppl::PplBinExpr::Self();
+    return ppl::PplBinExpr::Step(
+        kAllAxes[rng.Below(kAllAxes.size())],
+        rng.Chance(1, 3) ? "*" : GeneratorLabel(rng.Below(3)));
+  }
+  switch (rng.Below(allow_complement ? 4u : 3u)) {
+    case 0:
+      return ppl::PplBinExpr::Compose(
+          RandomPplBin(rng, depth - 1, allow_complement),
+          RandomPplBin(rng, depth - 1, allow_complement));
+    case 1:
+      return ppl::PplBinExpr::Union(
+          RandomPplBin(rng, depth - 1, allow_complement),
+          RandomPplBin(rng, depth - 1, allow_complement));
+    case 2:
+      return ppl::PplBinExpr::Filter(
+          RandomPplBin(rng, depth - 1, allow_complement));
+    default:
+      return ppl::PplBinExpr::Complement(
+          RandomPplBin(rng, depth - 1, allow_complement));
+  }
+}
+
+Tree MakeRandomTree(Rng& rng) {
+  RandomTreeOptions opts;
+  opts.num_nodes = 4 + rng.Below(28);
+  opts.alphabet_size = 3;
+  return RandomTree(rng, opts);
+}
+
+/// Ground truth: the Fig. 2 denotational semantics on the Core XPath 2.0
+/// image of the PPLbin expression.
+BitMatrix GroundTruth(const Tree& t, const ppl::PplBinExpr& p) {
+  xpath::DirectEvaluator eval(t);
+  return eval.EvalPath(*ppl::ToXPath(p), {});
+}
+
+// ------------------------------------------------------- engine agreement
+
+class EngineDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(EngineDifferentialTest, MatrixEngineMatchesDirectSemantics) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    Tree t = MakeRandomTree(rng);
+    ppl::PplBinPtr p = RandomPplBin(rng, 3, /*allow_complement=*/true);
+    ppl::MatrixEngine engine(t);
+    EXPECT_EQ(engine.Evaluate(*p), GroundTruth(t, *p))
+        << "query: " << p->ToString() << "\ntree: " << t.ToTerm();
+  }
+}
+
+TEST_P(EngineDifferentialTest, GkpEngineMatchesDirectSemantics) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    Tree t = MakeRandomTree(rng);
+    ppl::PplBinPtr p = RandomPplBin(rng, 3, /*allow_complement=*/false);
+    ASSERT_TRUE(p->IsPositive());
+    ppl::GkpEngine engine(t);
+    Result<BitMatrix> rel = engine.Relation(*p);
+    ASSERT_TRUE(rel.ok()) << rel.status();
+    EXPECT_EQ(*rel, GroundTruth(t, *p))
+        << "query: " << p->ToString() << "\ntree: " << t.ToTerm();
+  }
+}
+
+// ----------------------------------------------- QueryService equivalence
+
+struct Batch {
+  std::vector<Tree> trees;
+  std::vector<ppl::PplBinPtr> exprs;   // exprs[i] belongs to jobs[i]
+  std::vector<engine::QueryJob> jobs;  // tree pointers into `trees`
+};
+
+/// A mixed batch over several trees; queries are submitted as Core XPath
+/// 2.0 surface text, exercising the full parse -> plan -> execute path.
+/// Tree pointers repeat so jobs share per-tree axis caches, and query
+/// texts repeat so the compiled-query cache gets hits.
+Batch MakeBatch(std::uint64_t seed, std::size_t num_jobs) {
+  Batch b;
+  Rng rng(seed);
+  for (int i = 0; i < 4; ++i) b.trees.push_back(MakeRandomTree(rng));
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    ppl::PplBinPtr p = i % 5 == 4 && i >= 5
+                           ? b.exprs[i - 5]->Clone()  // repeat query text
+                           : RandomPplBin(rng, 3, /*allow_complement=*/true);
+    engine::QueryJob job;
+    job.tree = &b.trees[rng.Below(b.trees.size())];
+    job.query = ppl::ToXPath(*p)->ToString();
+    b.jobs.push_back(std::move(job));
+    b.exprs.push_back(std::move(p));
+  }
+  return b;
+}
+
+void ExpectResultsEqual(const std::vector<engine::QueryResult>& a,
+                        const std::vector<engine::QueryResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status, b[i].status) << "job " << i;
+    EXPECT_EQ(a[i].plan, b[i].plan) << "job " << i;
+    EXPECT_EQ(a[i].relation, b[i].relation) << "job " << i;
+    EXPECT_EQ(a[i].from_root, b[i].from_root) << "job " << i;
+    EXPECT_EQ(a[i].tuples, b[i].tuples) << "job " << i;
+  }
+}
+
+class ServiceDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ServiceDifferentialTest, ServiceMatchesDirectSemanticsAllThreadCounts) {
+  Batch batch = MakeBatch(GetParam(), 40);
+  std::vector<std::vector<engine::QueryResult>> per_thread_count;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    engine::QueryService service({.num_threads = threads});
+    per_thread_count.push_back(service.EvaluateBatch(batch.jobs));
+    const auto& results = per_thread_count.back();
+    ASSERT_EQ(results.size(), batch.jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].status.ok())
+          << "threads=" << threads << " job " << i << ": "
+          << results[i].status << "\nquery: " << batch.jobs[i].query;
+      BitMatrix truth = GroundTruth(*batch.jobs[i].tree, *batch.exprs[i]);
+      EXPECT_EQ(results[i].relation, truth)
+          << "threads=" << threads << " job " << i
+          << "\nquery: " << batch.jobs[i].query;
+      // The monadic restriction must be the root row of the relation.
+      EXPECT_EQ(results[i].from_root,
+                truth.Row(batch.jobs[i].tree->root()))
+          << "threads=" << threads << " job " << i;
+    }
+  }
+  // Determinism: same seed => byte-identical results at 1, 2, 8 threads.
+  ExpectResultsEqual(per_thread_count[0], per_thread_count[1]);
+  ExpectResultsEqual(per_thread_count[0], per_thread_count[2]);
+}
+
+TEST_P(ServiceDifferentialTest, RepeatedBatchesAreDeterministic) {
+  Batch batch = MakeBatch(GetParam() ^ 0xabcdef, 20);
+  engine::QueryService service({.num_threads = 8});
+  auto first = service.EvaluateBatch(batch.jobs);
+  auto second = service.EvaluateBatch(batch.jobs);
+  ExpectResultsEqual(first, second);
+  // Every distinct query compiled exactly once across both batches.
+  EXPECT_EQ(service.cache().hits() + service.cache().misses(),
+            2 * batch.jobs.size());
+  EXPECT_LT(service.cache().misses(), service.cache().hits());
+}
+
+// ------------------------------------------------------- n-ary dispatch
+
+TEST(ServiceNaryTest, VariableQueriesMatchNaiveEnumeration) {
+  // PPL queries with free variables route to the Section 7 answer
+  // machinery; ground truth is brute-force assignment enumeration.
+  const std::vector<std::string> queries = {
+      "descendant::a/$x",
+      "$x/descendant::b",
+      "descendant::*[child::a]/$x/child::*",
+      "(descendant::a union descendant::b)/$y",
+  };
+  Rng rng(7);
+  engine::QueryService service({.num_threads = 2});
+  for (int trial = 0; trial < 4; ++trial) {
+    RandomTreeOptions opts;
+    opts.num_nodes = 4 + rng.Below(8);  // naive is |t|^k
+    Tree t = RandomTree(rng, opts);
+    for (const std::string& text : queries) {
+      engine::QueryResult result = service.Evaluate(t, text);
+      ASSERT_TRUE(result.status.ok()) << text << ": " << result.status;
+      ASSERT_EQ(result.plan, engine::EnginePlan::kNaryAnswer) << text;
+
+      Result<xpath::PathPtr> path = xpath::ParsePath(text);
+      ASSERT_TRUE(path.ok());
+      const std::set<std::string> free_vars = xpath::FreeVars(**path);
+      std::vector<std::string> tuple_vars(free_vars.begin(), free_vars.end());
+      xpath::DirectEvaluator eval(t);
+      EXPECT_EQ(result.tuples, eval.EvalNaryNaive(**path, tuple_vars))
+          << text << "\ntree: " << t.ToTerm();
+    }
+  }
+}
+
+// --------------------------------------------------------- plan selection
+
+TEST(CompileQueryTest, PlansMatchFragments) {
+  auto plan_of = [](std::string_view text) {
+    auto q = engine::CompileQuery(text);
+    EXPECT_TRUE(q.ok()) << text << ": " << q.status();
+    return (*q)->plan;
+  };
+  EXPECT_EQ(plan_of("child::a/descendant::b"),
+            engine::EnginePlan::kGkpPositive);
+  EXPECT_EQ(plan_of("descendant::*[child::a]"),
+            engine::EnginePlan::kGkpPositive);
+  EXPECT_EQ(plan_of("child::* except child::a"),
+            engine::EnginePlan::kMatrixGeneral);
+  EXPECT_EQ(plan_of("descendant::a/$x"), engine::EnginePlan::kNaryAnswer);
+
+  // Abbreviated syntax is accepted and desugared.
+  EXPECT_EQ(plan_of("a//b"), engine::EnginePlan::kGkpPositive);
+
+  // Syntax errors and non-PPL queries are rejected.
+  EXPECT_FALSE(engine::CompileQuery("child::").ok());
+  // NVS(/): $x shared across a composition is outside PPL.
+  EXPECT_EQ(engine::CompileQuery("$x/child::*/$x").status().code(),
+            StatusCode::kFragmentViolation);
+}
+
+// -------------------------------------------- new BitMatrix kernel checks
+
+TEST(BitMatrixKernelTest, BlockedMultiplyMatchesNaive) {
+  Rng rng(11);
+  for (std::size_t n : {1u, 63u, 64u, 65u, 200u, 700u}) {
+    BitMatrix a(n), b(n);
+    for (std::size_t k = 0; k < n * n / 7 + 1; ++k) {
+      a.Set(rng.Below(n), rng.Below(n));
+      b.Set(rng.Below(n), rng.Below(n));
+    }
+    EXPECT_EQ(a.Multiply(b), a.MultiplyNaive(b)) << "n=" << n;
+  }
+}
+
+TEST(BitMatrixKernelTest, BlockTransposeMatchesNaive) {
+  Rng rng(13);
+  for (std::size_t n : {1u, 63u, 64u, 65u, 200u, 700u}) {
+    BitMatrix m(n);
+    for (std::size_t k = 0; k < n * n / 5 + 1; ++k) {
+      m.Set(rng.Below(n), rng.Below(n));
+    }
+    BitMatrix t = m.Transpose();
+    BitMatrix expected(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (m.Get(r, c)) expected.Set(c, r);
+      }
+    }
+    EXPECT_EQ(t, expected) << "n=" << n;
+    EXPECT_EQ(t.Transpose(), m) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+INSTANTIATE_TEST_SUITE_P(Seeds, ServiceDifferentialTest,
+                         ::testing::Values(10, 20, 30));
+
+}  // namespace
+}  // namespace xpv
