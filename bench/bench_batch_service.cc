@@ -3,17 +3,29 @@
 // at 1..8 worker threads. Jobs on one tree share a per-tree AxisCache and
 // distinct query texts compile once, so the scaling curve isolates the
 // execute stage. Also measures the compile stage alone (cold vs warm
-// query cache).
+// query cache), the DocumentStore serving path, and the axis-relation
+// materialization cost of the indexed interval builders against the seed's
+// walk-based builders (kept as naive::AxisMatrix).
+//
+// Unlike the other benchmarks this binary has its own main(): every run
+// additionally writes machine-readable results (items/s per thread count,
+// cold/warm compile, axis build times) to BENCH_batch_service.json --
+// override with --benchmark_out=... -- so the perf trajectory is tracked
+// across PRs. `--smoke` caps min-time for a fast CI pass.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "engine/document_store.h"
 #include "engine/query_service.h"
 #include "ppl/pplbin.h"
+#include "tree/axis_cache.h"
 #include "tree/generators.h"
+#include "tree/naive_reference.h"
 
 namespace xpv {
 namespace {
@@ -77,14 +89,59 @@ void BM_Batch100(benchmark::State& state) {
   const auto tree_nodes = static_cast<std::size_t>(state.range(1));
   Workload w = MakeWorkload(tree_nodes);
   engine::QueryService service({.num_threads = threads});
-  // Warm the compiled-query cache so steady-state throughput is measured.
-  benchmark::DoNotOptimize(service.EvaluateBatch(w.jobs));
+  // Warm the compiled-query cache so steady-state throughput is measured,
+  // and refuse to report throughput for a failing workload.
+  for (const engine::QueryResult& r : service.EvaluateBatch(w.jobs)) {
+    if (!r.status.ok()) {
+      state.SkipWithError(r.status.ToString().c_str());
+      return;
+    }
+  }
   for (auto _ : state) {
     benchmark::DoNotOptimize(service.EvaluateBatch(w.jobs));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
 }
 BENCHMARK(BM_Batch100)
+    ->ArgsProduct({{1, 2, 4, 8}, {64, 256}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The same 100-job batch served through a DocumentStore: per-document
+/// axis caches persist across EvaluateBatch calls, so steady-state batches
+/// skip all axis materialization.
+void BM_Batch100DocumentStore(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto tree_nodes = static_cast<std::size_t>(state.range(1));
+  Workload w = MakeWorkload(tree_nodes);
+  engine::DocumentStore store;
+  std::vector<engine::DocumentId> ids;
+  for (Tree& t : w.trees) {
+    Tree copy = t;
+    ids.push_back(store.Insert(std::move(copy)));
+  }
+  std::vector<engine::QueryJob> jobs = w.jobs;
+  for (engine::QueryJob& job : jobs) {
+    for (std::size_t k = 0; k < w.trees.size(); ++k) {
+      if (job.tree == &w.trees[k]) job.document = ids[k];
+    }
+    job.tree = nullptr;
+  }
+  engine::QueryService service(
+      {.num_threads = threads, .document_store = &store});
+  // Warm the caches; a failing workload must not report throughput.
+  for (const engine::QueryResult& r : service.EvaluateBatch(jobs)) {
+    if (!r.status.ok()) {
+      state.SkipWithError(r.status.ToString().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.EvaluateBatch(jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_Batch100DocumentStore)
     ->ArgsProduct({{1, 2, 4, 8}, {64, 256}})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
@@ -116,5 +173,108 @@ void BM_CompileWarmCache(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileWarmCache);
 
+// --------------------------------------------- axis materialization cost
+//
+// The index payoff: building ch+ (descendant) / ch* rows as pre-order
+// subtree intervals and ns+ (following-sibling) rows by in-place row ORs,
+// against the seed's walk-based builders (per-child row temporaries),
+// on a ~2k-node tree. "Indexed" is the production AxisMatrix; "Walk" is
+// naive::AxisMatrix, the retained oracle.
+
+Tree BenchTree(std::size_t nodes) {
+  Rng rng(7);
+  RandomTreeOptions opts;
+  opts.num_nodes = nodes;
+  opts.alphabet_size = 3;
+  return RandomTree(rng, opts);
+}
+
+void BM_AxisBuildDescendantIndexed(benchmark::State& state) {
+  Tree t = BenchTree(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AxisMatrix(t, Axis::kDescendant));
+  }
+}
+BENCHMARK(BM_AxisBuildDescendantIndexed)->Arg(2048);
+
+void BM_AxisBuildDescendantWalk(benchmark::State& state) {
+  Tree t = BenchTree(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::AxisMatrix(t, Axis::kDescendant));
+  }
+}
+BENCHMARK(BM_AxisBuildDescendantWalk)->Arg(2048);
+
+void BM_AxisBuildFollowingSiblingIndexed(benchmark::State& state) {
+  Tree t = BenchTree(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AxisMatrix(t, Axis::kFollowingSibling));
+  }
+}
+BENCHMARK(BM_AxisBuildFollowingSiblingIndexed)->Arg(2048);
+
+void BM_AxisBuildFollowingSiblingWalk(benchmark::State& state) {
+  Tree t = BenchTree(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::AxisMatrix(t, Axis::kFollowingSibling));
+  }
+}
+BENCHMARK(BM_AxisBuildFollowingSiblingWalk)->Arg(2048);
+
+/// Full AxisCache materialization (all 7 relations), as a batch's first
+/// job on a cold document pays it.
+void BM_AxisCacheBuildAllIndexed(benchmark::State& state) {
+  Tree t = BenchTree(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    AxisCache cache(t);
+    for (Axis axis : kAllAxes) benchmark::DoNotOptimize(cache.Matrix(axis));
+  }
+}
+BENCHMARK(BM_AxisCacheBuildAllIndexed)->Arg(2048);
+
+void BM_AxisCacheBuildAllWalk(benchmark::State& state) {
+  Tree t = BenchTree(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (Axis axis : kAllAxes) {
+      benchmark::DoNotOptimize(naive::AxisMatrix(t, axis));
+    }
+  }
+}
+BENCHMARK(BM_AxisCacheBuildAllWalk)->Arg(2048);
+
 }  // namespace
 }  // namespace xpv
+
+// Custom main: always emit machine-readable results. Unless the caller
+// passed an explicit --benchmark_out, results go to
+// BENCH_batch_service.json in the working directory; `--smoke` shrinks
+// min-time so CI can run the whole suite in seconds.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  bool has_out = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    args.push_back(argv[i]);
+  }
+  static std::string out_flag = "--benchmark_out=BENCH_batch_service.json";
+  static std::string format_flag = "--benchmark_out_format=json";
+  static std::string min_time_flag = "--benchmark_min_time=0.01";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  if (smoke) args.push_back(min_time_flag.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,11 +5,39 @@
 
 namespace xpv {
 
+namespace {
+
+/// Sets bits [begin, end) in a packed word array, whole words at a time.
+/// Callers guarantee end fits in the array and begin < end.
+void SetWordRange(std::uint64_t* words, std::size_t begin, std::size_t end) {
+  const std::size_t wb = begin >> 6;
+  const std::size_t we = (end - 1) >> 6;
+  const std::uint64_t first = ~std::uint64_t{0} << (begin & 63);
+  const std::uint64_t last =
+      (end & 63) == 0 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << (end & 63)) - 1;
+  if (wb == we) {
+    words[wb] |= first & last;
+    return;
+  }
+  words[wb] |= first;
+  for (std::size_t w = wb + 1; w < we; ++w) words[w] = ~std::uint64_t{0};
+  words[we] |= last;
+}
+
+}  // namespace
+
 void BitVector::Clear() { std::fill(words_.begin(), words_.end(), 0); }
 
 void BitVector::Fill() {
   std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
   ClearPadding();
+}
+
+void BitVector::SetRange(std::size_t begin, std::size_t end) {
+  if (begin >= end) return;
+  assert(end <= size_);
+  SetWordRange(words_.data(), begin, end);
 }
 
 void BitVector::ClearPadding() {
@@ -312,6 +340,19 @@ void BitMatrix::OrIntoRow(std::size_t row, const BitVector& v) {
   assert(v.size() == n_);
   std::uint64_t* dst = &words_[row * words_per_row_];
   for (std::size_t w = 0; w < words_per_row_; ++w) dst[w] |= v.words()[w];
+}
+
+void BitMatrix::OrRowIntoRow(std::size_t dst, std::size_t src) {
+  std::uint64_t* d = &words_[dst * words_per_row_];
+  const std::uint64_t* s = &words_[src * words_per_row_];
+  for (std::size_t w = 0; w < words_per_row_; ++w) d[w] |= s[w];
+}
+
+void BitMatrix::SetRowRange(std::size_t row, std::size_t begin,
+                            std::size_t end) {
+  if (begin >= end) return;
+  assert(end <= n_);
+  SetWordRange(&words_[row * words_per_row_], begin, end);
 }
 
 std::string BitMatrix::ToString() const {

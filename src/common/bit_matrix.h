@@ -51,6 +51,8 @@ class BitVector {
   void Clear();
   /// Sets all bits in [0, size) to 1.
   void Fill();
+  /// Sets all bits in [begin, end) to 1, whole words at a time.
+  void SetRange(std::size_t begin, std::size_t end);
 
   /// Elementwise operations; both operands must have equal size.
   void OrWith(const BitVector& other);
@@ -169,6 +171,10 @@ class BitMatrix {
   BitVector Row(std::size_t row) const;
   /// ORs `v` into row `row`.
   void OrIntoRow(std::size_t row, const BitVector& v);
+  /// ORs row `src` into row `dst` in place (no temporary row copy).
+  void OrRowIntoRow(std::size_t dst, std::size_t src);
+  /// Sets all cells (row, c) for c in [begin, end), whole words at a time.
+  void SetRowRange(std::size_t row, std::size_t begin, std::size_t end);
   /// Invokes fn(col) for every set bit of `row`.
   template <typename Fn>
   void ForEachInRow(std::size_t row, Fn&& fn) const {

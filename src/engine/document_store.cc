@@ -1,0 +1,148 @@
+#include "engine/document_store.h"
+
+#include <utility>
+
+namespace xpv::engine {
+
+namespace {
+
+/// Unambiguous structural key for Intern(): the pre-order sweep of
+/// (depth, length-prefixed label) determines the tree uniquely. ToTerm()
+/// would not -- TreeBuilder accepts arbitrary label bytes (only the
+/// parsers restrict names), so a label containing term metacharacters
+/// could collide with a structurally different tree's serialization.
+std::string InternKey(const Tree& tree) {
+  std::string key;
+  key.reserve(tree.size() * 8);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    const std::string& label = tree.label_name(v);
+    key += std::to_string(tree.Depth(v));
+    key += ':';
+    key += std::to_string(label.size());
+    key += ':';
+    key += label;
+    key += ';';
+  }
+  return key;
+}
+
+}  // namespace
+
+DocumentStore::DocumentStore(DocumentStoreOptions options)
+    : options_(options) {}
+
+DocumentId DocumentStore::Insert(Tree tree, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const DocumentId id = next_id_++;
+  Entry entry;
+  entry.doc =
+      std::make_shared<const Document>(id, std::move(name), std::move(tree));
+  entry.lru_it = lru_.end();
+  entries_.emplace(id, std::move(entry));
+  return id;
+}
+
+Result<DocumentId> DocumentStore::InsertTerm(std::string_view term,
+                                             std::string name) {
+  Result<Tree> tree = Tree::ParseTerm(term);
+  if (!tree.ok()) return tree.status();
+  return Insert(std::move(tree).value(), std::move(name));
+}
+
+Result<DocumentId> DocumentStore::InsertXml(std::string_view xml,
+                                            std::string name) {
+  Result<Tree> tree = Tree::ParseXml(xml);
+  if (!tree.ok()) return tree.status();
+  return Insert(std::move(tree).value(), std::move(name));
+}
+
+DocumentId DocumentStore::Intern(Tree tree, std::string name) {
+  std::string key = InternKey(tree);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = intern_index_.find(key);
+  if (it != intern_index_.end()) {
+    ++stats_.intern_hits;
+    return it->second;
+  }
+  const DocumentId id = next_id_++;
+  Entry entry;
+  entry.doc =
+      std::make_shared<const Document>(id, std::move(name), std::move(tree));
+  entry.lru_it = lru_.end();
+  entry.intern_key = key;
+  entries_.emplace(id, std::move(entry));
+  intern_index_.emplace(std::move(key), id);
+  return id;
+}
+
+DocumentPtr DocumentStore::Get(DocumentId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.doc;
+}
+
+bool DocumentStore::Remove(DocumentId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  if (it->second.cache != nullptr) {
+    lru_.erase(it->second.lru_it);
+  }
+  // Drop the intern-index entry (if this id came from Intern()) so the key
+  // can intern to a new document later.
+  if (!it->second.intern_key.empty()) {
+    intern_index_.erase(it->second.intern_key);
+  }
+  entries_.erase(it);
+  return true;
+}
+
+std::shared_ptr<AxisCache> DocumentStore::AxisCacheFor(DocumentId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  Entry& entry = it->second;
+  if (entry.cache != nullptr) {
+    ++stats_.cache_hits;
+    lru_.splice(lru_.begin(), lru_, entry.lru_it);  // move to front
+    return entry.cache;
+  }
+  // The deleter captures the DocumentPtr so the tree the cache references
+  // outlives every holder of the cache, even past Remove().
+  DocumentPtr doc = entry.doc;
+  entry.cache = std::shared_ptr<AxisCache>(
+      new AxisCache(doc->tree()), [doc](AxisCache* c) { delete c; });
+  ++stats_.cache_builds;
+  lru_.push_front(id);
+  entry.lru_it = lru_.begin();
+  EnforceHotBoundLocked();
+  return entry.cache;
+}
+
+void DocumentStore::EnforceHotBoundLocked() {
+  if (options_.max_hot_caches == 0) return;
+  while (lru_.size() > options_.max_hot_caches) {
+    const DocumentId victim = lru_.back();
+    lru_.pop_back();
+    Entry& entry = entries_.at(victim);
+    entry.cache = nullptr;  // in-flight shared_ptrs keep it alive
+    entry.lru_it = lru_.end();
+    ++stats_.cache_retirements;
+  }
+}
+
+std::size_t DocumentStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+DocumentStoreStats DocumentStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DocumentStoreStats stats = stats_;
+  // Derived live, not hand-maintained at every mutation site.
+  stats.documents = entries_.size();
+  stats.hot_caches = lru_.size();
+  return stats;
+}
+
+}  // namespace xpv::engine

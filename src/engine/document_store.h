@@ -1,0 +1,138 @@
+// The corpus layer of the serving stack: a thread-safe store of long-lived
+// immutable documents, addressed by DocumentId.
+//
+// A Document owns its Tree (index-rich and immutable after TreeBuilder::
+// Finish()). The store additionally manages one persistent AxisCache per
+// document, so that jobs from *different* batches -- not just jobs within
+// one batch -- reuse the same materialized axis relations for a document's
+// whole lifetime. Because fully materialized |t| x |t| relations are the
+// expensive part, the store keeps only a bounded number of caches "hot":
+// cold per-document caches are retired in LRU order (the cache object is
+// dropped; in-flight jobs holding a shared_ptr keep it alive until they
+// finish, and the next access rebuilds lazily).
+//
+// Insert() always creates a fresh document; Intern() deduplicates by
+// structural content (two structurally equal trees intern to one id), so
+// template-driven workloads that re-submit the same document text share
+// one tree and one cache.
+#ifndef XPV_ENGINE_DOCUMENT_STORE_H_
+#define XPV_ENGINE_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "tree/axis_cache.h"
+#include "tree/tree.h"
+
+namespace xpv::engine {
+
+/// Corpus-wide document identifier. Ids start at 1; 0 means "no document"
+/// (a QueryJob addressing a raw Tree* instead).
+using DocumentId = std::uint64_t;
+inline constexpr DocumentId kNoDocument = 0;
+
+/// An immutable named tree in the corpus. Always held behind
+/// shared_ptr<const Document>; the tree address is stable for the
+/// document's lifetime, so AxisCaches may reference it.
+class Document {
+ public:
+  Document(DocumentId id, std::string name, Tree tree)
+      : id_(id), name_(std::move(name)), tree_(std::move(tree)) {}
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  DocumentId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Tree& tree() const { return tree_; }
+
+ private:
+  DocumentId id_;
+  std::string name_;
+  Tree tree_;
+};
+
+using DocumentPtr = std::shared_ptr<const Document>;
+
+struct DocumentStoreOptions {
+  /// Maximum number of documents with a live ("hot") AxisCache; beyond it,
+  /// the least-recently-used document's cache is retired. 0 = unbounded.
+  std::size_t max_hot_caches = 64;
+};
+
+/// Monitoring counters (monotone except documents/hot_caches).
+struct DocumentStoreStats {
+  std::size_t documents = 0;   // currently stored documents
+  std::size_t hot_caches = 0;  // documents with a live AxisCache
+  std::uint64_t cache_builds = 0;     // AxisCache objects created
+  std::uint64_t cache_hits = 0;       // AxisCacheFor served an existing cache
+  std::uint64_t cache_retirements = 0;  // caches dropped by the LRU bound
+  std::uint64_t intern_hits = 0;      // Intern() found an existing document
+};
+
+/// Thread-safe DocumentId -> Document corpus with per-document persistent
+/// AxisCaches under bounded LRU retirement.
+class DocumentStore {
+ public:
+  explicit DocumentStore(DocumentStoreOptions options = {});
+
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+
+  /// Stores a new document; returns its fresh id.
+  DocumentId Insert(Tree tree, std::string name = {});
+  /// Parses + stores; the error is the parser's on malformed input.
+  Result<DocumentId> InsertTerm(std::string_view term, std::string name = {});
+  Result<DocumentId> InsertXml(std::string_view xml, std::string name = {});
+
+  /// Returns the id of a stored document structurally equal to `tree`,
+  /// inserting it first if absent ("interning" by content).
+  DocumentId Intern(Tree tree, std::string name = {});
+
+  /// The document, or null for unknown ids.
+  DocumentPtr Get(DocumentId id) const;
+
+  /// Removes a document (its id is never reused). In-flight holders of the
+  /// DocumentPtr or its AxisCache stay valid. Returns false if unknown.
+  bool Remove(DocumentId id);
+
+  /// The document's persistent AxisCache, created lazily. Touches the LRU
+  /// and may retire another document's cache when the hot bound is
+  /// exceeded. The returned shared_ptr keeps the underlying Document alive
+  /// even across Remove(). Null for unknown ids.
+  std::shared_ptr<AxisCache> AxisCacheFor(DocumentId id);
+
+  std::size_t size() const;
+  DocumentStoreStats stats() const;
+
+ private:
+  struct Entry {
+    DocumentPtr doc;
+    std::shared_ptr<AxisCache> cache;       // null when cold / retired
+    std::list<DocumentId>::iterator lru_it;  // valid iff cache != null
+    std::string intern_key;  // nonempty iff created by Intern()
+  };
+
+  /// Drops LRU-tail caches until the hot bound holds. Requires mu_.
+  void EnforceHotBoundLocked();
+
+  const DocumentStoreOptions options_;
+  mutable std::mutex mu_;
+  DocumentId next_id_ = 1;
+  std::unordered_map<DocumentId, Entry> entries_;
+  /// Documents with a hot cache, most recently used first.
+  std::list<DocumentId> lru_;
+  /// Structural key (pre-order depth + length-prefixed labels) -> id.
+  std::unordered_map<std::string, DocumentId> intern_index_;
+  DocumentStoreStats stats_;
+};
+
+}  // namespace xpv::engine
+
+#endif  // XPV_ENGINE_DOCUMENT_STORE_H_

@@ -14,7 +14,7 @@
 namespace xpv::engine {
 
 QueryService::QueryService(QueryServiceOptions options)
-    : num_threads_(options.num_threads) {
+    : num_threads_(options.num_threads), store_(options.document_store) {
   if (num_threads_ == 0) {
     num_threads_ = std::thread::hardware_concurrency();
     if (num_threads_ == 0) num_threads_ = 1;
@@ -25,31 +25,49 @@ QueryService::QueryService(QueryServiceOptions options)
 QueryService::~QueryService() = default;
 
 QueryResult QueryService::Evaluate(const Tree& tree, std::string_view query) {
-  QueryJob job;
-  job.tree = &tree;
-  job.query = std::string(query);
-  return RunJob(job, std::make_shared<AxisCache>(tree));
+  return RunJob(&tree, std::string(query), std::make_shared<AxisCache>(tree));
+}
+
+QueryResult QueryService::Evaluate(DocumentId document,
+                                   std::string_view query) {
+  QueryResult result;
+  if (store_ == nullptr) {
+    result.status = Status::InvalidArgument(
+        "job addresses a DocumentId but the service has no DocumentStore");
+    return result;
+  }
+  DocumentPtr doc = store_->Get(document);
+  if (doc == nullptr) {
+    result.status =
+        Status::NotFound("unknown document id " + std::to_string(document));
+    return result;
+  }
+  return RunJob(&doc->tree(), std::string(query),
+                store_->AxisCacheFor(document));
 }
 
 QueryResult QueryService::RunJob(
-    const QueryJob& job, const std::shared_ptr<AxisCache>& tree_cache) {
+    const Tree* tree, const std::string& query,
+    const std::shared_ptr<AxisCache>& tree_cache) {
   QueryResult result;
-  if (job.tree == nullptr || job.tree->empty()) {
+  if (tree == nullptr || tree->empty()) {
     result.status = Status::InvalidArgument("job has no tree");
     return result;
   }
   Result<std::shared_ptr<const CompiledQuery>> compiled =
-      cache_.GetOrCompile(job.query);
+      cache_.GetOrCompile(query);
   if (!compiled.ok()) {
     result.status = compiled.status();
     return result;
   }
   const CompiledQuery& q = **compiled;
-  const Tree& t = *job.tree;
+  const Tree& t = *tree;
+  const std::shared_ptr<AxisCache> cache =
+      tree_cache != nullptr ? tree_cache : std::make_shared<AxisCache>(t);
   result.plan = q.plan;
   switch (q.plan) {
     case EnginePlan::kGkpPositive: {
-      ppl::GkpEngine engine(t);
+      ppl::GkpEngine engine(cache);
       Result<BitMatrix> rel = engine.Relation(*q.pplbin);
       if (!rel.ok()) {
         result.status = rel.status();
@@ -59,12 +77,12 @@ QueryResult QueryService::RunJob(
       break;
     }
     case EnginePlan::kMatrixGeneral: {
-      ppl::MatrixEngine engine(tree_cache);
+      ppl::MatrixEngine engine(cache);
       result.relation = engine.Evaluate(*q.pplbin);
       break;
     }
     case EnginePlan::kNaryAnswer: {
-      hcl::QueryAnswerer answerer(t, *q.hcl, q.tuple_vars, {}, tree_cache);
+      hcl::QueryAnswerer answerer(t, *q.hcl, q.tuple_vars, {}, cache);
       Status prepared = answerer.Prepare();
       if (!prepared.ok()) {
         result.status = prepared;
@@ -85,19 +103,60 @@ std::vector<QueryResult> QueryService::EvaluateBatch(
   std::vector<QueryResult> results(jobs.size());
   if (jobs.empty()) return results;
 
-  // One shared axis cache per distinct tree in the batch.
+  // One shared axis cache per distinct tree in the batch (Tree* shim path).
   std::unordered_map<const Tree*, std::shared_ptr<AxisCache>> tree_caches;
+  // Store documents are resolved once per distinct id per batch; their
+  // caches are the store's persistent ones, so repeats across batches hit.
+  struct ResolvedDoc {
+    DocumentPtr doc;
+    std::shared_ptr<AxisCache> cache;
+  };
+  std::unordered_map<DocumentId, ResolvedDoc> docs;
   for (const QueryJob& job : jobs) {
-    if (job.tree != nullptr && !tree_caches.contains(job.tree)) {
+    if (job.document != kNoDocument && job.tree != nullptr) {
+      continue;  // malformed; rejected per-job below without touching the
+                 // store (resolution would churn its LRU)
+    }
+    if (job.document != kNoDocument) {
+      if (store_ != nullptr && !docs.contains(job.document)) {
+        ResolvedDoc resolved;
+        resolved.doc = store_->Get(job.document);
+        if (resolved.doc != nullptr) {
+          resolved.cache = store_->AxisCacheFor(job.document);
+        }
+        docs.emplace(job.document, std::move(resolved));
+      }
+    } else if (job.tree != nullptr && !tree_caches.contains(job.tree)) {
       tree_caches.emplace(job.tree, std::make_shared<AxisCache>(*job.tree));
     }
   }
 
   auto run_one = [&](std::size_t i) {
     const QueryJob& job = jobs[i];
+    if (job.document != kNoDocument && job.tree != nullptr) {
+      results[i].status = Status::InvalidArgument(
+          "job addresses both a DocumentId and a raw tree");
+      return;
+    }
+    if (job.document != kNoDocument) {
+      if (store_ == nullptr) {
+        results[i].status = Status::InvalidArgument(
+            "job addresses a DocumentId but the service has no "
+            "DocumentStore");
+        return;
+      }
+      const ResolvedDoc& resolved = docs.at(job.document);
+      if (resolved.doc == nullptr) {
+        results[i].status = Status::NotFound("unknown document id " +
+                                             std::to_string(job.document));
+        return;
+      }
+      results[i] = RunJob(&resolved.doc->tree(), job.query, resolved.cache);
+      return;
+    }
     auto it = tree_caches.find(job.tree);
-    results[i] = RunJob(
-        job, it == tree_caches.end() ? nullptr : it->second);
+    results[i] = RunJob(job.tree, job.query,
+                        it == tree_caches.end() ? nullptr : it->second);
   };
 
   if (pool_ == nullptr) {

@@ -11,6 +11,12 @@
 //      distinct tree in the batch so concurrent jobs on the same tree
 //      materialize each axis relation matrix exactly once.
 //
+// Jobs address their document either by raw `Tree*` (caller-owned, cache
+// shared for the duration of one batch) or -- preferably -- by DocumentId
+// into a DocumentStore, whose per-document AxisCache persists across
+// batches: a document queried by many batches materializes each axis
+// relation once in its lifetime, not once per batch.
+//
 // Results are deterministic: each job writes only its own result slot and
 // every engine is a pure function of (tree, compiled query), so the output
 // vector is byte-identical across thread counts and scheduling orders.
@@ -26,6 +32,7 @@
 #include "common/bit_matrix.h"
 #include "common/status.h"
 #include "engine/compiled_query.h"
+#include "engine/document_store.h"
 #include "engine/query_cache.h"
 #include "engine/thread_pool.h"
 #include "tree/axis_cache.h"
@@ -34,10 +41,14 @@
 
 namespace xpv::engine {
 
-/// One unit of work: evaluate `query` on `*tree`. The tree must stay alive
-/// until the batch returns.
+/// One unit of work: evaluate `query` on one document, addressed either by
+/// id into the service's DocumentStore (preferred: per-document caches
+/// persist across batches) or by raw tree pointer (shim for caller-owned
+/// trees; the tree must stay alive until the batch returns). Setting both
+/// is an error.
 struct QueryJob {
   const Tree* tree = nullptr;
+  DocumentId document = kNoDocument;
   std::string query;
 };
 
@@ -62,6 +73,9 @@ struct QueryServiceOptions {
   /// Worker threads for batch evaluation. 0 = hardware concurrency;
   /// 1 = evaluate inline on the calling thread (no pool).
   std::size_t num_threads = 0;
+  /// Corpus for jobs addressed by DocumentId. Not owned; must outlive the
+  /// service. Null = only Tree* jobs are accepted.
+  DocumentStore* document_store = nullptr;
 };
 
 /// Compile-plan-execute service over the three engines. Thread-safe:
@@ -76,9 +90,13 @@ class QueryService {
 
   /// Evaluates one query immediately on the calling thread.
   QueryResult Evaluate(const Tree& tree, std::string_view query);
+  /// Evaluates one query on a stored document (uses its persistent cache).
+  QueryResult Evaluate(DocumentId document, std::string_view query);
 
   /// Evaluates a batch; results[i] corresponds to jobs[i]. Jobs on the
-  /// same Tree pointer share one AxisCache for the duration of the batch.
+  /// same Tree pointer share one AxisCache for the duration of the batch;
+  /// jobs on the same DocumentId share the store's persistent per-document
+  /// cache, across batches.
   std::vector<QueryResult> EvaluateBatch(const std::vector<QueryJob>& jobs);
 
   /// Compiled-query cache (hit/miss stats for monitoring and tests).
@@ -87,12 +105,16 @@ class QueryService {
   /// Effective worker count (>= 1).
   std::size_t num_threads() const { return num_threads_; }
 
+  /// The corpus this service serves from (may be null).
+  DocumentStore* document_store() const { return store_; }
+
  private:
-  QueryResult RunJob(const QueryJob& job,
+  QueryResult RunJob(const Tree* tree, const std::string& query,
                      const std::shared_ptr<AxisCache>& tree_cache);
 
   std::size_t num_threads_;
   QueryCache cache_;
+  DocumentStore* store_;              // not owned
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
 };
 

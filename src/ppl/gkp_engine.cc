@@ -41,7 +41,7 @@ BitVector GkpEngine::ImagePositive(const PplBinExpr& p,
   switch (p.kind) {
     case PplBinKind::kStep: {
       BitVector out = AxisImage(tree_, p.axis, from);
-      if (!p.name_test.empty()) out.AndWith(LabelSet(tree_, p.name_test));
+      if (!p.name_test.empty()) out.AndWith(cache_->Labels(p.name_test));
       return out;
     }
     case PplBinKind::kCompose: {

@@ -17,11 +17,13 @@
 #define XPV_PPL_GKP_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/bit_matrix.h"
 #include "common/status.h"
 #include "ppl/pplbin.h"
+#include "tree/axis_cache.h"
 #include "tree/tree.h"
 
 namespace xpv::ppl {
@@ -29,9 +31,17 @@ namespace xpv::ppl {
 /// Linear-time set-image evaluator for positive PPLbin expressions.
 /// Domain sets of filter subexpressions are cached across Image() calls,
 /// so evaluating the full binary relation costs O(|P| |t|^2) overall.
+/// Label sets come from an AxisCache: private by default, or shared with
+/// other engines and jobs on the same tree when one is supplied (this
+/// engine never materializes axis matrices -- it only shares label sets).
 class GkpEngine {
  public:
-  explicit GkpEngine(const Tree& tree) : tree_(tree) {}
+  explicit GkpEngine(const Tree& tree)
+      : GkpEngine(std::make_shared<AxisCache>(tree)) {}
+
+  /// Shares the given per-tree cache (label sets only).
+  explicit GkpEngine(std::shared_ptr<AxisCache> cache)
+      : tree_(cache->tree()), cache_(std::move(cache)) {}
 
   /// S_P(N). Fails with FragmentViolation if P contains `except`.
   Result<BitVector> Image(const PplBinExpr& p, const BitVector& from);
@@ -49,6 +59,7 @@ class GkpEngine {
   BitVector ImagePositive(const PplBinExpr& p, const BitVector& from);
 
   const Tree& tree_;
+  std::shared_ptr<AxisCache> cache_;
   // Domain cache keyed by the filter subexpression's surface text.
   // ToString round-trips, so equal keys mean equal expressions; pointer
   // keys would dangle across calls (expressions -- including the

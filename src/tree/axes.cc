@@ -80,48 +80,58 @@ bool AxisHolds(const Tree& t, Axis axis, NodeId u, NodeId v) {
 }
 
 BitMatrix AxisMatrix(const Tree& t, Axis axis) {
+  // All builders are interval sweeps over the pre-order numbering: a
+  // subtree is the contiguous id range [v, v + SubtreeSize(v)), so
+  // descendant rows are single word-filled ranges and the sibling/ancestor
+  // relations propagate by in-place row ORs -- no per-node walks and no
+  // temporary row copies (the walk-based originals survive as
+  // naive::AxisMatrix, the test oracle).
   const std::size_t n = t.size();
   BitMatrix m(n);
   switch (axis) {
     case Axis::kSelf:
       return BitMatrix::Identity(n);
     case Axis::kChild:
-      for (NodeId v = 0; v < n; ++v) {
-        if (t.parent(v) != kNoNode) m.Set(t.parent(v), v);
-      }
+      for (NodeId v = 1; v < n; ++v) m.Set(t.parent(v), v);
       return m;
     case Axis::kParent:
-      for (NodeId v = 0; v < n; ++v) {
-        if (t.parent(v) != kNoNode) m.Set(v, t.parent(v));
-      }
+      for (NodeId v = 1; v < n; ++v) m.Set(v, t.parent(v));
       return m;
     case Axis::kDescendant:
-      // Row of a node = union of rows of its children plus the children
-      // themselves. Children have larger pre-order ids, so sweep backwards.
-      for (NodeId v = static_cast<NodeId>(n); v-- > 0;) {
-        for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
-          BitVector row = m.Row(c);
-          row.Set(c);
-          m.OrIntoRow(v, row);
-        }
+      // Row v = the proper subtree interval (v, v + SubtreeSize(v)).
+      for (NodeId v = 0; v < n; ++v) {
+        m.SetRowRange(v, v + 1, v + t.SubtreeSize(v));
       }
       return m;
     case Axis::kAncestor:
-      return AxisMatrix(t, Axis::kDescendant).Transpose();
+      // Row v = row of its parent plus the parent itself; parents precede
+      // children in pre-order, so one forward sweep of in-place row ORs.
+      for (NodeId v = 1; v < n; ++v) {
+        m.OrRowIntoRow(v, t.parent(v));
+        m.Set(v, t.parent(v));
+      }
+      return m;
     case Axis::kFollowingSibling:
-      // Row of a node = row of its next sibling plus that sibling; next
-      // siblings have larger ids, so sweep backwards.
+      // Row v = row of its next sibling plus that sibling; next siblings
+      // have larger ids, so sweep backwards.
       for (NodeId v = static_cast<NodeId>(n); v-- > 0;) {
         NodeId ns = t.next_sibling(v);
         if (ns != kNoNode) {
-          BitVector row = m.Row(ns);
-          row.Set(ns);
-          m.OrIntoRow(v, row);
+          m.OrRowIntoRow(v, ns);
+          m.Set(v, ns);
         }
       }
       return m;
     case Axis::kPrecedingSibling:
-      return AxisMatrix(t, Axis::kFollowingSibling).Transpose();
+      // Mirror of following_sibling: previous siblings have smaller ids.
+      for (NodeId v = 1; v < n; ++v) {
+        NodeId ps = t.prev_sibling(v);
+        if (ps != kNoNode) {
+          m.OrRowIntoRow(v, ps);
+          m.Set(v, ps);
+        }
+      }
+      return m;
   }
   return m;
 }
@@ -188,9 +198,8 @@ BitVector LabelSet(const Tree& t, std::string_view label) {
   }
   LabelId id = t.FindLabel(label);
   if (id == kNoLabel) return out;
-  for (NodeId v = 0; v < t.size(); ++v) {
-    if (t.label(v) == id) out.Set(v);
-  }
+  // Posting lists make this O(occurrences), not O(|t|).
+  for (NodeId v : t.LabelPostings(id)) out.Set(v);
   return out;
 }
 

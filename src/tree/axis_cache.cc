@@ -4,8 +4,10 @@ namespace xpv {
 
 const BitMatrix& AxisCache::Matrix(Axis axis) {
   const auto i = static_cast<std::size_t>(axis);
-  std::call_once(axis_once_[i],
-                 [&] { axis_[i].emplace(AxisMatrix(tree_, axis)); });
+  std::call_once(axis_once_[i], [&] {
+    axis_[i].emplace(AxisMatrix(tree_, axis));
+    matrices_built_.fetch_add(1, std::memory_order_relaxed);
+  });
   return *axis_[i];
 }
 
@@ -15,6 +17,7 @@ const BitVector& AxisCache::Labels(const std::string& name_test) {
   auto it = labels_.find(key);
   if (it == labels_.end()) {
     it = labels_.emplace(key, LabelSet(tree_, key)).first;
+    label_sets_built_.fetch_add(1, std::memory_order_relaxed);
   }
   return it->second;
 }

@@ -16,6 +16,7 @@
 #define XPV_TREE_AXIS_CACHE_H_
 
 #include <array>
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -45,8 +46,21 @@ class AxisCache {
   /// on first use.
   const BitVector& Labels(const std::string& name_test);
 
+  /// Number of axis matrices materialized so far (monotone; at most 7).
+  /// Lets callers -- and the DocumentStore reuse tests -- observe whether a
+  /// relation was rebuilt or served from this cache.
+  std::size_t matrices_built() const {
+    return matrices_built_.load(std::memory_order_relaxed);
+  }
+  /// Number of distinct label sets materialized so far.
+  std::size_t label_sets_built() const {
+    return label_sets_built_.load(std::memory_order_relaxed);
+  }
+
  private:
   const Tree& tree_;
+  std::atomic<std::size_t> matrices_built_{0};
+  std::atomic<std::size_t> label_sets_built_{0};
   std::array<std::once_flag, kAllAxes.size()> axis_once_;
   std::array<std::optional<BitMatrix>, kAllAxes.size()> axis_;
   std::mutex label_mu_;

@@ -1,0 +1,127 @@
+#include "tree/naive_reference.h"
+
+#include <cassert>
+
+namespace xpv::naive {
+
+std::size_t Depth(const Tree& t, NodeId v) {
+  std::size_t depth = 0;
+  for (NodeId p = t.parent(v); p != kNoNode; p = t.parent(p)) ++depth;
+  return depth;
+}
+
+bool IsAncestorOrSelf(const Tree& t, NodeId u, NodeId v) {
+  for (NodeId w = v; w != kNoNode; w = t.parent(w)) {
+    if (w == u) return true;
+  }
+  return false;
+}
+
+bool IsFollowingSiblingOrSelf(const Tree& t, NodeId u, NodeId v) {
+  for (NodeId w = u; w != kNoNode; w = t.next_sibling(w)) {
+    if (w == v) return true;
+  }
+  return false;
+}
+
+NodeId LeastCommonAncestor(const Tree& t, NodeId u, NodeId v) {
+  std::size_t du = Depth(t, u);
+  std::size_t dv = Depth(t, v);
+  while (du > dv) {
+    u = t.parent(u);
+    --du;
+  }
+  while (dv > du) {
+    v = t.parent(v);
+    --dv;
+  }
+  while (u != v) {
+    u = t.parent(u);
+    v = t.parent(v);
+  }
+  return u;
+}
+
+std::vector<NodeId> PostOrder(const Tree& t) {
+  std::vector<NodeId> post(t.size(), kNoNode);
+  NodeId counter = 0;
+  // Iterative post-order: (node, visited-children?) entries.
+  std::vector<std::pair<NodeId, bool>> stack = {{t.root(), false}};
+  while (!stack.empty()) {
+    auto [v, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded) {
+      post[v] = counter++;
+      continue;
+    }
+    stack.push_back({v, true});
+    std::vector<NodeId> children = t.Children(v);
+    for (std::size_t i = children.size(); i-- > 0;) {
+      stack.push_back({children[i], false});
+    }
+  }
+  return post;
+}
+
+BitMatrix AxisMatrix(const Tree& t, Axis axis) {
+  const std::size_t n = t.size();
+  BitMatrix m(n);
+  switch (axis) {
+    case Axis::kSelf:
+      return BitMatrix::Identity(n);
+    case Axis::kChild:
+      for (NodeId v = 0; v < n; ++v) {
+        if (t.parent(v) != kNoNode) m.Set(t.parent(v), v);
+      }
+      return m;
+    case Axis::kParent:
+      for (NodeId v = 0; v < n; ++v) {
+        if (t.parent(v) != kNoNode) m.Set(v, t.parent(v));
+      }
+      return m;
+    case Axis::kDescendant:
+      // Row of a node = union of rows of its children plus the children
+      // themselves. Children have larger pre-order ids, so sweep backwards.
+      for (NodeId v = static_cast<NodeId>(n); v-- > 0;) {
+        for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
+          BitVector row = m.Row(c);
+          row.Set(c);
+          m.OrIntoRow(v, row);
+        }
+      }
+      return m;
+    case Axis::kAncestor:
+      return naive::AxisMatrix(t, Axis::kDescendant).Transpose();
+    case Axis::kFollowingSibling:
+      // Row of a node = row of its next sibling plus that sibling; next
+      // siblings have larger ids, so sweep backwards.
+      for (NodeId v = static_cast<NodeId>(n); v-- > 0;) {
+        NodeId ns = t.next_sibling(v);
+        if (ns != kNoNode) {
+          BitVector row = m.Row(ns);
+          row.Set(ns);
+          m.OrIntoRow(v, row);
+        }
+      }
+      return m;
+    case Axis::kPrecedingSibling:
+      return naive::AxisMatrix(t, Axis::kFollowingSibling).Transpose();
+  }
+  return m;
+}
+
+BitVector LabelSet(const Tree& t, std::string_view label) {
+  BitVector out(t.size());
+  if (label.empty()) {
+    out.Fill();
+    return out;
+  }
+  LabelId id = t.FindLabel(label);
+  if (id == kNoLabel) return out;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.label(v) == id) out.Set(v);
+  }
+  return out;
+}
+
+}  // namespace xpv::naive

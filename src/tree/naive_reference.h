@@ -1,0 +1,45 @@
+// Walk-based reference implementations of the structural predicates and
+// axis-relation builders, exactly as the pre-indexed tree core computed
+// them (parent/sibling chain walks, per-node scans).
+//
+// These are NOT used on any serving path: they exist as oracles for the
+// property tests (the indexed O(1) predicates and interval-built axis
+// matrices in tree.h / axes.h must agree with them bit for bit) and as the
+// baseline side of the axis-materialization benchmark.
+#ifndef XPV_TREE_NAIVE_REFERENCE_H_
+#define XPV_TREE_NAIVE_REFERENCE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "tree/axes.h"
+#include "tree/tree.h"
+
+namespace xpv::naive {
+
+/// Depth by walking the parent chain.
+std::size_t Depth(const Tree& t, NodeId v);
+
+/// ch*: walks the parent chain from v looking for u.
+bool IsAncestorOrSelf(const Tree& t, NodeId u, NodeId v);
+
+/// ns*: walks the next-sibling chain from u looking for v.
+bool IsFollowingSiblingOrSelf(const Tree& t, NodeId u, NodeId v);
+
+/// LCA by equalizing depths and walking both parent chains in lockstep.
+NodeId LeastCommonAncestor(const Tree& t, NodeId u, NodeId v);
+
+/// Post-order number by explicit iterative traversal.
+std::vector<NodeId> PostOrder(const Tree& t);
+
+/// The seed's walk-based AxisMatrix builder (per-child/per-sibling row
+/// unions with temporary row copies; transposes for the reverse axes).
+BitMatrix AxisMatrix(const Tree& t, Axis axis);
+
+/// The seed's LabelSet builder (full per-node label scan).
+BitVector LabelSet(const Tree& t, std::string_view label);
+
+}  // namespace xpv::naive
+
+#endif  // XPV_TREE_NAIVE_REFERENCE_H_

@@ -20,42 +20,53 @@ std::vector<NodeId> Tree::Children(NodeId v) const {
   return out;
 }
 
-std::size_t Tree::Depth(NodeId v) const {
-  std::size_t depth = 0;
-  for (NodeId p = parent_[v]; p != kNoNode; p = parent_[p]) ++depth;
-  return depth;
+const std::vector<NodeId>& Tree::LabelPostings(LabelId id) const {
+  static const std::vector<NodeId> kEmpty;
+  if (id >= label_postings_.size()) return kEmpty;
+  return label_postings_[id];
 }
 
-bool Tree::IsAncestorOrSelf(NodeId u, NodeId v) const {
-  for (NodeId w = v; w != kNoNode; w = parent_[w]) {
-    if (w == u) return true;
+void Tree::BuildIndexes() {
+  const NodeId n = static_cast<NodeId>(parent_.size());
+  depth_.assign(n, 0);
+  subtree_size_.assign(n, 1);
+  post_.assign(n, 0);
+  // Pre-order ids mean parents precede children: one forward sweep fills
+  // depths, one backward sweep accumulates subtree sizes bottom-up.
+  for (NodeId v = 1; v < n; ++v) depth_[v] = depth_[parent_[v]] + 1;
+  for (NodeId v = n; v-- > 1;) subtree_size_[parent_[v]] += subtree_size_[v];
+  // post(v) = pre(v) + SubtreeSize(v) - 1 - Depth(v): v closes after its
+  // whole subtree (pre + size - 1) but before its open ancestors (depth).
+  for (NodeId v = 0; v < n; ++v) {
+    post_[v] = v + static_cast<NodeId>(subtree_size_[v]) - 1 - depth_[v];
   }
-  return false;
-}
-
-bool Tree::IsFollowingSiblingOrSelf(NodeId u, NodeId v) const {
-  for (NodeId w = u; w != kNoNode; w = next_sibling_[w]) {
-    if (w == v) return true;
+  label_postings_.assign(labels_.size(), {});
+  for (NodeId v = 0; v < n; ++v) label_postings_[label_[v]].push_back(v);
+  // Binary-lifting ancestor table, sized to the maximum depth.
+  std::uint32_t max_depth = 0;
+  for (NodeId v = 0; v < n; ++v) max_depth = std::max(max_depth, depth_[v]);
+  std::size_t levels = 0;
+  while ((std::uint64_t{1} << levels) < std::uint64_t{max_depth} + 1) ++levels;
+  up_.assign(levels, std::vector<NodeId>(n, kNoNode));
+  if (levels > 0) up_[0] = parent_;
+  for (std::size_t k = 1; k < levels; ++k) {
+    for (NodeId v = 0; v < n; ++v) {
+      NodeId half = up_[k - 1][v];
+      up_[k][v] = half == kNoNode ? kNoNode : up_[k - 1][half];
+    }
   }
-  return false;
 }
 
 NodeId Tree::LeastCommonAncestor(NodeId u, NodeId v) const {
-  std::size_t du = Depth(u);
-  std::size_t dv = Depth(v);
-  while (du > dv) {
-    u = parent_[u];
-    --du;
+  if (IsAncestorOrSelf(u, v)) return u;
+  if (IsAncestorOrSelf(v, u)) return v;
+  // Lift u to its highest ancestor that is still NOT an ancestor of v;
+  // that node's parent is the LCA.
+  for (std::size_t k = up_.size(); k-- > 0;) {
+    NodeId w = up_[k][u];
+    if (w != kNoNode && !IsAncestorOrSelf(w, v)) u = w;
   }
-  while (dv > du) {
-    v = parent_[v];
-    --dv;
-  }
-  while (u != v) {
-    u = parent_[u];
-    v = parent_[v];
-  }
-  return u;
+  return parent_[u];
 }
 
 NodeId Tree::LeastCommonAncestor(const std::vector<NodeId>& nodes) const {
@@ -72,21 +83,28 @@ LabelId Tree::FindLabel(std::string_view name) const {
   return it == label_ids_.end() ? kNoLabel : it->second;
 }
 
-namespace {
-
-void CopySubtree(const Tree& t, NodeId v, TreeBuilder* builder) {
-  builder->Open(t.label_name(v));
-  for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
-    CopySubtree(t, c, builder);
-  }
-  builder->Close();
-}
-
-}  // namespace
-
 Tree Tree::Subtree(NodeId u) const {
+  // Iterative pre-order copy (trees may be pathologically deep). The
+  // subtree is the contiguous pre-order interval [u, u + SubtreeSize(u)),
+  // so a single id sweep visits it in document order; closes are emitted
+  // when the depth drops.
   TreeBuilder builder;
-  CopySubtree(*this, u, &builder);
+  const NodeId end = u + static_cast<NodeId>(subtree_size_[u]);
+  const std::uint32_t base_depth = depth_[u];
+  std::uint32_t open = 0;  // nodes currently open in the builder
+  for (NodeId v = u; v < end; ++v) {
+    const std::uint32_t rel_depth = depth_[v] - base_depth;
+    while (open > rel_depth) {
+      builder.Close();
+      --open;
+    }
+    builder.Open(label_name(v));
+    ++open;
+  }
+  while (open > 0) {
+    builder.Close();
+    --open;
+  }
   Result<Tree> result = std::move(builder).Finish();
   assert(result.ok());
   return std::move(result).value();
@@ -107,34 +125,57 @@ bool Tree::operator==(const Tree& other) const {
 
 namespace {
 
+// Both serializers are iterative sweeps over the pre-order interval of
+// the serialized subtree (like Tree::Subtree), so pathologically deep
+// trees serialize without call-stack recursion and without per-node
+// temporary allocations: structure is recovered from the depth deltas.
+
 void AppendTerm(const Tree& t, NodeId v, std::string* out) {
+  const NodeId end = v + static_cast<NodeId>(t.SubtreeSize(v));
+  const std::size_t base_depth = t.Depth(v);
+  std::size_t prev = 0;  // relative depth of the previously emitted node
   *out += t.label_name(v);
-  if (!t.IsLeaf(v)) {
-    *out += '(';
-    bool first = true;
-    for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
-      if (!first) *out += ',';
-      first = false;
-      AppendTerm(t, c, out);
+  for (NodeId w = v + 1; w < end; ++w) {
+    const std::size_t d = t.Depth(w) - base_depth;
+    if (d > prev) {  // first child: descend exactly one level
+      *out += '(';
+    } else {  // next sibling of an ancestor (or of the previous node)
+      out->append(prev - d, ')');
+      *out += ',';
     }
-    *out += ')';
+    *out += t.label_name(w);
+    prev = d;
   }
+  out->append(prev, ')');
 }
 
 void AppendXml(const Tree& t, NodeId v, std::string* out) {
-  *out += '<';
-  *out += t.label_name(v);
-  if (t.IsLeaf(v)) {
-    *out += "/>";
-    return;
+  const NodeId end = v + static_cast<NodeId>(t.SubtreeSize(v));
+  const std::size_t base_depth = t.Depth(v);
+  std::vector<NodeId> open;  // non-leaf nodes whose tag is still open
+  for (NodeId w = v; w < end; ++w) {
+    const std::size_t d = t.Depth(w) - base_depth;
+    while (open.size() > d) {
+      *out += "</";
+      *out += t.label_name(open.back());
+      *out += '>';
+      open.pop_back();
+    }
+    *out += '<';
+    *out += t.label_name(w);
+    if (t.IsLeaf(w)) {
+      *out += "/>";
+    } else {
+      *out += '>';
+      open.push_back(w);
+    }
   }
-  *out += '>';
-  for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
-    AppendXml(t, c, out);
+  while (!open.empty()) {
+    *out += "</";
+    *out += t.label_name(open.back());
+    *out += '>';
+    open.pop_back();
   }
-  *out += "</";
-  *out += t.label_name(v);
-  *out += '>';
 }
 
 bool IsNameStart(char c) {
@@ -177,54 +218,61 @@ Result<Tree> Tree::ParseTerm(std::string_view text) {
   };
 
   TreeBuilder builder;
-  // Recursive-descent on the term grammar: node := name [ '(' node
-  // ((','|ws) node)* ')' ].
-  struct Parser {
-    std::string_view text;
-    std::size_t& pos;
-    TreeBuilder& builder;
-    decltype(skip_ws)& skip;
-    decltype(parse_name)& name;
-
-    Status ParseNode() {
-      skip();
-      std::string label = name();
-      if (label.empty()) {
-        return Status::InvalidArgument(
-            "expected a label at offset " + std::to_string(pos));
-      }
-      builder.Open(label);
-      skip();
-      if (pos < text.size() && text[pos] == '(') {
-        ++pos;
-        skip();
-        if (pos < text.size() && text[pos] == ')') {
-          return Status::InvalidArgument("empty child list at offset " +
-                                         std::to_string(pos));
-        }
-        while (true) {
-          XPV_RETURN_IF_ERROR(ParseNode());
-          skip();
-          if (pos < text.size() && text[pos] == ',') {
-            ++pos;
-            continue;
-          }
-          if (pos < text.size() && text[pos] == ')') {
-            ++pos;
-            break;
-          }
-          if (pos < text.size() && IsNameStart(text[pos])) continue;
-          return Status::InvalidArgument(
-              "expected ',', ')' or a label at offset " + std::to_string(pos));
-        }
-      }
-      builder.Close();
-      return Status::OK();
+  // Iterative parse of the term grammar: node := name [ '(' node
+  // ((','|ws) node)* ')' ]. The builder's open stack doubles as the parse
+  // stack, so arbitrarily deep inputs (e.g. a 100k-deep chain) cannot
+  // overflow the call stack.
+  auto open_node = [&]() -> Status {
+    skip_ws();
+    std::string label = parse_name();
+    if (label.empty()) {
+      return Status::InvalidArgument("expected a label at offset " +
+                                     std::to_string(pos));
     }
+    builder.Open(label);
+    return Status::OK();
   };
-
-  Parser parser{text, pos, builder, skip_ws, parse_name};
-  XPV_RETURN_IF_ERROR(parser.ParseNode());
+  XPV_RETURN_IF_ERROR(open_node());
+  for (bool done = false; !done;) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == '(') {
+      // The just-opened node has children: descend into the first one.
+      ++pos;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ')') {
+        return Status::InvalidArgument("empty child list at offset " +
+                                       std::to_string(pos));
+      }
+      XPV_RETURN_IF_ERROR(open_node());
+      continue;
+    }
+    // The just-opened node is a leaf: close it, then ascend until a next
+    // sibling starts or the root closes.
+    builder.Close();
+    while (true) {
+      skip_ws();
+      if (builder.open_depth() == 0) {
+        done = true;
+        break;
+      }
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        XPV_RETURN_IF_ERROR(open_node());
+        break;
+      }
+      if (pos < text.size() && text[pos] == ')') {
+        ++pos;
+        builder.Close();  // the parent's child list ends here
+        continue;
+      }
+      if (pos < text.size() && IsNameStart(text[pos])) {
+        XPV_RETURN_IF_ERROR(open_node());
+        break;
+      }
+      return Status::InvalidArgument("expected ',', ')' or a label at offset " +
+                                     std::to_string(pos));
+    }
+  }
   skip_ws();
   if (pos != text.size()) {
     return Status::InvalidArgument("trailing characters at offset " +
@@ -390,6 +438,7 @@ Result<Tree> TreeBuilder::Finish() && {
     return Status::InvalidArgument("tree must have exactly one root, got " +
                                    std::to_string(roots));
   }
+  tree_.BuildIndexes();
   return std::move(tree_);
 }
 

@@ -6,6 +6,20 @@
 // TreeBuilder (and hence by the parsers and generators) always numbers its
 // nodes in document order (pre-order), with the root at id 0. Several axis
 // algorithms in axes.h rely on this numbering.
+//
+// A finished tree is immutable and index-rich: TreeBuilder::Finish()
+// precomputes per-node depth, subtree size (hence the pre-order interval
+// [v, v + SubtreeSize(v)) covering v's subtree), post-order numbers, a
+// binary-lifting ancestor table, and per-label posting lists. These turn
+// the structural predicates into array arithmetic:
+//
+//   IsAncestorOrSelf(u, v)         <=>  v in [u, u + SubtreeSize(u))   O(1)
+//   IsFollowingSiblingOrSelf(u,v)  <=>  u == v, or same parent & v > u O(1)
+//   Depth(v)                       precomputed                         O(1)
+//   LeastCommonAncestor(u, v)      binary lifting + interval tests  O(log n)
+//
+// and let axes.h build axis relations by interval sweeps and label sets
+// from posting lists instead of per-node walks.
 #ifndef XPV_TREE_TREE_H_
 #define XPV_TREE_TREE_H_
 
@@ -52,14 +66,35 @@ class Tree {
   std::size_t NumChildren(NodeId v) const;
   /// Children of v in sibling order.
   std::vector<NodeId> Children(NodeId v) const;
-  /// Depth of v (root has depth 0).
-  std::size_t Depth(NodeId v) const;
 
-  /// True iff u is an ancestor of v or u == v (the paper's ch*).
-  bool IsAncestorOrSelf(NodeId u, NodeId v) const;
+  // ------------------------------------------------------------------
+  // Precomputed document-order indexes (built once by Finish()).
+
+  /// Pre-order (document-order) number of v. The identity for built trees;
+  /// kept explicit so callers can state interval arguments in terms of it.
+  NodeId PreOrder(NodeId v) const { return v; }
+  /// Post-order number of v.
+  NodeId PostOrder(NodeId v) const { return post_[v]; }
+  /// Number of nodes in the subtree rooted at v (including v). The subtree
+  /// occupies exactly the pre-order interval [v, v + SubtreeSize(v)).
+  std::size_t SubtreeSize(NodeId v) const { return subtree_size_[v]; }
+  /// Depth of v (root has depth 0). O(1).
+  std::size_t Depth(NodeId v) const { return depth_[v]; }
+  /// All nodes labeled `id`, in document order (empty for kNoLabel /
+  /// out-of-alphabet ids).
+  const std::vector<NodeId>& LabelPostings(LabelId id) const;
+
+  /// True iff u is an ancestor of v or u == v (the paper's ch*). O(1) by
+  /// the pre-order interval containment test.
+  bool IsAncestorOrSelf(NodeId u, NodeId v) const {
+    return v >= u && v < u + static_cast<NodeId>(subtree_size_[u]);
+  }
   /// True iff v is a following sibling of u or u == v (the paper's ns*).
-  bool IsFollowingSiblingOrSelf(NodeId u, NodeId v) const;
-  /// Least common ancestor of u and v.
+  /// O(1): later siblings always have larger pre-order ids.
+  bool IsFollowingSiblingOrSelf(NodeId u, NodeId v) const {
+    return u == v || (v > u && parent_[u] == parent_[v]);
+  }
+  /// Least common ancestor of u and v; O(log n) via binary lifting.
   NodeId LeastCommonAncestor(NodeId u, NodeId v) const;
   /// Least common ancestor of a nonempty node set.
   NodeId LeastCommonAncestor(const std::vector<NodeId>& nodes) const;
@@ -93,6 +128,10 @@ class Tree {
  private:
   friend class TreeBuilder;
 
+  /// Computes the document-order indexes (depth, subtree size, post-order,
+  /// binary-lifting table, posting lists). Called once from Finish().
+  void BuildIndexes();
+
   std::vector<NodeId> parent_;
   std::vector<NodeId> first_child_;
   std::vector<NodeId> last_child_;
@@ -101,6 +140,15 @@ class Tree {
   std::vector<LabelId> label_;
   std::vector<std::string> labels_;
   std::unordered_map<std::string, LabelId> label_ids_;
+
+  // Document-order indexes, immutable after BuildIndexes().
+  std::vector<NodeId> post_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint32_t> subtree_size_;
+  /// up_[k][v] = 2^k-th proper ancestor of v, or kNoNode past the root.
+  std::vector<std::vector<NodeId>> up_;
+  /// label_postings_[label] = nodes with that label, in document order.
+  std::vector<std::vector<NodeId>> label_postings_;
 };
 
 /// Incremental pre-order tree construction:

@@ -93,6 +93,44 @@ TEST(BitVectorTest, FillRespectsSize) {
   EXPECT_TRUE(v.None());
 }
 
+TEST(BitVectorTest, SetRangeMatchesBitwiseLoop) {
+  // Word-boundary edge cases: empty range, within one word, across words,
+  // end exactly on a word boundary, full vector.
+  const std::size_t n = 200;
+  const std::pair<std::size_t, std::size_t> ranges[] = {
+      {0, 0},   {5, 5},    {3, 17},   {60, 70},  {0, 64},
+      {64, 128}, {63, 65}, {100, 200}, {0, 200},
+  };
+  for (auto [begin, end] : ranges) {
+    BitVector fast(n);
+    fast.SetRange(begin, end);
+    BitVector slow(n);
+    for (std::size_t i = begin; i < end; ++i) slow.Set(i);
+    EXPECT_EQ(fast, slow) << "[" << begin << ", " << end << ")";
+  }
+  // Ranges accumulate (OR semantics).
+  BitVector v(n);
+  v.SetRange(0, 10);
+  v.SetRange(5, 15);
+  EXPECT_EQ(v.Count(), 15u);
+}
+
+TEST(BitMatrixTest, SetRowRangeMatchesBitwiseLoop) {
+  const std::size_t n = 130;
+  BitMatrix fast(n);
+  BitMatrix slow(n);
+  const std::pair<std::size_t, std::size_t> ranges[] = {
+      {0, 0}, {3, 17}, {60, 70}, {63, 65}, {0, 128}, {5, 130},
+  };
+  std::size_t row = 0;
+  for (auto [begin, end] : ranges) {
+    fast.SetRowRange(row, begin, end);
+    for (std::size_t c = begin; c < end; ++c) slow.Set(row, c);
+    ++row;
+  }
+  EXPECT_EQ(fast, slow);
+}
+
 TEST(BitVectorTest, ComplementIsInvolutive) {
   Rng rng(5);
   BitVector v(100);

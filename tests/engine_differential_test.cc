@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "engine/compiled_query.h"
+#include "engine/document_store.h"
 #include "engine/query_service.h"
 #include "ppl/gkp_engine.h"
 #include "ppl/matrix_engine.h"
@@ -172,6 +173,166 @@ TEST_P(ServiceDifferentialTest, RepeatedBatchesAreDeterministic) {
   EXPECT_EQ(service.cache().hits() + service.cache().misses(),
             2 * batch.jobs.size());
   EXPECT_LT(service.cache().misses(), service.cache().hits());
+}
+
+// --------------------------------------------- DocumentStore equivalence
+
+/// The same batch addressed through a DocumentStore: jobs[i] targets the
+/// stored copy of the tree jobs[i] used in the Tree* shim path.
+std::vector<engine::QueryJob> ToStoreJobs(
+    const Batch& batch, const std::vector<engine::DocumentId>& ids) {
+  std::vector<engine::QueryJob> jobs;
+  for (const engine::QueryJob& job : batch.jobs) {
+    engine::QueryJob doc_job;
+    for (std::size_t k = 0; k < batch.trees.size(); ++k) {
+      if (job.tree == &batch.trees[k]) doc_job.document = ids[k];
+    }
+    EXPECT_NE(doc_job.document, engine::kNoDocument);
+    doc_job.query = job.query;
+    jobs.push_back(std::move(doc_job));
+  }
+  return jobs;
+}
+
+TEST_P(ServiceDifferentialTest, DocumentStorePathMatchesTreePath) {
+  Batch batch = MakeBatch(GetParam() ^ 0x90c5, 40);
+  engine::DocumentStore store;
+  std::vector<engine::DocumentId> ids;
+  for (const Tree& t : batch.trees) {
+    Tree copy = t;  // the store owns its documents
+    ids.push_back(store.Insert(std::move(copy)));
+  }
+  std::vector<engine::QueryJob> doc_jobs = ToStoreJobs(batch, ids);
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    engine::QueryService tree_service({.num_threads = threads});
+    engine::QueryService doc_service(
+        {.num_threads = threads, .document_store = &store});
+    auto tree_results = tree_service.EvaluateBatch(batch.jobs);
+    auto doc_results = doc_service.EvaluateBatch(doc_jobs);
+    for (const auto& r : tree_results) {
+      ASSERT_TRUE(r.status.ok()) << r.status;
+    }
+    ExpectResultsEqual(tree_results, doc_results);
+  }
+}
+
+TEST_P(ServiceDifferentialTest, StoreCachesPersistAcrossBatches) {
+  Batch batch = MakeBatch(GetParam() ^ 0xcafe, 30);
+  engine::DocumentStore store;
+  std::vector<engine::DocumentId> ids;
+  for (const Tree& t : batch.trees) {
+    Tree copy = t;
+    ids.push_back(store.Insert(std::move(copy)));
+  }
+  std::vector<engine::QueryJob> doc_jobs = ToStoreJobs(batch, ids);
+
+  engine::QueryService service(
+      {.num_threads = 8, .document_store = &store});
+  auto first = service.EvaluateBatch(doc_jobs);
+  const engine::DocumentStoreStats after_first = store.stats();
+  auto second = service.EvaluateBatch(doc_jobs);
+  auto third = service.EvaluateBatch(doc_jobs);
+  const engine::DocumentStoreStats after_third = store.stats();
+  ExpectResultsEqual(first, second);
+  ExpectResultsEqual(first, third);
+
+  // Axis-cache reuse across batches: each document's cache was built at
+  // most once (during the first batch), and the later batches only hit.
+  EXPECT_LE(after_first.cache_builds, ids.size());
+  EXPECT_EQ(after_third.cache_builds, after_first.cache_builds);
+  EXPECT_GT(after_third.cache_hits, after_first.cache_hits);
+  EXPECT_EQ(after_third.cache_retirements, 0u);
+  // And the caches really are warm: no document's AxisCache materializes
+  // any new relation during a repeated batch.
+  std::vector<std::size_t> built;
+  for (engine::DocumentId id : ids) {
+    built.push_back(store.AxisCacheFor(id)->matrices_built());
+  }
+  auto fourth = service.EvaluateBatch(doc_jobs);
+  ExpectResultsEqual(first, fourth);
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    EXPECT_EQ(store.AxisCacheFor(ids[k])->matrices_built(), built[k])
+        << "document " << ids[k];
+  }
+}
+
+TEST(DocumentStoreTest, InternDeduplicatesByContent) {
+  engine::DocumentStore store;
+  Tree a = *Tree::ParseTerm("a(b,c(d))");
+  Tree b = *Tree::ParseTerm("a(b,c(d))");
+  Tree c = *Tree::ParseTerm("a(b,c(e))");
+  engine::DocumentId id1 = store.Intern(std::move(a));
+  engine::DocumentId id2 = store.Intern(std::move(b));
+  engine::DocumentId id3 = store.Intern(std::move(c));
+  EXPECT_EQ(id1, id2);
+  EXPECT_NE(id1, id3);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.stats().intern_hits, 1u);
+}
+
+TEST(DocumentStoreTest, InternKeyIsUnambiguousForAdversarialLabels) {
+  // TreeBuilder accepts arbitrary label bytes; a single node labeled
+  // "a(b)" must not collide with the two-node tree ParseTerm("a(b)").
+  engine::DocumentStore store;
+  TreeBuilder adversarial;
+  adversarial.Leaf("a(b)");
+  Tree one_node = *std::move(adversarial).Finish();
+  Tree two_nodes = *Tree::ParseTerm("a(b)");
+  engine::DocumentId id1 = store.Intern(std::move(one_node));
+  engine::DocumentId id2 = store.Intern(std::move(two_nodes));
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.stats().intern_hits, 0u);
+}
+
+TEST(DocumentStoreTest, LruRetiresColdCaches) {
+  engine::DocumentStore store({.max_hot_caches = 2});
+  Rng rng(3);
+  std::vector<engine::DocumentId> ids;
+  for (int i = 0; i < 4; ++i) {
+    RandomTreeOptions opts;
+    opts.num_nodes = 12;
+    ids.push_back(store.Insert(RandomTree(rng, opts)));
+  }
+  // Touch all four: only the last two stay hot.
+  std::vector<std::shared_ptr<AxisCache>> held;
+  for (engine::DocumentId id : ids) held.push_back(store.AxisCacheFor(id));
+  engine::DocumentStoreStats stats = store.stats();
+  EXPECT_EQ(stats.cache_builds, 4u);
+  EXPECT_EQ(stats.hot_caches, 2u);
+  EXPECT_EQ(stats.cache_retirements, 2u);
+  // Retired caches stay usable through outstanding handles...
+  EXPECT_EQ(held[0]->Matrix(Axis::kChild).size(), 12u);
+  // ...and a cold document rebuilds on next access.
+  std::shared_ptr<AxisCache> rebuilt = store.AxisCacheFor(ids[0]);
+  EXPECT_NE(rebuilt.get(), held[0].get());
+  EXPECT_EQ(store.stats().cache_builds, 5u);
+}
+
+TEST(DocumentStoreTest, ErrorsForUnknownOrAmbiguousAddressing) {
+  engine::DocumentStore store;
+  engine::QueryService service({.document_store = &store});
+  // Unknown id.
+  engine::QueryResult r = service.Evaluate(engine::DocumentId{42}, "child::a");
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+  // No store configured.
+  engine::QueryService storeless({.num_threads = 1});
+  engine::QueryJob job;
+  job.document = 1;
+  job.query = "child::a";
+  auto results = storeless.EvaluateBatch({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kInvalidArgument);
+  // Both tree and document set.
+  Tree t = *Tree::ParseTerm("a(b)");
+  engine::DocumentId id = store.Insert(std::move(t));
+  engine::QueryJob both;
+  both.document = id;
+  both.tree = &store.Get(id)->tree();
+  both.query = "child::a";
+  auto both_results = service.EvaluateBatch({both});
+  EXPECT_EQ(both_results[0].status.code(), StatusCode::kInvalidArgument);
 }
 
 // ------------------------------------------------------- n-ary dispatch

@@ -1,0 +1,135 @@
+// Property tests for the indexed tree core: on random GenerateTree corpora
+// (and shape-extreme trees), the O(1) predicates, the O(log n) LCA, the
+// post-order numbering, and the interval-built axis matrices must agree
+// bit-for-bit with the walk-based reference implementations kept in
+// tree/naive_reference.h as test-only oracles.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tree/axes.h"
+#include "tree/generators.h"
+#include "tree/naive_reference.h"
+#include "tree/tree.h"
+
+namespace xpv {
+namespace {
+
+std::vector<Tree> Corpus(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tree> corpus;
+  for (std::size_t nodes : {1u, 2u, 7u, 33u, 64u, 65u, 200u}) {
+    RandomTreeOptions opts;
+    opts.num_nodes = nodes;
+    opts.alphabet_size = 1 + rng.Below(4);
+    corpus.push_back(RandomTree(rng, opts));
+  }
+  {
+    RandomTreeOptions opts;
+    opts.num_nodes = 150;
+    opts.max_children = 2;
+    corpus.push_back(RandomTree(rng, opts));
+  }
+  corpus.push_back(PathTree(97));
+  corpus.push_back(StarTree(96));
+  corpus.push_back(PerfectBinaryTree(6));
+  corpus.push_back(BibliographyTree(rng, 12));
+  return corpus;
+}
+
+class TreeIndexPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TreeIndexPropertyTest, PredicatesMatchNaiveWalksOnAllPairs) {
+  for (const Tree& t : Corpus(GetParam())) {
+    const NodeId n = static_cast<NodeId>(t.size());
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(t.Depth(v), naive::Depth(t, v)) << "v=" << v;
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        EXPECT_EQ(t.IsAncestorOrSelf(u, v), naive::IsAncestorOrSelf(t, u, v))
+            << "u=" << u << " v=" << v << "\ntree: " << t.ToTerm();
+        EXPECT_EQ(t.IsFollowingSiblingOrSelf(u, v),
+                  naive::IsFollowingSiblingOrSelf(t, u, v))
+            << "u=" << u << " v=" << v << "\ntree: " << t.ToTerm();
+        EXPECT_EQ(t.LeastCommonAncestor(u, v),
+                  naive::LeastCommonAncestor(t, u, v))
+            << "u=" << u << " v=" << v << "\ntree: " << t.ToTerm();
+      }
+    }
+  }
+}
+
+TEST_P(TreeIndexPropertyTest, SubtreeSizeIsDescendantOrSelfCount) {
+  for (const Tree& t : Corpus(GetParam())) {
+    const NodeId n = static_cast<NodeId>(t.size());
+    for (NodeId u = 0; u < n; ++u) {
+      std::size_t count = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (naive::IsAncestorOrSelf(t, u, v)) ++count;
+      }
+      EXPECT_EQ(t.SubtreeSize(u), count) << "u=" << u;
+    }
+  }
+}
+
+TEST_P(TreeIndexPropertyTest, PostOrderMatchesExplicitTraversal) {
+  for (const Tree& t : Corpus(GetParam())) {
+    const std::vector<NodeId> expected = naive::PostOrder(t);
+    for (NodeId v = 0; v < t.size(); ++v) {
+      EXPECT_EQ(t.PostOrder(v), expected[v]) << "v=" << v;
+    }
+  }
+}
+
+TEST_P(TreeIndexPropertyTest, IntervalAxisMatricesMatchNaiveBuilders) {
+  for (const Tree& t : Corpus(GetParam())) {
+    for (Axis axis : kAllAxes) {
+      EXPECT_EQ(AxisMatrix(t, axis), naive::AxisMatrix(t, axis))
+          << AxisName(axis) << "\ntree: " << t.ToTerm();
+    }
+  }
+}
+
+TEST_P(TreeIndexPropertyTest, PostingListLabelSetsMatchNaiveScans) {
+  for (const Tree& t : Corpus(GetParam())) {
+    for (LabelId id = 0; id < t.alphabet_size(); ++id) {
+      const std::string& name = t.label_string(id);
+      EXPECT_EQ(LabelSet(t, name), naive::LabelSet(t, name)) << name;
+      // Posting lists are document-ordered and complete.
+      const std::vector<NodeId>& postings = t.LabelPostings(id);
+      EXPECT_EQ(postings.size(), naive::LabelSet(t, name).Count());
+      for (std::size_t i = 1; i < postings.size(); ++i) {
+        EXPECT_LT(postings[i - 1], postings[i]);
+      }
+    }
+    EXPECT_EQ(LabelSet(t, ""), naive::LabelSet(t, ""));
+    EXPECT_EQ(LabelSet(t, "no_such_label"),
+              naive::LabelSet(t, "no_such_label"));
+  }
+}
+
+TEST_P(TreeIndexPropertyTest, AxisHoldsMatchesMatrixCell) {
+  Rng rng(GetParam() ^ 0x5eed);
+  for (const Tree& t : Corpus(GetParam())) {
+    const NodeId n = static_cast<NodeId>(t.size());
+    for (Axis axis : kAllAxes) {
+      BitMatrix m = AxisMatrix(t, axis);
+      for (int trial = 0; trial < 64; ++trial) {
+        NodeId u = static_cast<NodeId>(rng.Below(n));
+        NodeId v = static_cast<NodeId>(rng.Below(n));
+        EXPECT_EQ(AxisHolds(t, axis, u, v), m.Get(u, v))
+            << AxisName(axis) << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeIndexPropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace xpv

@@ -322,5 +322,53 @@ TEST(BinaryTreeTest, SubtreeCopy) {
   EXPECT_EQ(sub.size(), 3u);  // b, c, d (d is b's child2 in the encoding)
 }
 
+// ----------------------------------------- pathologically deep documents
+//
+// Regression tests for the iterative parsers/serializers: a recursive
+// implementation overflows the call stack near depth ~10^4-10^5, so a
+// 100k-deep chain must round-trip without crashing.
+
+constexpr std::size_t kDeep = 100000;
+
+TEST(DeepTreeTest, ParseTermAtDepth100k) {
+  std::string term;
+  term.reserve(kDeep * 3);
+  for (std::size_t i = 0; i < kDeep - 1; ++i) term += "a(";
+  term += 'a';
+  term.append(kDeep - 1, ')');
+
+  Result<Tree> t = Tree::ParseTerm(term);
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ(t->size(), kDeep);
+  const NodeId deepest = static_cast<NodeId>(kDeep - 1);
+  EXPECT_EQ(t->Depth(deepest), kDeep - 1);
+  EXPECT_TRUE(t->IsAncestorOrSelf(t->root(), deepest));
+  EXPECT_EQ(t->LeastCommonAncestor(deepest, static_cast<NodeId>(1)), 1u);
+
+  // Serialization back out must be iterative too.
+  EXPECT_EQ(t->ToTerm(), term);
+}
+
+TEST(DeepTreeTest, ParseXmlAtDepth100k) {
+  std::string xml;
+  xml.reserve(kDeep * 8);
+  for (std::size_t i = 0; i < kDeep - 1; ++i) xml += "<a>";
+  xml += "<a/>";
+  for (std::size_t i = 0; i < kDeep - 1; ++i) xml += "</a>";
+
+  Result<Tree> t = Tree::ParseXml(xml);
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ(t->size(), kDeep);
+  EXPECT_EQ(t->Depth(static_cast<NodeId>(kDeep - 1)), kDeep - 1);
+  EXPECT_EQ(t->ToXml(), xml);
+}
+
+TEST(DeepTreeTest, DeepSubtreeCopy) {
+  Tree t = PathTree(kDeep);
+  Tree sub = t.Subtree(1);
+  EXPECT_EQ(sub.size(), kDeep - 1);
+  EXPECT_EQ(sub.Depth(static_cast<NodeId>(sub.size() - 1)), kDeep - 2);
+}
+
 }  // namespace
 }  // namespace xpv
