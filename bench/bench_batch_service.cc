@@ -173,14 +173,6 @@ void BM_CompileWarmCache(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileWarmCache);
 
-// --------------------------------------------- axis materialization cost
-//
-// The index payoff: building ch+ (descendant) / ch* rows as pre-order
-// subtree intervals and ns+ (following-sibling) rows by in-place row ORs,
-// against the seed's walk-based builders (per-child row temporaries),
-// on a ~2k-node tree. "Indexed" is the production AxisMatrix; "Walk" is
-// naive::AxisMatrix, the retained oracle.
-
 Tree BenchTree(std::size_t nodes) {
   Rng rng(7);
   RandomTreeOptions opts;
@@ -188,6 +180,81 @@ Tree BenchTree(std::size_t nodes) {
   opts.alphabet_size = 3;
   return RandomTree(rng, opts);
 }
+
+// ------------------------------------------- result-shape comparison
+//
+// The planner's monadic fast path: a matrix-engine (general PPLbin)
+// query whose caller only consumes the from-root node set propagates a
+// single BitVector, materializing a matrix only under `except` -- while
+// the kFullRelation shape pays |P| full O(n^3/64) Boolean products. The
+// gap must widen asymptotically with the tree (the acceptance bar:
+// measurably faster at >= 2k nodes). Served through a DocumentStore so
+// the persistent AxisCache and plan memo isolate the evaluation cost.
+
+/// A general-PPLbin query: a positive chain with complements of leaf
+/// steps inside, so the full-relation path needs Boolean products while
+/// the row-restricted path only touches small sub-matrices.
+std::string ShapeBenchQueryText() {
+  using ppl::PplBinExpr;
+  ppl::PplBinPtr p = PplBinExpr::Compose(
+      PplBinExpr::Step(Axis::kChild, ""),
+      PplBinExpr::Compose(
+          PplBinExpr::Complement(PplBinExpr::Step(Axis::kSelf, "a")),
+          PplBinExpr::Compose(
+              PplBinExpr::Step(Axis::kDescendant, ""),
+              PplBinExpr::Complement(PplBinExpr::Step(Axis::kSelf, "b")))));
+  return ppl::ToXPath(*p)->ToString();
+}
+
+void RunShapeBench(benchmark::State& state, engine::ResultShape shape) {
+  const auto tree_nodes = static_cast<std::size_t>(state.range(0));
+  engine::DocumentStore store;
+  const engine::DocumentId id = store.Insert(BenchTree(tree_nodes));
+  engine::QueryService service(
+      {.num_threads = 1, .document_store = &store});
+  const std::string text = ShapeBenchQueryText();
+  // Warm the axis cache, plan memo, and query cache; refuse to report a
+  // number for a failing or mis-planned workload.
+  engine::QueryResult warm = service.Evaluate(id, text, shape);
+  if (!warm.status.ok()) {
+    state.SkipWithError(warm.status.ToString().c_str());
+    return;
+  }
+  if (warm.plan.engine != engine::EnginePlan::kMatrixGeneral) {
+    state.SkipWithError("expected the matrix engine");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.Evaluate(id, text, shape));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ShapeFullRelation(benchmark::State& state) {
+  RunShapeBench(state, engine::ResultShape::kFullRelation);
+}
+BENCHMARK(BM_ShapeFullRelation)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShapeFromRootSet(benchmark::State& state) {
+  RunShapeBench(state, engine::ResultShape::kFromRootSet);
+}
+BENCHMARK(BM_ShapeFromRootSet)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShapeBoolean(benchmark::State& state) {
+  RunShapeBench(state, engine::ResultShape::kBoolean);
+}
+BENCHMARK(BM_ShapeBoolean)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------- axis materialization cost
+//
+// The index payoff: building ch+ (descendant) / ch* rows as pre-order
+// subtree intervals and ns+ (following-sibling) rows by in-place row ORs,
+// against the seed's walk-based builders (per-child row temporaries),
+// on a ~2k-node tree. "Indexed" is the production AxisMatrix; "Walk" is
+// naive::AxisMatrix, the retained oracle.
 
 void BM_AxisBuildDescendantIndexed(benchmark::State& state) {
   Tree t = BenchTree(static_cast<std::size_t>(state.range(0)));

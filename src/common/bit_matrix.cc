@@ -315,6 +315,36 @@ BitVector BitMatrix::ImageOf(const BitVector& rows) const {
   return out;
 }
 
+BitVector BitMatrix::AndOfRows(const BitVector& rows) const {
+  assert(rows.size() == n_);
+  BitVector out(n_);
+  out.Fill();
+  rows.ForEachSet([&](std::size_t r) {
+    const std::uint64_t* row = &words_[r * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      out.mutable_words()[w] &= row[w];
+    }
+  });
+  return out;
+}
+
+BitVector BitMatrix::RowsContaining(const BitVector& cols) const {
+  assert(cols.size() == n_);
+  BitVector out(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::uint64_t* row = &words_[r * words_per_row_];
+    bool contains = true;
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      if ((cols.words()[w] & ~row[w]) != 0) {
+        contains = false;
+        break;
+      }
+    }
+    if (contains) out.Set(r);
+  }
+  return out;
+}
+
 std::size_t BitMatrix::Count() const {
   std::size_t count = 0;
   for (auto w : words_) count += static_cast<std::size_t>(__builtin_popcountll(w));

@@ -161,6 +161,16 @@ class BitMatrix {
   BitVector NonEmptyRows() const;
   /// image(N) = { u' | exists u in N, M[u][u'] }.
   BitVector ImageOf(const BitVector& rows) const;
+  /// AND of the rows selected by `rows` (all-ones for an empty selection,
+  /// the AND identity). Complementing the result gives the image of a
+  /// node set under the complemented relation without materializing it:
+  /// image(not M, N)[v] = OR_{u in N} not M[u][v] = not AndOfRows(N)[v].
+  BitVector AndOfRows(const BitVector& rows) const;
+  /// Rows whose row set contains every column of `cols` (all rows for an
+  /// empty `cols`). Complementing the result gives the preimage of a node
+  /// set under the complemented relation: u has some v in cols with
+  /// not M[u][v] iff row u does not contain cols.
+  BitVector RowsContaining(const BitVector& cols) const;
 
   /// Number of set cells.
   std::size_t Count() const;

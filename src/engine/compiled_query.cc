@@ -1,5 +1,7 @@
 #include "engine/compiled_query.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "hcl/translate.h"
@@ -11,6 +13,8 @@
 namespace xpv::engine {
 
 std::string_view EnginePlanName(EnginePlan plan) {
+  // Exhaustive on purpose: a new engine without a name is a compile
+  // warning (-Wswitch) rather than a silent "unknown" at runtime.
   switch (plan) {
     case EnginePlan::kGkpPositive:
       return "gkp-positive";
@@ -19,7 +23,12 @@ std::string_view EnginePlanName(EnginePlan plan) {
     case EnginePlan::kNaryAnswer:
       return "nary-answer";
   }
-  return "unknown";
+  std::abort();  // unreachable: the switch above covers every enumerator
+}
+
+bool CompiledQuery::Admits(EnginePlan engine) const {
+  return std::find(admissible.begin(), admissible.end(), engine) !=
+         admissible.end();
 }
 
 Result<std::shared_ptr<const CompiledQuery>> CompileQuery(
@@ -33,11 +42,15 @@ Result<std::shared_ptr<const CompiledQuery>> CompileQuery(
   q->text = std::string(text);
 
   if (xpath::CheckNoVariables(*path).ok()) {
-    // Variable-free: Fig. 4 into PPLbin, then pick the cheapest engine.
+    // Variable-free: Fig. 4 into PPLbin. Which engine actually runs is
+    // the planner's per-(tree, shape) decision; compilation only records
+    // what is admissible.
     XPV_ASSIGN_OR_RETURN(ppl::PplBinPtr bin, ppl::FromXPath(*path));
     q->pplbin = ppl::Simplify(std::move(bin));
-    q->plan = q->pplbin->IsPositive() ? EnginePlan::kGkpPositive
-                                      : EnginePlan::kMatrixGeneral;
+    q->positive = q->pplbin->IsPositive();
+    q->pplbin_size = q->pplbin->Size();
+    if (q->positive) q->admissible.push_back(EnginePlan::kGkpPositive);
+    q->admissible.push_back(EnginePlan::kMatrixGeneral);
   } else {
     // Variables present: must be PPL; Fig. 7 into HCL-(PPLbin) for the
     // output-sensitive n-ary answering machinery.
@@ -47,7 +60,7 @@ Result<std::shared_ptr<const CompiledQuery>> CompileQuery(
     for (const std::string& v : xpath::FreeVars(*path)) {
       q->tuple_vars.push_back(v);  // std::set iterates sorted
     }
-    q->plan = EnginePlan::kNaryAnswer;
+    q->admissible.push_back(EnginePlan::kNaryAnswer);
   }
   q->path = std::move(path);
   return std::shared_ptr<const CompiledQuery>(std::move(q));

@@ -1,16 +1,24 @@
-// Query compilation for the batch evaluation service: parse once, simplify,
-// classify into the cheapest applicable engine of the paper's hierarchy.
+// Query compilation for the batch evaluation service: the tree-independent
+// front end of the compile -> plan -> execute pipeline. CompileQuery
+// parses once, simplifies, and classifies into the set of *admissible*
+// engines of the paper's complexity hierarchy; choosing among them per
+// (query, tree, result shape) is the planner's job (engine/planner.h),
+// which has the Tree::Stats cost-model inputs that compilation, by
+// design, never sees.
 //
-// The plan mirrors the complexity landscape of FiliotNTT07:
+// The engines mirror the complexity landscape of FiliotNTT07:
 //
 //   kGkpPositive   -- variable-free (N($x)) queries whose Fig. 4 image is a
 //                     positive PPLbin expression: the Gottlob-Koch-Pichler
 //                     successor-set engine, O(|P| |t|) per start node.
-//   kMatrixGeneral -- variable-free queries with complement: the Section 4
-//                     Boolean-matrix engine, O(|P| |t|^3 / 64).
+//   kMatrixGeneral -- any variable-free query (complement included): the
+//                     Section 4 Boolean-matrix engine, O(|P| |t|^3 / 64).
 //   kNaryAnswer    -- queries with free variables inside PPL: translated to
 //                     HCL-(PPLbin) (Fig. 7) and answered by the
 //                     output-sensitive Section 7 machinery.
+//
+// A positive PPLbin query admits both kGkpPositive and kMatrixGeneral; a
+// general one only kMatrixGeneral; an n-ary one only kNaryAnswer.
 //
 // Queries outside PPL (e.g. shared variables across compositions, for-loops
 // violating N(for)) are rejected at compile time -- by Theorems in Sections
@@ -31,7 +39,7 @@
 
 namespace xpv::engine {
 
-/// Which engine a compiled query is dispatched to.
+/// An engine a compiled query can be dispatched to.
 enum class EnginePlan {
   kGkpPositive,
   kMatrixGeneral,
@@ -41,21 +49,31 @@ enum class EnginePlan {
 std::string_view EnginePlanName(EnginePlan plan);
 
 /// A query compiled once and shared (immutably) by every job that uses it,
-/// across trees and threads.
+/// across trees and threads. Deliberately tree-independent: everything
+/// per-(tree, shape) lives in the planner's ExecutionPlan.
 struct CompiledQuery {
   /// Original query text (the cache key).
   std::string text;
   /// Parsed + simplified Core XPath 2.0 form.
   xpath::PathPtr path;
-  EnginePlan plan;
+  /// Every engine that can evaluate this query, in the order of the
+  /// paper's hierarchy (cheapest asymptotics first). Never empty.
+  std::vector<EnginePlan> admissible;
 
-  /// Plan kGkpPositive / kMatrixGeneral: the Fig. 4 translation image.
+  /// Binary queries (kGkpPositive / kMatrixGeneral admissible): the
+  /// Fig. 4 translation image, and whether it is complement-free.
   ppl::PplBinPtr pplbin;
+  bool positive = false;
+  /// |P| of the pplbin image (0 for n-ary queries), precomputed for the
+  /// planner's cost model.
+  std::size_t pplbin_size = 0;
 
-  /// Plan kNaryAnswer: the Fig. 7 HCL-(PPLbin) translation and the output
+  /// kNaryAnswer: the Fig. 7 HCL-(PPLbin) translation and the output
   /// variable tuple (free variables of the query, sorted).
   hcl::HclPtr hcl;
   std::vector<std::string> tuple_vars;
+
+  bool Admits(EnginePlan engine) const;
 };
 
 /// Parses (abbreviated or core syntax), simplifies, classifies. Fails with

@@ -37,6 +37,7 @@ DocumentId DocumentStore::Insert(Tree tree, std::string name) {
   Entry entry;
   entry.doc =
       std::make_shared<const Document>(id, std::move(name), std::move(tree));
+  entry.plans = std::make_shared<PlanMemo>();
   entry.lru_it = lru_.end();
   entries_.emplace(id, std::move(entry));
   return id;
@@ -68,6 +69,7 @@ DocumentId DocumentStore::Intern(Tree tree, std::string name) {
   Entry entry;
   entry.doc =
       std::make_shared<const Document>(id, std::move(name), std::move(tree));
+  entry.plans = std::make_shared<PlanMemo>();
   entry.lru_it = lru_.end();
   entry.intern_key = key;
   entries_.emplace(id, std::move(entry));
@@ -117,6 +119,12 @@ std::shared_ptr<AxisCache> DocumentStore::AxisCacheFor(DocumentId id) {
   entry.lru_it = lru_.begin();
   EnforceHotBoundLocked();
   return entry.cache;
+}
+
+std::shared_ptr<PlanMemo> DocumentStore::PlanMemoFor(DocumentId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.plans;
 }
 
 void DocumentStore::EnforceHotBoundLocked() {

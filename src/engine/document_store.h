@@ -27,6 +27,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "engine/planner.h"
 #include "tree/axis_cache.h"
 #include "tree/tree.h"
 
@@ -108,6 +109,13 @@ class DocumentStore {
   /// even across Remove(). Null for unknown ids.
   std::shared_ptr<AxisCache> AxisCacheFor(DocumentId id);
 
+  /// The document's persistent query-plan memo (engine/planner.h), living
+  /// beside its AxisCache: repeated query templates on a long-lived
+  /// document plan once per (text, shape). Unlike the AxisCache it holds
+  /// only small ExecutionPlan records (bounded entry count), so it is
+  /// never LRU-retired. Null for unknown ids.
+  std::shared_ptr<PlanMemo> PlanMemoFor(DocumentId id) const;
+
   std::size_t size() const;
   DocumentStoreStats stats() const;
 
@@ -115,6 +123,7 @@ class DocumentStore {
   struct Entry {
     DocumentPtr doc;
     std::shared_ptr<AxisCache> cache;       // null when cold / retired
+    std::shared_ptr<PlanMemo> plans;         // created with the document
     std::list<DocumentId>::iterator lru_it;  // valid iff cache != null
     std::string intern_key;  // nonempty iff created by Intern()
   };

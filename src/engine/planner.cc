@@ -1,0 +1,211 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "ppl/pplbin.h"
+#include "tree/axes.h"
+
+namespace xpv::engine {
+
+namespace {
+
+double WordsPerRow(double n) {
+  return std::max(1.0, std::ceil(n / 64.0));
+}
+
+/// Heuristic upper bound on |domain(P)| from the tree's posting lists.
+/// domain(A::N) is the inverse-axis image of N's posting list, so it is
+/// bounded by the posting size times how far one target can "spread"
+/// backwards along A: one parent per node (child), at most max_fanout
+/// siblings / children (siblings, parent), at most max_depth ancestors
+/// (descendant). Only cost estimates depend on this -- every admissible
+/// plan computes identical answers (enforced by tests/planner_test.cc).
+double DomainBound(const ppl::PplBinExpr& p, const Tree& tree) {
+  const TreeStats& s = tree.Stats();
+  const double n = static_cast<double>(s.node_count);
+  switch (p.kind) {
+    case ppl::PplBinKind::kStep: {
+      // PplBinExpr::Step normalizes the "*" wildcard to "".
+      if (p.name_test.empty()) return n;
+      const double f = static_cast<double>(tree.LabelFrequency(p.name_test));
+      const double fanout = static_cast<double>(std::max<std::size_t>(
+          s.max_fanout, 1));
+      switch (p.axis) {
+        case Axis::kSelf:
+          return f;
+        case Axis::kChild:
+          return std::min(n, f);  // each labeled child has one parent
+        case Axis::kParent:
+        case Axis::kFollowingSibling:
+        case Axis::kPrecedingSibling:
+          return std::min(n, f * fanout);
+        case Axis::kDescendant:
+          return std::min(n, f * static_cast<double>(s.max_depth + 1));
+        case Axis::kAncestor:
+          return n;  // a labeled ancestor admits its whole subtree
+      }
+      return n;
+    }
+    case ppl::PplBinKind::kCompose:
+      // domain(P1/P2) is contained in domain(P1).
+      return DomainBound(*p.left, tree);
+    case ppl::PplBinKind::kUnion:
+      return std::min(
+          n, DomainBound(*p.left, tree) + DomainBound(*p.right, tree));
+    case ppl::PplBinKind::kFilter:
+      // domain([Q]) = domain(Q).
+      return DomainBound(*p.left, tree);
+    case ppl::PplBinKind::kComplement:
+      return n;
+  }
+  return n;
+}
+
+/// Cost (word ops) of the full matrix evaluation: |P| Boolean products.
+double MatrixFullCost(std::size_t pplbin_size, double n) {
+  return static_cast<double>(pplbin_size) * n * n * WordsPerRow(n);
+}
+
+/// Cost of the row-restricted matrix path: positive operators propagate
+/// one BitVector (O(|t|) each); each complement node falls back to the
+/// full matrix evaluation of its subexpression.
+double MatrixMonadicCost(const ppl::PplBinExpr& p, double n) {
+  switch (p.kind) {
+    case ppl::PplBinKind::kStep:
+      return n;
+    case ppl::PplBinKind::kCompose:
+    case ppl::PplBinKind::kUnion:
+      return MatrixMonadicCost(*p.left, n) + MatrixMonadicCost(*p.right, n) +
+             WordsPerRow(n);
+    case ppl::PplBinKind::kFilter:
+      // The domain resolves by a preimage walk of the same shape.
+      return MatrixMonadicCost(*p.left, n) + WordsPerRow(n);
+    case ppl::PplBinKind::kComplement:
+      return MatrixFullCost(p.left->Size(), n) + n * WordsPerRow(n);
+  }
+  return n;
+}
+
+}  // namespace
+
+std::string_view ResultShapeName(ResultShape shape) {
+  // Exhaustive on purpose (no default return): a new shape without a
+  // name is a -Wswitch compile warning, not a silent wrong string.
+  switch (shape) {
+    case ResultShape::kFullRelation:
+      return "full-relation";
+    case ResultShape::kFromRootSet:
+      return "from-root-set";
+    case ResultShape::kBoolean:
+      return "boolean";
+    case ResultShape::kCount:
+      return "count";
+  }
+  std::abort();  // unreachable: the switch above covers every enumerator
+}
+
+std::string ExecutionPlan::DebugString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s/%s%s cost=%.3g alt=%.3g",
+                std::string(EnginePlanName(engine)).c_str(),
+                std::string(ResultShapeName(shape)).c_str(),
+                row_restricted ? " row-restricted" : "", cost,
+                alternative_cost);
+  return buf;
+}
+
+ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
+                        ResultShape shape,
+                        std::optional<EnginePlan> force_engine) {
+  ExecutionPlan plan;
+  plan.shape = shape;
+  const double n =
+      static_cast<double>(std::max<std::size_t>(tree.Stats().node_count, 1));
+
+  if (q.pplbin == nullptr) {
+    // N-ary queries have exactly one engine; the shape only selects the
+    // payload derived from the answer set. Coarse Prop. 10 table bound.
+    plan.engine = EnginePlan::kNaryAnswer;
+    plan.cost = n * n;
+    return plan;
+  }
+
+  // Binary queries: monadic shapes take the row-restricted entry points
+  // of whichever engine wins the cost comparison.
+  const bool monadic = shape != ResultShape::kFullRelation;
+  const double matrix_cost = monadic
+                                 ? MatrixMonadicCost(*q.pplbin, n)
+                                 : MatrixFullCost(q.pplbin_size, n);
+  double gkp_cost = std::numeric_limits<double>::infinity();
+  if (q.positive) {
+    // Monadic: both engines run the identical BitVector propagation on a
+    // positive query, so the costs tie and the tie-break below prefers
+    // GKP (it shares the filter-domain cache across calls).
+    gkp_cost = monadic ? matrix_cost
+                       : static_cast<double>(q.pplbin_size) * n *
+                             (1.0 + DomainBound(*q.pplbin, tree));
+  }
+
+  EnginePlan chosen = gkp_cost <= matrix_cost ? EnginePlan::kGkpPositive
+                                              : EnginePlan::kMatrixGeneral;
+  if (force_engine.has_value()) chosen = *force_engine;
+  plan.engine = chosen;
+  plan.row_restricted = monadic;
+  plan.cost =
+      chosen == EnginePlan::kGkpPositive ? gkp_cost : matrix_cost;
+  if (q.positive) {
+    plan.alternative_cost =
+        chosen == EnginePlan::kGkpPositive ? matrix_cost : gkp_cost;
+  }
+  return plan;
+}
+
+std::optional<ExecutionPlan> PlanMemo::Lookup(std::string_view text,
+                                              ResultShape shape) const {
+  const std::string key = Key(text, shape);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void PlanMemo::Insert(std::string_view text, ResultShape shape,
+                      const ExecutionPlan& plan) {
+  std::string key = Key(text, shape);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plans_.size() >= max_entries_ && !plans_.contains(key)) return;
+  plans_.emplace(std::move(key), plan);
+}
+
+std::size_t PlanMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+std::uint64_t PlanMemo::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PlanMemo::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::string PlanMemo::Key(std::string_view text, ResultShape shape) {
+  std::string key(text);
+  key.push_back('\x1f');  // cannot occur in a parseable query text
+  key.append(ResultShapeName(shape));
+  return key;
+}
+
+}  // namespace xpv::engine

@@ -1,0 +1,154 @@
+// The middle stage of the compile -> plan -> execute pipeline: a
+// cost-based, result-shape-aware query planner.
+//
+// CompileQuery (engine/compiled_query.h) is tree-independent and records
+// every admissible engine; this layer picks one per (compiled query,
+// tree, result shape) using the Tree::Stats() statistics that
+// TreeBuilder::Finish() precomputes -- node count, depth, fanout, label
+// posting-list sizes. The decision follows the paper's complexity
+// landscape, made quantitative:
+//
+//   engine          full relation              monadic (row-restricted)
+//   kGkpPositive    O(|P| |t| |domain|)        O(|P| |t|)
+//   kMatrixGeneral  O(|P| |t|^3 / 64)          O(|P| |t|) + one
+//                                              sub-matrix per `except`
+//   kNaryAnswer     output-sensitive Section 7 machinery
+//
+// so e.g. a general-PPLbin query on a small tree runs on the matrix
+// engine (one 64-bit word covers a whole row), while a large tree with a
+// selective label routes a positive query to the GKP engine, whose
+// domain-restricted Relation() loop touches only the posting-list-bounded
+// domain.
+//
+// The *result shape* says what the caller actually consumes. Callers who
+// only need the nodes reachable from the root -- the overwhelmingly
+// common serving workload -- get a monadic fast path that propagates a
+// single BitVector through every engine instead of materializing the
+// O(|t|^2) relation:
+//
+//   shape           binary (PPLbin) payload        n-ary payload
+//   kFullRelation   relation + from_root           tuples
+//   kFromRootSet    from_root only                 tuples
+//   kBoolean        boolean = from-root nonempty   boolean = any tuple
+//   kCount          count = |from-root set|        count = |tuples|
+//
+// Plans are deterministic functions of (query, tree, shape), so memoizing
+// them per document (PlanMemo, owned by the DocumentStore next to the
+// AxisCache) never changes results -- only skips the cost arithmetic.
+#ifndef XPV_ENGINE_PLANNER_H_
+#define XPV_ENGINE_PLANNER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "engine/compiled_query.h"
+#include "tree/tree.h"
+
+namespace xpv::engine {
+
+/// What a caller consumes from a query's answer. Shapes other than
+/// kFullRelation unlock the monadic fast path on binary queries.
+enum class ResultShape {
+  kFullRelation,
+  kFromRootSet,
+  kBoolean,
+  kCount,
+};
+
+std::string_view ResultShapeName(ResultShape shape);
+
+/// The planner's decision for one (compiled query, tree, shape): which
+/// engine runs and whether it takes the row-restricted entry point.
+struct ExecutionPlan {
+  EnginePlan engine = EnginePlan::kMatrixGeneral;
+  ResultShape shape = ResultShape::kFullRelation;
+  /// Monadic fast path: the engine propagates a single BitVector
+  /// (GkpEngine::EvaluateFromNode / MatrixEngine::EvaluateFromRoot)
+  /// instead of materializing the O(|t|^2) relation.
+  bool row_restricted = false;
+  /// Cost-model estimate (in 64-bit word operations) of the chosen
+  /// route, and of the best rejected admissible engine (0 = no
+  /// alternative existed).
+  double cost = 0.0;
+  double alternative_cost = 0.0;
+
+  bool operator==(const ExecutionPlan&) const = default;
+
+  /// E.g. "gkp-positive/from-root-set row-restricted cost=1.2e3 alt=5e6".
+  std::string DebugString() const;
+};
+
+/// Chooses the cheapest admissible engine for `q` on `tree` under the
+/// requested shape. With `force_engine` set (tests, ablations), the cost
+/// model still runs but the named engine is selected; it must be
+/// admissible for `q` (callers check via CompiledQuery::Admits).
+ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
+                        ResultShape shape,
+                        std::optional<EnginePlan> force_engine = {});
+
+/// Bounded, thread-safe (query text, shape) -> ExecutionPlan memo. One
+/// lives beside each document's AxisCache in the DocumentStore, so a
+/// repeated query template on a long-lived document plans once. Once
+/// full, unseen keys are still planned by the caller but not inserted
+/// (same containment policy as the QueryCache).
+class PlanMemo {
+ public:
+  static constexpr std::size_t kDefaultMaxEntries = 256;
+
+  explicit PlanMemo(std::size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries) {}
+
+  PlanMemo(const PlanMemo&) = delete;
+  PlanMemo& operator=(const PlanMemo&) = delete;
+
+  /// The memoized plan, or nullopt on a miss.
+  std::optional<ExecutionPlan> Lookup(std::string_view text,
+                                      ResultShape shape) const;
+  void Insert(std::string_view text, ResultShape shape,
+              const ExecutionPlan& plan);
+
+  /// Lookup-or-plan in one step: builds the key once and runs `compute`
+  /// outside the lock on a miss (plans are deterministic, so a racing
+  /// duplicate computation is harmless). The serving hot path.
+  template <typename Fn>
+  ExecutionPlan GetOrCompute(std::string_view text, ResultShape shape,
+                             Fn&& compute) {
+    std::string key = Key(text, shape);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = plans_.find(key);
+      if (it != plans_.end()) {
+        ++hits_;
+        return it->second;
+      }
+      ++misses_;
+    }
+    ExecutionPlan plan = compute();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (plans_.size() < max_entries_ || plans_.contains(key)) {
+      plans_.emplace(std::move(key), plan);
+    }
+    return plan;
+  }
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  static std::string Key(std::string_view text, ResultShape shape);
+
+  const std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ExecutionPlan> plans_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace xpv::engine
+
+#endif  // XPV_ENGINE_PLANNER_H_

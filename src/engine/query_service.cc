@@ -13,6 +13,26 @@
 
 namespace xpv::engine {
 
+namespace {
+
+/// Derives the monadic payload from a from-root node set.
+void FinishMonadic(QueryResult& result, ResultShape shape, BitVector image) {
+  switch (shape) {
+    case ResultShape::kFullRelation:
+    case ResultShape::kFromRootSet:
+      result.from_root = std::move(image);
+      return;
+    case ResultShape::kBoolean:
+      result.boolean = image.Any();
+      return;
+    case ResultShape::kCount:
+      result.count = image.Count();
+      return;
+  }
+}
+
+}  // namespace
+
 QueryService::QueryService(QueryServiceOptions options)
     : num_threads_(options.num_threads), store_(options.document_store) {
   if (num_threads_ == 0) {
@@ -24,12 +44,14 @@ QueryService::QueryService(QueryServiceOptions options)
 
 QueryService::~QueryService() = default;
 
-QueryResult QueryService::Evaluate(const Tree& tree, std::string_view query) {
-  return RunJob(&tree, std::string(query), std::make_shared<AxisCache>(tree));
+QueryResult QueryService::Evaluate(const Tree& tree, std::string_view query,
+                                   ResultShape shape) {
+  return RunJob(&tree, std::string(query), shape, std::nullopt,
+                std::make_shared<AxisCache>(tree), nullptr);
 }
 
-QueryResult QueryService::Evaluate(DocumentId document,
-                                   std::string_view query) {
+QueryResult QueryService::Evaluate(DocumentId document, std::string_view query,
+                                   ResultShape shape) {
   QueryResult result;
   if (store_ == nullptr) {
     result.status = Status::InvalidArgument(
@@ -42,13 +64,15 @@ QueryResult QueryService::Evaluate(DocumentId document,
         Status::NotFound("unknown document id " + std::to_string(document));
     return result;
   }
-  return RunJob(&doc->tree(), std::string(query),
-                store_->AxisCacheFor(document));
+  return RunJob(&doc->tree(), std::string(query), shape, std::nullopt,
+                store_->AxisCacheFor(document), store_->PlanMemoFor(document));
 }
 
 QueryResult QueryService::RunJob(
-    const Tree* tree, const std::string& query,
-    const std::shared_ptr<AxisCache>& tree_cache) {
+    const Tree* tree, const std::string& query, ResultShape shape,
+    const std::optional<EnginePlan>& engine_override,
+    const std::shared_ptr<AxisCache>& tree_cache,
+    const std::shared_ptr<PlanMemo>& plan_memo) {
   QueryResult result;
   if (tree == nullptr || tree->empty()) {
     result.status = Status::InvalidArgument("job has no tree");
@@ -62,12 +86,44 @@ QueryResult QueryService::RunJob(
   }
   const CompiledQuery& q = **compiled;
   const Tree& t = *tree;
+
+  // Plan stage: per (compiled query, tree, shape), memoized per document.
+  // Forced engines (tests, ablations) bypass the memo so a forced run
+  // never pollutes the planner's cache.
+  ExecutionPlan plan;
+  if (engine_override.has_value()) {
+    if (!q.Admits(*engine_override)) {
+      result.status = Status::InvalidArgument(
+          "engine override '" +
+          std::string(EnginePlanName(*engine_override)) +
+          "' is not admissible for query: " + q.text);
+      return result;
+    }
+    plan = PlanQuery(q, t, shape, engine_override);
+  } else if (plan_memo != nullptr) {
+    plan = plan_memo->GetOrCompute(
+        q.text, shape, [&] { return PlanQuery(q, t, shape); });
+  } else {
+    plan = PlanQuery(q, t, shape);
+  }
+  result.plan = plan;
+
   const std::shared_ptr<AxisCache> cache =
       tree_cache != nullptr ? tree_cache : std::make_shared<AxisCache>(t);
-  result.plan = q.plan;
-  switch (q.plan) {
+
+  // Execute stage: dispatch through the plan.
+  switch (plan.engine) {
     case EnginePlan::kGkpPositive: {
       ppl::GkpEngine engine(cache);
+      if (plan.row_restricted) {
+        Result<BitVector> image = engine.FromRoot(*q.pplbin);
+        if (!image.ok()) {
+          result.status = image.status();
+          return result;
+        }
+        FinishMonadic(result, plan.shape, std::move(image).value());
+        return result;
+      }
       Result<BitMatrix> rel = engine.Relation(*q.pplbin);
       if (!rel.ok()) {
         result.status = rel.status();
@@ -78,6 +134,11 @@ QueryResult QueryService::RunJob(
     }
     case EnginePlan::kMatrixGeneral: {
       ppl::MatrixEngine engine(cache);
+      if (plan.row_restricted) {
+        FinishMonadic(result, plan.shape,
+                      engine.EvaluateFromRoot(*q.pplbin));
+        return result;
+      }
       result.relation = engine.Evaluate(*q.pplbin);
       break;
     }
@@ -88,10 +149,26 @@ QueryResult QueryService::RunJob(
         result.status = prepared;
         return result;
       }
-      result.tuples = answerer.Answer();
+      xpath::TupleSet tuples = answerer.Answer();
+      switch (plan.shape) {
+        case ResultShape::kFullRelation:
+        case ResultShape::kFromRootSet:
+          result.tuples = std::move(tuples);
+          break;
+        case ResultShape::kBoolean:
+          result.boolean = !tuples.empty();
+          break;
+        case ResultShape::kCount:
+          result.count = tuples.size();
+          break;
+      }
       return result;
     }
   }
+
+  // Full binary relation computed; plan.shape is kFullRelation here --
+  // every monadic binary plan is row-restricted and returned inside the
+  // switch above.
   BitVector root_only(t.size());
   root_only.Set(t.root());
   result.from_root = result.relation.ImageOf(root_only);
@@ -110,6 +187,7 @@ std::vector<QueryResult> QueryService::EvaluateBatch(
   struct ResolvedDoc {
     DocumentPtr doc;
     std::shared_ptr<AxisCache> cache;
+    std::shared_ptr<PlanMemo> plans;
   };
   std::unordered_map<DocumentId, ResolvedDoc> docs;
   for (const QueryJob& job : jobs) {
@@ -123,6 +201,7 @@ std::vector<QueryResult> QueryService::EvaluateBatch(
         resolved.doc = store_->Get(job.document);
         if (resolved.doc != nullptr) {
           resolved.cache = store_->AxisCacheFor(job.document);
+          resolved.plans = store_->PlanMemoFor(job.document);
         }
         docs.emplace(job.document, std::move(resolved));
       }
@@ -151,12 +230,14 @@ std::vector<QueryResult> QueryService::EvaluateBatch(
                                              std::to_string(job.document));
         return;
       }
-      results[i] = RunJob(&resolved.doc->tree(), job.query, resolved.cache);
+      results[i] = RunJob(&resolved.doc->tree(), job.query, job.shape,
+                          job.engine_override, resolved.cache, resolved.plans);
       return;
     }
     auto it = tree_caches.find(job.tree);
-    results[i] = RunJob(job.tree, job.query,
-                        it == tree_caches.end() ? nullptr : it->second);
+    results[i] = RunJob(job.tree, job.query, job.shape, job.engine_override,
+                        it == tree_caches.end() ? nullptr : it->second,
+                        nullptr);
   };
 
   if (pool_ == nullptr) {

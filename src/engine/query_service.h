@@ -1,15 +1,20 @@
 // Batched parallel query evaluation -- the serving layer over the paper's
 // engines.
 //
-// A QueryService accepts batches of (tree, query-text) jobs and:
+// A QueryService accepts batches of (tree, query-text, result-shape) jobs
+// and:
 //
-//   1. compiles each distinct query text once (QueryCache),
-//   2. plans it onto the cheapest applicable engine (CompileQuery):
-//      positive PPLbin -> ppl::GkpEngine, general PPLbin ->
-//      ppl::MatrixEngine, n-ary PPL -> the Section 7 answer machinery,
+//   1. compiles each distinct query text once (QueryCache) into a
+//      tree-independent CompiledQuery recording every admissible engine,
+//   2. plans each job per (compiled query, tree, result shape) with the
+//      cost-based planner (engine/planner.h), choosing GkpEngine,
+//      MatrixEngine, or the Section 7 answer machinery from Tree::Stats
+//      and taking the monadic row-restricted fast path when the caller
+//      only consumes a node set / boolean / count,
 //   3. executes jobs across a fixed thread pool, sharing one AxisCache per
 //      distinct tree in the batch so concurrent jobs on the same tree
-//      materialize each axis relation matrix exactly once.
+//      materialize each axis relation matrix exactly once; jobs on stored
+//      documents additionally share the store's per-document plan memo.
 //
 // Jobs address their document either by raw `Tree*` (caller-owned, cache
 // shared for the duration of one batch) or -- preferably -- by DocumentId
@@ -24,7 +29,9 @@
 #define XPV_ENGINE_QUERY_SERVICE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,6 +40,7 @@
 #include "common/status.h"
 #include "engine/compiled_query.h"
 #include "engine/document_store.h"
+#include "engine/planner.h"
 #include "engine/query_cache.h"
 #include "engine/thread_pool.h"
 #include "tree/axis_cache.h"
@@ -50,23 +58,41 @@ struct QueryJob {
   const Tree* tree = nullptr;
   DocumentId document = kNoDocument;
   std::string query;
+  /// What this job's caller consumes (see engine/planner.h). Shapes other
+  /// than kFullRelation unlock the monadic row-restricted fast path.
+  ResultShape shape = ResultShape::kFullRelation;
+  /// Tests and ablations only: force a specific engine instead of the
+  /// planner's cost-based choice. Must be admissible for the query
+  /// (InvalidArgument otherwise). Bypasses the per-document plan memo.
+  std::optional<EnginePlan> engine_override;
 };
 
-/// Outcome of one job.
+/// Outcome of one job. Which payload fields are populated follows the
+/// job's requested shape (the table in engine/planner.h):
+///
+///   kFullRelation  binary: relation + from_root     n-ary: tuples
+///   kFromRootSet   binary: from_root                n-ary: tuples
+///   kBoolean       boolean (from-root set / tuple set nonempty)
+///   kCount         count (|from-root set| / |tuple set|)
 struct QueryResult {
   /// Non-OK when the query failed to compile (syntax / fragment) or the
   /// job was malformed; engine fields are then empty.
   Status status;
-  /// Which engine produced the result (valid when status is OK).
-  EnginePlan plan = EnginePlan::kMatrixGeneral;
+  /// The planner's decision that produced this result (valid when status
+  /// is OK): engine, shape, row restriction, estimated costs.
+  ExecutionPlan plan;
 
-  /// Binary plans (kGkpPositive, kMatrixGeneral): the full relation
-  /// q^bin_P(t) and its monadic from-the-root restriction.
+  /// Binary engines: the full relation q^bin_P(t) (kFullRelation only)
+  /// and its monadic from-the-root restriction.
   BitMatrix relation;
   BitVector from_root;
 
-  /// N-ary plan (kNaryAnswer): the answer set q_{C,x}(t).
+  /// kNaryAnswer: the answer set q_{C,x}(t).
   xpath::TupleSet tuples;
+
+  /// kBoolean / kCount payloads.
+  bool boolean = false;
+  std::uint64_t count = 0;
 };
 
 struct QueryServiceOptions {
@@ -89,9 +115,12 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Evaluates one query immediately on the calling thread.
-  QueryResult Evaluate(const Tree& tree, std::string_view query);
-  /// Evaluates one query on a stored document (uses its persistent cache).
-  QueryResult Evaluate(DocumentId document, std::string_view query);
+  QueryResult Evaluate(const Tree& tree, std::string_view query,
+                       ResultShape shape = ResultShape::kFullRelation);
+  /// Evaluates one query on a stored document (uses its persistent axis
+  /// cache and plan memo).
+  QueryResult Evaluate(DocumentId document, std::string_view query,
+                       ResultShape shape = ResultShape::kFullRelation);
 
   /// Evaluates a batch; results[i] corresponds to jobs[i]. Jobs on the
   /// same Tree pointer share one AxisCache for the duration of the batch;
@@ -110,7 +139,10 @@ class QueryService {
 
  private:
   QueryResult RunJob(const Tree* tree, const std::string& query,
-                     const std::shared_ptr<AxisCache>& tree_cache);
+                     ResultShape shape,
+                     const std::optional<EnginePlan>& engine_override,
+                     const std::shared_ptr<AxisCache>& tree_cache,
+                     const std::shared_ptr<PlanMemo>& plan_memo);
 
   std::size_t num_threads_;
   QueryCache cache_;

@@ -13,8 +13,19 @@ using xpath::PathExpr;
 using xpath::PathPtr;
 using xpath::TestExpr;
 
-std::string VarName(int i) { return "x" + std::to_string(i + 1); }
-std::string VarLabel(int i) { return "v" + std::to_string(i + 1); }
+// Prefix + append instead of `"x" + std::to_string(...)`: GCC 12's -O3
+// inlining of operator+(const char*, string&&) trips a -Wrestrict false
+// positive that -Werror would turn into a build break.
+std::string VarName(int i) {
+  std::string name("x");
+  name += std::to_string(i + 1);
+  return name;
+}
+std::string VarLabel(int i) {
+  std::string label("v");
+  label += std::to_string(i + 1);
+  return label;
+}
 
 }  // namespace
 
@@ -27,7 +38,8 @@ std::string CnfFormula::ToString() const {
       if (l > 0) out += " | ";
       int lit = clauses[c][l];
       if (lit < 0) out += '~';
-      out += "v" + std::to_string(std::abs(lit));
+      out += 'v';
+      out += std::to_string(std::abs(lit));
     }
     out += ')';
   }

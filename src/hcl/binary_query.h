@@ -50,8 +50,12 @@ using BinaryQueryPtr = std::shared_ptr<const BinaryQuery>;
 class AxisQuery : public BinaryQuery {
  public:
   AxisQuery(Axis axis, std::string name_test)
-      : axis_(axis),
-        name_test_(name_test == "*" ? "" : std::move(name_test)) {}
+      : axis_(axis), name_test_(std::move(name_test)) {
+    // Normalize after the move (not in the initializer, whose
+    // compare-then-move GCC 12 misdiagnoses as a use of uninitialized
+    // memory under -O2).
+    if (name_test_ == "*") name_test_.clear();
+  }
 
   BitMatrix Evaluate(const Tree& t) const override;
   BitMatrix EvaluateCached(

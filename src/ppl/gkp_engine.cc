@@ -85,15 +85,19 @@ Result<BitVector> GkpEngine::Image(const PplBinExpr& p,
   return ImagePositive(p, from);
 }
 
+BitVector GkpEngine::DomainPositive(const PplBinExpr& p) {
+  PplBinPtr reversed = Reverse(p);
+  BitVector all(tree_.size());
+  all.Fill();
+  return ImagePositive(*reversed, all);
+}
+
 Result<BitVector> GkpEngine::Domain(const PplBinExpr& p) {
   if (!p.IsPositive()) {
     return Status::FragmentViolation(
         "GkpEngine evaluates the positive fragment only");
   }
-  PplBinPtr reversed = Reverse(p);
-  BitVector all(tree_.size());
-  all.Fill();
-  return ImagePositive(*reversed, all);
+  return DomainPositive(p);
 }
 
 Result<BitMatrix> GkpEngine::Relation(const PplBinExpr& p) {
@@ -101,20 +105,27 @@ Result<BitMatrix> GkpEngine::Relation(const PplBinExpr& p) {
     return Status::FragmentViolation(
         "GkpEngine evaluates the positive fragment only");
   }
+  // Rows outside domain(P) are empty by definition, so one O(|P| |t|)
+  // reversal image bounds the loop; selective leading labels shrink it.
+  BitVector domain = DomainPositive(p);
   BitMatrix out(tree_.size());
   BitVector from(tree_.size());
-  for (NodeId u = 0; u < tree_.size(); ++u) {
+  domain.ForEachSet([&](std::size_t u) {
     from.Clear();
     from.Set(u);
     out.OrIntoRow(u, ImagePositive(p, from));
-  }
+  });
   return out;
 }
 
+Result<BitVector> GkpEngine::EvaluateFromNode(const PplBinExpr& p, NodeId u) {
+  BitVector from(tree_.size());
+  from.Set(u);
+  return Image(p, from);
+}
+
 Result<BitVector> GkpEngine::FromRoot(const PplBinExpr& p) {
-  BitVector root_only(tree_.size());
-  root_only.Set(tree_.root());
-  return Image(p, root_only);
+  return EvaluateFromNode(p, tree_.root());
 }
 
 }  // namespace xpv::ppl

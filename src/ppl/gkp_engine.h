@@ -49,14 +49,21 @@ class GkpEngine {
   /// domain(P) = { u | exists u': (u, u') in [[P]] }, via reversal.
   Result<BitVector> Domain(const PplBinExpr& p);
 
-  /// The full relation [[P]], one Image() per start node.
+  /// The full relation [[P]]. Rows outside domain(P) are empty, so the
+  /// per-start-node image loop runs only over the domain -- computed
+  /// first via one reversal image, O(|P| |t|). Label-selective queries
+  /// (small domains) pay O(|P| |t| |domain|) instead of O(|P| |t|^2).
   Result<BitMatrix> Relation(const PplBinExpr& p);
 
+  /// Monadic query from one start node: S_P({u}), O(|P| |t|).
+  Result<BitVector> EvaluateFromNode(const PplBinExpr& p, NodeId u);
   /// Monadic query from the root.
   Result<BitVector> FromRoot(const PplBinExpr& p);
 
  private:
   BitVector ImagePositive(const PplBinExpr& p, const BitVector& from);
+  /// domain(P) by reversal; requires P positive (checked by callers).
+  BitVector DomainPositive(const PplBinExpr& p);
 
   const Tree& tree_;
   std::shared_ptr<AxisCache> cache_;

@@ -26,10 +26,87 @@ BitMatrix MatrixEngine::Evaluate(const PplBinExpr& p) {
   return BitMatrix(tree_.size());
 }
 
+BitVector MatrixEngine::Image(const PplBinExpr& p, const BitVector& from) {
+  switch (p.kind) {
+    case PplBinKind::kStep: {
+      BitVector out = AxisImage(tree_, p.axis, from);
+      if (!p.name_test.empty()) out.AndWith(cache_->Labels(p.name_test));
+      return out;
+    }
+    case PplBinKind::kCompose: {
+      BitVector mid = Image(*p.left, from);
+      return Image(*p.right, mid);
+    }
+    case PplBinKind::kUnion: {
+      BitVector out = Image(*p.left, from);
+      out.OrWith(Image(*p.right, from));
+      return out;
+    }
+    case PplBinKind::kFilter: {
+      BitVector out = from;
+      out.AndWith(Domain(*p.left));
+      return out;
+    }
+    case PplBinKind::kComplement: {
+      // image(not Q, N)[v] = OR_{u in N} not M_Q[u][v]
+      //                    = not (AND_{u in N} M_Q[u][v]).
+      // The only place the monadic path materializes a matrix -- and only
+      // the complemented subexpression's, not the whole query's.
+      BitVector out = Evaluate(*p.left).AndOfRows(from);
+      out.Complement();
+      return out;
+    }
+  }
+  return BitVector(tree_.size());
+}
+
+BitVector MatrixEngine::Preimage(const PplBinExpr& p, const BitVector& to) {
+  switch (p.kind) {
+    case PplBinKind::kStep: {
+      // (u, v) in [[A::N]] iff A(u, v) and v labeled N: constrain the
+      // targets first, then walk the inverse axis.
+      BitVector targets = to;
+      if (!p.name_test.empty()) targets.AndWith(cache_->Labels(p.name_test));
+      return AxisImage(tree_, InverseAxis(p.axis), targets);
+    }
+    case PplBinKind::kCompose: {
+      BitVector mid = Preimage(*p.right, to);
+      return Preimage(*p.left, mid);
+    }
+    case PplBinKind::kUnion: {
+      BitVector out = Preimage(*p.left, to);
+      out.OrWith(Preimage(*p.right, to));
+      return out;
+    }
+    case PplBinKind::kFilter: {
+      BitVector out = to;
+      out.AndWith(Domain(*p.left));
+      return out;
+    }
+    case PplBinKind::kComplement: {
+      // u has some v in N with not M_Q[u][v] iff row u does not contain N.
+      BitVector out = Evaluate(*p.left).RowsContaining(to);
+      out.Complement();
+      return out;
+    }
+  }
+  return BitVector(tree_.size());
+}
+
+BitVector MatrixEngine::Domain(const PplBinExpr& p) {
+  BitVector all(tree_.size());
+  all.Fill();
+  return Preimage(p, all);
+}
+
+BitVector MatrixEngine::EvaluateFromNode(const PplBinExpr& p, NodeId u) {
+  BitVector from(tree_.size());
+  from.Set(u);
+  return Image(p, from);
+}
+
 BitVector MatrixEngine::EvaluateFromRoot(const PplBinExpr& p) {
-  BitVector root_only(tree_.size());
-  root_only.Set(tree_.root());
-  return Evaluate(p).ImageOf(root_only);
+  return EvaluateFromNode(p, tree_.root());
 }
 
 }  // namespace xpv::ppl

@@ -47,6 +47,30 @@ class MatrixEngine {
   /// M^t_P, i.e. the binary query q^bin_P(t) as a matrix.
   BitMatrix Evaluate(const PplBinExpr& p);
 
+  // ------------------------------------------------------------------
+  // Row-restricted (monadic) entry points. When a caller only consumes a
+  // node set -- not the full O(|t|^2) relation -- the evaluation
+  // propagates a single BitVector through the expression, Gottlob-Koch-
+  // Pichler style, and falls back to materialized sub-matrices only
+  // underneath `except`:
+  //
+  //   image(not Q, N)    = not AndOfRows(M_Q, N)
+  //   preimage(not Q, N) = not RowsContaining(M_Q, N)
+  //
+  // so positive subplans run in O(|P| |t|) set ops and each complement
+  // node costs one sub-matrix evaluation instead of the whole query
+  // costing O(|P| |t|^3 / 64). Positive filters resolve their domain via
+  // Preimage of the full node set, again without a matrix.
+
+  /// S_P(N) = { v | exists u in N, (u, v) in [[P]] }.
+  BitVector Image(const PplBinExpr& p, const BitVector& from);
+  /// S^{-1}_P(N) = { u | exists v in N, (u, v) in [[P]] }.
+  BitVector Preimage(const PplBinExpr& p, const BitVector& to);
+  /// domain(P) = { u | row u of M_P is nonempty } = Preimage(P, nodes).
+  BitVector Domain(const PplBinExpr& p);
+
+  /// Monadic query from one start node: Image(P, {u}).
+  BitVector EvaluateFromNode(const PplBinExpr& p, NodeId u);
   /// Monadic query from the root: nodes reachable from the root via P.
   BitVector EvaluateFromRoot(const PplBinExpr& p);
 

@@ -26,6 +26,10 @@ const std::vector<NodeId>& Tree::LabelPostings(LabelId id) const {
   return label_postings_[id];
 }
 
+std::size_t Tree::LabelFrequency(std::string_view name) const {
+  return LabelPostings(FindLabel(name)).size();
+}
+
 void Tree::BuildIndexes() {
   const NodeId n = static_cast<NodeId>(parent_.size());
   depth_.assign(n, 0);
@@ -55,6 +59,25 @@ void Tree::BuildIndexes() {
       up_[k][v] = half == kNoNode ? kNoNode : up_[k - 1][half];
     }
   }
+  // Summary statistics for the query planner's cost model.
+  stats_.node_count = n;
+  stats_.max_depth = max_depth;
+  stats_.alphabet_size = labels_.size();
+  std::vector<std::size_t> fanout(n, 0);
+  for (NodeId v = 1; v < n; ++v) ++fanout[parent_[v]];
+  stats_.max_fanout = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    stats_.max_fanout = std::max(stats_.max_fanout, fanout[v]);
+  }
+  stats_.max_label_posting = 0;
+  stats_.min_label_posting = n;
+  for (const std::vector<NodeId>& postings : label_postings_) {
+    stats_.max_label_posting =
+        std::max(stats_.max_label_posting, postings.size());
+    stats_.min_label_posting =
+        std::min(stats_.min_label_posting, postings.size());
+  }
+  if (label_postings_.empty()) stats_.min_label_posting = 0;
 }
 
 NodeId Tree::LeastCommonAncestor(NodeId u, NodeId v) const {

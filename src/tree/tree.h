@@ -41,6 +41,26 @@ using LabelId = std::uint32_t;
 inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 inline constexpr LabelId kNoLabel = static_cast<LabelId>(-1);
 
+/// Summary statistics of a built tree, precomputed by TreeBuilder::
+/// Finish() alongside the other document-order indexes. These are the
+/// inputs of the query planner's cost model (engine/planner.h): node
+/// count bounds the matrix-engine work, posting-list sizes bound the
+/// domain of label-selective queries, depth and fanout bound how far a
+/// single label can "spread" along vertical / horizontal axes.
+struct TreeStats {
+  std::size_t node_count = 0;
+  /// Depth of the deepest node (root = 0).
+  std::size_t max_depth = 0;
+  /// Largest number of children of any node.
+  std::size_t max_fanout = 0;
+  std::size_t alphabet_size = 0;
+  /// Size of the largest / smallest per-label posting list. Every label
+  /// in the alphabet occurs at least once, so min_label_posting >= 1 on
+  /// nonempty trees.
+  std::size_t max_label_posting = 0;
+  std::size_t min_label_posting = 0;
+};
+
 /// An unranked sibling-ordered tree over an interned label alphabet.
 class Tree {
  public:
@@ -83,6 +103,10 @@ class Tree {
   /// All nodes labeled `id`, in document order (empty for kNoLabel /
   /// out-of-alphabet ids).
   const std::vector<NodeId>& LabelPostings(LabelId id) const;
+  /// Number of nodes labeled `name` (0 when absent from the alphabet).
+  std::size_t LabelFrequency(std::string_view name) const;
+  /// Precomputed summary statistics (the planner's cost-model inputs).
+  const TreeStats& Stats() const { return stats_; }
 
   /// True iff u is an ancestor of v or u == v (the paper's ch*). O(1) by
   /// the pre-order interval containment test.
@@ -149,6 +173,7 @@ class Tree {
   std::vector<std::vector<NodeId>> up_;
   /// label_postings_[label] = nodes with that label, in document order.
   std::vector<std::vector<NodeId>> label_postings_;
+  TreeStats stats_;
 };
 
 /// Incremental pre-order tree construction:

@@ -146,7 +146,7 @@ class Parser {
   Result<TestPtr> ParseFullTest() {
     XPV_ASSIGN_OR_RETURN(TestPtr t, ParseTestExpr());
     XPV_RETURN_IF_ERROR(ExpectEnd());
-    return std::move(t);
+    return t;
   }
 
  private:
