@@ -110,11 +110,10 @@ BENCHMARK(BM_Batch100)
 /// The same 100-job batch served through a DocumentStore: per-document
 /// axis caches persist across EvaluateBatch calls, so steady-state batches
 /// skip all axis materialization.
-void BM_Batch100DocumentStore(benchmark::State& state) {
-  const auto threads = static_cast<std::size_t>(state.range(0));
-  const auto tree_nodes = static_cast<std::size_t>(state.range(1));
+void RunStoreBench(benchmark::State& state, std::size_t threads,
+                   std::size_t tree_nodes, std::size_t num_shards) {
   Workload w = MakeWorkload(tree_nodes);
-  engine::DocumentStore store;
+  engine::DocumentStore store({.num_shards = num_shards});
   std::vector<engine::DocumentId> ids;
   for (Tree& t : w.trees) {
     Tree copy = t;
@@ -141,8 +140,32 @@ void BM_Batch100DocumentStore(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
 }
+
+void BM_Batch100DocumentStore(benchmark::State& state) {
+  RunStoreBench(state, static_cast<std::size_t>(state.range(0)),
+                static_cast<std::size_t>(state.range(1)),
+                engine::DocumentStoreOptions{}.num_shards);
+}
 BENCHMARK(BM_Batch100DocumentStore)
     ->ArgsProduct({{1, 2, 4, 8}, {64, 256}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ------------------------------------------- sharded vs single store
+//
+// The same store-served batch with the corpus split across 1 (the
+// pre-sharding single-mutex behavior), 4, and 16 shards: results are
+// byte-identical (enforced by engine_differential_test); what changes is
+// lock spread and scheduler affinity. Args are (threads, shards). CI
+// fails if this section goes missing from BENCH_batch_service.json.
+
+void BM_Batch100StoreSharded(benchmark::State& state) {
+  RunStoreBench(state, static_cast<std::size_t>(state.range(0)),
+                /*tree_nodes=*/128,
+                static_cast<std::size_t>(state.range(1)));
+}
+BENCHMARK(BM_Batch100StoreSharded)
+    ->ArgsProduct({{1, 4, 8}, {1, 4, 16}})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

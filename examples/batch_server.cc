@@ -1,9 +1,11 @@
 // Demo of the batched query-evaluation subsystem: documents are loaded
-// into a DocumentStore corpus once, then batches of (document-id, query)
-// jobs are evaluated across a thread pool, printing per-plan routing,
-// cache effectiveness (query cache and per-document axis caches), and
-// throughput. A second identical batch shows the cross-batch axis-cache
-// reuse the corpus layer buys.
+// into a sharded DocumentStore corpus once, then batches of
+// (document-id, query) jobs are evaluated across a thread pool, printing
+// per-plan routing, cache effectiveness (query cache and per-document
+// axis caches, per shard), and throughput. A second identical batch shows
+// the cross-batch axis-cache reuse the corpus layer buys, and a final
+// burst goes through the admission-controlled TrySubmit front door,
+// demonstrating kOverloaded backpressure and the ServiceStats snapshot.
 //
 //   ./batch_server [num_threads] [tree_nodes] [batch_size]
 #include <cstdio>
@@ -45,9 +47,10 @@ int main(int argc, char** argv) {
       argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 200;
 
   // Corpus: a few bibliography-shaped documents, stored once and addressed
-  // by DocumentId from then on.
+  // by DocumentId from then on. Four shards so the shard-aware batch
+  // scheduler has independent lock domains to group jobs by.
   Rng rng(1);
-  engine::DocumentStore store;
+  engine::DocumentStore store({.max_hot_caches = 64, .num_shards = 4});
   std::vector<engine::DocumentId> ids;
   for (int i = 0; i < 4; ++i) {
     ids.push_back(store.Insert(BibliographyTree(rng, tree_nodes / 6)));
@@ -61,8 +64,10 @@ int main(int argc, char** argv) {
     jobs.push_back(std::move(job));
   }
 
-  engine::QueryService service(
-      {.num_threads = num_threads, .document_store = &store});
+  engine::QueryService service({.num_threads = num_threads,
+                                .document_store = &store,
+                                .max_queued_batches = 2,
+                                .max_inflight_batches = 1});
   std::printf(
       "batch_server: %zu jobs over %zu stored documents, %zu worker "
       "thread(s)\n",
@@ -105,11 +110,26 @@ int main(int argc, char** argv) {
               service.cache().misses());
   const engine::DocumentStoreStats stats = store.stats();
   std::printf(
-      "  axis caches:    %llu built, %llu hits, %llu retired (%zu hot)\n",
+      "  axis caches:    %llu built, %llu hits, %llu retired (%zu hot, "
+      "%zu KiB)\n",
       static_cast<unsigned long long>(stats.cache_builds),
       static_cast<unsigned long long>(stats.cache_hits),
       static_cast<unsigned long long>(stats.cache_retirements),
-      stats.hot_caches);
+      stats.hot_caches, stats.hot_cache_bytes / 1024);
+  const std::vector<engine::DocumentStoreStats> per_shard =
+      store.shard_stats();
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    const auto& ss = per_shard[s];
+    const std::uint64_t lookups = ss.cache_hits + ss.cache_builds;
+    std::printf(
+        "    shard %zu:      %zu docs, %llu/%llu cache hits (%.0f%%), "
+        "%zu hot\n",
+        s, ss.documents, static_cast<unsigned long long>(ss.cache_hits),
+        static_cast<unsigned long long>(lookups),
+        lookups == 0 ? 0.0 : 100.0 * static_cast<double>(ss.cache_hits) /
+                                 static_cast<double>(lookups),
+        ss.hot_caches);
+  }
   std::printf("  wall time:      %.3f s cold  (%.0f jobs/s)\n", seconds,
               static_cast<double>(jobs.size()) / seconds);
   std::printf("  wall time:      %.3f s warm  (%.0f jobs/s)\n", warm_seconds,
@@ -135,5 +155,45 @@ int main(int argc, char** argv) {
       monadic_seconds,
       static_cast<double>(monadic_jobs.size()) / monadic_seconds,
       from_root_nodes);
-  return failed == 0 ? 0 : 1;
+
+  // Admission-controlled front door: a burst of async submissions against
+  // a depth-2 queue. Overflow is rejected with kOverloaded (explicit
+  // backpressure -- the caller retries or sheds load); every accepted
+  // batch completes.
+  std::vector<engine::BatchHandle> handles;
+  std::size_t rejected = 0;
+  for (int burst = 0; burst < 8; ++burst) {
+    auto handle = service.TrySubmit(jobs);
+    if (handle.ok()) {
+      handles.push_back(*handle);
+    } else {
+      ++rejected;
+    }
+  }
+  std::size_t async_ok = 0;
+  for (engine::BatchHandle& handle : handles) {
+    for (const engine::QueryResult& r : handle.Wait()) {
+      if (r.status.ok()) ++async_ok;
+    }
+  }
+  const engine::ServiceStats service_stats = service.stats();
+  std::printf("  admission:      burst of 8 batches -> %zu accepted, %zu "
+              "rejected (kOverloaded)\n",
+              handles.size(), rejected);
+  std::printf("  service stats:  %llu accepted / %llu rejected / %llu "
+              "completed batches; %llu jobs run, %llu cancelled, %llu past "
+              "deadline\n",
+              static_cast<unsigned long long>(service_stats.batches_accepted),
+              static_cast<unsigned long long>(service_stats.batches_rejected),
+              static_cast<unsigned long long>(service_stats.batches_completed),
+              static_cast<unsigned long long>(service_stats.jobs_completed),
+              static_cast<unsigned long long>(service_stats.jobs_cancelled),
+              static_cast<unsigned long long>(
+                  service_stats.jobs_deadline_exceeded));
+  const bool admission_sane =
+      handles.size() + rejected == 8 &&
+      service_stats.batches_completed == service_stats.batches_accepted &&
+      async_ok == handles.size() * jobs.size();
+  if (!admission_sane) std::printf("  admission state INCONSISTENT\n");
+  return failed == 0 && admission_sane ? 0 : 1;
 }

@@ -22,6 +22,9 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  kOverloaded,         // admission control rejected the work; retry later
+  kDeadlineExceeded,   // the batch deadline passed before the job ran
+  kCancelled,          // the batch was cancelled before the job ran
 };
 
 /// Returns a human-readable name for a status code.
@@ -53,6 +56,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "engine/document_store.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace xpv::engine {
@@ -29,17 +30,44 @@ std::string InternKey(const Tree& tree) {
 }  // namespace
 
 DocumentStore::DocumentStore(DocumentStoreOptions options)
-    : options_(options) {}
+    : options_(options) {
+  std::size_t num_shards = options_.num_shards == 0 ? 1 : options_.num_shards;
+  // Every shard keeps at least one cache hot (a zero-budget shard would
+  // rebuild on every access), so a hot bound tighter than the shard count
+  // clamps the shard count instead of silently loosening the configured
+  // memory cap: max_hot_caches is a hard bound.
+  if (options_.max_hot_caches != 0) {
+    num_shards = std::min(num_shards, options_.max_hot_caches);
+  }
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    if (options_.max_hot_caches != 0) {
+      // Spread the budget's remainder over the first shards so the whole
+      // configured bound is usable (e.g. 12 over 8 shards = 4x2 + 4x1).
+      shards_.back()->hot_budget =
+          options_.max_hot_caches / num_shards +
+          (s < options_.max_hot_caches % num_shards ? 1 : 0);
+    }
+  }
+}
 
-DocumentId DocumentStore::Insert(Tree tree, std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const DocumentId id = next_id_++;
+void DocumentStore::Store(DocumentId id, std::string name, Tree tree,
+                          std::string intern_key) {
   Entry entry;
   entry.doc =
       std::make_shared<const Document>(id, std::move(name), std::move(tree));
   entry.plans = std::make_shared<PlanMemo>();
-  entry.lru_it = lru_.end();
-  entries_.emplace(id, std::move(entry));
+  entry.intern_key = std::move(intern_key);
+  Shard& shard = *shards_[shard_of(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  entry.lru_it = shard.lru.end();
+  shard.entries.emplace(id, std::move(entry));
+}
+
+DocumentId DocumentStore::Insert(Tree tree, std::string name) {
+  const DocumentId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Store(id, std::move(name), std::move(tree), {});
   return id;
 }
 
@@ -59,54 +87,64 @@ Result<DocumentId> DocumentStore::InsertXml(std::string_view xml,
 
 DocumentId DocumentStore::Intern(Tree tree, std::string name) {
   std::string key = InternKey(tree);
-  std::lock_guard<std::mutex> lock(mu_);
+  // intern_mu_ is held across the shard insertion (intern -> shard lock
+  // order) so a racing Intern of the same key cannot observe the index
+  // entry before the document is resolvable.
+  std::lock_guard<std::mutex> intern_lock(intern_mu_);
   auto it = intern_index_.find(key);
   if (it != intern_index_.end()) {
-    ++stats_.intern_hits;
+    ++intern_hits_;
     return it->second;
   }
-  const DocumentId id = next_id_++;
-  Entry entry;
-  entry.doc =
-      std::make_shared<const Document>(id, std::move(name), std::move(tree));
-  entry.plans = std::make_shared<PlanMemo>();
-  entry.lru_it = lru_.end();
-  entry.intern_key = key;
-  entries_.emplace(id, std::move(entry));
+  const DocumentId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Store(id, std::move(name), std::move(tree), key);
   intern_index_.emplace(std::move(key), id);
   return id;
 }
 
 DocumentPtr DocumentStore::Get(DocumentId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : it->second.doc;
+  const Shard& shard = *shards_[shard_of(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  return it == shard.entries.end() ? nullptr : it->second.doc;
 }
 
 bool DocumentStore::Remove(DocumentId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
-  if (it->second.cache != nullptr) {
-    lru_.erase(it->second.lru_it);
+  // intern_mu_ is held across the whole removal (intern -> shard lock
+  // order, same as Intern) so entry and intern-index key disappear
+  // atomically: a racing Intern of an equal tree either sees the key and
+  // returns this id while its entry still exists, or sees neither and
+  // interns a fresh document -- never a key pointing at an erased entry.
+  std::lock_guard<std::mutex> intern_lock(intern_mu_);
+  std::string intern_key;
+  {
+    Shard& shard = *shards_[shard_of(id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(id);
+    if (it == shard.entries.end()) return false;
+    if (it->second.cache != nullptr) {
+      shard.lru.erase(it->second.lru_it);
+    }
+    intern_key = std::move(it->second.intern_key);
+    shard.entries.erase(it);
   }
-  // Drop the intern-index entry (if this id came from Intern()) so the key
-  // can intern to a new document later.
-  if (!it->second.intern_key.empty()) {
-    intern_index_.erase(it->second.intern_key);
+  // Drop the intern-index entry (if this id came from Intern()) so the
+  // key can intern to a new document later.
+  if (!intern_key.empty()) {
+    intern_index_.erase(intern_key);
   }
-  entries_.erase(it);
   return true;
 }
 
 std::shared_ptr<AxisCache> DocumentStore::AxisCacheFor(DocumentId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return nullptr;
+  Shard& shard = *shards_[shard_of(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) return nullptr;
   Entry& entry = it->second;
   if (entry.cache != nullptr) {
-    ++stats_.cache_hits;
-    lru_.splice(lru_.begin(), lru_, entry.lru_it);  // move to front
+    ++shard.stats.cache_hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_it);
     return entry.cache;
   }
   // The deleter captures the DocumentPtr so the tree the cache references
@@ -114,43 +152,83 @@ std::shared_ptr<AxisCache> DocumentStore::AxisCacheFor(DocumentId id) {
   DocumentPtr doc = entry.doc;
   entry.cache = std::shared_ptr<AxisCache>(
       new AxisCache(doc->tree()), [doc](AxisCache* c) { delete c; });
-  ++stats_.cache_builds;
-  lru_.push_front(id);
-  entry.lru_it = lru_.begin();
-  EnforceHotBoundLocked();
+  ++shard.stats.cache_builds;
+  shard.lru.push_front(id);
+  entry.lru_it = shard.lru.begin();
+  EnforceHotBoundLocked(shard);
   return entry.cache;
 }
 
 std::shared_ptr<PlanMemo> DocumentStore::PlanMemoFor(DocumentId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : it->second.plans;
+  const Shard& shard = *shards_[shard_of(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  return it == shard.entries.end() ? nullptr : it->second.plans;
 }
 
-void DocumentStore::EnforceHotBoundLocked() {
-  if (options_.max_hot_caches == 0) return;
-  while (lru_.size() > options_.max_hot_caches) {
-    const DocumentId victim = lru_.back();
-    lru_.pop_back();
-    Entry& entry = entries_.at(victim);
+void DocumentStore::EnforceHotBoundLocked(Shard& shard) {
+  if (shard.hot_budget == 0) return;
+  while (shard.lru.size() > shard.hot_budget) {
+    const DocumentId victim = shard.lru.back();
+    shard.lru.pop_back();
+    Entry& entry = shard.entries.at(victim);
     entry.cache = nullptr;  // in-flight shared_ptrs keep it alive
-    entry.lru_it = lru_.end();
-    ++stats_.cache_retirements;
+    entry.lru_it = shard.lru.end();
+    ++shard.stats.cache_retirements;
   }
 }
 
 std::size_t DocumentStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+DocumentStoreStats DocumentStore::SnapshotShardStats(
+    const Shard& shard) const {
+  // Gauges derived live, not hand-maintained at every mutation site.
+  DocumentStoreStats stats = shard.stats;
+  stats.documents = shard.entries.size();
+  stats.hot_caches = shard.lru.size();
+  stats.hot_cache_bytes = 0;
+  for (DocumentId id : shard.lru) {
+    stats.hot_cache_bytes +=
+        shard.entries.at(id).cache->approx_resident_bytes();
+  }
+  return stats;
+}
+
+std::vector<DocumentStoreStats> DocumentStore::shard_stats() const {
+  std::vector<DocumentStoreStats> all;
+  all.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    all.push_back(SnapshotShardStats(*shard));
+  }
+  // Intern hits are store-wide (the index is not sharded); report them on
+  // shard 0 so the aggregate sum matches stats().
+  {
+    std::lock_guard<std::mutex> intern_lock(intern_mu_);
+    all[0].intern_hits = intern_hits_;
+  }
+  return all;
 }
 
 DocumentStoreStats DocumentStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  DocumentStoreStats stats = stats_;
-  // Derived live, not hand-maintained at every mutation site.
-  stats.documents = entries_.size();
-  stats.hot_caches = lru_.size();
-  return stats;
+  DocumentStoreStats total;
+  for (const DocumentStoreStats& s : shard_stats()) {
+    total.documents += s.documents;
+    total.hot_caches += s.hot_caches;
+    total.hot_cache_bytes += s.hot_cache_bytes;
+    total.cache_builds += s.cache_builds;
+    total.cache_hits += s.cache_hits;
+    total.cache_retirements += s.cache_retirements;
+    total.intern_hits += s.intern_hits;
+  }
+  return total;
 }
 
 }  // namespace xpv::engine

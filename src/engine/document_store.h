@@ -1,5 +1,5 @@
-// The corpus layer of the serving stack: a thread-safe store of long-lived
-// immutable documents, addressed by DocumentId.
+// The corpus layer of the serving stack: a thread-safe, *sharded* store of
+// long-lived immutable documents, addressed by DocumentId.
 //
 // A Document owns its Tree (index-rich and immutable after TreeBuilder::
 // Finish()). The store additionally manages one persistent AxisCache per
@@ -11,13 +11,34 @@
 // dropped; in-flight jobs holding a shared_ptr keep it alive until they
 // finish, and the next access rebuilds lazily).
 //
+// Sharding. The store is split into `num_shards` independent shards, each
+// with its own mutex, document map, AxisCache LRU budget, and statistics.
+// A document's shard is a pure function of its id (`shard_of(id)`);
+// structurally equal interned trees share one id and hence one shard.
+// Operations on documents in different
+// shards therefore never contend on a lock or compete for one LRU budget,
+// which is what lets cross-document batches scale: the QueryService's
+// batch scheduler groups jobs by resident shard (see query_service.h).
+// With `num_shards = 1` the store degenerates to the previous single-mutex
+// behavior; results are identical at any shard count (only lock spread and
+// LRU-retirement order change, and retirement never changes results).
+//
 // Insert() always creates a fresh document; Intern() deduplicates by
 // structural content (two structurally equal trees intern to one id), so
 // template-driven workloads that re-submit the same document text share
 // one tree and one cache.
+//
+// Thread safety: every public method is safe to call concurrently with
+// every other. No method blocks beyond a shard mutex critical section
+// (plus one intern-index mutex for Intern/Remove); none of them waits for
+// in-flight queries. Lock ordering is intern-index mutex -> shard mutex
+// (Intern and Remove both nest in that order, so a document and its
+// intern key appear and disappear atomically); no method ever holds two
+// shard mutexes at once.
 #ifndef XPV_ENGINE_DOCUMENT_STORE_H_
 #define XPV_ENGINE_DOCUMENT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -25,6 +46,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/planner.h"
@@ -62,23 +84,39 @@ class Document {
 using DocumentPtr = std::shared_ptr<const Document>;
 
 struct DocumentStoreOptions {
-  /// Maximum number of documents with a live ("hot") AxisCache; beyond it,
-  /// the least-recently-used document's cache is retired. 0 = unbounded.
+  /// Maximum number of documents with a live ("hot") AxisCache, across the
+  /// whole store; the budget is divided evenly across shards. Beyond a
+  /// shard's budget, its least-recently-used document's cache is retired.
+  /// This is a hard memory bound: when it is smaller than num_shards, the
+  /// shard count is clamped down so every shard still keeps at least one
+  /// cache hot. 0 = unbounded.
   std::size_t max_hot_caches = 64;
+  /// Number of independent shards (>= 1; 0 is treated as 1, and values
+  /// above a nonzero max_hot_caches are clamped to it -- see above).
+  /// Shards trade a little fixed memory for lock- and LRU-independence;
+  /// the default suits a handful of worker threads.
+  std::size_t num_shards = 8;
 };
 
-/// Monitoring counters (monotone except documents/hot_caches).
+/// Monitoring counters (monotone except documents/hot_caches/
+/// hot_cache_bytes). Returned both per shard (shard_stats()) and
+/// aggregated over all shards (stats()).
 struct DocumentStoreStats {
   std::size_t documents = 0;   // currently stored documents
   std::size_t hot_caches = 0;  // documents with a live AxisCache
+  std::size_t hot_cache_bytes = 0;  // approx. resident bytes of hot caches
   std::uint64_t cache_builds = 0;     // AxisCache objects created
   std::uint64_t cache_hits = 0;       // AxisCacheFor served an existing cache
   std::uint64_t cache_retirements = 0;  // caches dropped by the LRU bound
   std::uint64_t intern_hits = 0;      // Intern() found an existing document
 };
 
-/// Thread-safe DocumentId -> Document corpus with per-document persistent
-/// AxisCaches under bounded LRU retirement.
+/// Thread-safe sharded DocumentId -> Document corpus with per-document
+/// persistent AxisCaches under bounded per-shard LRU retirement.
+///
+/// Error contracts: lookup methods (Get, AxisCacheFor, PlanMemoFor) return
+/// null for unknown ids and never fail otherwise; Remove returns false for
+/// unknown ids; InsertTerm/InsertXml surface the parser's Status verbatim.
 class DocumentStore {
  public:
   explicit DocumentStore(DocumentStoreOptions options = {});
@@ -86,27 +124,29 @@ class DocumentStore {
   DocumentStore(const DocumentStore&) = delete;
   DocumentStore& operator=(const DocumentStore&) = delete;
 
-  /// Stores a new document; returns its fresh id.
+  /// Stores a new document; returns its fresh id. Never fails.
   DocumentId Insert(Tree tree, std::string name = {});
   /// Parses + stores; the error is the parser's on malformed input.
   Result<DocumentId> InsertTerm(std::string_view term, std::string name = {});
   Result<DocumentId> InsertXml(std::string_view xml, std::string name = {});
 
   /// Returns the id of a stored document structurally equal to `tree`,
-  /// inserting it first if absent ("interning" by content).
+  /// inserting it first if absent ("interning" by content). Two racing
+  /// Intern() calls with equal trees return the same id.
   DocumentId Intern(Tree tree, std::string name = {});
 
   /// The document, or null for unknown ids.
   DocumentPtr Get(DocumentId id) const;
 
   /// Removes a document (its id is never reused). In-flight holders of the
-  /// DocumentPtr or its AxisCache stay valid. Returns false if unknown.
+  /// DocumentPtr or its AxisCache stay valid; only future lookups of the
+  /// id fail. Returns false if unknown.
   bool Remove(DocumentId id);
 
-  /// The document's persistent AxisCache, created lazily. Touches the LRU
-  /// and may retire another document's cache when the hot bound is
-  /// exceeded. The returned shared_ptr keeps the underlying Document alive
-  /// even across Remove(). Null for unknown ids.
+  /// The document's persistent AxisCache, created lazily. Touches the
+  /// owning shard's LRU and may retire another document's cache when that
+  /// shard's hot budget is exceeded. The returned shared_ptr keeps the
+  /// underlying Document alive even across Remove(). Null for unknown ids.
   std::shared_ptr<AxisCache> AxisCacheFor(DocumentId id);
 
   /// The document's persistent query-plan memo (engine/planner.h), living
@@ -116,8 +156,18 @@ class DocumentStore {
   /// never LRU-retired. Null for unknown ids.
   std::shared_ptr<PlanMemo> PlanMemoFor(DocumentId id) const;
 
+  /// Number of shards (>= 1, fixed at construction).
+  std::size_t num_shards() const { return shards_.size(); }
+  /// The shard owning `id` -- a pure function of the id, so callers (the
+  /// QueryService batch scheduler) can group work by resident shard
+  /// without taking any store lock.
+  std::size_t shard_of(DocumentId id) const { return id % shards_.size(); }
+
   std::size_t size() const;
+  /// Counters aggregated over all shards.
   DocumentStoreStats stats() const;
+  /// Per-shard counters, indexed by shard number.
+  std::vector<DocumentStoreStats> shard_stats() const;
 
  private:
   struct Entry {
@@ -128,18 +178,38 @@ class DocumentStore {
     std::string intern_key;  // nonempty iff created by Intern()
   };
 
-  /// Drops LRU-tail caches until the hot bound holds. Requires mu_.
-  void EnforceHotBoundLocked();
+  /// One independent slice of the corpus: its own mutex, documents, hot
+  /// LRU budget, and counters. Never holds another shard's mutex.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<DocumentId, Entry> entries;
+    /// Documents with a hot cache, most recently used first.
+    std::list<DocumentId> lru;
+    /// This shard's slice of max_hot_caches (remainder spread over the
+    /// first shards so the whole configured budget is usable). 0 =
+    /// unbounded.
+    std::size_t hot_budget = 0;
+    DocumentStoreStats stats;  // counters only; gauges derived on read
+  };
+
+  /// Builds an Entry and stores it into `id`'s shard under its mutex.
+  void Store(DocumentId id, std::string name, Tree tree,
+             std::string intern_key);
+  /// Drops LRU-tail caches until the shard's hot budget holds.
+  void EnforceHotBoundLocked(Shard& shard);
+  /// Gauge-completed snapshot of one shard's stats.
+  DocumentStoreStats SnapshotShardStats(const Shard& shard) const;
 
   const DocumentStoreOptions options_;
-  mutable std::mutex mu_;
-  DocumentId next_id_ = 1;
-  std::unordered_map<DocumentId, Entry> entries_;
-  /// Documents with a hot cache, most recently used first.
-  std::list<DocumentId> lru_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Globally monotone id allocator; fresh documents round-robin across
+  /// shards because shard_of(id) is id % num_shards.
+  std::atomic<DocumentId> next_id_{1};
   /// Structural key (pre-order depth + length-prefixed labels) -> id.
+  /// Guarded by intern_mu_; ordered before any shard mutex.
+  mutable std::mutex intern_mu_;
   std::unordered_map<std::string, DocumentId> intern_index_;
-  DocumentStoreStats stats_;
+  std::uint64_t intern_hits_ = 0;  // guarded by intern_mu_
 };
 
 }  // namespace xpv::engine

@@ -85,7 +85,12 @@ struct ExecutionPlan {
 /// Chooses the cheapest admissible engine for `q` on `tree` under the
 /// requested shape. With `force_engine` set (tests, ablations), the cost
 /// model still runs but the named engine is selected; it must be
-/// admissible for `q` (callers check via CompiledQuery::Admits).
+/// admissible for `q` (callers check via CompiledQuery::Admits --
+/// QueryService rejects inadmissible overrides with InvalidArgument
+/// before reaching this function).
+///
+/// Pure and non-blocking: reads only the precomputed Tree::Stats(), never
+/// fails, and is safe to call concurrently from any number of threads.
 ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
                         ResultShape shape,
                         std::optional<EnginePlan> force_engine = {});
@@ -95,6 +100,13 @@ ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
 /// repeated query template on a long-lived document plans once. Once
 /// full, unseen keys are still planned by the caller but not inserted
 /// (same containment policy as the QueryCache).
+///
+/// Thread safety: all methods may be called concurrently; no method
+/// blocks beyond a short internal mutex hold (GetOrCompute runs the
+/// compute callback outside the lock, so a slow planner never serializes
+/// other lookups -- plans are deterministic, making a racing duplicate
+/// computation harmless). Lookup never fails; it reports absence via
+/// nullopt.
 class PlanMemo {
  public:
   static constexpr std::size_t kDefaultMaxEntries = 256;

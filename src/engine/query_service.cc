@@ -1,9 +1,6 @@
 #include "engine/query_service.h"
 
-#include <atomic>
-#include <condition_variable>
-#include <mutex>
-#include <thread>
+#include <algorithm>
 #include <unordered_map>
 #include <utility>
 
@@ -12,6 +9,49 @@
 #include "ppl/matrix_engine.h"
 
 namespace xpv::engine {
+
+namespace internal {
+
+/// A document resolved once per distinct id per batch; the cache/memo are
+/// the store's persistent ones, so repeats across batches hit.
+struct ResolvedDoc {
+  DocumentPtr doc;
+  std::shared_ptr<AxisCache> cache;
+  std::shared_ptr<PlanMemo> plans;
+};
+
+/// Everything one batch needs from submission to completion. Shared by
+/// the submitting caller (through BatchHandle), the dispatcher, and the
+/// pool workers; the last finisher marks it done.
+struct BatchState {
+  // Submission.
+  std::vector<QueryJob> owned_jobs;        // TrySubmit path owns its jobs
+  const std::vector<QueryJob>* jobs = nullptr;  // always valid during run
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  std::atomic<bool> cancelled{false};
+  bool admitted = false;  // went through TrySubmit (admission counters)
+
+  // Prepared run state (PrepareRun).
+  std::vector<QueryResult> results;
+  std::unordered_map<const Tree*, std::shared_ptr<AxisCache>> tree_caches;
+  std::unordered_map<DocumentId, ResolvedDoc> docs;
+  /// Job indices grouped by resident store shard; the last group holds
+  /// Tree*-addressed and malformed jobs (no shard affinity).
+  std::vector<std::vector<std::size_t>> groups;
+  /// One claim cursor per group; workers fetch_add to claim job slots.
+  std::unique_ptr<std::atomic<std::size_t>[]> cursors;
+  std::atomic<std::size_t> remaining_workers{0};
+
+  // Completion.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+}  // namespace internal
+
+using internal::BatchState;
+using internal::ResolvedDoc;
 
 namespace {
 
@@ -33,26 +73,66 @@ void FinishMonadic(QueryResult& result, ResultShape shape, BitVector image) {
 
 }  // namespace
 
+// ----------------------------------------------------------- BatchHandle
+
+bool BatchHandle::done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+std::vector<QueryResult> BatchHandle::Wait() {
+  if (state_ == nullptr) return {};
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return std::move(state_->results);
+}
+
+void BatchHandle::Cancel() {
+  if (state_ != nullptr) {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------- QueryService
+
 QueryService::QueryService(QueryServiceOptions options)
-    : num_threads_(options.num_threads), store_(options.document_store) {
+    : num_threads_(options.num_threads),
+      store_(options.document_store),
+      max_queued_batches_(options.max_queued_batches),
+      max_inflight_batches_(options.max_inflight_batches) {
   if (num_threads_ == 0) {
     num_threads_ = std::thread::hardware_concurrency();
     if (num_threads_ == 0) num_threads_ = 1;
   }
   if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
-QueryService::~QueryService() = default;
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(adm_mu_);
+    stopping_ = true;
+  }
+  adm_cv_.notify_all();
+  // The dispatcher drains the queue before exiting (accepted batches are
+  // never lost); pool_'s destructor then joins the workers, finishing any
+  // batch still in flight before the admission state is destroyed.
+  dispatcher_.join();
+}
 
 QueryResult QueryService::Evaluate(const Tree& tree, std::string_view query,
                                    ResultShape shape) {
-  return RunJob(&tree, std::string(query), shape, std::nullopt,
-                std::make_shared<AxisCache>(tree), nullptr);
+  QueryResult result = RunJob(&tree, std::string(query), shape, std::nullopt,
+                              std::make_shared<AxisCache>(tree), nullptr);
+  jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+  return result;
 }
 
 QueryResult QueryService::Evaluate(DocumentId document, std::string_view query,
                                    ResultShape shape) {
   QueryResult result;
+  jobs_completed_.fetch_add(1, std::memory_order_relaxed);
   if (store_ == nullptr) {
     result.status = Status::InvalidArgument(
         "job addresses a DocumentId but the service has no DocumentStore");
@@ -175,97 +255,257 @@ QueryResult QueryService::RunJob(
   return result;
 }
 
-std::vector<QueryResult> QueryService::EvaluateBatch(
-    const std::vector<QueryJob>& jobs) {
-  std::vector<QueryResult> results(jobs.size());
-  if (jobs.empty()) return results;
+// ------------------------------------------------- batch run machinery
 
-  // One shared axis cache per distinct tree in the batch (Tree* shim path).
-  std::unordered_map<const Tree*, std::shared_ptr<AxisCache>> tree_caches;
-  // Store documents are resolved once per distinct id per batch; their
-  // caches are the store's persistent ones, so repeats across batches hit.
-  struct ResolvedDoc {
-    DocumentPtr doc;
-    std::shared_ptr<AxisCache> cache;
-    std::shared_ptr<PlanMemo> plans;
-  };
-  std::unordered_map<DocumentId, ResolvedDoc> docs;
-  for (const QueryJob& job : jobs) {
-    if (job.document != kNoDocument && job.tree != nullptr) {
-      continue;  // malformed; rejected per-job below without touching the
-                 // store (resolution would churn its LRU)
-    }
-    if (job.document != kNoDocument) {
-      if (store_ != nullptr && !docs.contains(job.document)) {
-        ResolvedDoc resolved;
-        resolved.doc = store_->Get(job.document);
-        if (resolved.doc != nullptr) {
-          resolved.cache = store_->AxisCacheFor(job.document);
-          resolved.plans = store_->PlanMemoFor(job.document);
+void QueryService::PrepareRun(BatchState& run) {
+  const std::vector<QueryJob>& jobs = *run.jobs;
+  run.results.resize(jobs.size());
+
+  // A batch already cancelled or past its deadline will skip every job
+  // (cancellation is sticky and deadlines are monotone, so RunOne is
+  // guaranteed to observe the same condition): don't resolve documents or
+  // build axis caches for it -- resolution would churn the store's LRU
+  // and could retire hot caches that live batches are using.
+  const bool doomed =
+      run.cancelled.load(std::memory_order_relaxed) ||
+      (run.deadline.has_value() &&
+       std::chrono::steady_clock::now() > *run.deadline);
+
+  // Resolve every distinct document once (touching the store's LRU once
+  // per batch, not once per job) and build one shared axis cache per
+  // distinct raw tree.
+  if (!doomed) {
+    for (const QueryJob& job : jobs) {
+      if (job.document != kNoDocument && job.tree != nullptr) {
+        continue;  // malformed; rejected per-job below without touching
+                   // the store (resolution would churn its LRU)
+      }
+      if (job.document != kNoDocument) {
+        if (store_ != nullptr && !run.docs.contains(job.document)) {
+          ResolvedDoc resolved;
+          resolved.doc = store_->Get(job.document);
+          if (resolved.doc != nullptr) {
+            resolved.cache = store_->AxisCacheFor(job.document);
+            resolved.plans = store_->PlanMemoFor(job.document);
+          }
+          run.docs.emplace(job.document, std::move(resolved));
         }
-        docs.emplace(job.document, std::move(resolved));
+      } else if (job.tree != nullptr &&
+                 !run.tree_caches.contains(job.tree)) {
+        run.tree_caches.emplace(job.tree,
+                                std::make_shared<AxisCache>(*job.tree));
       }
-    } else if (job.tree != nullptr && !tree_caches.contains(job.tree)) {
-      tree_caches.emplace(job.tree, std::make_shared<AxisCache>(*job.tree));
     }
   }
 
-  auto run_one = [&](std::size_t i) {
+  // Shard-affine grouping: jobs resident on one store shard share that
+  // shard's hot caches, so a worker draining one group touches one
+  // shard's working set. The extra tail group collects Tree*-addressed
+  // and malformed jobs.
+  const std::size_t num_shard_groups =
+      store_ != nullptr ? store_->num_shards() : 0;
+  run.groups.assign(num_shard_groups + 1, {});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
     const QueryJob& job = jobs[i];
-    if (job.document != kNoDocument && job.tree != nullptr) {
-      results[i].status = Status::InvalidArgument(
-          "job addresses both a DocumentId and a raw tree");
-      return;
-    }
-    if (job.document != kNoDocument) {
-      if (store_ == nullptr) {
-        results[i].status = Status::InvalidArgument(
-            "job addresses a DocumentId but the service has no "
-            "DocumentStore");
-        return;
-      }
-      const ResolvedDoc& resolved = docs.at(job.document);
-      if (resolved.doc == nullptr) {
-        results[i].status = Status::NotFound("unknown document id " +
-                                             std::to_string(job.document));
-        return;
-      }
-      results[i] = RunJob(&resolved.doc->tree(), job.query, job.shape,
-                          job.engine_override, resolved.cache, resolved.plans);
-      return;
-    }
-    auto it = tree_caches.find(job.tree);
-    results[i] = RunJob(job.tree, job.query, job.shape, job.engine_override,
-                        it == tree_caches.end() ? nullptr : it->second,
-                        nullptr);
-  };
-
-  if (pool_ == nullptr) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
-    return results;
+    const bool sharded = store_ != nullptr &&
+                         job.document != kNoDocument && job.tree == nullptr;
+    const std::size_t g =
+        sharded ? store_->shard_of(job.document) : num_shard_groups;
+    run.groups[g].push_back(i);
   }
+  run.cursors =
+      std::make_unique<std::atomic<std::size_t>[]>(run.groups.size());
+  for (std::size_t g = 0; g < run.groups.size(); ++g) {
+    run.cursors[g].store(0, std::memory_order_relaxed);
+  }
+}
 
-  // Work-stealing by atomic counter: every worker claims the next
-  // unclaimed job index. Each job writes only results[i], so the output
-  // is independent of which worker ran it.
-  std::atomic<std::size_t> next{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  std::size_t live_workers = std::min(num_threads_, jobs.size());
-  std::size_t remaining = live_workers;
+void QueryService::RunOne(BatchState& run, std::size_t i) {
+  const QueryJob& job = (*run.jobs)[i];
+  // Admission checks between jobs: a cancelled or expired batch stops
+  // starting new jobs but never abandons its results vector -- skipped
+  // slots carry an explanatory status.
+  if (run.cancelled.load(std::memory_order_relaxed)) {
+    run.results[i].status =
+        Status::Cancelled("batch cancelled before this job started");
+    jobs_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (run.deadline.has_value() &&
+      std::chrono::steady_clock::now() > *run.deadline) {
+    run.results[i].status = Status::DeadlineExceeded(
+        "batch deadline passed before this job started");
+    jobs_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+  if (job.document != kNoDocument && job.tree != nullptr) {
+    run.results[i].status = Status::InvalidArgument(
+        "job addresses both a DocumentId and a raw tree");
+    return;
+  }
+  if (job.document != kNoDocument) {
+    if (store_ == nullptr) {
+      run.results[i].status = Status::InvalidArgument(
+          "job addresses a DocumentId but the service has no DocumentStore");
+      return;
+    }
+    const ResolvedDoc& resolved = run.docs.at(job.document);
+    if (resolved.doc == nullptr) {
+      run.results[i].status = Status::NotFound(
+          "unknown document id " + std::to_string(job.document));
+      return;
+    }
+    run.results[i] = RunJob(&resolved.doc->tree(), job.query, job.shape,
+                            job.engine_override, resolved.cache,
+                            resolved.plans);
+    return;
+  }
+  auto it = run.tree_caches.find(job.tree);
+  run.results[i] =
+      RunJob(job.tree, job.query, job.shape, job.engine_override,
+             it == run.tree_caches.end() ? nullptr : it->second, nullptr);
+}
+
+void QueryService::RunBatchWorker(BatchState& run, std::size_t worker_index) {
+  // Affinity first, stealing second: worker w starts on shard group
+  // w mod G and claims its jobs via the group cursor; once that group is
+  // drained it moves on to the next, so stragglers on one shard are
+  // finished by otherwise-idle workers. Each job writes only its own
+  // result slot, so the steal order never affects results.
+  const std::size_t num_groups = run.groups.size();
+  for (std::size_t offset = 0; offset < num_groups; ++offset) {
+    const std::size_t g = (worker_index + offset) % num_groups;
+    const std::vector<std::size_t>& group = run.groups[g];
+    std::atomic<std::size_t>& cursor = run.cursors[g];
+    for (std::size_t k = cursor.fetch_add(1); k < group.size();
+         k = cursor.fetch_add(1)) {
+      RunOne(run, group[k]);
+    }
+  }
+}
+
+void QueryService::FinishRun(BatchState& run) {
+  // Admission counters are retired BEFORE waiters are woken, so a caller
+  // returning from Wait() observes stats() with this batch completed.
+  if (run.admitted) {
+    {
+      std::lock_guard<std::mutex> lock(adm_mu_);
+      --inflight_batches_;
+      ++batches_completed_;
+    }
+    adm_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(run.mu);
+    run.done = true;
+  }
+  run.cv.notify_all();
+}
+
+void QueryService::ExecuteRun(std::shared_ptr<BatchState> run) {
+  const std::size_t num_jobs = run->jobs->size();
+  // Inline only when there is no pool or nothing to do. A single-job
+  // batch still goes through the pool: on the TrySubmit path the caller
+  // here is the dispatcher thread, and running the job inline would
+  // serialize admission behind every batch's execution.
+  if (pool_ == nullptr || num_jobs == 0) {
+    RunBatchWorker(*run, 0);
+    FinishRun(*run);
+    return;
+  }
+  const std::size_t live_workers = std::min(num_threads_, num_jobs);
+  run->remaining_workers.store(live_workers, std::memory_order_relaxed);
   for (std::size_t w = 0; w < live_workers; ++w) {
-    pool_->Submit([&] {
-      for (std::size_t i = next.fetch_add(1); i < jobs.size();
-           i = next.fetch_add(1)) {
-        run_one(i);
+    pool_->Submit([this, run, w] {
+      RunBatchWorker(*run, w);
+      if (run->remaining_workers.fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        FinishRun(*run);
       }
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (--remaining == 0) done_cv.notify_one();
     });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining == 0; });
-  return results;
+}
+
+std::vector<QueryResult> QueryService::EvaluateBatch(
+    const std::vector<QueryJob>& jobs) {
+  if (jobs.empty()) return {};
+  auto run = std::make_shared<BatchState>();
+  run->jobs = &jobs;  // caller-owned; we block below until the run is done
+  PrepareRun(*run);
+  ExecuteRun(run);
+  std::unique_lock<std::mutex> lock(run->mu);
+  run->cv.wait(lock, [&] { return run->done; });
+  return std::move(run->results);
+}
+
+Result<BatchHandle> QueryService::TrySubmit(std::vector<QueryJob> jobs,
+                                            BatchOptions options) {
+  auto state = std::make_shared<BatchState>();
+  state->owned_jobs = std::move(jobs);
+  state->jobs = &state->owned_jobs;
+  state->deadline = options.deadline;
+  state->admitted = true;
+  {
+    std::lock_guard<std::mutex> lock(adm_mu_);
+    if (stopping_) {
+      ++batches_rejected_;
+      return Status::Overloaded("service is shutting down");
+    }
+    if (max_queued_batches_ != 0 &&
+        adm_queue_.size() >= max_queued_batches_) {
+      ++batches_rejected_;
+      return Status::Overloaded(
+          "admission queue full (" + std::to_string(adm_queue_.size()) +
+          " batches queued, limit " + std::to_string(max_queued_batches_) +
+          ")");
+    }
+    adm_queue_.push_back(state);
+    ++batches_accepted_;
+  }
+  adm_cv_.notify_all();
+  return BatchHandle(std::move(state));
+}
+
+void QueryService::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(adm_mu_);
+  while (true) {
+    adm_cv_.wait(lock, [&] {
+      const bool can_admit =
+          !adm_queue_.empty() && (max_inflight_batches_ == 0 ||
+                                  inflight_batches_ < max_inflight_batches_);
+      return can_admit || (stopping_ && adm_queue_.empty());
+    });
+    if (adm_queue_.empty()) return;  // only reachable when stopping
+    std::shared_ptr<BatchState> state = std::move(adm_queue_.front());
+    adm_queue_.pop_front();
+    ++inflight_batches_;
+    lock.unlock();
+    // Preparation (store lookups, cache resolution) happens outside
+    // adm_mu_ so TrySubmit callers are never blocked behind it. With no
+    // pool this runs the whole batch inline on the dispatcher thread.
+    PrepareRun(*state);
+    ExecuteRun(std::move(state));
+    lock.lock();
+  }
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(adm_mu_);
+    s.batches_accepted = batches_accepted_;
+    s.batches_rejected = batches_rejected_;
+    s.batches_completed = batches_completed_;
+    s.batches_queued = adm_queue_.size();
+    s.batches_running = inflight_batches_;
+  }
+  s.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
+  s.jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
+  s.jobs_deadline_exceeded =
+      jobs_deadline_exceeded_.load(std::memory_order_relaxed);
+  if (store_ != nullptr) s.shard_stats = store_->shard_stats();
+  return s;
 }
 
 }  // namespace xpv::engine

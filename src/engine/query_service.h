@@ -1,8 +1,8 @@
 // Batched parallel query evaluation -- the serving layer over the paper's
 // engines.
 //
-// A QueryService accepts batches of (tree, query-text, result-shape) jobs
-// and:
+// A QueryService accepts batches of (document, query-text, result-shape)
+// jobs and:
 //
 //   1. compiles each distinct query text once (QueryCache) into a
 //      tree-independent CompiledQuery recording every admissible engine,
@@ -11,10 +11,12 @@
 //      MatrixEngine, or the Section 7 answer machinery from Tree::Stats
 //      and taking the monadic row-restricted fast path when the caller
 //      only consumes a node set / boolean / count,
-//   3. executes jobs across a fixed thread pool, sharing one AxisCache per
-//      distinct tree in the batch so concurrent jobs on the same tree
-//      materialize each axis relation matrix exactly once; jobs on stored
-//      documents additionally share the store's per-document plan memo.
+//   3. executes jobs across a fixed thread pool with a *shard-aware*
+//      scheduler: jobs are grouped by the DocumentStore shard their
+//      document resides in, each worker drains "its" shard group first
+//      (maximizing axis-cache and plan-memo affinity within a shard) and
+//      then work-steals from the remaining groups so no worker idles
+//      while another shard still has jobs.
 //
 // Jobs address their document either by raw `Tree*` (caller-owned, cache
 // shared for the duration of one batch) or -- preferably -- by DocumentId
@@ -22,18 +24,39 @@
 // batches: a document queried by many batches materializes each axis
 // relation once in its lifetime, not once per batch.
 //
+// Admission control. In front of the synchronous EvaluateBatch path the
+// service offers a bounded asynchronous front door: TrySubmit() enqueues a
+// batch if the submission queue has room and returns kOverloaded
+// otherwise, giving callers explicit backpressure instead of unbounded
+// memory growth. A dispatcher thread admits queued batches while fewer
+// than `max_inflight_batches` are running. Each batch may carry a deadline
+// and can be cancelled through its BatchHandle; both are checked between
+// jobs -- a job observed after the deadline/cancellation reports
+// kDeadlineExceeded/kCancelled without running, while already-started jobs
+// always finish. An accepted batch is never dropped: even service
+// destruction drains the queue first. ServiceStats snapshots the
+// queued/running/completed/rejected counters plus the store's per-shard
+// cache hit rates for monitoring (see examples/batch_server.cc).
+//
 // Results are deterministic: each job writes only its own result slot and
 // every engine is a pure function of (tree, compiled query), so the output
-// vector is byte-identical across thread counts and scheduling orders.
+// vector is byte-identical across thread counts, shard counts, and
+// scheduling orders.
 #ifndef XPV_ENGINE_QUERY_SERVICE_H_
 #define XPV_ENGINE_QUERY_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/bit_matrix.h"
@@ -51,9 +74,9 @@ namespace xpv::engine {
 
 /// One unit of work: evaluate `query` on one document, addressed either by
 /// id into the service's DocumentStore (preferred: per-document caches
-/// persist across batches) or by raw tree pointer (shim for caller-owned
-/// trees; the tree must stay alive until the batch returns). Setting both
-/// is an error.
+/// persist across batches and the scheduler groups jobs by shard) or by
+/// raw tree pointer (shim for caller-owned trees; the tree must stay alive
+/// until the batch returns). Setting both is an error.
 struct QueryJob {
   const Tree* tree = nullptr;
   DocumentId document = kNoDocument;
@@ -75,8 +98,12 @@ struct QueryJob {
 ///   kBoolean       boolean (from-root set / tuple set nonempty)
 ///   kCount         count (|from-root set| / |tuple set|)
 struct QueryResult {
-  /// Non-OK when the query failed to compile (syntax / fragment) or the
-  /// job was malformed; engine fields are then empty.
+  /// Non-OK when the query failed to compile (syntax / fragment), the job
+  /// was malformed, or the job was skipped by admission control:
+  /// kDeadlineExceeded / kCancelled mark jobs whose batch deadline passed
+  /// or was cancelled before the job started (such jobs never run; jobs
+  /// already running always finish with their real result). Engine fields
+  /// are empty whenever status is non-OK.
   Status status;
   /// The planner's decision that produced this result (valid when status
   /// is OK): engine, shape, row restriction, estimated costs.
@@ -102,10 +129,88 @@ struct QueryServiceOptions {
   /// Corpus for jobs addressed by DocumentId. Not owned; must outlive the
   /// service. Null = only Tree* jobs are accepted.
   DocumentStore* document_store = nullptr;
+  /// Admission control: maximum batches waiting in the TrySubmit queue
+  /// before new submissions are rejected with kOverloaded. 0 = unbounded.
+  std::size_t max_queued_batches = 64;
+  /// Maximum admitted batches executing concurrently (they share the one
+  /// thread pool; bounding this bounds the service's transient result
+  /// memory). 0 = unbounded.
+  std::size_t max_inflight_batches = 2;
+};
+
+/// Per-batch submission options for the asynchronous TrySubmit path.
+struct BatchOptions {
+  /// Jobs not yet started when this instant passes report
+  /// kDeadlineExceeded instead of running. Unset = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+namespace internal {
+struct BatchState;
+}  // namespace internal
+
+/// Handle to a batch accepted by QueryService::TrySubmit. Cheap to copy;
+/// all copies refer to the same batch.
+///
+/// Thread safety: Wait/Cancel/done may be called concurrently from any
+/// thread. Wait() blocks until the batch finishes and moves the results
+/// out -- call it once per batch (later calls return an empty vector).
+/// The handle may outlive the service; a batch accepted before the
+/// service's destructor began is always completed by it.
+class BatchHandle {
+ public:
+  BatchHandle() = default;
+
+  /// False for default-constructed handles.
+  bool valid() const { return state_ != nullptr; }
+  /// Non-blocking: has the batch finished?
+  bool done() const;
+  /// Blocks until the batch finishes; results[i] corresponds to the
+  /// submitted jobs[i]. Moves the results out of the handle.
+  std::vector<QueryResult> Wait();
+  /// Requests cancellation: jobs not yet started report kCancelled; jobs
+  /// already running finish normally. Idempotent; never blocks.
+  void Cancel();
+
+ private:
+  friend class QueryService;
+  explicit BatchHandle(std::shared_ptr<internal::BatchState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::BatchState> state_;
+};
+
+/// Snapshot of the admission front-end and execution counters. Batch
+/// counters cover the TrySubmit path; job counters cover every executed
+/// job (TrySubmit and synchronous EvaluateBatch/Evaluate alike). The
+/// invariant `batches_accepted == batches_completed + batches_queued +
+/// batches_running` holds at every quiescent point.
+struct ServiceStats {
+  std::uint64_t batches_accepted = 0;   // TrySubmit returned a handle
+  std::uint64_t batches_rejected = 0;   // TrySubmit returned kOverloaded
+  std::uint64_t batches_completed = 0;  // accepted batches finished
+  std::size_t batches_queued = 0;       // waiting for admission now
+  std::size_t batches_running = 0;      // admitted, executing now
+  /// Job slots finalized with a real result -- including jobs that
+  /// finished with an error status (malformed addressing, unknown id,
+  /// compile failure). Excludes only jobs skipped by admission control,
+  /// so for every batch: slots == completed + cancelled + expired.
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_cancelled = 0;     // skipped: batch cancelled
+  std::uint64_t jobs_deadline_exceeded = 0;  // skipped: deadline passed
+  /// Per-shard corpus counters (empty when the service has no store).
+  std::vector<DocumentStoreStats> shard_stats;
 };
 
 /// Compile-plan-execute service over the three engines. Thread-safe:
-/// concurrent EvaluateBatch calls share the query cache and the pool.
+/// concurrent EvaluateBatch / TrySubmit calls share the query cache, the
+/// admission queue, and the pool.
+///
+/// Blocking behavior: Evaluate and EvaluateBatch block the calling thread
+/// until their results are complete (EvaluateBatch bypasses the admission
+/// queue). TrySubmit never blocks beyond a mutex; stats() never blocks
+/// beyond the mutexes it snapshots. The destructor blocks until every
+/// accepted batch has completed.
 class QueryService {
  public:
   explicit QueryService(QueryServiceOptions options = {});
@@ -118,15 +223,28 @@ class QueryService {
   QueryResult Evaluate(const Tree& tree, std::string_view query,
                        ResultShape shape = ResultShape::kFullRelation);
   /// Evaluates one query on a stored document (uses its persistent axis
-  /// cache and plan memo).
+  /// cache and plan memo). NotFound for unknown ids; InvalidArgument when
+  /// the service has no store.
   QueryResult Evaluate(DocumentId document, std::string_view query,
                        ResultShape shape = ResultShape::kFullRelation);
 
-  /// Evaluates a batch; results[i] corresponds to jobs[i]. Jobs on the
-  /// same Tree pointer share one AxisCache for the duration of the batch;
-  /// jobs on the same DocumentId share the store's persistent per-document
-  /// cache, across batches.
+  /// Evaluates a batch synchronously; results[i] corresponds to jobs[i].
+  /// Jobs on the same Tree pointer share one AxisCache for the duration of
+  /// the batch; jobs on the same DocumentId share the store's persistent
+  /// per-document cache, across batches. Jobs are scheduled by resident
+  /// shard with cross-shard work stealing.
   std::vector<QueryResult> EvaluateBatch(const std::vector<QueryJob>& jobs);
+
+  /// Admission-controlled asynchronous submission. Returns a handle whose
+  /// Wait() yields the results, or kOverloaded when `max_queued_batches`
+  /// batches are already waiting -- the rejected batch is not retained and
+  /// none of its jobs run. Accepted batches always complete (rejections
+  /// never lose accepted work; see ServiceStats).
+  Result<BatchHandle> TrySubmit(std::vector<QueryJob> jobs,
+                                BatchOptions options = {});
+
+  /// Snapshot of admission/execution counters and per-shard store stats.
+  ServiceStats stats() const;
 
   /// Compiled-query cache (hit/miss stats for monitoring and tests).
   const QueryCache& cache() const { return cache_; }
@@ -144,9 +262,44 @@ class QueryService {
                      const std::shared_ptr<AxisCache>& tree_cache,
                      const std::shared_ptr<PlanMemo>& plan_memo);
 
+  /// Resolves documents/caches and builds the per-shard job groups.
+  void PrepareRun(internal::BatchState& run);
+  /// Runs one claimed job (admission checks, then RunJob).
+  void RunOne(internal::BatchState& run, std::size_t job_index);
+  /// Drains the worker's own shard group, then steals from the others.
+  void RunBatchWorker(internal::BatchState& run, std::size_t worker_index);
+  /// Executes a prepared run inline or across the pool; marks the batch
+  /// done (and updates admission counters for admitted batches) when the
+  /// last worker finishes. Returns immediately when the pool is used.
+  void ExecuteRun(std::shared_ptr<internal::BatchState> run);
+  /// Marks `run` complete and wakes waiters / the dispatcher.
+  void FinishRun(internal::BatchState& run);
+  /// Dispatcher thread: admits queued batches while capacity allows.
+  void DispatcherLoop();
+
   std::size_t num_threads_;
   QueryCache cache_;
-  DocumentStore* store_;              // not owned
+  DocumentStore* store_;  // not owned
+
+  // Admission front-end. adm_mu_ guards the queue and batch counters; job
+  // counters are atomics written from workers.
+  const std::size_t max_queued_batches_;
+  const std::size_t max_inflight_batches_;
+  mutable std::mutex adm_mu_;
+  std::condition_variable adm_cv_;
+  std::deque<std::shared_ptr<internal::BatchState>> adm_queue_;
+  std::size_t inflight_batches_ = 0;
+  bool stopping_ = false;
+  std::uint64_t batches_accepted_ = 0;
+  std::uint64_t batches_rejected_ = 0;
+  std::uint64_t batches_completed_ = 0;
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> jobs_cancelled_{0};
+  std::atomic<std::uint64_t> jobs_deadline_exceeded_{0};
+  std::thread dispatcher_;
+
+  // Declared last: destroyed first, joining workers (and thus finishing
+  // every in-flight batch) before the admission state above goes away.
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
 };
 

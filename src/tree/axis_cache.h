@@ -57,6 +57,16 @@ class AxisCache {
     return label_sets_built_.load(std::memory_order_relaxed);
   }
 
+  /// Approximate bytes resident in materialized relations and label sets
+  /// (derived from the build counters, so it is lock-free and may lag a
+  /// concurrent build by one entry). The DocumentStore aggregates this
+  /// per shard so operators can see what the hot-cache LRU budget holds.
+  std::size_t approx_resident_bytes() const {
+    const std::size_t words_per_row = (tree_.size() + 63) / 64;
+    return matrices_built() * tree_.size() * words_per_row * 8 +
+           label_sets_built() * words_per_row * 8;
+  }
+
  private:
   const Tree& tree_;
   std::atomic<std::size_t> matrices_built_{0};

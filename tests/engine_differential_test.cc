@@ -221,6 +221,39 @@ TEST_P(ServiceDifferentialTest, DocumentStorePathMatchesTreePath) {
   }
 }
 
+TEST_P(ServiceDifferentialTest, ShardedStoreMatchesSingleStore) {
+  // The sharded corpus must be invisible to results: the same batch
+  // served from stores with 1 (the pre-sharding behavior), 4, and 16
+  // shards is byte-identical at every thread count. Shard counts straddle
+  // the document count (4), so some shards hold several documents and
+  // some none.
+  Batch batch = MakeBatch(GetParam() ^ 0x5a5a, 40);
+  std::vector<std::vector<engine::QueryResult>> baselines;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    baselines.emplace_back();
+    for (std::size_t shards : {1u, 4u, 16u}) {
+      engine::DocumentStore store(
+          {.max_hot_caches = 64, .num_shards = shards});
+      std::vector<engine::DocumentId> ids;
+      for (const Tree& t : batch.trees) {
+        Tree copy = t;
+        ids.push_back(store.Insert(std::move(copy)));
+      }
+      engine::QueryService service(
+          {.num_threads = threads, .document_store = &store});
+      auto results = service.EvaluateBatch(ToStoreJobs(batch, ids));
+      for (const auto& r : results) ASSERT_TRUE(r.status.ok()) << r.status;
+      if (baselines.back().empty()) {
+        baselines.back() = std::move(results);
+      } else {
+        ExpectResultsEqual(baselines.back(), results);  // across shards
+      }
+    }
+  }
+  ExpectResultsEqual(baselines[0], baselines[1]);  // across thread counts
+  ExpectResultsEqual(baselines[0], baselines[2]);
+}
+
 TEST_P(ServiceDifferentialTest, StoreCachesPersistAcrossBatches) {
   Batch batch = MakeBatch(GetParam() ^ 0xcafe, 30);
   engine::DocumentStore store;
@@ -291,7 +324,8 @@ TEST(DocumentStoreTest, InternKeyIsUnambiguousForAdversarialLabels) {
 }
 
 TEST(DocumentStoreTest, LruRetiresColdCaches) {
-  engine::DocumentStore store({.max_hot_caches = 2});
+  // One shard so the four documents compete for one LRU budget.
+  engine::DocumentStore store({.max_hot_caches = 2, .num_shards = 1});
   Rng rng(3);
   std::vector<engine::DocumentId> ids;
   for (int i = 0; i < 4; ++i) {
@@ -312,6 +346,40 @@ TEST(DocumentStoreTest, LruRetiresColdCaches) {
   std::shared_ptr<AxisCache> rebuilt = store.AxisCacheFor(ids[0]);
   EXPECT_NE(rebuilt.get(), held[0].get());
   EXPECT_EQ(store.stats().cache_builds, 5u);
+}
+
+TEST(DocumentStoreTest, PerShardLruBudgetsAreIndependent) {
+  // 4 shards, budget 4 => one hot cache per shard. Two documents in the
+  // same shard thrash that shard's budget; documents in other shards are
+  // untouched.
+  engine::DocumentStore store({.max_hot_caches = 4, .num_shards = 4});
+  Rng rng(5);
+  std::vector<engine::DocumentId> ids;
+  for (int i = 0; i < 8; ++i) {
+    RandomTreeOptions opts;
+    opts.num_nodes = 10;
+    ids.push_back(store.Insert(RandomTree(rng, opts)));
+  }
+  // Ids are allocated round-robin across shards: ids[0] and ids[4] share
+  // a shard, ids[1] lives elsewhere.
+  ASSERT_EQ(store.shard_of(ids[0]), store.shard_of(ids[4]));
+  ASSERT_NE(store.shard_of(ids[0]), store.shard_of(ids[1]));
+  store.AxisCacheFor(ids[0]);
+  store.AxisCacheFor(ids[1])->Matrix(Axis::kChild);  // materialize bytes
+  store.AxisCacheFor(ids[4]);  // evicts ids[0] from their shared shard
+  const std::vector<engine::DocumentStoreStats> per_shard =
+      store.shard_stats();
+  ASSERT_EQ(per_shard.size(), 4u);
+  EXPECT_EQ(per_shard[store.shard_of(ids[0])].cache_retirements, 1u);
+  EXPECT_EQ(per_shard[store.shard_of(ids[1])].cache_retirements, 0u);
+  EXPECT_EQ(per_shard[store.shard_of(ids[1])].hot_caches, 1u);
+  // The aggregate is the sum of the shards.
+  const engine::DocumentStoreStats total = store.stats();
+  EXPECT_EQ(total.documents, 8u);
+  EXPECT_EQ(total.hot_caches, 2u);
+  EXPECT_EQ(total.cache_builds, 3u);
+  EXPECT_EQ(total.cache_retirements, 1u);
+  EXPECT_GT(total.hot_cache_bytes, 0u);
 }
 
 TEST(DocumentStoreTest, ErrorsForUnknownOrAmbiguousAddressing) {

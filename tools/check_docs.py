@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (run by the CI docs job and ctest).
+
+Two checks, so the docs/ subsystem cannot rot silently:
+
+1. Every intra-repository markdown link in tracked *.md files resolves:
+   the target file exists, and a #fragment (same-file or cross-file)
+   matches a heading slug in the target.
+2. Every public class/struct declared at namespace scope in
+   src/engine/*.h is mentioned in docs/ARCHITECTURE.md, so new public
+   API cannot ship undocumented.
+
+Exit code 0 iff both checks pass; failures are listed one per line.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def tracked_markdown_files():
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md", "**/*.md"],
+            cwd=REPO, capture_output=True, text=True, check=True).stdout
+        files = sorted({REPO / line for line in out.splitlines() if line})
+        if files:
+            return files
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        pass
+    # Fallback outside a git checkout: walk, skipping build trees.
+    skip = {".git"}
+    return sorted(
+        p for p in REPO.rglob("*.md")
+        if not any(part in skip or part.startswith("build")
+                   for part in p.relative_to(REPO).parts))
+
+
+def heading_slug(heading):
+    """GitHub-style anchor slug for a markdown heading."""
+    slug = re.sub(r"[^\w\- ]", "", heading.strip().lower())
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(md_path):
+    slugs = set()
+    seen = {}
+    in_code = False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if not in_code and (match := re.match(r"#{1,6}\s+(.*)", line)):
+            slug = heading_slug(match.group(1))
+            # GitHub de-duplicates repeated headings as slug, slug-1, ...
+            count = seen.get(slug, 0)
+            seen[slug] = count + 1
+            slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_links(md_path):
+    """Intra-repo link targets, with code blocks stripped."""
+    links = []
+    in_code = False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for target in LINK_RE.findall(line):
+            if re.match(r"[a-z]+:", target):  # http:, https:, mailto:
+                continue
+            links.append(target)
+    return links
+
+
+def check_links(md_files):
+    errors = []
+    for md in md_files:
+        for target in markdown_links(md):
+            path_part, _, fragment = target.partition("#")
+            if path_part.startswith("/"):  # GitHub: repo-root-relative
+                resolved = (REPO / path_part.lstrip("/")).resolve()
+            elif path_part:
+                resolved = (md.parent / path_part).resolve()
+            else:
+                resolved = md
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(REPO)}: broken link target "
+                              f"'{target}' ({path_part} does not exist)")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in heading_slugs(resolved):
+                    errors.append(
+                        f"{md.relative_to(REPO)}: link '{target}' names "
+                        f"anchor '#{fragment}' not found in "
+                        f"{resolved.relative_to(REPO)}")
+    return errors
+
+
+DECL_RE = re.compile(r"^(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:\{|$|:[^:])")
+
+
+def engine_public_types():
+    names = set()
+    for header in sorted((REPO / "src" / "engine").glob("*.h")):
+        for line in header.read_text(encoding="utf-8").splitlines():
+            if match := DECL_RE.match(line):
+                names.add(match.group(1))
+    return names
+
+
+def check_architecture_coverage():
+    arch = REPO / "docs" / "ARCHITECTURE.md"
+    if not arch.exists():
+        return ["docs/ARCHITECTURE.md does not exist"]
+    text = arch.read_text(encoding="utf-8")
+    return [
+        f"docs/ARCHITECTURE.md: public type '{name}' (src/engine/) is "
+        "never mentioned"
+        for name in sorted(engine_public_types())
+        if not re.search(rf"\b{re.escape(name)}\b", text)
+    ]
+
+
+def main():
+    md_files = tracked_markdown_files()
+    errors = check_links(md_files) + check_architecture_coverage()
+    for error in errors:
+        print(f"FAIL: {error}")
+    print(f"check_docs: {len(md_files)} markdown files, "
+          f"{len(engine_public_types())} engine types, "
+          f"{len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
