@@ -64,8 +64,12 @@ void RunConfig(benchmark::State& state, bool mc, bool memo) {
       return;
     }
     auto result = answerer.Answer();
-    answers = result.size();
-    benchmark::DoNotOptimize(result);
+    if (!result.ok()) {
+      state.SkipWithError("answer failed");
+      return;
+    }
+    answers = result->size();
+    benchmark::DoNotOptimize(*result);
   }
   state.counters["answers"] = static_cast<double>(answers);
 }
@@ -118,7 +122,7 @@ void BM_EnumAllAnswers(benchmark::State& state) {
   for (auto _ : state) {
     auto e = fo::AcqEnumerator::Create(t, q);
     answers = 0;
-    while (e->Next()) ++answers;
+    while ((*e->Next()).has_value()) ++answers;
   }
   state.counters["answers"] = static_cast<double>(answers);
 }

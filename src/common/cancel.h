@@ -1,0 +1,107 @@
+// Cooperative cancellation for long-running single operations.
+//
+// The admission-controlled serving layer (engine/query_service.h) checks
+// deadlines and cancellation *between* jobs; that leaves a single
+// long-running job -- an n-ary evaluation, an answer enumeration -- free
+// to run to completion after its batch was cancelled or its deadline
+// passed. A CancelToken threads the batch's cancel flag and deadline into
+// the inner loops of such operations, so they can stop at the next
+// check point and report kCancelled / kDeadlineExceeded instead.
+//
+// A token is a cheap value: it observes (never owns) an atomic cancel
+// flag, and carries an optional deadline. Check() is amortized -- the
+// flag is read every call, the clock only every kClockStride calls --
+// so it is safe to call once per produced tuple or per visited node.
+// Once a token has fired its status is sticky: every later Check()
+// returns the same error, so an unwinding recursion cannot "un-cancel".
+//
+// Thread safety: the observed flag may be set from any thread at any
+// time. One CancelToken *instance* is meant to be used from one thread
+// (its amortization counter is unsynchronized); hand each worker its own
+// copy of the token instead of sharing one instance.
+#ifndef XPV_COMMON_CANCEL_H_
+#define XPV_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+#include "common/status.h"
+
+namespace xpv {
+
+class CancelToken {
+ public:
+  /// Clock reads are amortized over this many Check() calls.
+  static constexpr std::uint32_t kClockStride = 256;
+
+  /// A token that never fires.
+  CancelToken() = default;
+
+  /// Observes `cancel_flag` (may be null: never cancelled) and `deadline`
+  /// (nullopt: none). The flag must outlive every copy of the token.
+  explicit CancelToken(
+      const std::atomic<bool>* cancel_flag,
+      std::optional<std::chrono::steady_clock::time_point> deadline =
+          std::nullopt)
+      : cancel_flag_(cancel_flag), deadline_(deadline) {}
+
+  /// True when the token can ever fire; false tokens make Check() a
+  /// single predictable branch.
+  bool active() const {
+    return cancel_flag_ != nullptr || deadline_.has_value();
+  }
+
+  /// OK while the operation may continue; Cancelled once the flag is
+  /// observed set; DeadlineExceeded once the deadline is observed past.
+  /// Sticky: after the first non-OK result the same status is returned
+  /// forever (without re-reading flag or clock).
+  Status Check() {
+    if (fired_ != StatusCode::kOk) return Fired();
+    if (cancel_flag_ != nullptr &&
+        cancel_flag_->load(std::memory_order_relaxed)) {
+      fired_ = StatusCode::kCancelled;
+      return Fired();
+    }
+    if (deadline_.has_value() && ++calls_ % kClockStride == 1 &&
+        std::chrono::steady_clock::now() > *deadline_) {
+      fired_ = StatusCode::kDeadlineExceeded;
+      return Fired();
+    }
+    return Status::OK();
+  }
+
+  /// Non-amortized variant: also reads the clock unconditionally. Use at
+  /// phase boundaries (e.g. once per preprocessing pass), where a stale
+  /// deadline check would delay cancellation by a whole phase.
+  Status CheckNow() {
+    if (fired_ != StatusCode::kOk) return Fired();
+    calls_ = 0;  // restart the stride so Check() follows a fresh read
+    if (cancel_flag_ != nullptr &&
+        cancel_flag_->load(std::memory_order_relaxed)) {
+      fired_ = StatusCode::kCancelled;
+    } else if (deadline_.has_value() &&
+               std::chrono::steady_clock::now() > *deadline_) {
+      fired_ = StatusCode::kDeadlineExceeded;
+    } else {
+      return Status::OK();
+    }
+    return Fired();
+  }
+
+ private:
+  Status Fired() const {
+    return fired_ == StatusCode::kCancelled
+               ? Status::Cancelled("operation cancelled mid-run")
+               : Status::DeadlineExceeded("deadline passed mid-run");
+  }
+
+  const std::atomic<bool>* cancel_flag_ = nullptr;  // observed, not owned
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  std::uint32_t calls_ = 0;
+  StatusCode fired_ = StatusCode::kOk;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_COMMON_CANCEL_H_

@@ -25,6 +25,7 @@ enum class StatusCode {
   kOverloaded,         // admission control rejected the work; retry later
   kDeadlineExceeded,   // the batch deadline passed before the job ran
   kCancelled,          // the batch was cancelled before the job ran
+  kResourceExhausted,  // a hard memory bound was reached mid-operation
 };
 
 /// Returns a human-readable name for a status code.
@@ -65,6 +66,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

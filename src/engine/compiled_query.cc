@@ -57,10 +57,20 @@ Result<std::shared_ptr<const CompiledQuery>> CompileQuery(
     XPV_RETURN_IF_ERROR(xpath::CheckPpl(*path));
     XPV_ASSIGN_OR_RETURN(hcl::HclPtr c, hcl::PplToHcl(*path));
     q->hcl = std::move(c);
+    q->hcl_size = q->hcl->Size();
     for (const std::string& v : xpath::FreeVars(*path)) {
       q->tuple_vars.push_back(v);  // std::set iterates sorted
     }
     q->admissible.push_back(EnginePlan::kNaryAnswer);
+    // Enumerability (Prop. 8): a union-free image converts to an ACQ; if
+    // that ACQ is alpha-acyclic, streams can enumerate it with
+    // polynomial delay. Both facts are tree-independent.
+    Result<fo::ConjunctiveQuery> cq =
+        fo::HclToConjunctive(*q->hcl, q->tuple_vars);
+    if (cq.ok() && fo::IsAcyclic(*cq)) {
+      q->acq = std::make_shared<const fo::ConjunctiveQuery>(
+          std::move(cq).value());
+    }
   }
   q->path = std::move(path);
   return std::shared_ptr<const CompiledQuery>(std::move(q));

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fo/acq.h"
 #include "hcl/ast.h"
 #include "ppl/pplbin.h"
 #include "xpath/ast.h"
@@ -72,6 +73,15 @@ struct CompiledQuery {
   /// variable tuple (free variables of the query, sorted).
   hcl::HclPtr hcl;
   std::vector<std::string> tuple_vars;
+  /// |C| of the HCL image (0 for binary queries), precomputed for the
+  /// planner's cost model.
+  std::size_t hcl_size = 0;
+  /// The Proposition 8 ACQ form of the HCL image, when it is union-free
+  /// and alpha-acyclic -- the class the streaming subsystem can serve by
+  /// polynomial-delay enumeration (fo/enumerate.h) instead of
+  /// materializing the answer set. Null when not enumerable (unions);
+  /// tree-independent, so computed once at compile time.
+  std::shared_ptr<const fo::ConjunctiveQuery> acq;
 
   bool Admits(EnginePlan engine) const;
 };

@@ -105,38 +105,115 @@ std::string_view ResultShapeName(ResultShape shape) {
       return "boolean";
     case ResultShape::kCount:
       return "count";
+    case ResultShape::kTupleStream:
+      return "tuple-stream";
+  }
+  std::abort();  // unreachable: the switch above covers every enumerator
+}
+
+std::string_view StreamBackingName(StreamBacking backing) {
+  switch (backing) {
+    case StreamBacking::kNone:
+      return "none";
+    case StreamBacking::kNodeSet:
+      return "node-set";
+    case StreamBacking::kEnumerator:
+      return "enumerator";
+    case StreamBacking::kMaterialized:
+      return "materialized";
   }
   std::abort();  // unreachable: the switch above covers every enumerator
 }
 
 std::string ExecutionPlan::DebugString() const {
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "%s/%s%s cost=%.3g alt=%.3g",
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s/%s%s%s%s cost=%.3g alt=%.3g",
                 std::string(EnginePlanName(engine)).c_str(),
                 std::string(ResultShapeName(shape)).c_str(),
-                row_restricted ? " row-restricted" : "", cost,
-                alternative_cost);
+                row_restricted ? " row-restricted" : "",
+                backing != StreamBacking::kNone ? " backing=" : "",
+                backing != StreamBacking::kNone
+                    ? std::string(StreamBackingName(backing)).c_str()
+                    : "",
+                cost, alternative_cost);
   return buf;
 }
 
 ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
                         ResultShape shape,
-                        std::optional<EnginePlan> force_engine) {
+                        std::optional<EnginePlan> force_engine,
+                        std::size_t stream_limit) {
   ExecutionPlan plan;
   plan.shape = shape;
   const double n =
       static_cast<double>(std::max<std::size_t>(tree.Stats().node_count, 1));
 
   if (q.pplbin == nullptr) {
-    // N-ary queries have exactly one engine; the shape only selects the
-    // payload derived from the answer set. Coarse Prop. 10 table bound.
+    // N-ary queries have exactly one engine; the shape selects the
+    // payload derived from the answer set -- except kTupleStream, where
+    // the planner additionally picks the stream backing.
     plan.engine = EnginePlan::kNaryAnswer;
     plan.cost = n * n;
+    if (shape != ResultShape::kTupleStream) return plan;
+    if (q.acq == nullptr) {
+      // Unions are outside the enumerable (Prop. 8) class: the stream
+      // serves a cursor over the materialized Fig. 8 answer set.
+      plan.backing = StreamBacking::kMaterialized;
+      plan.cost = n * n * static_cast<double>(std::max<std::size_t>(
+                              q.hcl_size, 1));
+      return plan;
+    }
+    // Enumeration vs materialization. Enumeration pays, in word ops,
+    //   preprocessing: materializing one n x n relation per atom plus
+    //   the two semijoin passes, ~3 |atoms| n wpr(n), then
+    //   delay: ~|vars| wpr(n) per emitted tuple;
+    // materialization pays the Fig. 8 machinery, ~n^2 |C| word ops for
+    // the MC table -- but also O(|answers|) MEMORY, up to n^arity.
+    //
+    // With a bounded limit the op costs are comparable and decide: a
+    // small limit amortizes preprocessing over few tuples (enumerator),
+    // a huge limit on a tiny tree materializes outright. With limit 0
+    // (drain everything) the answer-set memory is the binding
+    // constraint, so every tree beyond kTinyTree enumerates whenever it
+    // can -- only trees whose whole n^2 universe is trivially small
+    // materialize.
+    const double atoms = static_cast<double>(
+        std::max<std::size_t>(q.acq->atoms.size(), 1));
+    const double vars = atoms + 1.0;
+    const double enum_preproc = 3.0 * atoms * n * WordsPerRow(n);
+    const double enum_delay = vars * WordsPerRow(n);
+    const double mat_cost =
+        n * n * static_cast<double>(std::max<std::size_t>(q.hcl_size, 1)) +
+        n * n;
+    constexpr double kTinyTree = 64;
+    bool enumerate;
+    double enum_cost;
+    if (stream_limit == 0) {
+      enum_cost = enum_preproc + n * n * enum_delay;
+      enumerate = n > kTinyTree;
+    } else {
+      enum_cost =
+          enum_preproc + static_cast<double>(stream_limit) * enum_delay;
+      enumerate = enum_cost <= mat_cost;
+    }
+    if (enumerate) {
+      plan.backing = StreamBacking::kEnumerator;
+      plan.cost = enum_cost;
+      plan.alternative_cost = mat_cost;
+    } else {
+      plan.backing = StreamBacking::kMaterialized;
+      plan.cost = mat_cost;
+      plan.alternative_cost = enum_cost;
+    }
     return plan;
   }
 
   // Binary queries: monadic shapes take the row-restricted entry points
-  // of whichever engine wins the cost comparison.
+  // of whichever engine wins the cost comparison. A kTupleStream plan on
+  // a binary query streams the monadic from-root node set as 1-tuples.
+  if (shape == ResultShape::kTupleStream) {
+    plan.backing = StreamBacking::kNodeSet;
+  }
   const bool monadic = shape != ResultShape::kFullRelation;
   const double matrix_cost = monadic
                                  ? MatrixMonadicCost(*q.pplbin, n)

@@ -52,14 +52,40 @@ namespace xpv::engine {
 
 /// What a caller consumes from a query's answer. Shapes other than
 /// kFullRelation unlock the monadic fast path on binary queries.
+/// kTupleStream is the streaming shape: it is served exclusively through
+/// QueryService::OpenStream (engine/query_stream.h) -- batch jobs
+/// requesting it are rejected -- and yields tuples incrementally instead
+/// of a materialized payload.
 enum class ResultShape {
   kFullRelation,
   kFromRootSet,
   kBoolean,
   kCount,
+  kTupleStream,
 };
 
 std::string_view ResultShapeName(ResultShape shape);
+
+/// How a kTupleStream plan produces its tuples (kNone for every other
+/// shape). The choice never changes the tuple *set*, only delay and
+/// memory; it does change the deterministic stream *order* (documented
+/// on QueryStream), which is why the planner's pick is a pure function
+/// of (query, tree stats, limit).
+enum class StreamBacking {
+  kNone,
+  /// Binary query: the monadic from-root node set, streamed as 1-tuples
+  /// in ascending node order.
+  kNodeSet,
+  /// Enumerable n-ary query (union-free, alpha-acyclic): Yannakakis
+  /// polynomial-delay enumeration with bounded memory (fo/enumerate.h).
+  kEnumerator,
+  /// Non-enumerable (union) or cheap-to-materialize n-ary query: the
+  /// Fig. 8 answer set is materialized once on first read and served
+  /// from a cursor in lexicographic order.
+  kMaterialized,
+};
+
+std::string_view StreamBackingName(StreamBacking backing);
 
 /// The planner's decision for one (compiled query, tree, shape): which
 /// engine runs and whether it takes the row-restricted entry point.
@@ -70,6 +96,8 @@ struct ExecutionPlan {
   /// (GkpEngine::EvaluateFromNode / MatrixEngine::EvaluateFromRoot)
   /// instead of materializing the O(|t|^2) relation.
   bool row_restricted = false;
+  /// kTupleStream plans only: how the stream produces tuples.
+  StreamBacking backing = StreamBacking::kNone;
   /// Cost-model estimate (in 64-bit word operations) of the chosen
   /// route, and of the best rejected admissible engine (0 = no
   /// alternative existed).
@@ -91,9 +119,18 @@ struct ExecutionPlan {
 ///
 /// Pure and non-blocking: reads only the precomputed Tree::Stats(), never
 /// fails, and is safe to call concurrently from any number of threads.
+///
+/// `stream_limit` matters only for kTupleStream plans: it is the
+/// caller's requested tuple budget (offset + limit; 0 = drain
+/// everything) and steers the enumeration-vs-materialization choice --
+/// a small limit amortizes the enumerator's preprocessing over few
+/// tuples but skips materializing an answer set the caller will never
+/// read. Stream plans are NOT memoized in the PlanMemo (their key would
+/// need the limit); OpenStream plans per call, which is cheap.
 ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
                         ResultShape shape,
-                        std::optional<EnginePlan> force_engine = {});
+                        std::optional<EnginePlan> force_engine = {},
+                        std::size_t stream_limit = 0);
 
 /// Bounded, thread-safe (query text, shape) -> ExecutionPlan memo. One
 /// lives beside each document's AxisCache in the DocumentStore, so a

@@ -60,6 +60,7 @@ void FinishMonadic(QueryResult& result, ResultShape shape, BitVector image) {
   switch (shape) {
     case ResultShape::kFullRelation:
     case ResultShape::kFromRootSet:
+    case ResultShape::kTupleStream:  // unreachable: rejected in RunJob
       result.from_root = std::move(image);
       return;
     case ResultShape::kBoolean:
@@ -111,10 +112,10 @@ QueryService::QueryService(QueryServiceOptions options)
 
 QueryService::~QueryService() {
   {
-    std::lock_guard<std::mutex> lock(adm_mu_);
+    std::lock_guard<std::mutex> lock(adm_->mu);
     stopping_ = true;
   }
-  adm_cv_.notify_all();
+  adm_->cv.notify_all();
   // The dispatcher drains the queue before exiting (accepted batches are
   // never lost); pool_'s destructor then joins the workers, finishing any
   // batch still in flight before the admission state is destroyed.
@@ -152,8 +153,13 @@ QueryResult QueryService::RunJob(
     const Tree* tree, const std::string& query, ResultShape shape,
     const std::optional<EnginePlan>& engine_override,
     const std::shared_ptr<AxisCache>& tree_cache,
-    const std::shared_ptr<PlanMemo>& plan_memo) {
+    const std::shared_ptr<PlanMemo>& plan_memo, CancelToken cancel) {
   QueryResult result;
+  if (shape == ResultShape::kTupleStream) {
+    result.status = Status::InvalidArgument(
+        "the tuple-stream shape is served by OpenStream, not batch jobs");
+    return result;
+  }
   if (tree == nullptr || tree->empty()) {
     result.status = Status::InvalidArgument("job has no tree");
     return result;
@@ -223,16 +229,28 @@ QueryResult QueryService::RunJob(
       break;
     }
     case EnginePlan::kNaryAnswer: {
-      hcl::QueryAnswerer answerer(t, *q.hcl, q.tuple_vars, {}, cache);
+      // The one potentially long-running engine: thread the batch's
+      // cancel token into it so an in-flight n-ary evaluation observes
+      // BatchHandle::Cancel and expired deadlines mid-run.
+      hcl::AnswerOptions answer_options;
+      answer_options.cancel = cancel;
+      hcl::QueryAnswerer answerer(t, *q.hcl, q.tuple_vars, answer_options,
+                                  cache);
       Status prepared = answerer.Prepare();
       if (!prepared.ok()) {
         result.status = prepared;
         return result;
       }
-      xpath::TupleSet tuples = answerer.Answer();
+      Result<xpath::TupleSet> answered = answerer.Answer();
+      if (!answered.ok()) {
+        result.status = answered.status();
+        return result;
+      }
+      xpath::TupleSet tuples = std::move(answered).value();
       switch (plan.shape) {
         case ResultShape::kFullRelation:
         case ResultShape::kFromRootSet:
+        case ResultShape::kTupleStream:  // unreachable: rejected above
           result.tuples = std::move(tuples);
           break;
         case ResultShape::kBoolean:
@@ -338,33 +356,47 @@ void QueryService::RunOne(BatchState& run, std::size_t i) {
     jobs_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+  // Started jobs carry the batch's cancel token into the engine, so a
+  // long-running n-ary job stops mid-run instead of running to
+  // completion; attribute the slot to the counter matching its outcome.
+  const CancelToken token(&run.cancelled, run.deadline);
   if (job.document != kNoDocument && job.tree != nullptr) {
     run.results[i].status = Status::InvalidArgument(
         "job addresses both a DocumentId and a raw tree");
-    return;
-  }
-  if (job.document != kNoDocument) {
+  } else if (job.document != kNoDocument) {
     if (store_ == nullptr) {
       run.results[i].status = Status::InvalidArgument(
           "job addresses a DocumentId but the service has no DocumentStore");
-      return;
+    } else {
+      const ResolvedDoc& resolved = run.docs.at(job.document);
+      if (resolved.doc == nullptr) {
+        run.results[i].status = Status::NotFound(
+            "unknown document id " + std::to_string(job.document));
+      } else {
+        run.results[i] =
+            RunJob(&resolved.doc->tree(), job.query, job.shape,
+                   job.engine_override, resolved.cache, resolved.plans,
+                   token);
+      }
     }
-    const ResolvedDoc& resolved = run.docs.at(job.document);
-    if (resolved.doc == nullptr) {
-      run.results[i].status = Status::NotFound(
-          "unknown document id " + std::to_string(job.document));
-      return;
-    }
-    run.results[i] = RunJob(&resolved.doc->tree(), job.query, job.shape,
-                            job.engine_override, resolved.cache,
-                            resolved.plans);
-    return;
+  } else {
+    auto it = run.tree_caches.find(job.tree);
+    run.results[i] =
+        RunJob(job.tree, job.query, job.shape, job.engine_override,
+               it == run.tree_caches.end() ? nullptr : it->second, nullptr,
+               token);
   }
-  auto it = run.tree_caches.find(job.tree);
-  run.results[i] =
-      RunJob(job.tree, job.query, job.shape, job.engine_override,
-             it == run.tree_caches.end() ? nullptr : it->second, nullptr);
+  switch (run.results[i].status.code()) {
+    case StatusCode::kCancelled:
+      jobs_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      jobs_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
 }
 
 void QueryService::RunBatchWorker(BatchState& run, std::size_t worker_index) {
@@ -390,11 +422,11 @@ void QueryService::FinishRun(BatchState& run) {
   // returning from Wait() observes stats() with this batch completed.
   if (run.admitted) {
     {
-      std::lock_guard<std::mutex> lock(adm_mu_);
-      --inflight_batches_;
+      std::lock_guard<std::mutex> lock(adm_->mu);
+      --adm_->inflight_batches;
       ++batches_completed_;
     }
-    adm_cv_.notify_all();
+    adm_->cv.notify_all();
   }
   {
     std::lock_guard<std::mutex> lock(run.mu);
@@ -447,7 +479,7 @@ Result<BatchHandle> QueryService::TrySubmit(std::vector<QueryJob> jobs,
   state->deadline = options.deadline;
   state->admitted = true;
   {
-    std::lock_guard<std::mutex> lock(adm_mu_);
+    std::lock_guard<std::mutex> lock(adm_->mu);
     if (stopping_) {
       ++batches_rejected_;
       return Status::Overloaded("service is shutting down");
@@ -463,23 +495,118 @@ Result<BatchHandle> QueryService::TrySubmit(std::vector<QueryJob> jobs,
     adm_queue_.push_back(state);
     ++batches_accepted_;
   }
-  adm_cv_.notify_all();
+  adm_->cv.notify_all();
   return BatchHandle(std::move(state));
 }
 
+Result<QueryStream> QueryService::OpenStream(DocumentId document,
+                                             std::string_view query,
+                                             StreamOptions options) {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument(
+        "stream addresses a DocumentId but the service has no DocumentStore");
+  }
+  DocumentPtr doc = store_->Get(document);
+  if (doc == nullptr) {
+    return Status::NotFound("unknown document id " +
+                            std::to_string(document));
+  }
+  // The stream holds both the DocumentPtr and the AxisCache shared_ptr:
+  // a concurrent Remove(document) only forgets the id -- the pinned tree
+  // and cache outlive it, so an open stream keeps serving identical
+  // answers (see the stream-outlives-Remove tests).
+  std::shared_ptr<AxisCache> cache = store_->AxisCacheFor(document);
+  const Tree* tree = &doc->tree();
+  return OpenStreamImpl(std::move(doc), tree, std::move(cache), query,
+                        options);
+}
+
+Result<QueryStream> QueryService::OpenStream(const Tree& tree,
+                                             std::string_view query,
+                                             StreamOptions options) {
+  return OpenStreamImpl(nullptr, &tree, std::make_shared<AxisCache>(tree),
+                        query, options);
+}
+
+Result<QueryStream> QueryService::OpenStreamImpl(
+    DocumentPtr doc, const Tree* tree, std::shared_ptr<AxisCache> cache,
+    std::string_view query, StreamOptions options) {
+  if (tree == nullptr || tree->empty()) {
+    return Status::InvalidArgument("stream has no tree");
+  }
+  if (cache == nullptr) {
+    // A Remove() racing between Get() and AxisCacheFor() loses the
+    // store's persistent cache (AxisCacheFor returns null for ids it no
+    // longer knows); the pinned tree is still valid, so fall back to a
+    // private cache exactly like the batch path does.
+    cache = std::make_shared<AxisCache>(*tree);
+  }
+  Result<std::shared_ptr<const CompiledQuery>> compiled =
+      cache_.GetOrCompile(std::string(query));
+  if (!compiled.ok()) return compiled.status();
+
+  // Plan with the caller's tuple budget (offset tuples are produced and
+  // discarded, so they count). Stream plans are cheap and depend on the
+  // limit, so they bypass the per-document PlanMemo.
+  const std::size_t budget =
+      options.limit == 0 ? 0 : options.offset + options.limit;
+  ExecutionPlan plan = PlanQuery(**compiled, *tree,
+                                 ResultShape::kTupleStream, {}, budget);
+
+  // Take one inflight slot; never block. An open stream is admitted load
+  // exactly like a running batch.
+  {
+    std::lock_guard<std::mutex> lock(adm_->mu);
+    if (stopping_) {
+      return Status::Overloaded("service is shutting down");
+    }
+    if (max_inflight_batches_ != 0 &&
+        adm_->inflight_batches + adm_->open_streams >=
+            max_inflight_batches_) {
+      return Status::Overloaded(
+          "all " + std::to_string(max_inflight_batches_) +
+          " inflight slots are taken (" +
+          std::to_string(adm_->open_streams) + " open streams)");
+    }
+    ++adm_->open_streams;
+    ++adm_->streams_opened;
+  }
+
+  auto state = std::make_unique<internal::StreamState>();
+  state->adm = adm_;
+  state->doc = std::move(doc);
+  state->tree = tree;
+  state->cache = std::move(cache);
+  state->compiled = std::move(compiled).value();
+  state->plan = plan;
+  state->options = options;
+  state->arity = state->compiled->pplbin != nullptr
+                     ? 1
+                     : state->compiled->tuple_vars.size();
+  state->token = CancelToken(&state->cancelled, options.deadline);
+  return QueryStream(std::move(state));
+}
+
 void QueryService::DispatcherLoop() {
-  std::unique_lock<std::mutex> lock(adm_mu_);
+  std::unique_lock<std::mutex> lock(adm_->mu);
   while (true) {
-    adm_cv_.wait(lock, [&] {
+    adm_->cv.wait(lock, [&] {
+      // Open streams count against the inflight bound -- except during
+      // shutdown: a stream the caller still holds may never close (it
+      // cannot while the caller is blocked in ~QueryService), and the
+      // destructor's "accepted batches always drain" contract must win
+      // over the stream's slot, so stopping admission ignores streams.
+      const std::size_t occupied =
+          adm_->inflight_batches + (stopping_ ? 0 : adm_->open_streams);
       const bool can_admit =
-          !adm_queue_.empty() && (max_inflight_batches_ == 0 ||
-                                  inflight_batches_ < max_inflight_batches_);
+          !adm_queue_.empty() &&
+          (max_inflight_batches_ == 0 || occupied < max_inflight_batches_);
       return can_admit || (stopping_ && adm_queue_.empty());
     });
     if (adm_queue_.empty()) return;  // only reachable when stopping
     std::shared_ptr<BatchState> state = std::move(adm_queue_.front());
     adm_queue_.pop_front();
-    ++inflight_batches_;
+    ++adm_->inflight_batches;
     lock.unlock();
     // Preparation (store lookups, cache resolution) happens outside
     // adm_mu_ so TrySubmit callers are never blocked behind it. With no
@@ -493,13 +620,17 @@ void QueryService::DispatcherLoop() {
 ServiceStats QueryService::stats() const {
   ServiceStats s;
   {
-    std::lock_guard<std::mutex> lock(adm_mu_);
+    std::lock_guard<std::mutex> lock(adm_->mu);
     s.batches_accepted = batches_accepted_;
     s.batches_rejected = batches_rejected_;
     s.batches_completed = batches_completed_;
     s.batches_queued = adm_queue_.size();
-    s.batches_running = inflight_batches_;
+    s.batches_running = adm_->inflight_batches;
+    s.streams_opened = adm_->streams_opened;
+    s.streams_closed = adm_->streams_closed;
+    s.streams_open = adm_->open_streams;
   }
+  s.stream_tuples = adm_->stream_tuples.load(std::memory_order_relaxed);
   s.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
   s.jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
   s.jobs_deadline_exceeded =

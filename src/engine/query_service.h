@@ -29,14 +29,27 @@
 // batch if the submission queue has room and returns kOverloaded
 // otherwise, giving callers explicit backpressure instead of unbounded
 // memory growth. A dispatcher thread admits queued batches while fewer
-// than `max_inflight_batches` are running. Each batch may carry a deadline
-// and can be cancelled through its BatchHandle; both are checked between
-// jobs -- a job observed after the deadline/cancellation reports
-// kDeadlineExceeded/kCancelled without running, while already-started jobs
-// always finish. An accepted batch is never dropped: even service
-// destruction drains the queue first. ServiceStats snapshots the
-// queued/running/completed/rejected counters plus the store's per-shard
-// cache hit rates for monitoring (see examples/batch_server.cc).
+// than `max_inflight_batches` are running -- open streams (below) count
+// against the same bound. Each batch may carry a deadline and can be
+// cancelled through its BatchHandle; both are checked between jobs -- a
+// job observed after the deadline/cancellation reports
+// kDeadlineExceeded/kCancelled without running -- AND inside long-running
+// n-ary jobs, whose evaluation observes the batch's CancelToken between
+// recursion steps and stops cooperatively with the same statuses. An
+// accepted batch is never dropped: even service destruction drains the
+// queue first. ServiceStats snapshots the queued/running/completed/
+// rejected counters plus the store's per-shard cache hit rates for
+// monitoring (see examples/batch_server.cc).
+//
+// Streaming. OpenStream() returns a QueryStream cursor
+// (engine/query_stream.h) that serves a query's answers incrementally --
+// n-ary answers by polynomial-delay enumeration where the query admits
+// it -- instead of materializing the tuple set into a QueryResult. A
+// stream pins its document (correct across concurrent Remove/re-Intern),
+// occupies one inflight slot until closed or drained, and honors its
+// deadline and Cancel() between tuples. Batch jobs requesting
+// ResultShape::kTupleStream are rejected: the streaming shape is only
+// reachable through OpenStream.
 //
 // Results are deterministic: each job writes only its own result slot and
 // every engine is a pure function of (tree, compiled query), so the output
@@ -60,11 +73,13 @@
 #include <vector>
 
 #include "common/bit_matrix.h"
+#include "common/cancel.h"
 #include "common/status.h"
 #include "engine/compiled_query.h"
 #include "engine/document_store.h"
 #include "engine/planner.h"
 #include "engine/query_cache.h"
+#include "engine/query_stream.h"
 #include "engine/thread_pool.h"
 #include "tree/axis_cache.h"
 #include "tree/tree.h"
@@ -193,11 +208,23 @@ struct ServiceStats {
   std::size_t batches_running = 0;      // admitted, executing now
   /// Job slots finalized with a real result -- including jobs that
   /// finished with an error status (malformed addressing, unknown id,
-  /// compile failure). Excludes only jobs skipped by admission control,
-  /// so for every batch: slots == completed + cancelled + expired.
+  /// compile failure). Excludes jobs skipped by admission control and
+  /// jobs interrupted mid-run by cooperative cancellation, so for every
+  /// batch: slots == completed + cancelled + expired.
   std::uint64_t jobs_completed = 0;
-  std::uint64_t jobs_cancelled = 0;     // skipped: batch cancelled
-  std::uint64_t jobs_deadline_exceeded = 0;  // skipped: deadline passed
+  /// Jobs skipped before starting OR stopped mid-run because their
+  /// batch was cancelled.
+  std::uint64_t jobs_cancelled = 0;
+  /// Jobs skipped before starting OR stopped mid-run because their
+  /// batch deadline passed.
+  std::uint64_t jobs_deadline_exceeded = 0;
+  /// Streams: opened ever, closed/drained/failed ever, and the gauge of
+  /// streams currently holding an inflight slot.
+  std::uint64_t streams_opened = 0;
+  std::uint64_t streams_closed = 0;
+  std::size_t streams_open = 0;
+  /// Tuples delivered across all streams.
+  std::uint64_t stream_tuples = 0;
   /// Per-shard corpus counters (empty when the service has no store).
   std::vector<DocumentStoreStats> shard_stats;
 };
@@ -243,6 +270,20 @@ class QueryService {
   Result<BatchHandle> TrySubmit(std::vector<QueryJob> jobs,
                                 BatchOptions options = {});
 
+  /// Opens a streaming cursor over the query's answers on a stored
+  /// document (pinning it for the stream's lifetime) or a caller-owned
+  /// tree (which must outlive the stream). Never blocks: kOverloaded
+  /// when all `max_inflight_batches` slots are taken (by batches or
+  /// other open streams) or the service is shutting down; compile
+  /// errors and unknown ids surface as on Evaluate. The stream may
+  /// outlive the service -- during destruction, open streams stop
+  /// counting against the inflight bound so accepted batches always
+  /// drain. See engine/query_stream.h for semantics.
+  Result<QueryStream> OpenStream(DocumentId document, std::string_view query,
+                                 StreamOptions options = {});
+  Result<QueryStream> OpenStream(const Tree& tree, std::string_view query,
+                                 StreamOptions options = {});
+
   /// Snapshot of admission/execution counters and per-shard store stats.
   ServiceStats stats() const;
 
@@ -260,7 +301,14 @@ class QueryService {
                      ResultShape shape,
                      const std::optional<EnginePlan>& engine_override,
                      const std::shared_ptr<AxisCache>& tree_cache,
-                     const std::shared_ptr<PlanMemo>& plan_memo);
+                     const std::shared_ptr<PlanMemo>& plan_memo,
+                     CancelToken cancel = {});
+  /// Shared tail of the OpenStream overloads: compiles, plans, takes an
+  /// inflight slot, and builds the stream state.
+  Result<QueryStream> OpenStreamImpl(DocumentPtr doc, const Tree* tree,
+                                     std::shared_ptr<AxisCache> cache,
+                                     std::string_view query,
+                                     StreamOptions options);
 
   /// Resolves documents/caches and builds the per-shard job groups.
   void PrepareRun(internal::BatchState& run);
@@ -281,14 +329,15 @@ class QueryService {
   QueryCache cache_;
   DocumentStore* store_;  // not owned
 
-  // Admission front-end. adm_mu_ guards the queue and batch counters; job
-  // counters are atomics written from workers.
+  // Admission front-end. adm_->mu guards the queue, the batch counters,
+  // and the inflight/stream gauges (the mutex/cv/gauges live in the
+  // shared AdmissionShared so streams outliving the service can still
+  // release their slot); job counters are atomics written from workers.
   const std::size_t max_queued_batches_;
   const std::size_t max_inflight_batches_;
-  mutable std::mutex adm_mu_;
-  std::condition_variable adm_cv_;
+  const std::shared_ptr<internal::AdmissionShared> adm_ =
+      std::make_shared<internal::AdmissionShared>();
   std::deque<std::shared_ptr<internal::BatchState>> adm_queue_;
-  std::size_t inflight_batches_ = 0;
   bool stopping_ = false;
   std::uint64_t batches_accepted_ = 0;
   std::uint64_t batches_rejected_ = 0;

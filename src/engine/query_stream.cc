@@ -1,0 +1,284 @@
+#include "engine/query_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "hcl/answer.h"
+#include "ppl/gkp_engine.h"
+#include "ppl/matrix_engine.h"
+
+namespace xpv::engine {
+
+namespace internal {
+
+void StreamState::ReleaseResources() {
+  enumerator.reset();
+  materialized.reset();
+  node_set.reset();
+  backing_built = false;
+  cache.reset();
+  doc.reset();
+  tree = nullptr;
+  if (!slot_released && adm != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(adm->mu);
+      --adm->open_streams;
+      ++adm->streams_closed;
+    }
+    // The dispatcher may now admit a queued batch into the freed slot.
+    adm->cv.notify_all();
+  }
+  slot_released = true;
+}
+
+namespace {
+
+/// Rough resident estimate of a materialized TupleSet: per tuple, one
+/// red-black node + the NodeTuple vector header + its elements.
+std::size_t MaterializedBytes(const xpath::TupleSet& tuples,
+                              std::size_t arity) {
+  constexpr std::size_t kSetNodeOverhead = 64;   // rb-node + color + padding
+  constexpr std::size_t kVectorOverhead = 24;    // NodeTuple header
+  return tuples.size() *
+         (kSetNodeOverhead + kVectorOverhead + arity * sizeof(NodeId));
+}
+
+/// Builds the stream's backing; returns non-OK (without marking state)
+/// when evaluation fails or the token fires mid-build.
+Status BuildBacking(StreamState& s) {
+  const CompiledQuery& q = *s.compiled;
+  switch (s.plan.backing) {
+    case StreamBacking::kNone:
+      return Status::Internal("stream plan has no backing");
+    case StreamBacking::kEnumerator: {
+      fo::AcqEnumeratorOptions options;
+      options.cancel = CancelToken(&s.cancelled, s.options.deadline);
+      options.dedup.max_bytes = s.options.max_dedup_bytes;
+      options.axis_cache = s.cache;
+      Result<fo::AcqEnumerator> e =
+          fo::AcqEnumerator::Create(*s.tree, *q.acq, std::move(options));
+      if (!e.ok()) return e.status();
+      s.enumerator.emplace(std::move(e).value());
+      break;
+    }
+    case StreamBacking::kMaterialized: {
+      hcl::AnswerOptions options;
+      options.cancel = CancelToken(&s.cancelled, s.options.deadline);
+      hcl::QueryAnswerer answerer(*s.tree, *q.hcl, q.tuple_vars, options,
+                                  s.cache);
+      XPV_RETURN_IF_ERROR(answerer.Prepare());
+      Result<xpath::TupleSet> answers = answerer.Answer();
+      if (!answers.ok()) return answers.status();
+      s.materialized.emplace(std::move(answers).value());
+      s.mat_it = s.materialized->begin();
+      s.mat_bytes = MaterializedBytes(*s.materialized, s.arity);
+      break;
+    }
+    case StreamBacking::kNodeSet: {
+      // The monadic from-root path of the planned binary engine.
+      if (s.plan.engine == EnginePlan::kGkpPositive) {
+        ppl::GkpEngine engine(s.cache);
+        Result<BitVector> image = engine.FromRoot(*q.pplbin);
+        if (!image.ok()) return image.status();
+        s.node_set.emplace(std::move(image).value());
+      } else {
+        ppl::MatrixEngine engine(s.cache);
+        s.node_set.emplace(engine.EvaluateFromRoot(*q.pplbin));
+      }
+      s.node_pos = 0;
+      break;
+    }
+  }
+  s.backing_built = true;
+  return Status::OK();
+}
+
+/// Advances past `offset` tuples without materializing them where the
+/// backing allows it: the materialized cursor and the node-set scan
+/// skip by iterator/bit advance (no NodeTuple allocations); the
+/// enumerator must produce to skip, so it is left to the pull loop.
+void FastSkip(StreamState& s) {
+  switch (s.plan.backing) {
+    case StreamBacking::kNone:
+    case StreamBacking::kEnumerator:
+      return;
+    case StreamBacking::kMaterialized:
+      while (s.skipped < s.options.offset &&
+             s.mat_it != s.materialized->end()) {
+        ++s.mat_it;
+        ++s.skipped;
+      }
+      return;
+    case StreamBacking::kNodeSet:
+      while (s.skipped < s.options.offset) {
+        const std::size_t pos = s.node_set->NextSet(s.node_pos);
+        if (pos >= s.node_set->size()) return;  // pull loop sees the end
+        s.node_pos = pos + 1;
+        ++s.skipped;
+      }
+      return;
+  }
+}
+
+/// Pulls the next tuple out of the built backing. OK + nullopt =
+/// exhausted.
+Result<std::optional<xpath::NodeTuple>> PullOne(StreamState& s) {
+  switch (s.plan.backing) {
+    case StreamBacking::kNone:
+      return Status::Internal("stream plan has no backing");
+    case StreamBacking::kEnumerator:
+      return s.enumerator->Next();
+    case StreamBacking::kMaterialized: {
+      if (s.mat_it == s.materialized->end()) {
+        return std::optional<xpath::NodeTuple>();
+      }
+      return std::optional<xpath::NodeTuple>(*s.mat_it++);
+    }
+    case StreamBacking::kNodeSet: {
+      const std::size_t pos = s.node_set->NextSet(s.node_pos);
+      if (pos >= s.node_set->size()) {
+        return std::optional<xpath::NodeTuple>();
+      }
+      s.node_pos = pos + 1;
+      return std::optional<xpath::NodeTuple>(
+          xpath::NodeTuple{static_cast<NodeId>(pos)});
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+}  // namespace internal
+
+using internal::StreamState;
+
+QueryStream::QueryStream(std::unique_ptr<StreamState> state)
+    : state_(std::move(state)) {}
+
+QueryStream::QueryStream(QueryStream&&) noexcept = default;
+QueryStream& QueryStream::operator=(QueryStream&&) noexcept = default;
+
+QueryStream::~QueryStream() {
+  if (state_ != nullptr) state_->ReleaseResources();
+}
+
+Result<std::vector<xpath::NodeTuple>> QueryStream::NextBatch(
+    std::size_t max_tuples) {
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("invalid (default-constructed) stream");
+  }
+  StreamState& s = *state_;
+  if (!s.failed.ok()) return s.failed;  // sticky
+  if (s.closed) {
+    return Status::InvalidArgument("stream is closed");
+  }
+  if (max_tuples == 0) {
+    return Status::InvalidArgument("NextBatch needs max_tuples >= 1");
+  }
+  ++s.batches;
+  std::vector<xpath::NodeTuple> out;
+  if (s.exhausted) return out;
+
+  auto fail = [&](Status status) -> Result<std::vector<xpath::NodeTuple>> {
+    s.failed = std::move(status);
+    s.ReleaseResources();
+    return s.failed;
+  };
+
+  // Phase boundary: an expired deadline / cancel is observed even before
+  // any backing work starts.
+  if (Status live = s.token.CheckNow(); !live.ok()) return fail(live);
+
+  if (!s.backing_built) {
+    if (Status built = internal::BuildBacking(s); !built.ok()) {
+      return fail(built);
+    }
+  }
+  if (s.skipped < s.options.offset) internal::FastSkip(s);
+
+  while (out.size() < max_tuples) {
+    if (Status live = s.token.Check(); !live.ok()) return fail(live);
+    Result<std::optional<xpath::NodeTuple>> next = internal::PullOne(s);
+    if (!next.ok()) return fail(next.status());
+    if (!next->has_value()) {
+      s.exhausted = true;
+      break;
+    }
+    if (s.skipped < s.options.offset) {
+      ++s.skipped;
+      continue;
+    }
+    out.push_back(std::move(**next));
+    ++s.produced;
+    if (s.options.limit != 0 && s.produced >= s.options.limit) {
+      s.exhausted = true;
+      break;
+    }
+  }
+
+  if (s.adm != nullptr) {
+    s.adm->stream_tuples.fetch_add(out.size(), std::memory_order_relaxed);
+  }
+  if (s.exhausted) {
+    // A drained stream stops counting against the inflight budget; the
+    // handle stays valid for stats()/cursor().
+    s.ReleaseResources();
+  }
+  return out;
+}
+
+Result<std::optional<xpath::NodeTuple>> QueryStream::Next() {
+  Result<std::vector<xpath::NodeTuple>> batch = NextBatch(1);
+  if (!batch.ok()) return batch.status();
+  if (batch->empty()) return std::optional<xpath::NodeTuple>();
+  return std::optional<xpath::NodeTuple>(std::move(batch->front()));
+}
+
+bool QueryStream::done() const {
+  return state_ == nullptr || state_->exhausted || state_->closed ||
+         !state_->failed.ok();
+}
+
+std::uint64_t QueryStream::cursor() const {
+  if (state_ == nullptr) return 0;
+  return state_->options.offset + state_->produced;
+}
+
+void QueryStream::Cancel() {
+  if (state_ != nullptr) {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+}
+
+void QueryStream::Close() {
+  if (state_ == nullptr || state_->closed) return;
+  state_->closed = true;
+  state_->ReleaseResources();
+}
+
+StreamStats QueryStream::stats() const {
+  StreamStats stats;
+  if (state_ == nullptr) return stats;
+  const StreamState& s = *state_;
+  stats.produced = s.produced;
+  stats.cursor = s.options.offset + s.produced;
+  stats.batches = s.batches;
+  stats.arity = s.arity;
+  stats.exhausted = s.exhausted;
+  stats.closed = s.closed;
+  stats.status = s.failed;
+  stats.plan = s.plan;
+  if (s.enumerator.has_value()) {
+    stats.backing_bytes = s.enumerator->resident_bytes();
+    stats.dedup_entries = s.enumerator->dedup_entries();
+  } else if (s.materialized.has_value()) {
+    stats.backing_bytes = s.mat_bytes;
+  } else if (s.node_set.has_value()) {
+    stats.backing_bytes =
+        s.node_set->words().capacity() * sizeof(std::uint64_t);
+  }
+  return stats;
+}
+
+}  // namespace xpv::engine

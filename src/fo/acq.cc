@@ -29,7 +29,9 @@ void VarUnionFind::Merge(const std::string& a, const std::string& b) {
 }
 
 Status BuildReduced(const Tree& t, const ConjunctiveQuery& q,
-                    VarUnionFind* uf, ReducedQuery* out) {
+                    VarUnionFind* uf, ReducedQuery* out,
+                    std::shared_ptr<AxisCache> axis_cache,
+                    CancelToken* cancel) {
   for (const auto& [a, b] : q.equalities) uf->Merge(a, b);
 
   auto intern = [&](const std::string& v) -> int {
@@ -52,12 +54,17 @@ Status BuildReduced(const Tree& t, const ConjunctiveQuery& q,
   auto eval_rel = [&](const hcl::BinaryQueryPtr& b) -> const BitMatrix& {
     auto it = rel_cache.find(b.get());
     if (it == rel_cache.end()) {
-      it = rel_cache.emplace(b.get(), b->Evaluate(t)).first;
+      it = rel_cache
+               .emplace(b.get(), axis_cache != nullptr
+                                     ? b->EvaluateCached(axis_cache)
+                                     : b->Evaluate(t))
+               .first;
     }
     return it->second;
   };
 
   for (const CqAtom& atom : q.atoms) {
+    if (cancel != nullptr) XPV_RETURN_IF_ERROR(cancel->CheckNow());
     int ux = intern(atom.x);
     int uy = intern(atom.y);
     const BitMatrix& rel = eval_rel(atom.rel);

@@ -6,11 +6,14 @@
 #define XPV_FO_ACQ_INTERNAL_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/bit_matrix.h"
+#include "common/cancel.h"
 #include "fo/acq.h"
+#include "tree/axis_cache.h"
 
 namespace xpv::fo::internal {
 
@@ -38,9 +41,15 @@ struct ReducedQuery {
 };
 
 /// Materializes relations, merges equalities, collapses parallel edges and
-/// applies self-loop filters.
+/// applies self-loop filters. Relation materialization draws axis
+/// matrices from `axis_cache` when one is supplied (e.g. a stored
+/// document's persistent cache); `cancel`, when non-null, is observed
+/// between atom materializations so a slow preprocessing stops
+/// cooperatively.
 Status BuildReduced(const Tree& t, const ConjunctiveQuery& q,
-                    VarUnionFind* uf, ReducedQuery* out);
+                    VarUnionFind* uf, ReducedQuery* out,
+                    std::shared_ptr<AxisCache> axis_cache = nullptr,
+                    CancelToken* cancel = nullptr);
 
 /// A rooted orientation of the (forest-shaped) variable graph.
 struct Forest {

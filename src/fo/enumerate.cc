@@ -1,6 +1,7 @@
 #include "fo/enumerate.h"
 
-#include <set>
+#include <algorithm>
+#include <utility>
 
 #include "fo/acq_internal.h"
 
@@ -10,11 +11,165 @@ using internal::Forest;
 using internal::ParentToChild;
 using internal::ReducedQuery;
 
+namespace {
+
+/// Yannakakis projection optimization: existentially eliminates
+/// non-output variables before enumeration. The Fig. 7 translation
+/// plants projected closure variables (_start, composition midpoints)
+/// into every compiled n-ary query; enumerating over them multiplies
+/// the DFS work by their candidate counts and forces the dedup set to
+/// absorb the duplicate projections. Instead:
+///
+///   * a non-output LEAF v (degree 1, edge u-v) is absorbed into its
+///     neighbor by one semijoin: cand[u] &= nonempty-rows of
+///     rel(u->v) restricted to cand[v];
+///   * a non-output DEGREE-2 variable v (edges a-v, v-b) is composed
+///     away: the new a-b relation is M(a->v) . diag(cand[v]) . M(v->b)
+///     (one Boolean product); a == b degenerates to a unary filter via
+///     the product's diagonal;
+///   * a non-output ISOLATED variable contributes only satisfiability:
+///     an empty candidate set empties the whole query.
+///
+/// Iterated to fixpoint this strips every chain-shaped projection (all
+/// union-free PPL images), so the surviving variable set is exactly the
+/// output variables -- the projection becomes injective, the enumerator
+/// needs no dedup state, and each answer is produced exactly once.
+/// Non-output variables of degree >= 3 (variables branching into a
+/// filter) survive; dedup handles them. Returns false when the query
+/// became unsatisfiable.
+Result<bool> EliminateNonOutputVars(const std::vector<int>& output_ids,
+                                    ReducedQuery* rq, CancelToken* cancel) {
+  const std::size_t n = rq->vars.size();
+  std::vector<bool> is_output(n, false);
+  for (int id : output_ids) is_output[static_cast<std::size_t>(id)] = true;
+  std::vector<bool> alive(n, true);
+
+  struct Edge {
+    int u, v;          // u < v
+    BitMatrix rel;     // oriented u -> v
+    bool alive = true;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(rq->edges.size());
+  for (auto& e : rq->edges) edges.push_back({e.u, e.v, std::move(e.relation)});
+
+  auto degree_of = [&](int v) {
+    int d = 0;
+    for (const Edge& e : edges) {
+      if (e.alive && (e.u == v || e.v == v)) ++d;
+    }
+    return d;
+  };
+  // Views e.rel oriented from -> other, transposing into `storage` only
+  // when the stored orientation differs -- the aligned case must not
+  // copy an O(|t|^2) matrix just to read it.
+  auto oriented = [&](const Edge& e, int from,
+                      BitMatrix& storage) -> const BitMatrix& {
+    if (e.u == from) return e.rel;
+    storage = e.rel.Transpose();
+    return storage;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int v = 0; v < static_cast<int>(n); ++v) {
+      if (!alive[v] || is_output[static_cast<std::size_t>(v)]) continue;
+      XPV_RETURN_IF_ERROR(cancel->CheckNow());
+      const int deg = degree_of(v);
+      const BitVector& cand_v = rq->candidates[static_cast<std::size_t>(v)];
+      if (deg == 0) {
+        if (cand_v.None()) return false;  // unsatisfiable
+        alive[v] = false;
+        changed = true;
+        continue;
+      }
+      if (deg > 2) continue;
+      // Collect the 1 or 2 live edges at v.
+      std::vector<std::size_t> at;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (edges[i].alive && (edges[i].u == v || edges[i].v == v)) {
+          at.push_back(i);
+        }
+      }
+      if (deg == 1) {
+        Edge& e = edges[at[0]];
+        const int u = e.u == v ? e.v : e.u;
+        BitMatrix flipped;
+        rq->candidates[static_cast<std::size_t>(u)].AndWith(
+            oriented(e, u, flipped).MaskColumns(cand_v).NonEmptyRows());
+        e.alive = false;
+      } else {
+        Edge& e1 = edges[at[0]];
+        Edge& e2 = edges[at[1]];
+        const int a = e1.u == v ? e1.v : e1.u;
+        const int b = e2.u == v ? e2.v : e2.u;
+        BitMatrix flipped1, flipped2;
+        BitMatrix composed = oriented(e1, a, flipped1)
+                                 .MaskColumns(cand_v)
+                                 .Multiply(oriented(e2, v, flipped2));
+        e1.alive = false;
+        e2.alive = false;
+        if (a == b) {
+          // Both edges lead to one neighbor: a unary self-join filter.
+          BitVector diag(composed.size());
+          for (NodeId i = 0; i < composed.size(); ++i) {
+            if (composed.Get(i, i)) diag.Set(i);
+          }
+          rq->candidates[static_cast<std::size_t>(a)].AndWith(diag);
+        } else {
+          BitMatrix rel =
+              a < b ? std::move(composed) : composed.Transpose();
+          const int lo = std::min(a, b), hi = std::max(a, b);
+          bool merged = false;
+          for (Edge& other : edges) {
+            if (other.alive && other.u == lo && other.v == hi) {
+              other.rel = other.rel.And(rel);
+              merged = true;
+              break;
+            }
+          }
+          if (!merged) edges.push_back({lo, hi, std::move(rel)});
+        }
+      }
+      alive[v] = false;
+      changed = true;
+    }
+  }
+
+  // Compact ids: surviving vars keep their relative order.
+  std::vector<int> remap(n, -1);
+  ReducedQuery out;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!alive[v]) continue;
+    remap[v] = static_cast<int>(out.vars.size());
+    out.var_id[rq->vars[v]] = remap[v];
+    out.vars.push_back(std::move(rq->vars[v]));
+    out.candidates.push_back(std::move(rq->candidates[v]));
+  }
+  for (Edge& e : edges) {
+    if (!e.alive) continue;
+    out.edges.push_back({remap[e.u], remap[e.v], std::move(e.rel)});
+  }
+  *rq = std::move(out);
+  return true;
+}
+
+}  // namespace
+
 struct AcqEnumerator::Impl {
   ReducedQuery rq;
   Forest forest;
   std::vector<int> output_ids;
   std::size_t num_vars = 0;
+  AcqEnumeratorOptions options;
+
+  /// Parent-edge relations oriented parent -> child, one per non-root
+  /// variable, precomputed so each DFS frame entry is one row lookup --
+  /// calling internal::ParentToChild per step would copy (and possibly
+  /// transpose) a full |t| x |t| matrix, making the delay O(|t|^2/64)
+  /// instead of O(#vars |t|/64).
+  std::vector<BitMatrix> parent_rel;  // by var id; empty for roots
 
   // Resumable DFS state: current value per variable (in forest.order
   // position), kNoNode when the frame is not yet entered. `depth` is the
@@ -26,8 +181,12 @@ struct AcqEnumerator::Impl {
   bool exhausted = false;
   bool started = false;
 
-  std::set<xpath::NodeTuple> seen;
+  /// Projection dedup, engaged only when some variable is projected away
+  /// (see dedup_active); nullopt otherwise -- the DFS already produces
+  /// each full assignment exactly once.
+  std::optional<TupleDedup> seen;
   std::size_t produced = 0;
+  Status failed;  // sticky error from cancel/dedup
 
   /// Computes the candidate row for the variable at order position
   /// `pos` given the current parent assignment.
@@ -35,8 +194,8 @@ struct AcqEnumerator::Impl {
     int var = forest.order[pos];
     BitVector choices = rq.candidates[var];
     if (forest.parent[var] >= 0) {
-      BitMatrix rel = ParentToChild(rq, forest, var);
-      choices.AndWith(rel.Row(assignment[forest.parent[var]]));
+      choices.AndWith(
+          parent_rel[var].Row(assignment[forest.parent[var]]));
     }
     return choices;
   }
@@ -101,14 +260,48 @@ struct AcqEnumerator::Impl {
 };
 
 Result<AcqEnumerator> AcqEnumerator::Create(const Tree& t,
-                                            const ConjunctiveQuery& q) {
+                                            const ConjunctiveQuery& q,
+                                            AcqEnumeratorOptions options) {
   auto impl = std::make_unique<Impl>();
+  impl->options = std::move(options);
   internal::VarUnionFind uf;
-  XPV_RETURN_IF_ERROR(internal::BuildReduced(t, q, &uf, &impl->rq));
+  XPV_RETURN_IF_ERROR(internal::BuildReduced(t, q, &uf, &impl->rq,
+                                             impl->options.axis_cache,
+                                             &impl->options.cancel));
+  // Cyclicity is judged on the raw variable graph (the documented
+  // contract); elimination below may only shrink it.
   if (!internal::BuildForest(impl->rq, &impl->forest)) {
     return Status::InvalidArgument("query is cyclic: " + q.ToString());
   }
+  XPV_RETURN_IF_ERROR(impl->options.cancel.CheckNow());
+
+  // Existentially eliminate projected variables, then rebuild the
+  // forest over the survivors and semijoin-reduce it.
+  std::vector<int> raw_output_ids;
+  for (const std::string& v : q.output_vars) {
+    raw_output_ids.push_back(impl->rq.var_id.at(uf.Find(v)));
+  }
+  XPV_ASSIGN_OR_RETURN(
+      const bool satisfiable,
+      EliminateNonOutputVars(raw_output_ids, &impl->rq,
+                             &impl->options.cancel));
+  if (!satisfiable) {
+    // A projected component with no candidates empties the answer set.
+    impl->exhausted = true;
+    impl->rq = ReducedQuery{};
+    impl->forest = Forest{};
+    return AcqEnumerator(std::move(impl));
+  }
+  if (!internal::BuildForest(impl->rq, &impl->forest)) {
+    return Status::Internal("elimination produced a cyclic graph");
+  }
   internal::SemijoinReduce(impl->forest, &impl->rq);
+  impl->parent_rel.resize(impl->rq.vars.size());
+  for (int var = 0; var < static_cast<int>(impl->rq.vars.size()); ++var) {
+    if (impl->forest.parent[var] >= 0) {
+      impl->parent_rel[var] = ParentToChild(impl->rq, impl->forest, var);
+    }
+  }
   for (const std::string& v : q.output_vars) {
     impl->output_ids.push_back(impl->rq.var_id.at(uf.Find(v)));
   }
@@ -116,6 +309,22 @@ Result<AcqEnumerator> AcqEnumerator::Create(const Tree& t,
   impl->assignment.assign(impl->num_vars, kNoNode);
   impl->frame_choices.assign(impl->forest.order.size(), BitVector(t.size()));
   impl->frame_cursor.assign(impl->forest.order.size(), 0);
+  // The projection is injective exactly when every (representative)
+  // variable appears in the output tuple: then distinct assignments
+  // project to distinct tuples and no dedup state is needed.
+  std::vector<int> sorted_outputs = impl->output_ids;
+  std::sort(sorted_outputs.begin(), sorted_outputs.end());
+  bool injective = true;
+  for (std::size_t id = 0; id < impl->num_vars; ++id) {
+    if (!std::binary_search(sorted_outputs.begin(), sorted_outputs.end(),
+                            static_cast<int>(id))) {
+      injective = false;
+      break;
+    }
+  }
+  if (!injective) {
+    impl->seen.emplace(impl->output_ids.size(), impl->options.dedup);
+  }
   return AcqEnumerator(std::move(impl));
 }
 
@@ -125,20 +334,46 @@ AcqEnumerator::AcqEnumerator(AcqEnumerator&&) noexcept = default;
 AcqEnumerator& AcqEnumerator::operator=(AcqEnumerator&&) noexcept = default;
 AcqEnumerator::~AcqEnumerator() = default;
 
-std::optional<xpath::NodeTuple> AcqEnumerator::Next() {
-  while (impl_->NextAssignment()) {
-    xpath::NodeTuple tuple = impl_->Project();
-    // Projection may collapse distinct assignments; skip duplicates. When
-    // every variable is an output variable, assignments are already
-    // distinct and this set stays insert-only-hit-free.
-    if (impl_->seen.insert(tuple).second) {
-      ++impl_->produced;
-      return tuple;
+Result<std::optional<xpath::NodeTuple>> AcqEnumerator::Next() {
+  if (!impl_->failed.ok()) return impl_->failed;  // sticky
+  while (true) {
+    Status live = impl_->options.cancel.Check();
+    if (!live.ok()) {
+      impl_->failed = live;
+      return live;
     }
+    if (!impl_->NextAssignment()) return std::optional<xpath::NodeTuple>();
+    xpath::NodeTuple tuple = impl_->Project();
+    if (impl_->seen.has_value()) {
+      // Projection may collapse distinct assignments; skip duplicates.
+      Result<bool> fresh = impl_->seen->Insert(tuple);
+      if (!fresh.ok()) {
+        impl_->failed = fresh.status();
+        return impl_->failed;
+      }
+      if (!*fresh) continue;
+    }
+    ++impl_->produced;
+    return std::optional<xpath::NodeTuple>(std::move(tuple));
   }
-  return std::nullopt;
 }
 
 std::size_t AcqEnumerator::produced() const { return impl_->produced; }
+
+bool AcqEnumerator::dedup_active() const { return impl_->seen.has_value(); }
+
+std::size_t AcqEnumerator::dedup_entries() const {
+  return impl_->seen.has_value() ? impl_->seen->size() : 0;
+}
+
+std::size_t AcqEnumerator::resident_bytes() const {
+  std::size_t bytes = impl_->assignment.capacity() * sizeof(NodeId) +
+                      impl_->frame_cursor.capacity() * sizeof(std::size_t);
+  for (const BitVector& frame : impl_->frame_choices) {
+    bytes += frame.words().capacity() * sizeof(std::uint64_t);
+  }
+  if (impl_->seen.has_value()) bytes += impl_->seen->memory_bytes();
+  return bytes;
+}
 
 }  // namespace xpv::fo

@@ -9,41 +9,82 @@
 // over the join forest. Because every surviving candidate extends to a
 // full solution, the DFS never dead-ends:
 //
-//   * when ALL query variables are output variables, the delay between
-//     consecutive answers is O(#vars * |t|) -- each step advances at least
-//     one iterator over a candidate row;
+//   * when every query variable appears in the output tuple, the delay
+//     between consecutive answers is O(#vars * |t|) -- each step advances
+//     at least one iterator over a candidate row -- and the enumerator
+//     keeps NO per-answer state at all: memory stays O(#vars * |t|) bits
+//     of DFS frames regardless of how many answers exist;
 //   * with projection, distinct-tuple delay is amortized: duplicate
-//     projections are skipped via a seen-set (documented deviation from
-//     the constant-delay literature, which needs more machinery [3,8,10]).
+//     projections are skipped via a *memory-bounded* hashed dedup
+//     structure (fo/tuple_dedup.h). This is a documented deviation both
+//     from the constant-delay literature (which needs more machinery
+//     [3,8,10]) and from "no materialization": distinctness under
+//     projection requires remembering emitted tuples, so the enumerator
+//     remembers them inside a hard byte budget and fails with a clear
+//     kResourceExhausted status when the budget is gone, instead of
+//     growing without bound.
 #ifndef XPV_FO_ENUMERATE_H_
 #define XPV_FO_ENUMERATE_H_
 
 #include <memory>
 #include <optional>
 
+#include "common/cancel.h"
 #include "fo/acq.h"
+#include "fo/tuple_dedup.h"
+#include "tree/axis_cache.h"
 
 namespace xpv::fo {
 
+struct AcqEnumeratorOptions {
+  /// Observed during preprocessing (between relation materializations /
+  /// semijoin passes) and between DFS steps, so an in-flight enumeration
+  /// stops cooperatively on batch cancel or deadline expiry.
+  CancelToken cancel;
+  /// Budget/policy for the projection dedup structure. Ignored when the
+  /// projection is injective (every variable is an output variable) --
+  /// then no dedup state is kept at all.
+  TupleDedupOptions dedup;
+  /// Optional shared per-tree axis cache for relation materialization
+  /// (e.g. a stored document's persistent cache); null = uncached.
+  std::shared_ptr<AxisCache> axis_cache;
+};
+
 /// Resumable answer enumeration for an acyclic conjunctive query.
 /// Create() runs the preprocessing (semijoin reduction); Next() yields
-/// answers one at a time in lexicographic order of the internal variable
-/// numbering, without materializing the answer set.
+/// distinct answers one at a time in the (deterministic) order induced by
+/// the join-forest DFS over the internal variable numbering.
 class AcqEnumerator {
  public:
-  /// Preprocesses the query. Fails on cyclic queries.
+  /// Preprocesses the query. Fails on cyclic queries (InvalidArgument)
+  /// and when the cancel token fires mid-preprocessing.
   static Result<AcqEnumerator> Create(const Tree& t,
-                                      const ConjunctiveQuery& q);
+                                      const ConjunctiveQuery& q,
+                                      AcqEnumeratorOptions options = {});
 
   AcqEnumerator(AcqEnumerator&&) noexcept;
   AcqEnumerator& operator=(AcqEnumerator&&) noexcept;
   ~AcqEnumerator();
 
-  /// The next distinct output tuple, or nullopt when exhausted.
-  std::optional<xpath::NodeTuple> Next();
+  /// The next distinct output tuple; nullopt when exhausted. Errors --
+  /// kCancelled / kDeadlineExceeded from the cancel token,
+  /// kResourceExhausted from the dedup budget -- are sticky: once Next()
+  /// has failed, every later call returns the same status.
+  Result<std::optional<xpath::NodeTuple>> Next();
 
   /// Number of distinct tuples produced so far.
   std::size_t produced() const;
+
+  /// True when the projection requires dedup state (some variable is
+  /// projected away); false means enumeration memory is O(#vars * |t|)
+  /// bits no matter how many answers are produced.
+  bool dedup_active() const;
+  /// Distinct tuples remembered by the dedup structure (0 when inactive).
+  std::size_t dedup_entries() const;
+  /// Resident bytes of DFS frames + dedup state -- the part of the
+  /// enumerator's footprint that could scale with answers; excludes the
+  /// preprocessed relations, whose size is fixed by the query and tree.
+  std::size_t resident_bytes() const;
 
  private:
   struct Impl;

@@ -1,0 +1,199 @@
+#include "fo/tuple_dedup.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xpv::fo {
+
+namespace {
+
+/// splitmix64-style mixing over the tuple elements; good enough spread
+/// for open addressing and cheap per insert. Operates on flat storage
+/// so Rehash can hash stored tuples in place without materializing a
+/// NodeTuple per entry.
+std::uint64_t HashTuple(const NodeId* tuple, std::size_t arity) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < arity; ++i) {
+    std::uint64_t x =
+        h ^ (static_cast<std::uint64_t>(tuple[i]) + 0x9e3779b97f4a7c15ull);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    h = x ^ (x >> 31);
+  }
+  return h;
+}
+
+std::uint64_t HashTuple(const xpath::NodeTuple& tuple) {
+  return HashTuple(tuple.data(), tuple.size());
+}
+
+constexpr std::size_t kInitialSlots = 64;  // power of two
+
+}  // namespace
+
+TupleDedup::TupleDedup(std::size_t arity, TupleDedupOptions options)
+    : arity_(arity), options_(options) {}
+
+std::size_t TupleDedup::memory_bytes() const {
+  return slots_.size() * sizeof(std::uint32_t) +
+         hash_tuples_.size() * sizeof(NodeId) +
+         run_.size() * sizeof(NodeId);
+}
+
+bool TupleDedup::HashContains(const xpath::NodeTuple& tuple,
+                              std::uint64_t hash) const {
+  if (slots_.empty()) return false;
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t slot = hash & mask;; slot = (slot + 1) & mask) {
+    const std::uint32_t idx = slots_[slot];
+    if (idx == 0) return false;
+    const NodeId* stored = hash_tuples_.data() +
+                           static_cast<std::size_t>(idx - 1) * arity_;
+    if (std::equal(tuple.begin(), tuple.end(), stored)) return true;
+  }
+}
+
+bool TupleDedup::RunContains(const xpath::NodeTuple& tuple) const {
+  if (run_.empty()) return false;
+  // Binary search over fixed-stride tuples.
+  std::size_t lo = 0;
+  std::size_t hi = run_.size() / arity_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const NodeId* t = run_.data() + mid * arity_;
+    const int cmp = std::lexicographical_compare(
+                        t, t + arity_, tuple.data(), tuple.data() + arity_)
+                        ? -1
+                    : std::equal(t, t + arity_, tuple.data()) ? 0
+                                                              : 1;
+    if (cmp == 0) return true;
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+void TupleDedup::Rehash(std::size_t new_slot_count) {
+  slots_.assign(new_slot_count, 0);
+  // Reserve the tuple region to exactly the table's max load, so vector
+  // capacity tracks the bytes the budget accounts for instead of
+  // doubling geometrically past them.
+  hash_tuples_.reserve((new_slot_count / 2) * arity_);
+  const std::size_t mask = new_slot_count - 1;
+  const std::size_t count = hash_tuples_.size() / arity_;
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId* t = hash_tuples_.data() + i * arity_;
+    std::size_t slot = HashTuple(t, arity_) & mask;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask;
+    slots_[slot] = static_cast<std::uint32_t>(i + 1);
+  }
+}
+
+void TupleDedup::Spill() {
+  ++spills_;
+  // The slot table is dead weight during the merge; free it first so
+  // the transient peak is run + hash + merged, not that plus the table.
+  slots_.clear();
+  slots_.shrink_to_fit();
+  // Sort the hash-region tuples and merge them with the existing run.
+  const std::size_t count = hash_tuples_.size() / arity_;
+  std::vector<std::size_t> order(count);
+  for (std::size_t i = 0; i < count; ++i) order[i] = i;
+  const NodeId* data = hash_tuples_.data();
+  const std::size_t arity = arity_;
+  std::sort(order.begin(), order.end(),
+            [data, arity](std::size_t a, std::size_t b) {
+              return std::lexicographical_compare(
+                  data + a * arity, data + (a + 1) * arity,
+                  data + b * arity, data + (b + 1) * arity);
+            });
+  std::vector<NodeId> merged;
+  merged.reserve(run_.size() + hash_tuples_.size());
+  std::size_t ri = 0;  // tuple index into run_
+  const std::size_t run_count = run_.size() / arity;
+  std::size_t oi = 0;
+  auto append = [&](const NodeId* t) {
+    merged.insert(merged.end(), t, t + arity);
+  };
+  while (ri < run_count || oi < count) {
+    if (oi == count) {
+      append(run_.data() + ri++ * arity);
+    } else if (ri == run_count) {
+      append(data + order[oi++] * arity);
+    } else {
+      const NodeId* a = run_.data() + ri * arity;
+      const NodeId* b = data + order[oi] * arity;
+      // The two regions are disjoint (inserts check both), so no
+      // cross-region duplicate can appear here.
+      if (std::lexicographical_compare(a, a + arity, b, b + arity)) {
+        append(a);
+        ++ri;
+      } else {
+        append(b);
+        ++oi;
+      }
+    }
+  }
+  run_ = std::move(merged);
+  hash_tuples_.clear();
+  hash_tuples_.shrink_to_fit();
+}
+
+Result<bool> TupleDedup::Insert(const xpath::NodeTuple& tuple) {
+  assert(tuple.size() == arity_ && "arity mismatch");
+  if (arity_ == 0) {
+    if (seen_empty_) return false;
+    seen_empty_ = true;
+    ++size_;
+    return true;
+  }
+  const std::uint64_t hash = HashTuple(tuple);
+  if (HashContains(tuple, hash) || RunContains(tuple)) return false;
+
+  // Size the table for the insert (load factor <= 1/2) and enforce the
+  // byte budget on EVERY admission -- the bound is a hard invariant of
+  // the structure, not a growth-time heuristic.
+  const std::size_t count = hash_tuples_.size() / arity_;
+  std::size_t slots_needed =
+      slots_.empty() ? kInitialSlots : slots_.size();
+  if ((count + 1) * 2 > slots_needed) slots_needed *= 2;
+  auto projected_bytes = [&](std::size_t slot_count) {
+    return slot_count * sizeof(std::uint32_t) +
+           (hash_tuples_.size() + arity_) * sizeof(NodeId) +
+           run_.size() * sizeof(NodeId);
+  };
+  if (options_.max_bytes != 0 &&
+      projected_bytes(slots_needed) > options_.max_bytes) {
+    if (options_.overflow == TupleDedupOptions::Overflow::kFail) {
+      return Status::ResourceExhausted(
+          "tuple dedup budget exhausted (" +
+          std::to_string(options_.max_bytes) + " bytes, " +
+          std::to_string(size_) + " distinct tuples)");
+    }
+    Spill();
+    // After compaction, the run alone may already exceed the budget --
+    // then even a fresh minimal hash region cannot fit.
+    slots_needed = kInitialSlots;
+    if (projected_bytes(slots_needed) > options_.max_bytes) {
+      return Status::ResourceExhausted(
+          "tuple dedup budget exhausted after spill (" +
+          std::to_string(options_.max_bytes) + " bytes, " +
+          std::to_string(size_) + " distinct tuples, " +
+          std::to_string(spills_) + " spills)");
+    }
+  }
+  if (slots_.size() != slots_needed) Rehash(slots_needed);
+  const std::size_t new_count = hash_tuples_.size() / arity_ + 1;
+  hash_tuples_.insert(hash_tuples_.end(), tuple.begin(), tuple.end());
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = hash & mask;
+  while (slots_[slot] != 0) slot = (slot + 1) & mask;
+  slots_[slot] = static_cast<std::uint32_t>(new_count);
+  ++size_;
+  return true;
+}
+
+}  // namespace xpv::fo

@@ -1,0 +1,95 @@
+// A hashed, memory-bounded set of NodeTuples, used by the answer
+// enumerator (fo/enumerate.h) to skip duplicate projections.
+//
+// The problem it solves: enumeration under projection must remember every
+// distinct tuple it has emitted, and an unbounded ordered set silently
+// re-materializes the whole answer set -- the exact failure mode the
+// enumerator exists to avoid. TupleDedup instead enforces a hard byte
+// budget with an explicit overflow policy:
+//
+//   * kSpill (default): when the open-addressed hash region outgrows its
+//     share of the budget, its tuples are compacted into a single sorted,
+//     deduplicated run (raw NodeIds, ~3-4x denser than the hash region)
+//     and the hash region restarts empty; lookups probe the run by binary
+//     search plus the hash table. Spilling buys a few times more distinct
+//     tuples inside the same budget, then fails like kFail.
+//   * kFail: the first insert that cannot fit the budget fails.
+//
+// Either way, exceeding the budget surfaces as a clear kResourceExhausted
+// status -- never unbounded growth, never a silently dropped duplicate
+// check (which would emit wrong answers).
+//
+// Not thread-safe; one enumerator owns one TupleDedup.
+#ifndef XPV_FO_TUPLE_DEDUP_H_
+#define XPV_FO_TUPLE_DEDUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/tree.h"
+#include "xpath/eval.h"
+
+namespace xpv::fo {
+
+struct TupleDedupOptions {
+  /// Hard bound on stored bytes (hash region + sorted run), enforced on
+  /// every admission; vector capacity is reserved to match, so resident
+  /// memory tracks the bound except for a transient ~2x peak while a
+  /// spill merges the hash region into the run. 0 = unbounded (never
+  /// fails; still hashed, not ordered). The default is deliberately
+  /// generous: a standalone enumerator keeps working on any reasonable
+  /// workload, while a serving stream can pin this down to its
+  /// per-stream memory budget.
+  std::size_t max_bytes = 64u << 20;  // 64 MiB
+  enum class Overflow { kSpill, kFail };
+  Overflow overflow = Overflow::kSpill;
+};
+
+class TupleDedup {
+ public:
+  /// All inserted tuples must have exactly `arity` elements.
+  explicit TupleDedup(std::size_t arity, TupleDedupOptions options = {});
+
+  TupleDedup(TupleDedup&&) noexcept = default;
+  TupleDedup& operator=(TupleDedup&&) noexcept = default;
+
+  /// True when `tuple` was new (and is now remembered), false for a
+  /// duplicate. kResourceExhausted when remembering it would exceed
+  /// max_bytes even after a spill; the structure stays valid (the tuple
+  /// is simply not admitted) but the caller cannot guarantee
+  /// distinctness beyond this point and should stop enumerating.
+  Result<bool> Insert(const xpath::NodeTuple& tuple);
+
+  /// Distinct tuples remembered.
+  std::size_t size() const { return size_; }
+  /// Resident bytes of the hash region plus the sorted run.
+  std::size_t memory_bytes() const;
+  /// Compactions performed (monitoring; 0 under kFail).
+  std::uint64_t spills() const { return spills_; }
+
+ private:
+  bool HashContains(const xpath::NodeTuple& tuple, std::uint64_t hash) const;
+  bool RunContains(const xpath::NodeTuple& tuple) const;
+  /// Doubles `slots_` and rehashes `hash_tuples_` into it.
+  void Rehash(std::size_t new_slot_count);
+  /// Merges the hash region into the sorted run and clears it.
+  void Spill();
+
+  std::size_t arity_;
+  TupleDedupOptions options_;
+  std::size_t size_ = 0;
+  std::uint64_t spills_ = 0;
+  bool seen_empty_ = false;  // arity 0: at most one distinct tuple
+
+  /// Open-addressed table: slot -> 1-based index into hash_tuples_ (0 =
+  /// empty). Tuples are stored flat, arity_ NodeIds each.
+  std::vector<std::uint32_t> slots_;
+  std::vector<NodeId> hash_tuples_;
+  /// Sorted deduplicated run (flat, arity_ NodeIds per tuple).
+  std::vector<NodeId> run_;
+};
+
+}  // namespace xpv::fo
+
+#endif  // XPV_FO_TUPLE_DEDUP_H_

@@ -31,6 +31,7 @@ Status QueryAnswerer::Prepare() {
   // the caller, e.g. other batch jobs on this tree, when one was given).
   if (axis_cache_ == nullptr) axis_cache_ = std::make_shared<AxisCache>(tree_);
   for (const BinaryQueryPtr& b : form_->binary_queries()) {
+    XPV_RETURN_IF_ERROR(options_.cancel.CheckNow());
     BitMatrix relation = b->EvaluateCached(axis_cache_);
     std::vector<std::vector<NodeId>> adj(tree_.size());
     for (NodeId u = 0; u < tree_.size(); ++u) {
@@ -49,6 +50,7 @@ Status QueryAnswerer::Prepare() {
     mc_.assign(form_->num_subformulas() * tree_.size(), -1);
     for (std::size_t id = 0; id < form_->num_subformulas(); ++id) {
       for (NodeId u = 0; u < tree_.size(); ++u) {
+        XPV_RETURN_IF_ERROR(options_.cancel.Check());
         ComputeMc(form_->Subformula(static_cast<int>(id)), u);
       }
     }
@@ -148,6 +150,15 @@ ValuationSet QueryAnswerer::Extend(
 }
 
 ValuationSet QueryAnswerer::Vals(const SharingExpr& d, NodeId u) {
+  // Cooperative cancellation: once the token fires, the whole recursion
+  // unwinds fast through empty sets (checked first, so an interrupted
+  // run does no further work) and nothing more is memoized -- a partial
+  // ValuationSet in the memo would corrupt later reuse.
+  if (!interrupted_.ok()) return {};
+  if (Status live = options_.cancel.Check(); !live.ok()) {
+    interrupted_ = live;
+    return {};
+  }
   // Fig. 8 line 3: filter unsatisfiable cases through the MC table.
   // (Under the no-filter ablation the table is all-ones, so every branch
   // is explored and dead valuations are discarded only at merge points.)
@@ -157,6 +168,7 @@ ValuationSet QueryAnswerer::Vals(const SharingExpr& d, NodeId u) {
       vals_memo_[static_cast<std::size_t>(d.id) * tree_.size() + u];
   if (memo.has_value()) return *memo;
   ValuationSet out = ValsCompute(d, u);
+  if (!interrupted_.ok()) return {};
   // Note: vals_memo_ never reallocates (sized in Prepare), so taking the
   // reference before the recursive ValsCompute would also be safe; assign
   // after to keep the invariant simple.
@@ -241,12 +253,14 @@ ValuationSet QueryAnswerer::ValsCompute(const SharingExpr& d, NodeId u) {
   return out;
 }
 
-xpath::TupleSet QueryAnswerer::Answer() {
+Result<xpath::TupleSet> QueryAnswerer::Answer() {
   assert(prepared_ && "call Prepare() first");
+  XPV_RETURN_IF_ERROR(interrupted_);
   // partial_vals = union over u of vals(D, u).
   ValuationSet partial_vals;
   for (NodeId u = 0; u < tree_.size(); ++u) {
     const ValuationSet& at_u = Vals(form_->root(), u);
+    XPV_RETURN_IF_ERROR(interrupted_);
     partial_vals.insert(at_u.begin(), at_u.end());
   }
   // valuations = extend_{t,x}(partial_vals).

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "hcl/ast.h"
 #include "hcl/sharing.h"
@@ -49,6 +50,11 @@ using ValuationSet = std::set<PartialValuation>;
 struct AnswerOptions {
   bool use_mc_filter = true;
   bool memoize_vals = true;
+  /// Cooperative cancellation, observed inside the long-running phases
+  /// (binary-query precompilation, the MC table loops, and every
+  /// memoized vals() call) -- not just between jobs. When it fires,
+  /// Prepare()/Answer() return kCancelled / kDeadlineExceeded.
+  CancelToken cancel;
 };
 
 /// Answers one n-ary HCL-(L) query on one tree. Construct, Prepare(), then
@@ -71,7 +77,10 @@ class QueryAnswerer {
   Status Prepare();
 
   /// Step 4: the answer set q_{C,x}(t). Prepare() must have succeeded.
-  xpath::TupleSet Answer();
+  /// Fails only via the cancel token (kCancelled / kDeadlineExceeded);
+  /// the token is sticky, so once a run has been interrupted every later
+  /// call fails with the same status.
+  Result<xpath::TupleSet> Answer();
 
   /// MC(D0, u) for the subformula with the given id (Prepare() first).
   bool Mc(int subformula_id, NodeId u) const {
@@ -108,6 +117,10 @@ class QueryAnswerer {
   /// vals memoization; empty optional = not yet computed.
   std::vector<std::optional<ValuationSet>> vals_memo_;
   bool prepared_ = false;
+  /// Sticky cancel status observed inside the vals() recursion; set by
+  /// Vals() (which then unwinds fast with empty sets and stops
+  /// memoizing, so no partial set is ever cached), surfaced by Answer().
+  Status interrupted_;
 };
 
 /// One-shot convenience wrapper: Prepare() + Answer().

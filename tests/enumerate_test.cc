@@ -3,9 +3,16 @@
 // algorithm (MC filtering / memoization off preserve correctness).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/cancel.h"
 #include "common/rng.h"
 #include "fo/acq.h"
 #include "fo/enumerate.h"
+#include "fo/tuple_dedup.h"
 #include "hcl/answer.h"
 #include "tree/generators.h"
 
@@ -25,7 +32,12 @@ CqAtom Atom(Axis axis, std::string name, std::string x, std::string y) {
 
 xpath::TupleSet Drain(AcqEnumerator& e) {
   xpath::TupleSet out;
-  while (auto tuple = e.Next()) out.insert(*tuple);
+  while (true) {
+    Result<std::optional<xpath::NodeTuple>> next = e.Next();
+    EXPECT_TRUE(next.ok()) << next.status();
+    if (!next.ok() || !next->has_value()) break;
+    out.insert(std::move(**next));
+  }
   return out;
 }
 
@@ -57,10 +69,13 @@ TEST(AcqEnumeratorTest, EmptyQueryYieldsEmptyTupleOnce) {
   ConjunctiveQuery q;  // no atoms, no outputs: trivially true once
   Result<AcqEnumerator> e = AcqEnumerator::Create(t, q);
   ASSERT_TRUE(e.ok());
-  auto first = e->Next();
-  ASSERT_TRUE(first.has_value());
-  EXPECT_TRUE(first->empty());
-  EXPECT_FALSE(e->Next().has_value());
+  Result<std::optional<xpath::NodeTuple>> first = e->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_TRUE((*first)->empty());
+  Result<std::optional<xpath::NodeTuple>> second = e->Next();
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->has_value());
 }
 
 TEST(AcqEnumeratorTest, UnsatisfiableYieldsNothing) {
@@ -70,8 +85,8 @@ TEST(AcqEnumeratorTest, UnsatisfiableYieldsNothing) {
   q.output_vars = {"x"};
   Result<AcqEnumerator> e = AcqEnumerator::Create(t, q);
   ASSERT_TRUE(e.ok());
-  EXPECT_FALSE(e->Next().has_value());
-  EXPECT_FALSE(e->Next().has_value());  // stays exhausted
+  EXPECT_FALSE(e->Next()->has_value());
+  EXPECT_FALSE(e->Next()->has_value());  // stays exhausted
 }
 
 TEST(AcqEnumeratorTest, RejectsCyclicQueries) {
@@ -131,10 +146,14 @@ TEST(AcqEnumeratorTest, FullOutputHasNoDuplicateWork) {
   q.output_vars = {"x", "y", "z"};
   Result<AcqEnumerator> e = AcqEnumerator::Create(t, q);
   ASSERT_TRUE(e.ok());
+  // Injective projection: the enumerator keeps no dedup state at all.
+  EXPECT_FALSE(e->dedup_active());
+  EXPECT_EQ(e->dedup_entries(), 0u);
   std::size_t count = 0;
-  while (e->Next()) ++count;
+  while ((*e->Next()).has_value()) ++count;
   EXPECT_EQ(count, e->produced());
   EXPECT_EQ(count, AnswerAcqYannakakis(t, q)->size());
+  EXPECT_EQ(e->dedup_entries(), 0u);
 }
 
 // E11 ablation correctness: disabling the MC filter and/or memoization
@@ -171,7 +190,9 @@ TEST_P(AblationTest, AllConfigurationsAgree) {
         options.memoize_vals = memo;
         hcl::QueryAnswerer answerer(t, *c, vars, options);
         ASSERT_TRUE(answerer.Prepare().ok());
-        xpath::TupleSet answers = answerer.Answer();
+        Result<xpath::TupleSet> answered = answerer.Answer();
+        ASSERT_TRUE(answered.ok());
+        xpath::TupleSet answers = std::move(answered).value();
         if (!have_reference) {
           reference = answers;
           have_reference = true;
@@ -188,6 +209,229 @@ TEST_P(AblationTest, AllConfigurationsAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AblationTest,
                          ::testing::Values(61, 62, 63, 64));
+
+// ----------------------------------------------------------- TupleDedup
+
+TEST(TupleDedupTest, DistinctAndDuplicateInserts) {
+  TupleDedup dedup(2);
+  EXPECT_TRUE(*dedup.Insert({1, 2}));
+  EXPECT_TRUE(*dedup.Insert({2, 1}));
+  EXPECT_FALSE(*dedup.Insert({1, 2}));
+  EXPECT_EQ(dedup.size(), 2u);
+}
+
+TEST(TupleDedupTest, ZeroArityRemembersOneTuple) {
+  TupleDedup dedup(0);
+  EXPECT_TRUE(*dedup.Insert({}));
+  EXPECT_FALSE(*dedup.Insert({}));
+  EXPECT_EQ(dedup.size(), 1u);
+}
+
+// The hashed structure must agree with an ordered-set oracle through
+// growth and spills: same accepted/rejected verdict for every insert.
+TEST(TupleDedupTest, AgreesWithSetOracleAcrossSpills) {
+  Rng rng(77);
+  TupleDedupOptions options;
+  options.max_bytes = 1u << 13;  // 8 KiB: forces several spills
+  options.overflow = TupleDedupOptions::Overflow::kSpill;
+  TupleDedup dedup(3, options);
+  std::set<xpath::NodeTuple> oracle;
+  std::size_t admitted = 0;
+  for (int i = 0; i < 4000; ++i) {
+    xpath::NodeTuple t = {static_cast<NodeId>(rng.Below(8)),
+                          static_cast<NodeId>(rng.Below(8)),
+                          static_cast<NodeId>(rng.Below(8))};
+    Result<bool> fresh = dedup.Insert(t);
+    // 8^3 distinct tuples = 6 KiB of raw data: always within budget.
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+    EXPECT_EQ(*fresh, oracle.insert(t).second) << "insert " << i;
+    if (*fresh) ++admitted;
+  }
+  EXPECT_EQ(dedup.size(), oracle.size());
+  EXPECT_EQ(admitted, oracle.size());
+  EXPECT_GT(dedup.spills(), 0u);
+  EXPECT_LE(dedup.memory_bytes(), options.max_bytes);
+}
+
+TEST(TupleDedupTest, FailPolicyReportsResourceExhausted) {
+  TupleDedupOptions options;
+  options.max_bytes = 512;
+  options.overflow = TupleDedupOptions::Overflow::kFail;
+  TupleDedup dedup(2, options);
+  Status failure;
+  for (NodeId i = 0; i < 10000; ++i) {
+    Result<bool> fresh = dedup.Insert({i, i + 1});
+    if (!fresh.ok()) {
+      failure = fresh.status();
+      break;
+    }
+  }
+  EXPECT_EQ(failure.code(), StatusCode::kResourceExhausted) << failure;
+  EXPECT_EQ(dedup.spills(), 0u);
+}
+
+TEST(TupleDedupTest, SpillPolicyHoldsMoreThenReportsResourceExhausted) {
+  auto fill = [](TupleDedupOptions::Overflow overflow) {
+    TupleDedupOptions options;
+    options.max_bytes = 2048;
+    options.overflow = overflow;
+    TupleDedup dedup(2, options);
+    for (NodeId i = 0;; ++i) {
+      Result<bool> fresh = dedup.Insert({i, i + 1});
+      if (!fresh.ok()) {
+        EXPECT_EQ(fresh.status().code(), StatusCode::kResourceExhausted);
+        return dedup.size();
+      }
+    }
+  };
+  const std::size_t fail_capacity =
+      fill(TupleDedupOptions::Overflow::kFail);
+  const std::size_t spill_capacity =
+      fill(TupleDedupOptions::Overflow::kSpill);
+  // Compaction packs tuples ~raw-density, so the same budget holds more.
+  EXPECT_GT(spill_capacity, fail_capacity);
+}
+
+// --------------------------------------- bounded dedup in the enumerator
+
+// A projected variable of degree >= 3 survives the elimination pass (it
+// cannot be composed away), so the dedup structure engages: a star tree
+// makes the projected common-ancestor variable collapse many
+// assignments onto each output triple. A tiny budget must fail with
+// kResourceExhausted, stickily.
+TEST(AcqEnumeratorTest, ProjectionDedupBudgetSurfacesResourceExhausted) {
+  Tree t = *Tree::ParseTerm("r(" + [] {
+    std::string kids = "a";
+    for (int i = 0; i < 60; ++i) kids += ",a";
+    return kids;
+  }() + ")");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "a", "v", "x"));
+  q.atoms.push_back(Atom(Axis::kChild, "a", "v", "y"));
+  q.atoms.push_back(Atom(Axis::kDescendant, "a", "v", "z"));
+  q.output_vars = {"x", "y", "z"};
+  AcqEnumeratorOptions options;
+  options.dedup.max_bytes = 256;
+  options.dedup.overflow = TupleDedupOptions::Overflow::kFail;
+  Result<AcqEnumerator> e = AcqEnumerator::Create(t, q, std::move(options));
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->dedup_active());
+  Status failure;
+  while (true) {
+    Result<std::optional<xpath::NodeTuple>> next = e->Next();
+    if (!next.ok()) {
+      failure = next.status();
+      break;
+    }
+    if (!next->has_value()) break;
+  }
+  EXPECT_EQ(failure.code(), StatusCode::kResourceExhausted) << failure;
+  EXPECT_EQ(e->Next().status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AcqEnumeratorTest, ProjectionWithinBudgetMatchesBatchAnswer) {
+  // Common-ancestor triples: the projected v ranges over every common
+  // ancestor, so each output tuple is reached many times and only the
+  // dedup keeps the stream distinct.
+  Rng rng(123);
+  RandomTreeOptions opts;
+  opts.num_nodes = 12;
+  Tree t = RandomTree(rng, opts);
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kDescendant, "*", "v", "x"));
+  q.atoms.push_back(Atom(Axis::kDescendant, "*", "v", "y"));
+  q.atoms.push_back(Atom(Axis::kDescendant, "*", "v", "z"));
+  q.output_vars = {"x", "y", "z"};
+  AcqEnumeratorOptions options;
+  options.dedup.max_bytes = 1u << 16;
+  options.dedup.overflow = TupleDedupOptions::Overflow::kSpill;
+  Result<AcqEnumerator> e = AcqEnumerator::Create(t, q, std::move(options));
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->dedup_active());
+  EXPECT_EQ(Drain(*e), *AnswerAcqYannakakis(t, q));
+  EXPECT_EQ(e->dedup_entries(), e->produced());
+}
+
+// The elimination pass strips projected chain variables entirely: a
+// two-atom chain with one output variable enumerates over exactly that
+// variable, no dedup state, still matching the batch oracle.
+TEST(AcqEnumeratorTest, ChainProjectionEliminatesToInjective) {
+  Rng rng(124);
+  RandomTreeOptions opts;
+  opts.num_nodes = 30;
+  Tree t = RandomTree(rng, opts);
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kDescendant, "*", "x", "y"));
+  q.atoms.push_back(Atom(Axis::kChild, "*", "y", "z"));
+  q.output_vars = {"y"};
+  Result<AcqEnumerator> e = AcqEnumerator::Create(t, q);
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->dedup_active());
+  EXPECT_EQ(Drain(*e), *AnswerAcqYannakakis(t, q));
+  EXPECT_EQ(e->dedup_entries(), 0u);
+}
+
+// ------------------------------------------------ cooperative cancellation
+
+TEST(AcqEnumeratorTest, ObservesCancelFlagBetweenSteps) {
+  Rng rng(321);
+  RandomTreeOptions opts;
+  opts.num_nodes = 25;
+  Tree t = RandomTree(rng, opts);
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kDescendant, "*", "x", "y"));
+  q.output_vars = {"x", "y"};
+  std::atomic<bool> cancelled{false};
+  AcqEnumeratorOptions options;
+  options.cancel = CancelToken(&cancelled);
+  Result<AcqEnumerator> e = AcqEnumerator::Create(t, q, std::move(options));
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e->Next().ok());  // runs while the flag is clear
+  cancelled.store(true);
+  Result<std::optional<xpath::NodeTuple>> next = e->Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kCancelled);
+  // Sticky even if the flag were cleared.
+  cancelled.store(false);
+  EXPECT_EQ(e->Next().status().code(), StatusCode::kCancelled);
+}
+
+TEST(AcqEnumeratorTest, ExpiredDeadlineFailsPreprocessing) {
+  Tree t = *Tree::ParseTerm("a(b(c),b(c,c))");
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(Axis::kChild, "*", "x", "y"));
+  q.output_vars = {"x", "y"};
+  AcqEnumeratorOptions options;
+  options.cancel = CancelToken(
+      nullptr, std::chrono::steady_clock::now() - std::chrono::seconds(1));
+  Result<AcqEnumerator> e = AcqEnumerator::Create(t, q, std::move(options));
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryAnswererTest, ObservesPreSetCancelInsidePrepareOrAnswer) {
+  Rng rng(99);
+  RandomTreeOptions opts;
+  opts.num_nodes = 20;
+  Tree t = RandomTree(rng, opts);
+  hcl::HclPtr c = hcl::HclExpr::Compose(
+      hcl::HclExpr::Binary(hcl::MakeAxisQuery(Axis::kDescendant)),
+      hcl::HclExpr::Compose(hcl::HclExpr::Var("x"),
+                            hcl::HclExpr::Binary(hcl::MakeAxisQuery(
+                                Axis::kChild))));
+  std::atomic<bool> cancelled{true};
+  hcl::AnswerOptions options;
+  options.cancel = CancelToken(&cancelled);
+  hcl::QueryAnswerer answerer(t, *c, {"x"}, options);
+  Status prepared = answerer.Prepare();
+  if (prepared.ok()) {
+    Result<xpath::TupleSet> answers = answerer.Answer();
+    ASSERT_FALSE(answers.ok());
+    EXPECT_EQ(answers.status().code(), StatusCode::kCancelled);
+  } else {
+    EXPECT_EQ(prepared.code(), StatusCode::kCancelled);
+  }
+}
 
 }  // namespace
 }  // namespace xpv::fo

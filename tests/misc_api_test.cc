@@ -82,6 +82,12 @@ TEST(StatusCodeStringsTest, AllCodesNamed) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
                "UNIMPLEMENTED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOverloaded), "OVERLOADED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
 }
 
 TEST(BinaryTreeToTermTest, MarksMissingChildren) {

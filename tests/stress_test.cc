@@ -172,9 +172,10 @@ TEST(ReuseTest, AnswerTwiceIsIdentical) {
   ASSERT_TRUE(c.ok());
   hcl::QueryAnswerer answerer(t, **c, {"x", "y"});
   ASSERT_TRUE(answerer.Prepare().ok());
-  xpath::TupleSet first = answerer.Answer();
-  xpath::TupleSet second = answerer.Answer();
-  EXPECT_EQ(first, second);
+  Result<xpath::TupleSet> first = answerer.Answer();
+  Result<xpath::TupleSet> second = answerer.Answer();
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*first, *second);
 }
 
 // Serializer fuzzing: random tree -> term/XML -> parse -> equal.
