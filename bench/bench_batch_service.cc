@@ -401,6 +401,61 @@ void BM_AxisCacheBuildAllWalk(benchmark::State& state) {
 }
 BENCHMARK(BM_AxisCacheBuildAllWalk)->Arg(2048);
 
+// ----------------------------------------- representation comparison
+//
+// Dense vs interval backing for the whole 7-relation AxisCache on one
+// tree size: build time in the loop, resident footprint as a counter.
+// The interval build wins on memory by orders of magnitude and on time
+// by skipping the O(n^2 / 64) word writes; the dense build wins row
+// kernels on small trees (why AxisCache::kAutoDenseMaxNodes exists).
+
+void BM_AxisBuildDense(benchmark::State& state) {
+  Tree t = BenchTree(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    AxisCache cache(t, AxisBacking::kDense);
+    for (Axis axis : kAllAxes) benchmark::DoNotOptimize(cache.Matrix(axis));
+    bytes = cache.approx_resident_bytes();
+  }
+  state.counters["resident_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_AxisBuildDense)->Arg(2048);
+
+void BM_AxisBuildInterval(benchmark::State& state) {
+  Tree t = BenchTree(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    AxisCache cache(t, AxisBacking::kInterval);
+    for (Axis axis : kAllAxes) benchmark::DoNotOptimize(cache.Matrix(axis));
+    bytes = cache.approx_resident_bytes();
+  }
+  state.counters["resident_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_AxisBuildInterval)->Arg(2048);
+
+/// The headline number: all 7 axis relations of a million-node document,
+/// built under the kAuto policy (interval runs). `resident_bytes` is the
+/// real footprint, `dense_formula_bytes` what the dense representation
+/// would need (7 * n * ceil(n/64) * 8 -- ~1 TiB), `dense_to_interval` the
+/// reduction ratio (the ROADMAP acceptance floor is 100x).
+void BM_MillionNodeAxisMemory(benchmark::State& state) {
+  Tree t = BenchTree(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = t.size();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    AxisCache cache(t);
+    for (Axis axis : kAllAxes) benchmark::DoNotOptimize(cache.Matrix(axis));
+    bytes = cache.approx_resident_bytes();
+  }
+  const double dense_formula = 7.0 * static_cast<double>(n) *
+                               static_cast<double>((n + 63) / 64) * 8.0;
+  state.counters["resident_bytes"] = static_cast<double>(bytes);
+  state.counters["dense_formula_bytes"] = dense_formula;
+  state.counters["dense_to_interval"] =
+      dense_formula / static_cast<double>(bytes);
+}
+BENCHMARK(BM_MillionNodeAxisMemory)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace xpv
 

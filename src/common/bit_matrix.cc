@@ -25,6 +25,24 @@ void SetWordRange(std::uint64_t* words, std::size_t begin, std::size_t end) {
   words[we] |= last;
 }
 
+/// Clears bits [begin, end) in a packed word array, whole words at a time.
+/// Callers guarantee end fits in the array and begin < end.
+void ClearWordRange(std::uint64_t* words, std::size_t begin, std::size_t end) {
+  const std::size_t wb = begin >> 6;
+  const std::size_t we = (end - 1) >> 6;
+  const std::uint64_t first = ~std::uint64_t{0} << (begin & 63);
+  const std::uint64_t last =
+      (end & 63) == 0 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << (end & 63)) - 1;
+  if (wb == we) {
+    words[wb] &= ~(first & last);
+    return;
+  }
+  words[wb] &= ~first;
+  for (std::size_t w = wb + 1; w < we; ++w) words[w] = 0;
+  words[we] &= ~last;
+}
+
 }  // namespace
 
 void BitVector::Clear() { std::fill(words_.begin(), words_.end(), 0); }
@@ -38,6 +56,29 @@ void BitVector::SetRange(std::size_t begin, std::size_t end) {
   if (begin >= end) return;
   assert(end <= size_);
   SetWordRange(words_.data(), begin, end);
+}
+
+void BitVector::ClearRange(std::size_t begin, std::size_t end) {
+  if (begin >= end) return;
+  assert(end <= size_);
+  ClearWordRange(words_.data(), begin, end);
+}
+
+bool BitVector::AnyInRange(std::size_t begin, std::size_t end) const {
+  if (begin >= end) return false;
+  assert(end <= size_);
+  const std::size_t wb = begin >> 6;
+  const std::size_t we = (end - 1) >> 6;
+  const std::uint64_t first = ~std::uint64_t{0} << (begin & 63);
+  const std::uint64_t last =
+      (end & 63) == 0 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << (end & 63)) - 1;
+  if (wb == we) return (words_[wb] & first & last) != 0;
+  if ((words_[wb] & first) != 0) return true;
+  for (std::size_t w = wb + 1; w < we; ++w) {
+    if (words_[w] != 0) return true;
+  }
+  return (words_[we] & last) != 0;
 }
 
 void BitVector::ClearPadding() {
@@ -99,6 +140,17 @@ std::vector<std::uint32_t> BitVector::ToIndices() const {
   out.reserve(Count());
   ForEachSet([&](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
   return out;
+}
+
+Result<BitMatrix> BitMatrix::Create(std::size_t n) {
+  if (n > kMaxDenseNodes) {
+    return Status::ResourceExhausted(
+        "dense BitMatrix of dimension " + std::to_string(n) + " exceeds the " +
+        std::to_string(kMaxDenseNodes) +
+        "-node ceiling (" + std::to_string(n * ((n + 63) / 64) * 8) +
+        " bytes); use an interval-backed axis relation instead");
+  }
+  return BitMatrix(n);
 }
 
 BitMatrix BitMatrix::Identity(std::size_t n) {
@@ -278,6 +330,14 @@ BitMatrix BitMatrix::MaskColumns(const BitVector& cols) const {
   return out;
 }
 
+void BitMatrix::MaskColumnsInPlace(const BitVector& cols) {
+  assert(cols.size() == n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    std::uint64_t* row = &words_[r * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) row[w] &= cols.words()[w];
+  }
+}
+
 BitVector BitMatrix::ColumnUnion() const {
   BitVector out(n_);
   for (std::size_t r = 0; r < n_; ++r) {
@@ -364,6 +424,13 @@ BitVector BitMatrix::Row(std::size_t row) const {
             words_.begin() + static_cast<std::ptrdiff_t>((row + 1) * words_per_row_),
             out.mutable_words().begin());
   return out;
+}
+
+void BitMatrix::CopyRowInto(std::size_t row, BitVector& out) const {
+  if (out.size() != n_) out = BitVector(n_);
+  std::copy(words_.begin() + static_cast<std::ptrdiff_t>(row * words_per_row_),
+            words_.begin() + static_cast<std::ptrdiff_t>((row + 1) * words_per_row_),
+            out.mutable_words().begin());
 }
 
 void BitMatrix::OrIntoRow(std::size_t row, const BitVector& v) {

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace xpv {
 
 /// Bit-packed vector of booleans of fixed size; one row of a BitMatrix,
@@ -53,6 +55,10 @@ class BitVector {
   void Fill();
   /// Sets all bits in [begin, end) to 1, whole words at a time.
   void SetRange(std::size_t begin, std::size_t end);
+  /// Sets all bits in [begin, end) to 0, whole words at a time.
+  void ClearRange(std::size_t begin, std::size_t end);
+  /// True iff any bit in [begin, end) is set, whole words at a time.
+  bool AnyInRange(std::size_t begin, std::size_t end) const;
 
   /// Elementwise operations; both operands must have equal size.
   void OrWith(const BitVector& other);
@@ -108,9 +114,24 @@ class BitVector {
 /// Square Boolean matrix with bit-packed rows.
 class BitMatrix {
  public:
+  /// Hard ceiling on the dimension of a dense |t| x |t| materialization.
+  /// An n x n BitMatrix costs n^2 bits -- 128 MiB at this limit, but a
+  /// silent ~125 GB allocation at n = 1M. Construction beyond the limit
+  /// must go through Create(), which refuses with kResourceExhausted;
+  /// the planner uses the same constant to refuse plans that would
+  /// materialize a dense relation on oversized trees (engine/planner.h).
+  static constexpr std::size_t kMaxDenseNodes = std::size_t{1} << 15;
+
   BitMatrix() : n_(0), words_per_row_(0) {}
   explicit BitMatrix(std::size_t n)
       : n_(n), words_per_row_((n + 63) / 64), words_(n * words_per_row_, 0) {}
+
+  /// Fallible construction: refuses dimensions beyond kMaxDenseNodes with
+  /// kResourceExhausted instead of attempting the O(n^2)-bit allocation.
+  /// Entry points whose dimension is data-dependent (axis caches, engine
+  /// boundaries) use this; fixed-small-n internal call sites may still
+  /// construct directly.
+  static Result<BitMatrix> Create(std::size_t n);
 
   /// Identity relation {(v, v)}.
   static BitMatrix Identity(std::size_t n);
@@ -118,6 +139,10 @@ class BitMatrix {
   static BitMatrix Full(std::size_t n);
 
   std::size_t size() const { return n_; }
+  /// Heap bytes held by the bit-packed payload (n * ceil(n/64) words).
+  std::size_t resident_bytes() const {
+    return words_.size() * sizeof(std::uint64_t);
+  }
 
   bool Get(std::size_t row, std::size_t col) const {
     return (words_[row * words_per_row_ + (col >> 6)] >> (col & 63)) & 1u;
@@ -154,6 +179,8 @@ class BitMatrix {
   BitMatrix SelectRows(const BitVector& rows) const;
   /// Clears every cell whose column is not in `cols` (name-test masking).
   BitMatrix MaskColumns(const BitVector& cols) const;
+  /// In-place variant of MaskColumns (no whole-matrix copy).
+  void MaskColumnsInPlace(const BitVector& cols);
 
   /// OR of all rows: set of columns reachable from any row.
   BitVector ColumnUnion() const;
@@ -179,6 +206,9 @@ class BitMatrix {
 
   /// Row `row` as a BitVector copy.
   BitVector Row(std::size_t row) const;
+  /// Copies row `row` into `out`, resizing it to size() if needed (no
+  /// temporary allocation when `out` already has the right size).
+  void CopyRowInto(std::size_t row, BitVector& out) const;
   /// ORs `v` into row `row`.
   void OrIntoRow(std::size_t row, const BitVector& v);
   /// ORs row `src` into row `dst` in place (no temporary row copy).

@@ -151,7 +151,8 @@ std::shared_ptr<AxisCache> DocumentStore::AxisCacheFor(DocumentId id) {
   // outlives every holder of the cache, even past Remove().
   DocumentPtr doc = entry.doc;
   entry.cache = std::shared_ptr<AxisCache>(
-      new AxisCache(doc->tree()), [doc](AxisCache* c) { delete c; });
+      new AxisCache(doc->tree(), options_.axis_backing),
+      [doc](AxisCache* c) { delete c; });
   ++shard.stats.cache_builds;
   shard.lru.push_front(id);
   entry.lru_it = shard.lru.begin();

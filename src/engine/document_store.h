@@ -96,6 +96,12 @@ struct DocumentStoreOptions {
   /// Shards trade a little fixed memory for lock- and LRU-independence;
   /// the default suits a handful of worker threads.
   std::size_t num_shards = 8;
+  /// Representation policy for the per-document AxisCaches this store
+  /// creates (tree/axis_cache.h): kAuto picks dense below
+  /// AxisCache::kAutoDenseMaxNodes and interval runs above; kDense /
+  /// kInterval force one (tests, ablations). hot_cache_bytes reflects
+  /// whichever representation each cache actually built.
+  AxisBacking axis_backing = AxisBacking::kAuto;
 };
 
 /// Monitoring counters (monotone except documents/hot_caches/

@@ -7,8 +7,10 @@
 #include <limits>
 #include <utility>
 
+#include "common/bit_matrix.h"
 #include "ppl/pplbin.h"
 #include "tree/axes.h"
+#include "tree/axis_cache.h"
 
 namespace xpv::engine {
 
@@ -71,9 +73,25 @@ double MatrixFullCost(std::size_t pplbin_size, double n) {
   return static_cast<double>(pplbin_size) * n * n * WordsPerRow(n);
 }
 
+/// Estimated cost of accessing one row of a cached axis relation, in
+/// word-op equivalents, per representation. Dense rows are ceil(n/64)
+/// contiguous words; interval rows are a handful of runs -- O(log n) on
+/// balanced and random trees (tree/axes.h) -- each touched in O(1) by
+/// the run-native kernels. The planner mirrors AxisCache's kAuto policy
+/// (the backing QueryService actually uses), keeping plans deterministic
+/// functions of (query, tree stats, shape).
+double AxisRowAccessCost(double n) {
+  const bool interval =
+      n > static_cast<double>(AxisCache::kAutoDenseMaxNodes);
+  return interval ? std::max(1.0, std::log2(std::max(2.0, n)))
+                  : WordsPerRow(n);
+}
+
 /// Cost of the row-restricted matrix path: positive operators propagate
-/// one BitVector (O(|t|) each); each complement node falls back to the
-/// full matrix evaluation of its subexpression.
+/// one BitVector (O(|t|) each); a complement over a plain step runs one
+/// kernel pass over the cached axis relation (per-row access cost depends
+/// on its representation); any other complement falls back to the full
+/// matrix evaluation of its subexpression.
 double MatrixMonadicCost(const ppl::PplBinExpr& p, double n) {
   switch (p.kind) {
     case ppl::PplBinKind::kStep:
@@ -86,9 +104,30 @@ double MatrixMonadicCost(const ppl::PplBinExpr& p, double n) {
       // The domain resolves by a preimage walk of the same shape.
       return MatrixMonadicCost(*p.left, n) + WordsPerRow(n);
     case ppl::PplBinKind::kComplement:
+      if (p.left->kind == ppl::PplBinKind::kStep) {
+        return n * AxisRowAccessCost(n) + n + WordsPerRow(n);
+      }
       return MatrixFullCost(p.left->Size(), n) + n * WordsPerRow(n);
   }
   return n;
+}
+
+/// True iff the monadic matrix path must materialize a dense sub-matrix:
+/// some complement's operand is not a plain step (complement-of-step runs
+/// on the cached axis relation directly, whatever its representation).
+bool HasNonStepComplement(const ppl::PplBinExpr& p) {
+  switch (p.kind) {
+    case ppl::PplBinKind::kStep:
+      return false;
+    case ppl::PplBinKind::kCompose:
+    case ppl::PplBinKind::kUnion:
+      return HasNonStepComplement(*p.left) || HasNonStepComplement(*p.right);
+    case ppl::PplBinKind::kFilter:
+      return HasNonStepComplement(*p.left);
+    case ppl::PplBinKind::kComplement:
+      return p.left->kind != ppl::PplBinKind::kStep;
+  }
+  return false;
 }
 
 }  // namespace
@@ -240,6 +279,21 @@ ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
         chosen == EnginePlan::kGkpPositive ? matrix_cost : gkp_cost;
   }
   return plan;
+}
+
+bool PlanRequiresDenseRelation(const CompiledQuery& q,
+                               const ExecutionPlan& plan) {
+  // N-ary machinery (Fig. 8 answer tables, and the enumerator's per-atom
+  // relations) is dense end-to-end.
+  if (plan.engine == EnginePlan::kNaryAnswer) return true;
+  // A full-relation answer IS an n x n matrix, whatever engine computes it.
+  if (plan.shape == ResultShape::kFullRelation) return true;
+  // Monadic matrix plans materialize a dense sub-matrix only underneath a
+  // complement whose operand is not a plain step.
+  if (plan.engine == EnginePlan::kMatrixGeneral && q.pplbin != nullptr) {
+    return HasNonStepComplement(*q.pplbin);
+  }
+  return false;
 }
 
 std::optional<ExecutionPlan> PlanMemo::Lookup(std::string_view text,

@@ -132,6 +132,18 @@ ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
                         std::optional<EnginePlan> force_engine = {},
                         std::size_t stream_limit = 0);
 
+/// True when executing `plan` for `q` must materialize at least one dense
+/// |t| x |t| BitMatrix: every kNaryAnswer plan (the HCL / Fig. 8
+/// machinery is dense end-to-end), every kFullRelation shape (the answer
+/// itself is the matrix), and monadic matrix plans containing a
+/// complement over a non-step subexpression. QueryService refuses such
+/// plans with kResourceExhausted when the tree exceeds
+/// BitMatrix::kMaxDenseNodes (common/bit_matrix.h), the documented
+/// dense-materialization ceiling; everything else runs at any tree size
+/// on interval-backed axis relations.
+bool PlanRequiresDenseRelation(const CompiledQuery& q,
+                               const ExecutionPlan& plan);
+
 /// Bounded, thread-safe (query text, shape) -> ExecutionPlan memo. One
 /// lives beside each document's AxisCache in the DocumentStore, so a
 /// repeated query template on a long-lived document plans once. Once

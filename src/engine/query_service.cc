@@ -194,6 +194,20 @@ QueryResult QueryService::RunJob(
   }
   result.plan = plan;
 
+  // Dense ceiling: a plan that must materialize an n x n BitMatrix is
+  // refused on oversized trees -- a clean error instead of an O(n^2)-bit
+  // allocation (~125 GB at 1M nodes). Monadic shapes on such trees keep
+  // working through interval-backed axis relations.
+  if (t.size() > BitMatrix::kMaxDenseNodes &&
+      PlanRequiresDenseRelation(q, plan)) {
+    result.status = Status::ResourceExhausted(
+        "plan " + plan.DebugString() + " requires a dense relation on a " +
+        std::to_string(t.size()) + "-node tree (dense ceiling " +
+        std::to_string(BitMatrix::kMaxDenseNodes) +
+        " nodes); request a monadic result shape instead");
+    return result;
+  }
+
   const std::shared_ptr<AxisCache> cache =
       tree_cache != nullptr ? tree_cache : std::make_shared<AxisCache>(t);
 
@@ -552,6 +566,18 @@ Result<QueryStream> QueryService::OpenStreamImpl(
       options.limit == 0 ? 0 : options.offset + options.limit;
   ExecutionPlan plan = PlanQuery(**compiled, *tree,
                                  ResultShape::kTupleStream, {}, budget);
+
+  // Same dense ceiling as RunJob: n-ary stream backings (enumerator
+  // preprocessing and Fig. 8 materialization alike) build n x n
+  // relations, so refuse them on oversized trees up front.
+  if (tree->size() > BitMatrix::kMaxDenseNodes &&
+      PlanRequiresDenseRelation(**compiled, plan)) {
+    return Status::ResourceExhausted(
+        "stream plan " + plan.DebugString() +
+        " requires a dense relation on a " + std::to_string(tree->size()) +
+        "-node tree (dense ceiling " +
+        std::to_string(BitMatrix::kMaxDenseNodes) + " nodes)");
+  }
 
   // Take one inflight slot; never block. An open stream is admitted load
   // exactly like a running batch.

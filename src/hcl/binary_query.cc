@@ -12,9 +12,16 @@ BitMatrix AxisQuery::Evaluate(const Tree& t) const {
 
 BitMatrix AxisQuery::EvaluateCached(
     const std::shared_ptr<AxisCache>& cache) const {
-  const BitMatrix& m = cache->Matrix(axis_);
-  if (name_test_.empty()) return m;
-  return m.MaskColumns(cache->Labels(name_test_));
+  const BoolMatrix& axis = cache->Matrix(axis_);
+  if (const BitMatrix* dense = axis.AsDense()) {
+    if (name_test_.empty()) return *dense;
+    return dense->MaskColumns(cache->Labels(name_test_));
+  }
+  // HCL machinery is dense end-to-end; kNaryAnswer plans are refused
+  // beyond BitMatrix::kMaxDenseNodes before reaching this leaf.
+  BitMatrix m = ToDenseOrAbort(axis);
+  if (!name_test_.empty()) m.MaskColumnsInPlace(cache->Labels(name_test_));
+  return m;
 }
 
 std::string AxisQuery::ToString() const {

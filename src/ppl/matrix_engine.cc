@@ -10,9 +10,17 @@ BitMatrix MatrixEngine::Product(const BitMatrix& a, const BitMatrix& b) const {
 BitMatrix MatrixEngine::Evaluate(const PplBinExpr& p) {
   switch (p.kind) {
     case PplBinKind::kStep: {
-      const BitMatrix& axis = cache_->Matrix(p.axis);
-      if (p.name_test.empty()) return axis;
-      return axis.MaskColumns(cache_->Labels(p.name_test));
+      const BoolMatrix& axis = cache_->Matrix(p.axis);
+      if (const BitMatrix* dense = axis.AsDense()) {
+        if (p.name_test.empty()) return *dense;
+        return dense->MaskColumns(cache_->Labels(p.name_test));
+      }
+      // Interval-backed cache: the full-relation pipeline composes dense
+      // matrices, so expand this leaf. The planner refuses full-relation
+      // plans beyond BitMatrix::kMaxDenseNodes before reaching here.
+      BitMatrix m = ToDenseOrAbort(axis);
+      if (!p.name_test.empty()) m.MaskColumnsInPlace(cache_->Labels(p.name_test));
+      return m;
     }
     case PplBinKind::kCompose:
       return Product(Evaluate(*p.left), Evaluate(*p.right));
@@ -50,8 +58,22 @@ BitVector MatrixEngine::Image(const PplBinExpr& p, const BitVector& from) {
     case PplBinKind::kComplement: {
       // image(not Q, N)[v] = OR_{u in N} not M_Q[u][v]
       //                    = not (AND_{u in N} M_Q[u][v]).
-      // The only place the monadic path materializes a matrix -- and only
-      // the complemented subexpression's, not the whole query's.
+      if (p.left->kind == PplBinKind::kStep) {
+        // Complement-of-step fast path: row u of M_{A::N} is
+        // axis_row(u) & lab_N, so for nonempty N the AND distributes as
+        // AndOfRows(A, N) & lab_N -- one pass over the cached axis
+        // relation, no sub-matrix, valid on interval backing at any size.
+        BitVector out(tree_.size());
+        if (from.None()) return out;  // AND identity, complemented
+        out = cache_->Matrix(p.left->axis).AndOfRows(from);
+        if (!p.left->name_test.empty()) {
+          out.AndWith(cache_->Labels(p.left->name_test));
+        }
+        out.Complement();
+        return out;
+      }
+      // General complement: materialize the complemented subexpression's
+      // matrix -- only its, not the whole query's.
       BitVector out = Evaluate(*p.left).AndOfRows(from);
       out.Complement();
       return out;
@@ -85,6 +107,24 @@ BitVector MatrixEngine::Preimage(const PplBinExpr& p, const BitVector& to) {
     }
     case PplBinKind::kComplement: {
       // u has some v in N with not M_Q[u][v] iff row u does not contain N.
+      if (p.left->kind == PplBinKind::kStep) {
+        // Complement-of-step fast path, mirroring Image: row u of
+        // M_{A::N} is axis_row(u) & lab_N, so u's row contains N iff
+        // N is inside lab_N and inside axis_row(u).
+        BitVector out(tree_.size());
+        if (to.None()) return out;  // every row contains {}, complemented
+        if (!p.left->name_test.empty()) {
+          BitVector outside = to;
+          outside.AndNotWith(cache_->Labels(p.left->name_test));
+          if (outside.Any()) {
+            out.Fill();  // no row contains a node outside lab_N
+            return out;
+          }
+        }
+        out = cache_->Matrix(p.left->axis).RowsContaining(to);
+        out.Complement();
+        return out;
+      }
       BitVector out = Evaluate(*p.left).RowsContaining(to);
       out.Complement();
       return out;

@@ -59,8 +59,12 @@ class MatrixEngine {
   //
   // so positive subplans run in O(|P| |t|) set ops and each complement
   // node costs one sub-matrix evaluation instead of the whole query
-  // costing O(|P| |t|^3 / 64). Positive filters resolve their domain via
-  // Preimage of the full node set, again without a matrix.
+  // costing O(|P| |t|^3 / 64) -- except a complement whose operand is a
+  // plain step, which runs the AndOfRows / RowsContaining kernel
+  // directly on the cached axis relation (no sub-matrix at all, so it
+  // stays valid on interval-backed caches of any size). Positive filters
+  // resolve their domain via Preimage of the full node set, again
+  // without a matrix.
 
   /// S_P(N) = { v | exists u in N, (u, v) in [[P]] }.
   BitVector Image(const PplBinExpr& p, const BitVector& from);

@@ -136,6 +136,127 @@ BitMatrix AxisMatrix(const Tree& t, Axis axis) {
   return m;
 }
 
+IntervalMatrix AxisIntervalMatrix(const Tree& t, Axis axis) {
+  // Runs come straight from the pre-order numbering: a subtree is the
+  // contiguous id range [v, v + SubtreeSize(v)), so descendant rows are
+  // single runs, and the ancestor / sibling relations extend an already
+  // emitted neighbor row by one id (merging when the ids are adjacent).
+  // Rows processed in increasing id order append into the CSR directly;
+  // only following_sibling needs a counting pass, because it copies from
+  // higher-id rows.
+  const std::size_t n = t.size();
+  std::vector<std::uint32_t> offsets(n + 1, 0);
+  std::vector<IntervalRun> runs;
+  // Appends runs[from_begin, from_end) (indices, not iterators: push_back
+  // may reallocate) and then merges in the single id `extra` > all copied
+  // column ids.
+  const auto copy_then_append = [&runs](std::size_t from_begin,
+                                        std::size_t from_end,
+                                        std::uint32_t extra) {
+    for (std::size_t i = from_begin; i < from_end; ++i) {
+      const IntervalRun run = runs[i];
+      runs.push_back(run);
+    }
+    if (!runs.empty() && from_begin < from_end && runs.back().end == extra) {
+      runs.back().end = extra + 1;
+    } else {
+      runs.push_back({extra, extra + 1});
+    }
+  };
+  switch (axis) {
+    case Axis::kSelf:
+      runs.reserve(n);
+      for (NodeId v = 0; v < n; ++v) {
+        offsets[v] = static_cast<std::uint32_t>(runs.size());
+        runs.push_back({v, v + 1});
+      }
+      break;
+    case Axis::kChild:
+      for (NodeId v = 0; v < n; ++v) {
+        offsets[v] = static_cast<std::uint32_t>(runs.size());
+        // Children in increasing id order; child c is adjacent to its next
+        // sibling iff its subtree is the single node c.
+        for (NodeId c = t.first_child(v); c != kNoNode;) {
+          NodeId next = t.next_sibling(c);
+          std::uint32_t run_end = c + 1;
+          while (next != kNoNode && next == run_end) {
+            run_end = next + 1;
+            next = t.next_sibling(next);
+          }
+          runs.push_back({c, run_end});
+          c = next;
+        }
+      }
+      break;
+    case Axis::kParent:
+      runs.reserve(n > 0 ? n - 1 : 0);
+      for (NodeId v = 0; v < n; ++v) {
+        offsets[v] = static_cast<std::uint32_t>(runs.size());
+        const NodeId p = t.parent(v);
+        if (p != kNoNode) runs.push_back({p, p + 1});
+      }
+      break;
+    case Axis::kDescendant:
+      for (NodeId v = 0; v < n; ++v) {
+        offsets[v] = static_cast<std::uint32_t>(runs.size());
+        const auto sub = static_cast<std::uint32_t>(t.SubtreeSize(v));
+        if (sub > 1) runs.push_back({v + 1, v + sub});
+      }
+      break;
+    case Axis::kAncestor:
+      // Row v = row of its parent plus the parent itself; parents precede
+      // children in pre-order and every ancestor id is < p, so one forward
+      // sweep copying the (already emitted) parent row.
+      for (NodeId v = 0; v < n; ++v) {
+        offsets[v] = static_cast<std::uint32_t>(runs.size());
+        const NodeId p = t.parent(v);
+        if (p != kNoNode) copy_then_append(offsets[p], offsets[p + 1], p);
+      }
+      break;
+    case Axis::kPrecedingSibling:
+      // Row v = row of its previous sibling plus that sibling; previous
+      // siblings have smaller ids, so again a forward sweep.
+      for (NodeId v = 0; v < n; ++v) {
+        offsets[v] = static_cast<std::uint32_t>(runs.size());
+        const NodeId ps = t.prev_sibling(v);
+        if (ps != kNoNode) copy_then_append(offsets[ps], offsets[ps + 1], ps);
+      }
+      break;
+    case Axis::kFollowingSibling: {
+      // Row v = {ns} plus row of ns, where ns = next_sibling(v) has a
+      // LARGER id -- so count runs first, prefix-sum the offsets, then
+      // fill backwards into the finished layout. {ns} merges with the
+      // first run of row ns iff that run starts at ns + 1, i.e. iff ns's
+      // subtree is the single node ns.
+      std::vector<std::uint32_t> counts(n, 0);
+      for (NodeId v = static_cast<NodeId>(n); v-- > 0;) {
+        const NodeId ns = t.next_sibling(v);
+        if (ns == kNoNode) continue;
+        const bool merges = counts[ns] > 0 && t.SubtreeSize(ns) == 1;
+        counts[v] = counts[ns] + (merges ? 0 : 1);
+      }
+      for (NodeId v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + counts[v];
+      runs.resize(offsets[n]);
+      for (NodeId v = static_cast<NodeId>(n); v-- > 0;) {
+        const NodeId ns = t.next_sibling(v);
+        if (ns == kNoNode) continue;
+        std::uint32_t w = offsets[v];
+        std::uint32_t src = offsets[ns];
+        if (counts[ns] > 0 && t.SubtreeSize(ns) == 1) {
+          runs[w++] = {ns, runs[src].end};
+          ++src;
+        } else {
+          runs[w++] = {ns, ns + 1};
+        }
+        for (; src < offsets[ns + 1]; ++src) runs[w++] = runs[src];
+      }
+      return IntervalMatrix(n, std::move(offsets), std::move(runs));
+    }
+  }
+  offsets[n] = static_cast<std::uint32_t>(runs.size());
+  return IntervalMatrix(n, std::move(offsets), std::move(runs));
+}
+
 BitVector AxisImage(const Tree& t, Axis axis, const BitVector& from) {
   const std::size_t n = t.size();
   assert(from.size() == n);

@@ -1,14 +1,26 @@
 #include "tree/axis_cache.h"
 
+#include <utility>
+
 namespace xpv {
 
-const BitMatrix& AxisCache::Matrix(Axis axis) {
+const BoolMatrix& AxisCache::Matrix(Axis axis) {
   const auto i = static_cast<std::size_t>(axis);
   std::call_once(axis_once_[i], [&] {
-    axis_[i].emplace(AxisMatrix(tree_, axis));
-    matrices_built_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_ptr<const BoolMatrix> built;
+    if (interval_backed()) {
+      built = std::make_unique<IntervalMatrix>(AxisIntervalMatrix(tree_, axis));
+    } else {
+      built = std::make_unique<DenseBoolMatrix>(AxisMatrix(tree_, axis));
+    }
+    axis_storage_[i] = std::move(built);
+    // Publish before counting: a reader that observes the incremented
+    // counter (acquire) is guaranteed to also see the entry, so the
+    // byte stat can never attribute bytes to a half-built slot.
+    axis_[i].store(axis_storage_[i].get(), std::memory_order_release);
+    matrices_built_.fetch_add(1, std::memory_order_release);
   });
-  return *axis_[i];
+  return *axis_[i].load(std::memory_order_acquire);
 }
 
 const BitVector& AxisCache::Labels(const std::string& name_test) {
@@ -17,7 +29,11 @@ const BitVector& AxisCache::Labels(const std::string& name_test) {
   auto it = labels_.find(key);
   if (it == labels_.end()) {
     it = labels_.emplace(key, LabelSet(tree_, key)).first;
-    label_sets_built_.fetch_add(1, std::memory_order_relaxed);
+    label_bytes_.fetch_add(
+        it->second.words().size() * sizeof(std::uint64_t) +
+            it->first.capacity() + kLabelMapNodeBytes,
+        std::memory_order_release);
+    label_sets_built_.fetch_add(1, std::memory_order_release);
   }
   return it->second;
 }

@@ -1,46 +1,79 @@
 // Thread-safe per-tree cache of axis relation matrices and label sets.
 //
 // Every matrix-based evaluator (ppl::MatrixEngine, xpath::DirectEvaluator,
-// the HCL binary-query leaves) needs the same |t| x |t| axis relations
-// A(t) and the same label sets lab_N(t). Historically each engine instance
-// kept a private copy; an AxisCache lifts that state to the tree itself so
-// that many engines -- and many concurrent jobs of the batch QueryService
-// in engine/ -- evaluating over one tree compute each relation exactly
-// once and share the result.
+// the HCL binary-query leaves) needs the same axis relations A(t) and the
+// same label sets lab_N(t). Historically each engine instance kept a
+// private copy; an AxisCache lifts that state to the tree itself so that
+// many engines -- and many concurrent jobs of the batch QueryService in
+// engine/ -- evaluating over one tree compute each relation exactly once
+// and share the result.
 //
-// Thread safety: Matrix() uses one std::once_flag per axis, Labels() a
-// mutex around a node-stable std::map, so returned references stay valid
-// for the lifetime of the cache and concurrent callers never observe a
-// partially built relation.
+// Each cached relation is a BoolMatrix (common/bool_matrix.h): dense on
+// small trees, interval-backed on large ones (or forced either way by the
+// AxisBacking policy), so a 1M-node document costs O(n log n) bits of
+// axis state instead of the dense O(n^2).
+//
+// Thread safety: Matrix() uses one std::once_flag per axis and publishes
+// the built relation with a release store into an atomic slot; Labels() a
+// mutex around a node-stable std::map. Returned references stay valid for
+// the lifetime of the cache and concurrent callers never observe a
+// partially built relation -- approx_resident_bytes() reads only the
+// published slots (acquire), never the build counters, so the stat cannot
+// see a half-built entry.
 #ifndef XPV_TREE_AXIS_CACHE_H_
 #define XPV_TREE_AXIS_CACHE_H_
 
 #include <array>
 #include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 
 #include "common/bit_matrix.h"
+#include "common/bool_matrix.h"
 #include "tree/axes.h"
 #include "tree/tree.h"
 
 namespace xpv {
 
-/// Lazily materialized, thread-safe per-tree cache of AxisMatrix() and
+/// Which representation AxisCache::Matrix() builds. kAuto picks dense on
+/// trees up to kAutoDenseMaxNodes (a row is a handful of words there and
+/// the word-parallel kernels win) and interval runs beyond.
+enum class AxisBacking {
+  kAuto,
+  kDense,
+  kInterval,
+};
+
+/// Lazily materialized, thread-safe per-tree cache of axis relations and
 /// LabelSet() results. The referenced tree must outlive the cache.
 class AxisCache {
  public:
-  explicit AxisCache(const Tree& tree) : tree_(tree) {}
+  /// kAuto switches from dense to interval backing above this node count:
+  /// at 4096 nodes the 7 dense relations cost 7 * 2 MiB, past which the
+  /// O(n^2) bits dominate every other per-document cost.
+  static constexpr std::size_t kAutoDenseMaxNodes = 4096;
+
+  explicit AxisCache(const Tree& tree, AxisBacking backing = AxisBacking::kAuto)
+      : tree_(tree), backing_(backing) {
+    for (auto& slot : axis_) slot.store(nullptr, std::memory_order_relaxed);
+  }
 
   AxisCache(const AxisCache&) = delete;
   AxisCache& operator=(const AxisCache&) = delete;
 
   const Tree& tree() const { return tree_; }
+  AxisBacking backing() const { return backing_; }
+  /// True iff Matrix() builds IntervalMatrix entries for this tree.
+  bool interval_backed() const {
+    return backing_ == AxisBacking::kInterval ||
+           (backing_ == AxisBacking::kAuto &&
+            tree_.size() > kAutoDenseMaxNodes);
+  }
 
   /// A(t) for the given axis, computed on first use.
-  const BitMatrix& Matrix(Axis axis);
+  const BoolMatrix& Matrix(Axis axis);
 
   /// lab_N(t) for the given name test (empty or "*" = all nodes), computed
   /// on first use.
@@ -48,31 +81,54 @@ class AxisCache {
 
   /// Number of axis matrices materialized so far (monotone; at most 7).
   /// Lets callers -- and the DocumentStore reuse tests -- observe whether a
-  /// relation was rebuilt or served from this cache.
+  /// relation was rebuilt or served from this cache. Incremented only
+  /// after the entry is published, so the count never exceeds the number
+  /// of readable entries.
   std::size_t matrices_built() const {
-    return matrices_built_.load(std::memory_order_relaxed);
+    return matrices_built_.load(std::memory_order_acquire);
   }
   /// Number of distinct label sets materialized so far.
   std::size_t label_sets_built() const {
-    return label_sets_built_.load(std::memory_order_relaxed);
+    return label_sets_built_.load(std::memory_order_acquire);
   }
 
-  /// Approximate bytes resident in materialized relations and label sets
-  /// (derived from the build counters, so it is lock-free and may lag a
-  /// concurrent build by one entry). The DocumentStore aggregates this
-  /// per shard so operators can see what the hot-cache LRU budget holds.
+  /// Bytes resident in materialized relations and label sets: the sum of
+  /// each published entry's BoolMatrix::resident_bytes() -- exact for
+  /// whichever representation each entry chose -- plus label-set payload
+  /// and an estimate of the std::map node overhead (kLabelMapNodeBytes
+  /// per entry; the red-black node's three pointers + color and the key
+  /// string header). Lock-free: reads only release-published state, so
+  /// it may lag a concurrent build by one entry but never reads a
+  /// half-built one. The DocumentStore aggregates this per shard to run
+  /// its hot-cache LRU budget.
   std::size_t approx_resident_bytes() const {
-    const std::size_t words_per_row = (tree_.size() + 63) / 64;
-    return matrices_built() * tree_.size() * words_per_row * 8 +
-           label_sets_built() * words_per_row * 8;
+    std::size_t bytes = 0;
+    for (const auto& slot : axis_) {
+      if (const BoolMatrix* m = slot.load(std::memory_order_acquire)) {
+        bytes += m->resident_bytes();
+      }
+    }
+    return bytes + label_bytes_.load(std::memory_order_acquire);
   }
+
+  /// Per-entry allocator overhead charged for a labels_ map node: three
+  /// child/parent pointers plus color in the red-black node, and the
+  /// std::string key header (its heap characters are counted separately).
+  static constexpr std::size_t kLabelMapNodeBytes =
+      4 * sizeof(void*) + sizeof(std::string);
 
  private:
   const Tree& tree_;
+  const AxisBacking backing_;
   std::atomic<std::size_t> matrices_built_{0};
   std::atomic<std::size_t> label_sets_built_{0};
+  std::atomic<std::size_t> label_bytes_{0};
   std::array<std::once_flag, kAllAxes.size()> axis_once_;
-  std::array<std::optional<BitMatrix>, kAllAxes.size()> axis_;
+  /// Owning storage, written once inside the call_once...
+  std::array<std::unique_ptr<const BoolMatrix>, kAllAxes.size()> axis_storage_;
+  /// ...then published here with release semantics; readers (Matrix and
+  /// the stats) only ever see fully built entries.
+  std::array<std::atomic<const BoolMatrix*>, kAllAxes.size()> axis_;
   std::mutex label_mu_;
   std::map<std::string, BitVector> labels_;  // node-stable addresses
 };

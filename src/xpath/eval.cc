@@ -10,9 +10,17 @@ BitMatrix DirectEvaluator::EvalPath(const PathExpr& p,
   switch (p.kind) {
     case PathKind::kStep: {
       // [[A::N]] = {(v1,v2) in A(t) | v2 in lab_N(t)}.
-      const BitMatrix& axis = cache_->Matrix(p.axis);
-      if (p.name_test.empty()) return axis;
-      return axis.MaskColumns(cache_->Labels(p.name_test));
+      const BoolMatrix& axis = cache_->Matrix(p.axis);
+      if (const BitMatrix* dense = axis.AsDense()) {
+        if (p.name_test.empty()) return *dense;
+        return dense->MaskColumns(cache_->Labels(p.name_test));
+      }
+      // This evaluator is inherently dense (every node materializes a
+      // |t| x |t| matrix), so expand an interval-backed axis leaf; the
+      // planner keeps oversized trees off this engine.
+      BitMatrix m = ToDenseOrAbort(axis);
+      if (!p.name_test.empty()) m.MaskColumnsInPlace(cache_->Labels(p.name_test));
+      return m;
     }
     case PathKind::kDot:
       // [[.]] = {(v,v)}.

@@ -6,9 +6,10 @@ Two checks, so the docs/ subsystem cannot rot silently:
 1. Every intra-repository markdown link in tracked *.md files resolves:
    the target file exists, and a #fragment (same-file or cross-file)
    matches a heading slug in the target.
-2. Every public class/struct declared at namespace scope in
-   src/engine/*.h is mentioned in docs/ARCHITECTURE.md, so new public
-   API cannot ship undocumented.
+2. Every public class/struct declared at namespace scope in the scanned
+   public headers (src/engine/*.h, plus the representation-plane headers
+   src/common/bool_matrix.h and src/tree/axis_cache.h) is mentioned in
+   docs/ARCHITECTURE.md, so new public API cannot ship undocumented.
 
 Exit code 0 iff both checks pass; failures are listed one per line.
 """
@@ -106,15 +107,25 @@ def check_links(md_files):
     return errors
 
 
-DECL_RE = re.compile(r"^(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:\{|$|:[^:])")
+DECL_RE = re.compile(
+    r"^(?:class|struct|enum class)\s+([A-Za-z_]\w*)(?:\s+final)?"
+    r"\s*(?:\{|$|:[^:])")
+
+
+def scanned_headers():
+    headers = sorted((REPO / "src" / "engine").glob("*.h"))
+    headers.append(REPO / "src" / "common" / "bool_matrix.h")
+    headers.append(REPO / "src" / "tree" / "axis_cache.h")
+    return [h for h in headers if h.exists()]
 
 
 def engine_public_types():
-    names = set()
-    for header in sorted((REPO / "src" / "engine").glob("*.h")):
+    names = {}
+    for header in scanned_headers():
         for line in header.read_text(encoding="utf-8").splitlines():
             if match := DECL_RE.match(line):
-                names.add(match.group(1))
+                names.setdefault(match.group(1),
+                                 header.relative_to(REPO).as_posix())
     return names
 
 
@@ -123,10 +134,11 @@ def check_architecture_coverage():
     if not arch.exists():
         return ["docs/ARCHITECTURE.md does not exist"]
     text = arch.read_text(encoding="utf-8")
+    types = engine_public_types()
     return [
-        f"docs/ARCHITECTURE.md: public type '{name}' (src/engine/) is "
+        f"docs/ARCHITECTURE.md: public type '{name}' ({origin}) is "
         "never mentioned"
-        for name in sorted(engine_public_types())
+        for name, origin in sorted(types.items())
         if not re.search(rf"\b{re.escape(name)}\b", text)
     ]
 
