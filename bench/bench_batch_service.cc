@@ -21,7 +21,9 @@
 
 #include "common/rng.h"
 #include "engine/document_store.h"
+#include "engine/compiled_query.h"
 #include "engine/query_service.h"
+#include "ppl/matrix_engine.h"
 #include "ppl/pplbin.h"
 #include "tree/axis_cache.h"
 #include "tree/generators.h"
@@ -455,6 +457,129 @@ void BM_MillionNodeAxisMemory(benchmark::State& state) {
       dense_formula / static_cast<double>(bytes);
 }
 BENCHMARK(BM_MillionNodeAxisMemory)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+// --------------------------------------- dense/sparse composition kernels
+//
+// The sparse boolean composition engine (common/sparse_matrix.h) against
+// the dense bit-packed kernels, on the three structural extremes --
+// path (maximally run-structured), star (one fat row), random (mixed) --
+// at 512..65536 nodes. Args are (nodes, tree shape 0=path/1=star/2=random,
+// repr 0=auto/1=dense/2=sparse); dense combinations above
+// BitMatrix::kMaxDenseNodes are omitted (no dense n x n form exists
+// there -- the gap the sparse engine closes). Counters report the result
+// footprint and the engine's kernel mix so the trajectory records *what*
+// ran, not just how fast. CI fails if this section goes missing from
+// BENCH_batch_service.json.
+
+Tree CrossoverTree(std::int64_t shape, std::size_t nodes) {
+  switch (shape) {
+    case 0:
+      return PathTree(nodes);
+    case 1:
+      return StarTree(nodes);
+    default:
+      return BenchTree(nodes);
+  }
+}
+
+const char* kComposeQuery = "descendant::a/child::a";
+
+void ApplyCrossoverArgs(benchmark::internal::Benchmark* b) {
+  for (std::int64_t nodes : {512, 2048, 8192, 65536}) {
+    for (std::int64_t shape : {0, 1, 2}) {
+      for (std::int64_t repr : {0, 1, 2}) {
+        if (repr == static_cast<std::int64_t>(MatrixRepr::kDense) &&
+            nodes > static_cast<std::int64_t>(BitMatrix::kMaxDenseNodes)) {
+          continue;
+        }
+        b->Args({nodes, shape, repr});
+      }
+    }
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
+/// Engine-level: one full-relation evaluation of a composed step query,
+/// representation forced, axis cache prebuilt (pure kernel cost).
+void BM_SparseCompose(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto repr = static_cast<MatrixRepr>(state.range(2));
+  Tree t = CrossoverTree(state.range(1), nodes);
+  auto cache = std::make_shared<AxisCache>(t);
+  for (Axis axis : kAllAxes) cache->Matrix(axis);
+  auto compiled = engine::CompileQuery(kComposeQuery);
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  const ppl::PplBinExpr& p = *(*compiled)->pplbin;
+  std::size_t result_bytes = 0;
+  std::size_t result_bits = 0;
+  ppl::MatrixEngineStats stats;
+  for (auto _ : state) {
+    ppl::MatrixEngine eng(cache, ppl::MultiplyMode::kBitPacked, repr);
+    Result<ppl::AnyMatrix> rel = eng.EvaluateAny(p);
+    if (!rel.ok()) {
+      state.SkipWithError(rel.status().ToString().c_str());
+      return;
+    }
+    result_bytes = rel->resident_bytes();
+    result_bits = rel->Count();
+    stats = eng.stats();
+    benchmark::DoNotOptimize(rel);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["result_bytes"] = static_cast<double>(result_bytes);
+  state.counters["result_bits"] = static_cast<double>(result_bits);
+  state.counters["dense_products"] = static_cast<double>(stats.dense_products);
+  state.counters["sparse_products"] =
+      static_cast<double>(stats.sparse_products);
+}
+BENCHMARK(BM_SparseCompose)->Apply(ApplyCrossoverArgs);
+
+/// Service-level: the same query through the full compile-plan-execute
+/// path with the representation forced per job (repr 0 leaves the
+/// planner's dense/sparse crossover in charge -- the number the ROADMAP
+/// acceptance compares against the forced extremes). Above the dense
+/// ceiling this is the previously-refused full-relation workload.
+void BM_CrossoverFullRelation(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto repr = static_cast<MatrixRepr>(state.range(2));
+  Tree t = CrossoverTree(state.range(1), nodes);
+  engine::DocumentStore store;
+  const engine::DocumentId id = store.Insert(std::move(t));
+  engine::QueryService service(
+      {.num_threads = 1, .document_store = &store});
+  engine::QueryJob job;
+  job.document = id;
+  job.query = kComposeQuery;
+  job.shape = engine::ResultShape::kFullRelation;
+  if (repr != MatrixRepr::kAuto) job.repr_override = repr;
+  const std::vector<engine::QueryJob> jobs = {job};
+  // Warm caches and refuse to report a failing workload.
+  engine::ExecutionPlan plan;
+  {
+    std::vector<engine::QueryResult> warm = service.EvaluateBatch(jobs);
+    if (!warm[0].status.ok()) {
+      state.SkipWithError(warm[0].status.ToString().c_str());
+      return;
+    }
+    plan = warm[0].plan;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.EvaluateBatch(jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  const engine::ServiceStats stats = service.stats();
+  state.counters["plan_sparse"] =
+      plan.repr == MatrixRepr::kSparse ? 1.0 : 0.0;
+  state.counters["dense_products"] = static_cast<double>(stats.dense_products);
+  state.counters["sparse_products"] =
+      static_cast<double>(stats.sparse_products);
+  state.counters["repr_crossovers"] =
+      static_cast<double>(stats.repr_crossovers);
+}
+BENCHMARK(BM_CrossoverFullRelation)->Apply(ApplyCrossoverArgs);
 
 }  // namespace
 }  // namespace xpv

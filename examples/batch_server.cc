@@ -109,6 +109,13 @@ int main(int argc, char** argv) {
   std::printf("  query cache:    %zu distinct compiled, %zu hits / %zu misses\n",
               service.cache().size(), service.cache().hits(),
               service.cache().misses());
+  const engine::ServiceStats kernel_stats = service.stats();
+  std::printf(
+      "  matrix kernels: %llu dense / %llu sparse products, %llu repr "
+      "crossovers\n",
+      static_cast<unsigned long long>(kernel_stats.dense_products),
+      static_cast<unsigned long long>(kernel_stats.sparse_products),
+      static_cast<unsigned long long>(kernel_stats.repr_crossovers));
   const engine::DocumentStoreStats stats = store.stats();
   std::printf(
       "  axis caches:    %llu built, %llu hits, %llu retired (%zu hot, "

@@ -53,7 +53,7 @@ int main() {
 
     // Monadic query from the root, like an XPath 1.0 engine would run it.
     Timer timer;
-    BitVector from_root = matrix.EvaluateFromRoot(**bin);
+    BitVector from_root = matrix.EvaluateFromRoot(**bin).value();
     const double matrix_ms = timer.ElapsedMillis();
 
     std::string gkp_ms = "n/a (except)";

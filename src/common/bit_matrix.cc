@@ -135,6 +135,22 @@ std::size_t BitVector::NextSet(std::size_t from) const {
   }
 }
 
+std::size_t BitVector::NextUnset(std::size_t from) const {
+  if (from >= size_) return size_;
+  std::size_t w = from >> 6;
+  std::uint64_t bits = ~words_[w] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (bits != 0) {
+      // Padding bits past size_ are stored as 0, so their complement can
+      // report an unset position beyond the end; clamp it.
+      return std::min(
+          size_, w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits)));
+    }
+    if (++w >= words_.size()) return size_;
+    bits = ~words_[w];
+  }
+}
+
 std::vector<std::uint32_t> BitVector::ToIndices() const {
   std::vector<std::uint32_t> out;
   out.reserve(Count());
@@ -442,6 +458,14 @@ void BitMatrix::OrIntoRow(std::size_t row, const BitVector& v) {
 void BitMatrix::OrRowIntoRow(std::size_t dst, std::size_t src) {
   std::uint64_t* d = &words_[dst * words_per_row_];
   const std::uint64_t* s = &words_[src * words_per_row_];
+  for (std::size_t w = 0; w < words_per_row_; ++w) d[w] |= s[w];
+}
+
+void BitMatrix::OrRowFrom(std::size_t dst, const BitMatrix& src,
+                          std::size_t src_row) {
+  assert(n_ == src.n_);
+  std::uint64_t* d = &words_[dst * words_per_row_];
+  const std::uint64_t* s = &src.words_[src_row * words_per_row_];
   for (std::size_t w = 0; w < words_per_row_; ++w) d[w] |= s[w];
 }
 

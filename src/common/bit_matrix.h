@@ -78,6 +78,10 @@ class BitVector {
   std::size_t FirstSet() const;
   /// Index of the first set bit at position >= from, or size() when none.
   std::size_t NextSet(std::size_t from) const;
+  /// Index of the first UNSET bit at position >= from, or size() when
+  /// none. With NextSet this walks maximal runs of set bits word-at-a-time
+  /// (the run-extraction loop of common/sparse_matrix.h).
+  std::size_t NextUnset(std::size_t from) const;
 
   /// Invokes fn(i) for every set bit index i in increasing order.
   template <typename Fn>
@@ -213,6 +217,10 @@ class BitMatrix {
   void OrIntoRow(std::size_t row, const BitVector& v);
   /// ORs row `src` into row `dst` in place (no temporary row copy).
   void OrRowIntoRow(std::size_t dst, std::size_t src);
+  /// ORs row `src_row` of `src` into row `dst` of this matrix,
+  /// word-parallel with no temporary copy (cross-matrix row accumulation:
+  /// the sparse x dense product kernel). Both matrices must be same-size.
+  void OrRowFrom(std::size_t dst, const BitMatrix& src, std::size_t src_row);
   /// Sets all cells (row, c) for c in [begin, end), whole words at a time.
   void SetRowRange(std::size_t row, std::size_t begin, std::size_t end);
   /// Invokes fn(col) for every set bit of `row`.

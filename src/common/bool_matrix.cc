@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
 
 namespace xpv {
 
@@ -201,16 +199,6 @@ std::size_t IntervalMatrix::Count() const {
   std::size_t count = 0;
   for (const IntervalRun& run : runs_) count += run.end - run.begin;
   return count;
-}
-
-BitMatrix ToDenseOrAbort(const BoolMatrix& m) {
-  Result<BitMatrix> dense = m.ToDense();
-  if (!dense.ok()) {
-    std::fprintf(stderr, "ToDenseOrAbort: %s\n",
-                 dense.status().ToString().c_str());
-    std::abort();
-  }
-  return std::move(dense).value();
 }
 
 }  // namespace xpv

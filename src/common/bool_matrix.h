@@ -37,6 +37,8 @@
 
 namespace xpv {
 
+class IntervalMatrix;
+
 /// Interface over square Boolean matrices. All row/column indexes are in
 /// [0, size()); implementations are immutable once built and safe to read
 /// concurrently.
@@ -50,8 +52,8 @@ class BoolMatrix {
   /// object header). Drives AxisCache::approx_resident_bytes() and the
   /// DocumentStore hot-cache LRU budget.
   virtual std::size_t resident_bytes() const = 0;
-  /// Representation name for stats and bench counters: "dense" or
-  /// "interval".
+  /// Representation name for stats and bench counters: "dense",
+  /// "interval" or "sparse".
   virtual std::string_view name() const = 0;
 
   /// Single-cell probe.
@@ -92,6 +94,12 @@ class BoolMatrix {
   /// otherwise. Lets dense-path consumers borrow the matrix without a
   /// copy.
   virtual const BitMatrix* AsDense() const { return nullptr; }
+
+  /// The CSR run-list view when this is an interval-structured
+  /// representation (IntervalMatrix or its SparseBoolMatrix subclass),
+  /// nullptr otherwise. Lets run-native consumers (the sparse composition
+  /// kernels in common/sparse_matrix.h) borrow the runs without a copy.
+  virtual const IntervalMatrix* AsInterval() const { return nullptr; }
 
   /// Dense copy of this relation. Fails with kResourceExhausted beyond
   /// BitMatrix::kMaxDenseNodes -- callers on the full-relation path are
@@ -150,7 +158,7 @@ struct IntervalRun {
 /// ImageOf / AndOfRows touch only the selected rows' runs (plus the
 /// words they cover), and RowsContaining rejects most rows with two O(1)
 /// span tests before scanning any gap.
-class IntervalMatrix final : public BoolMatrix {
+class IntervalMatrix : public BoolMatrix {
  public:
   /// Takes ownership of a prebuilt CSR: row_offset has size n + 1, runs
   /// per row are sorted, disjoint and non-adjacent (maximal).
@@ -173,6 +181,8 @@ class IntervalMatrix final : public BoolMatrix {
   BitVector NonEmptyRows() const override;
   std::size_t Count() const override;
 
+  const IntervalMatrix* AsInterval() const override { return this; }
+
   /// Total number of stored runs (bench counter).
   std::size_t num_runs() const { return runs_.size(); }
   /// Runs of one row, for tests and direct consumers.
@@ -187,13 +197,6 @@ class IntervalMatrix final : public BoolMatrix {
   std::vector<std::uint32_t> row_offset_;  // size n_ + 1
   std::vector<IntervalRun> runs_;
 };
-
-/// ToDense() or std::abort() with a message on stderr. For full-relation
-/// consumers whose callers are gated by the planner's dense ceiling
-/// (engine/planner.h PlanRequiresDenseRelation): reaching the abort means
-/// a caller bypassed the gate, a programmer error -- crashing loudly
-/// beats silently attempting an O(n^2)-bit allocation.
-BitMatrix ToDenseOrAbort(const BoolMatrix& m);
 
 }  // namespace xpv
 

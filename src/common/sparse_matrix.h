@@ -1,0 +1,153 @@
+// Sparse Boolean composition kernels over CSR run-lists.
+//
+// PR 6 made axis *storage* succinct (IntervalMatrix); this header makes
+// *composition* succinct. A SparseBoolMatrix is an IntervalMatrix that can
+// also be built incrementally (Builder), converted from/to dense, and --
+// the point -- multiplied, OR-ed, complemented and diagonal-filtered
+// without ever expanding to the O(n^2)-bit dense form. That lifts the
+// BitMatrix::kMaxDenseNodes ceiling from the full-relation evaluation
+// path: a product of run-structured relations on a 1M-node tree costs
+// O(runs) space instead of ~125 GB.
+//
+// Kernel shapes (the cuBool boolean-SpGEMM pattern from SNIPPETS.md §3,
+// adapted to run-lists):
+//
+//   sparse x sparse   per output row, gather the b-rows selected by a's
+//                     runs and merge their runs; when the gathered run
+//                     count saturates (kDenseAccumRunFactor), switch to a
+//                     word-parallel dense accumulator row and re-extract
+//                     runs -- the SpGEMM "dense row fallback".
+//   sparse x dense    OR whole bit-packed rows of b per source run
+//                     (word-parallel, output dense).
+//   dense x sparse    SetRowRange per (set bit, run) pair (output dense).
+//
+// Every sparse-output kernel takes a `max_runs` budget and fails with
+// kResourceExhausted instead of letting an adversarial query (e.g.
+// descendant masked by an alternating label on a path tree, whose masked
+// relation has Theta(n^2) runs) grow the run list without bound. The
+// planner (engine/planner.h) sizes the budget from kSparseEvalByteBudget.
+#ifndef XPV_COMMON_SPARSE_MATRIX_H_
+#define XPV_COMMON_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/bool_matrix.h"
+#include "common/status.h"
+
+namespace xpv {
+
+/// Which representation the matrix engine composes in (engine mode and
+/// planner decision alike). kAuto lets the engine pick per node from the
+/// axis-cache backing and per-operand density estimates; kDense / kSparse
+/// force one representation end-to-end (tests, ablations, forced plans).
+enum class MatrixRepr {
+  kAuto,
+  kDense,
+  kSparse,
+};
+
+/// "auto" / "dense" / "sparse" (EnginePlanName-style; stats + plan dumps).
+std::string_view MatrixReprName(MatrixRepr repr);
+
+/// Byte budget for one sparse evaluation's run storage. Sized so a worst
+/// case sparse full-relation job stays far below the container's memory
+/// while still admitting ~16M runs -- orders of magnitude beyond what
+/// run-structured axis compositions produce on realistic trees. The
+/// planner refuses (keeps refusing, as before this engine existed) plans
+/// whose estimated run footprint exceeds this.
+inline constexpr std::size_t kSparseEvalByteBudget = 128u << 20;
+
+/// IntervalMatrix with composition kernels: the sparse operand/result type
+/// of ppl::MatrixEngine's AnyMatrix evaluation. Shares the IntervalRun CSR
+/// vocabulary (and all read kernels) with the axis-cache representation.
+class SparseBoolMatrix final : public IntervalMatrix {
+ public:
+  /// Empty 0 x 0 matrix (so AnyMatrix and containers can default-build).
+  SparseBoolMatrix() : IntervalMatrix(0, {0}, {}) {}
+  /// Takes ownership of a prebuilt CSR (same contract as IntervalMatrix).
+  SparseBoolMatrix(std::size_t n, std::vector<std::uint32_t> row_offset,
+                   std::vector<IntervalRun> runs)
+      : IntervalMatrix(n, std::move(row_offset), std::move(runs)) {}
+
+  std::string_view name() const override { return "sparse"; }
+
+  /// Incremental CSR construction. Append() takes rows in non-decreasing
+  /// order and, within a row, runs in increasing begin order; overlapping
+  /// or adjacent runs are coalesced into maximal ones. With a nonzero
+  /// `max_runs`, exceeding it fails the *build* (Append reports the
+  /// overflow, Finish returns kResourceExhausted) instead of growing
+  /// without bound.
+  class Builder {
+   public:
+    explicit Builder(std::size_t n, std::size_t max_runs = 0);
+
+    /// Adds [begin, end) to `row`; empty ranges are ignored. Returns false
+    /// once the run budget is exceeded (the builder is then poisoned and
+    /// Finish fails).
+    bool Append(std::uint32_t row, std::uint32_t begin, std::uint32_t end);
+    /// ORs the set bits of `bits` into `row` as coalesced runs,
+    /// word-parallel run extraction.
+    bool AppendBits(std::uint32_t row, const BitVector& bits);
+
+    Result<SparseBoolMatrix> Finish();
+
+    std::size_t num_runs() const { return runs_.size(); }
+
+   private:
+    void SealThrough(std::uint32_t row);
+
+    std::size_t n_;
+    std::size_t max_runs_;
+    bool overflowed_ = false;
+    std::uint32_t next_row_ = 0;  // rows < next_row_ are sealed
+    std::vector<std::uint32_t> row_offset_;
+    std::vector<IntervalRun> runs_;
+  };
+
+  /// Exact sparse copy of a dense matrix (word-parallel run extraction).
+  static SparseBoolMatrix FromDense(const BitMatrix& m);
+  /// Sparse copy of any BoolMatrix: borrows the CSR directly when `m` is
+  /// interval-backed, extracts runs row by row otherwise. Fails with
+  /// kResourceExhausted when the run count exceeds a nonzero `max_runs`.
+  static Result<SparseBoolMatrix> FromBool(const BoolMatrix& m,
+                                           std::size_t max_runs = 0);
+
+  /// Boolean product this . b with sparse output: SpGEMM-style per-row run
+  /// merging, falling back to a word-parallel dense accumulator row when
+  /// the gathered run count saturates (see kDenseAccumRunFactor).
+  Result<SparseBoolMatrix> Multiply(const SparseBoolMatrix& b,
+                                    std::size_t max_runs = 0) const;
+  /// this . b for dense b: ORs whole bit-packed rows of b, word-parallel;
+  /// the output is dense (and bounded by b's existing allocation size).
+  BitMatrix MultiplyDense(const BitMatrix& b) const;
+  /// a . this for dense a: SetRowRange per (set bit of a's row, run).
+  BitMatrix MultiplyDenseLeft(const BitMatrix& a) const;
+
+  /// Elementwise OR: two-pointer merge of both rows' run lists.
+  Result<SparseBoolMatrix> Or(const SparseBoolMatrix& b,
+                              std::size_t max_runs = 0) const;
+  /// ORs this matrix into a dense accumulator of the same size.
+  void OrInto(BitMatrix& out) const;
+
+  /// Elementwise complement. Gap inversion: the complement of a row with r
+  /// runs has at most r + 1 runs, so the result is always representable
+  /// within (num_runs + n) runs and never needs a budget.
+  SparseBoolMatrix Complement() const;
+  /// The paper's [M]: diagonal of nonempty rows (single-run rows).
+  SparseBoolMatrix FilterDiagonal() const;
+
+  /// Per-output-row threshold factor for the SpGEMM dense-row fallback:
+  /// when a product row gathers more than max(kDenseAccumMinRuns,
+  /// n / kDenseAccumRunFactor) candidate runs, sorting and merging them
+  /// costs more word ops than blitting a ceil(n/64)-word accumulator row
+  /// and re-extracting maximal runs, so the kernel switches per row.
+  static constexpr std::size_t kDenseAccumRunFactor = 256;
+  static constexpr std::size_t kDenseAccumMinRuns = 32;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_COMMON_SPARSE_MATRIX_H_

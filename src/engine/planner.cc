@@ -112,6 +112,127 @@ double MatrixMonadicCost(const ppl::PplBinExpr& p, double n) {
   return n;
 }
 
+/// Per-row shape estimate for one sparse (CSR run-list) evaluation of a
+/// PPLbin expression: average set cells and runs per result row, the cost
+/// in word-op equivalents, and the peak total run count live at any node
+/// of the bottom-up evaluation (operands plus result). All averages; the
+/// engine's run budget is the hard backstop when an adversarial instance
+/// beats the estimate.
+struct SparseEst {
+  double cost = 0.0;
+  double nnz = 0.0;        // avg set cells per result row
+  double runs = 0.0;       // avg runs per result row
+  double peak_runs = 0.0;  // max total runs live at once
+};
+
+SparseEst SparseCost(const ppl::PplBinExpr& p, const Tree& tree) {
+  const TreeStats& s = tree.Stats();
+  const double n =
+      static_cast<double>(std::max<std::size_t>(s.node_count, 1));
+  SparseEst out;
+  switch (p.kind) {
+    case ppl::PplBinKind::kStep: {
+      const double depth = static_cast<double>(s.max_depth + 1);
+      const double fanout =
+          static_cast<double>(std::max<std::size_t>(s.max_fanout, 1));
+      double nnz = 1.0;
+      double runs = 1.0;
+      switch (p.axis) {
+        case Axis::kSelf:
+        case Axis::kParent:
+          nnz = runs = 1.0;
+          break;
+        case Axis::kChild:
+          // Children head disjoint subtrees: scattered preorder ids.
+          nnz = runs = std::min(n, fanout);
+          break;
+        case Axis::kDescendant:
+          // A subtree is one contiguous preorder range: a single run.
+          nnz = std::min(n, depth);
+          runs = 1.0;
+          break;
+        case Axis::kAncestor:
+          nnz = runs = std::min(n, depth);
+          break;
+        case Axis::kFollowingSibling:
+        case Axis::kPrecedingSibling:
+          nnz = runs = std::min(n, fanout);
+          break;
+      }
+      if (!p.name_test.empty()) {
+        const double sel = std::min(
+            1.0, static_cast<double>(tree.LabelFrequency(p.name_test)) / n);
+        const double masked = nnz * sel;
+        // Masking splits runs: each surviving cell can end a run, so the
+        // run count moves from the axis's toward one-run-per-cell as the
+        // label gets rarer.
+        runs = std::min(std::max(1.0, masked), runs + masked * (1.0 - sel));
+        nnz = masked;
+      }
+      out.nnz = nnz;
+      out.runs = runs;
+      out.cost = n * std::max(1.0, runs);  // AxisCache::SparseStep build
+      out.peak_runs = n * runs;
+      return out;
+    }
+    case ppl::PplBinKind::kCompose: {
+      const SparseEst a = SparseCost(*p.left, tree);
+      const SparseEst b = SparseCost(*p.right, tree);
+      // Per output row the SpGEMM gathers a run from b for every (set
+      // cell of a's row, run of the selected b row) pair, then either
+      // sort-merges them or blits a dense accumulator row -- whichever
+      // the kernel's own per-row fallback would pick.
+      const double k = std::max(1.0, a.nnz * b.runs);
+      const double merge = std::min(k * std::log2(k + 2.0), k + n / 32.0);
+      out.cost = a.cost + b.cost + n * merge;
+      out.nnz = std::min(n, a.nnz * b.nnz);
+      out.runs = std::max(1.0, std::min(k, out.nnz));
+      out.peak_runs = std::max({a.peak_runs, b.peak_runs,
+                                n * (a.runs + b.runs + out.runs)});
+      return out;
+    }
+    case ppl::PplBinKind::kUnion: {
+      const SparseEst a = SparseCost(*p.left, tree);
+      const SparseEst b = SparseCost(*p.right, tree);
+      out.cost = a.cost + b.cost + n * (a.runs + b.runs);
+      out.nnz = std::min(n, a.nnz + b.nnz);
+      out.runs = std::max(1.0, std::min(a.runs + b.runs, out.nnz));
+      out.peak_runs = std::max({a.peak_runs, b.peak_runs,
+                                n * (a.runs + b.runs + out.runs)});
+      return out;
+    }
+    case ppl::PplBinKind::kComplement: {
+      const SparseEst a = SparseCost(*p.left, tree);
+      // Gap inversion: at most one more run per row, but the population
+      // flips -- a sparse relation's complement is dense in cells even
+      // though it stays cheap in runs.
+      out.cost = a.cost + n * (a.runs + 1.0);
+      out.nnz = std::max(0.0, n - a.nnz);
+      out.runs = a.runs + 1.0;
+      out.peak_runs =
+          std::max(a.peak_runs, n * (a.runs + out.runs));
+      return out;
+    }
+    case ppl::PplBinKind::kFilter: {
+      const SparseEst a = SparseCost(*p.left, tree);
+      out.cost = a.cost + n;
+      out.nnz = 1.0;  // diagonal: at most one cell per row
+      out.runs = 1.0;
+      out.peak_runs = std::max(a.peak_runs, n * (a.runs + 1.0));
+      return out;
+    }
+  }
+  std::abort();  // unreachable: the switch above covers every PplBinKind
+}
+
+/// Estimated peak heap bytes of one sparse evaluation: the live runs plus
+/// CSR row-offset arrays for the (at most three) matrices alive at the
+/// widest node.
+double SparsePeakBytes(const SparseEst& est, double n) {
+  return est.peak_runs * static_cast<double>(sizeof(IntervalRun)) +
+         3.0 * n * static_cast<double>(sizeof(std::uint32_t));
+}
+
 /// True iff the monadic matrix path must materialize a dense sub-matrix:
 /// some complement's operand is not a plain step (complement-of-step runs
 /// on the cached axis relation directly, whatever its representation).
@@ -165,14 +286,18 @@ std::string_view StreamBackingName(StreamBacking backing) {
 }
 
 std::string ExecutionPlan::DebugString() const {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "%s/%s%s%s%s cost=%.3g alt=%.3g",
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s/%s%s%s%s%s%s cost=%.3g alt=%.3g",
                 std::string(EnginePlanName(engine)).c_str(),
                 std::string(ResultShapeName(shape)).c_str(),
                 row_restricted ? " row-restricted" : "",
                 backing != StreamBacking::kNone ? " backing=" : "",
                 backing != StreamBacking::kNone
                     ? std::string(StreamBackingName(backing)).c_str()
+                    : "",
+                repr != MatrixRepr::kDense ? " repr=" : "",
+                repr != MatrixRepr::kDense
+                    ? std::string(MatrixReprName(repr)).c_str()
                     : "",
                 cost, alternative_cost);
   return buf;
@@ -181,7 +306,8 @@ std::string ExecutionPlan::DebugString() const {
 ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
                         ResultShape shape,
                         std::optional<EnginePlan> force_engine,
-                        std::size_t stream_limit) {
+                        std::size_t stream_limit,
+                        std::optional<MatrixRepr> force_repr) {
   ExecutionPlan plan;
   plan.shape = shape;
   const double n =
@@ -269,12 +395,67 @@ ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
 
   EnginePlan chosen = gkp_cost <= matrix_cost ? EnginePlan::kGkpPositive
                                               : EnginePlan::kMatrixGeneral;
+
+  // Dense/sparse crossover. Representation matters only where the matrix
+  // engine materializes relations: full-relation shapes, and monadic
+  // plans whose complement structure forces sub-matrices. Under the
+  // ceiling the decision compares the dense word-op cost against the
+  // run-merge estimate. Above the dense ceiling, where the dense route
+  // does not exist at all, the planner always routes such work onto the
+  // sparse matrix engine (lifting the old unconditional refusal): the
+  // run-shape estimate is averages-only and cannot see run coalescing
+  // (a composed step on a deep path produces one run per row where the
+  // estimate predicts n), so refusing on it would deny instances that
+  // evaluate fine. The engine's own run budget is the enforceable bound
+  // -- a genuinely dense instance trips kResourceExhausted at the first
+  // over-budget merge instead of allocating past the budget.
+  const bool materializes =
+      !monadic || HasNonStepComplement(*q.pplbin);
+  const bool over_ceiling =
+      n > static_cast<double>(BitMatrix::kMaxDenseNodes);
+  double sparse_cost = std::numeric_limits<double>::infinity();
+  MatrixRepr repr = MatrixRepr::kDense;
+  if (materializes) {
+    const SparseEst est = SparseCost(*q.pplbin, tree);
+    const bool fits =
+        SparsePeakBytes(est, n) <=
+        static_cast<double>(kSparseEvalByteBudget);
+    if (fits) sparse_cost = est.cost;
+    if (over_ceiling) {
+      repr = MatrixRepr::kSparse;
+      if (!monadic && !force_engine.has_value()) {
+        // Only the matrix engine has sparse full-relation kernels.
+        chosen = EnginePlan::kMatrixGeneral;
+      }
+    } else if (sparse_cost < matrix_cost) {
+      repr = MatrixRepr::kSparse;
+    }
+  }
+
   if (force_engine.has_value()) chosen = *force_engine;
+  // A forced representation without a forced engine routes to the matrix
+  // engine -- the only engine with a representation to force.
+  if (force_repr.has_value() && !force_engine.has_value()) {
+    chosen = EnginePlan::kMatrixGeneral;
+  }
   plan.engine = chosen;
   plan.row_restricted = monadic;
-  plan.cost =
-      chosen == EnginePlan::kGkpPositive ? gkp_cost : matrix_cost;
-  if (q.positive) {
+  if (chosen == EnginePlan::kMatrixGeneral) {
+    plan.repr = force_repr.value_or(repr);
+    plan.cost = plan.repr == MatrixRepr::kSparse &&
+                        sparse_cost !=
+                            std::numeric_limits<double>::infinity()
+                    ? sparse_cost
+                    : matrix_cost;
+    if (materializes &&
+        sparse_cost != std::numeric_limits<double>::infinity()) {
+      plan.alternative_cost =
+          plan.repr == MatrixRepr::kSparse ? matrix_cost : sparse_cost;
+    }
+  } else {
+    plan.cost = chosen == EnginePlan::kGkpPositive ? gkp_cost : matrix_cost;
+  }
+  if (q.positive && plan.alternative_cost == 0.0) {
     plan.alternative_cost =
         chosen == EnginePlan::kGkpPositive ? matrix_cost : gkp_cost;
   }
@@ -286,12 +467,18 @@ bool PlanRequiresDenseRelation(const CompiledQuery& q,
   // N-ary machinery (Fig. 8 answer tables, and the enumerator's per-atom
   // relations) is dense end-to-end.
   if (plan.engine == EnginePlan::kNaryAnswer) return true;
-  // A full-relation answer IS an n x n matrix, whatever engine computes it.
-  if (plan.shape == ResultShape::kFullRelation) return true;
-  // Monadic matrix plans materialize a dense sub-matrix only underneath a
-  // complement whose operand is not a plain step.
+  // Matrix plans carrying a sparse (or per-node auto) representation
+  // never require the dense form: the run-list kernels evaluate --
+  // including full relations -- at any tree size under their run budget.
+  const bool sparse_capable = plan.engine == EnginePlan::kMatrixGeneral &&
+                              plan.repr != MatrixRepr::kDense;
+  // A full-relation answer IS an n x n matrix on every other route.
+  if (plan.shape == ResultShape::kFullRelation) return !sparse_capable;
+  // Monadic matrix plans materialize a sub-matrix only underneath a
+  // complement whose operand is not a plain step -- dense only when the
+  // plan's representation says so.
   if (plan.engine == EnginePlan::kMatrixGeneral && q.pplbin != nullptr) {
-    return HasNonStepComplement(*q.pplbin);
+    return HasNonStepComplement(*q.pplbin) && !sparse_capable;
   }
   return false;
 }

@@ -45,6 +45,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/sparse_matrix.h"
 #include "engine/compiled_query.h"
 #include "tree/tree.h"
 
@@ -98,6 +99,13 @@ struct ExecutionPlan {
   bool row_restricted = false;
   /// kTupleStream plans only: how the stream produces tuples.
   StreamBacking backing = StreamBacking::kNone;
+  /// Matrix-engine plans that materialize relations: which representation
+  /// the engine composes in. The planner's dense/sparse crossover picks
+  /// kDense or kSparse per (tree stats, label selectivity, query shape);
+  /// kAuto appears only via a forced override (QueryJob::repr_override)
+  /// and lets the engine switch per node. Non-matrix plans keep the
+  /// default (their execution never consults it).
+  MatrixRepr repr = MatrixRepr::kDense;
   /// Cost-model estimate (in 64-bit word operations) of the chosen
   /// route, and of the best rejected admissible engine (0 = no
   /// alternative existed).
@@ -127,20 +135,28 @@ struct ExecutionPlan {
 /// tuples but skips materializing an answer set the caller will never
 /// read. Stream plans are NOT memoized in the PlanMemo (their key would
 /// need the limit); OpenStream plans per call, which is cheap.
+/// `force_repr` (tests, ablations) pins the matrix representation the
+/// plan executes with, bypassing the crossover (and, in QueryService, the
+/// PlanMemo -- forced plans are never memoized).
 ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
                         ResultShape shape,
                         std::optional<EnginePlan> force_engine = {},
-                        std::size_t stream_limit = 0);
+                        std::size_t stream_limit = 0,
+                        std::optional<MatrixRepr> force_repr = {});
 
 /// True when executing `plan` for `q` must materialize at least one dense
 /// |t| x |t| BitMatrix: every kNaryAnswer plan (the HCL / Fig. 8
-/// machinery is dense end-to-end), every kFullRelation shape (the answer
-/// itself is the matrix), and monadic matrix plans containing a
-/// complement over a non-step subexpression. QueryService refuses such
-/// plans with kResourceExhausted when the tree exceeds
-/// BitMatrix::kMaxDenseNodes (common/bit_matrix.h), the documented
-/// dense-materialization ceiling; everything else runs at any tree size
-/// on interval-backed axis relations.
+/// machinery is dense end-to-end), kFullRelation shapes on non-matrix
+/// engines (their answer IS a dense matrix), and matrix plans whose
+/// chosen representation is kDense when the execution materializes
+/// relations (full-relation shapes, and monadic plans containing a
+/// complement over a non-step subexpression). Matrix plans carrying
+/// repr kSparse or kAuto never require the dense form: the sparse
+/// composition kernels run at any tree size under their run byte budget,
+/// which is how the planner lifts the old full-relation refusal on
+/// oversized trees. QueryService refuses dense-requiring plans with
+/// kResourceExhausted when the tree exceeds BitMatrix::kMaxDenseNodes
+/// (common/bit_matrix.h), the documented dense-materialization ceiling.
 bool PlanRequiresDenseRelation(const CompiledQuery& q,
                                const ExecutionPlan& plan);
 

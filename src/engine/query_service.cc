@@ -125,6 +125,7 @@ QueryService::~QueryService() {
 QueryResult QueryService::Evaluate(const Tree& tree, std::string_view query,
                                    ResultShape shape) {
   QueryResult result = RunJob(&tree, std::string(query), shape, std::nullopt,
+                              std::nullopt,
                               std::make_shared<AxisCache>(tree), nullptr);
   jobs_completed_.fetch_add(1, std::memory_order_relaxed);
   return result;
@@ -146,12 +147,14 @@ QueryResult QueryService::Evaluate(DocumentId document, std::string_view query,
     return result;
   }
   return RunJob(&doc->tree(), std::string(query), shape, std::nullopt,
-                store_->AxisCacheFor(document), store_->PlanMemoFor(document));
+                std::nullopt, store_->AxisCacheFor(document),
+                store_->PlanMemoFor(document));
 }
 
 QueryResult QueryService::RunJob(
     const Tree* tree, const std::string& query, ResultShape shape,
     const std::optional<EnginePlan>& engine_override,
+    const std::optional<MatrixRepr>& repr_override,
     const std::shared_ptr<AxisCache>& tree_cache,
     const std::shared_ptr<PlanMemo>& plan_memo, CancelToken cancel) {
   QueryResult result;
@@ -174,8 +177,14 @@ QueryResult QueryService::RunJob(
   const Tree& t = *tree;
 
   // Plan stage: per (compiled query, tree, shape), memoized per document.
-  // Forced engines (tests, ablations) bypass the memo so a forced run
-  // never pollutes the planner's cache.
+  // Forced engines and forced representations (tests, ablations) bypass
+  // the memo so a forced run never pollutes the planner's cache.
+  if (repr_override.has_value() && q.pplbin == nullptr) {
+    result.status = Status::InvalidArgument(
+        "representation override applies only to binary (PPLbin) queries: " +
+        q.text);
+    return result;
+  }
   ExecutionPlan plan;
   if (engine_override.has_value()) {
     if (!q.Admits(*engine_override)) {
@@ -185,7 +194,9 @@ QueryResult QueryService::RunJob(
           "' is not admissible for query: " + q.text);
       return result;
     }
-    plan = PlanQuery(q, t, shape, engine_override);
+    plan = PlanQuery(q, t, shape, engine_override, 0, repr_override);
+  } else if (repr_override.has_value()) {
+    plan = PlanQuery(q, t, shape, {}, 0, repr_override);
   } else if (plan_memo != nullptr) {
     plan = plan_memo->GetOrCompute(
         q.text, shape, [&] { return PlanQuery(q, t, shape); });
@@ -233,14 +244,50 @@ QueryResult QueryService::RunJob(
       break;
     }
     case EnginePlan::kMatrixGeneral: {
-      ppl::MatrixEngine engine(cache);
+      ppl::MatrixEngine engine(cache, ppl::MultiplyMode::kBitPacked,
+                               plan.repr);
       if (plan.row_restricted) {
-        FinishMonadic(result, plan.shape,
-                      engine.EvaluateFromRoot(*q.pplbin));
+        Result<BitVector> image = engine.EvaluateFromRoot(*q.pplbin);
+        AccumulateEngineStats(engine.stats());
+        if (!image.ok()) {
+          result.status = image.status();
+          return result;
+        }
+        FinishMonadic(result, plan.shape, std::move(image).value());
         return result;
       }
-      result.relation = engine.Evaluate(*q.pplbin);
-      break;
+      Result<ppl::AnyMatrix> rel = engine.EvaluateAny(*q.pplbin);
+      AccumulateEngineStats(engine.stats());
+      if (!rel.ok()) {
+        result.status = rel.status();
+        return result;
+      }
+      ppl::AnyMatrix m = std::move(rel).value();
+      if (m.is_dense()) {
+        result.relation = std::move(m).TakeDense();
+        break;
+      }
+      if (t.size() <= BitMatrix::kMaxDenseNodes) {
+        // Under the dense ceiling the payload contract is a dense
+        // BitMatrix regardless of the representation the engine composed
+        // in -- keeping results byte-identical across repr overrides. The
+        // densification cannot exceed the ceiling we just checked.
+        Result<BitMatrix> dense = m.ToDense();
+        if (!dense.ok()) {
+          result.status = dense.status();
+          return result;
+        }
+        result.relation = std::move(dense).value();
+        break;
+      }
+      // Above the ceiling no dense n x n form can exist: hand the caller
+      // the run-list relation and derive from_root from it directly.
+      BitVector root_only(t.size());
+      root_only.Set(t.root());
+      result.from_root = m.ImageOf(root_only);
+      result.relation_sparse = std::make_shared<const SparseBoolMatrix>(
+          std::move(m).TakeSparse());
+      return result;
     }
     case EnginePlan::kNaryAnswer: {
       // The one potentially long-running engine: thread the batch's
@@ -389,14 +436,15 @@ void QueryService::RunOne(BatchState& run, std::size_t i) {
       } else {
         run.results[i] =
             RunJob(&resolved.doc->tree(), job.query, job.shape,
-                   job.engine_override, resolved.cache, resolved.plans,
-                   token);
+                   job.engine_override, job.repr_override, resolved.cache,
+                   resolved.plans, token);
       }
     }
   } else {
     auto it = run.tree_caches.find(job.tree);
     run.results[i] =
         RunJob(job.tree, job.query, job.shape, job.engine_override,
+               job.repr_override,
                it == run.tree_caches.end() ? nullptr : it->second, nullptr,
                token);
   }
@@ -661,8 +709,23 @@ ServiceStats QueryService::stats() const {
   s.jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
   s.jobs_deadline_exceeded =
       jobs_deadline_exceeded_.load(std::memory_order_relaxed);
+  s.dense_products = dense_products_.load(std::memory_order_relaxed);
+  s.sparse_products = sparse_products_.load(std::memory_order_relaxed);
+  s.repr_crossovers = repr_crossovers_.load(std::memory_order_relaxed);
   if (store_ != nullptr) s.shard_stats = store_->shard_stats();
   return s;
+}
+
+void QueryService::AccumulateEngineStats(const ppl::MatrixEngineStats& s) {
+  if (s.dense_products != 0) {
+    dense_products_.fetch_add(s.dense_products, std::memory_order_relaxed);
+  }
+  if (s.sparse_products != 0) {
+    sparse_products_.fetch_add(s.sparse_products, std::memory_order_relaxed);
+  }
+  if (s.repr_crossovers != 0) {
+    repr_crossovers_.fetch_add(s.repr_crossovers, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace xpv::engine

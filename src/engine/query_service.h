@@ -85,6 +85,10 @@
 #include "tree/tree.h"
 #include "xpath/eval.h"
 
+namespace xpv::ppl {
+struct MatrixEngineStats;
+}  // namespace xpv::ppl
+
 namespace xpv::engine {
 
 /// One unit of work: evaluate `query` on one document, addressed either by
@@ -103,6 +107,12 @@ struct QueryJob {
   /// planner's cost-based choice. Must be admissible for the query
   /// (InvalidArgument otherwise). Bypasses the per-document plan memo.
   std::optional<EnginePlan> engine_override;
+  /// Tests and ablations only: force the matrix representation (dense /
+  /// sparse / auto) instead of the planner's crossover decision. Only
+  /// meaningful for binary (PPLbin) queries (InvalidArgument otherwise);
+  /// without an engine_override it routes the job to the matrix engine.
+  /// Bypasses the per-document plan memo.
+  std::optional<MatrixRepr> repr_override;
 };
 
 /// Outcome of one job. Which payload fields are populated follows the
@@ -125,8 +135,14 @@ struct QueryResult {
   ExecutionPlan plan;
 
   /// Binary engines: the full relation q^bin_P(t) (kFullRelation only)
-  /// and its monadic from-the-root restriction.
+  /// and its monadic from-the-root restriction. Matrix-engine results
+  /// that evaluated sparsely densify into `relation` while the tree is
+  /// under the dense ceiling (so the payload is byte-identical across
+  /// representations); above it -- trees where no dense n x n form can
+  /// exist -- the run-list result is returned in `relation_sparse`
+  /// instead and `relation` stays empty.
   BitMatrix relation;
+  std::shared_ptr<const SparseBoolMatrix> relation_sparse;
   BitVector from_root;
 
   /// kNaryAnswer: the answer set q_{C,x}(t).
@@ -225,6 +241,14 @@ struct ServiceStats {
   std::size_t streams_open = 0;
   /// Tuples delivered across all streams.
   std::uint64_t stream_tuples = 0;
+  /// Matrix-engine kernel counters aggregated across every executed job
+  /// (ppl::MatrixEngineStats semantics: a product counts dense when any
+  /// operand forced a packed-row kernel, sparse only for pure run-merge
+  /// SpGEMM; a crossover is a mid-evaluation re-encoding between the
+  /// representations).
+  std::uint64_t dense_products = 0;
+  std::uint64_t sparse_products = 0;
+  std::uint64_t repr_crossovers = 0;
   /// Per-shard corpus counters (empty when the service has no store).
   std::vector<DocumentStoreStats> shard_stats;
 };
@@ -300,6 +324,7 @@ class QueryService {
   QueryResult RunJob(const Tree* tree, const std::string& query,
                      ResultShape shape,
                      const std::optional<EnginePlan>& engine_override,
+                     const std::optional<MatrixRepr>& repr_override,
                      const std::shared_ptr<AxisCache>& tree_cache,
                      const std::shared_ptr<PlanMemo>& plan_memo,
                      CancelToken cancel = {});
@@ -324,6 +349,9 @@ class QueryService {
   void FinishRun(internal::BatchState& run);
   /// Dispatcher thread: admits queued batches while capacity allows.
   void DispatcherLoop();
+  /// Folds one matrix-engine run's kernel counters into the service-wide
+  /// atomics snapshotted by stats().
+  void AccumulateEngineStats(const ppl::MatrixEngineStats& s);
 
   std::size_t num_threads_;
   QueryCache cache_;
@@ -345,6 +373,11 @@ class QueryService {
   std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> jobs_cancelled_{0};
   std::atomic<std::uint64_t> jobs_deadline_exceeded_{0};
+  // Matrix-engine kernel counters (ServiceStats), accumulated per job
+  // from the engine's MatrixEngineStats after each matrix-plan execution.
+  std::atomic<std::uint64_t> dense_products_{0};
+  std::atomic<std::uint64_t> sparse_products_{0};
+  std::atomic<std::uint64_t> repr_crossovers_{0};
   std::thread dispatcher_;
 
   // Declared last: destroyed first, joining workers (and thus finishing

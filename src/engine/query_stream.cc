@@ -82,8 +82,11 @@ Status BuildBacking(StreamState& s) {
         if (!image.ok()) return image.status();
         s.node_set.emplace(std::move(image).value());
       } else {
-        ppl::MatrixEngine engine(s.cache);
-        s.node_set.emplace(engine.EvaluateFromRoot(*q.pplbin));
+        ppl::MatrixEngine engine(s.cache, ppl::MultiplyMode::kBitPacked,
+                                 s.plan.repr);
+        Result<BitVector> image = engine.EvaluateFromRoot(*q.pplbin);
+        if (!image.ok()) return image.status();
+        s.node_set.emplace(std::move(image).value());
       }
       s.node_pos = 0;
       break;

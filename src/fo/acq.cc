@@ -51,23 +51,27 @@ Status BuildReduced(const Tree& t, const ConjunctiveQuery& q,
   // their relations; orient edges u < v consistently.
   std::map<std::pair<int, int>, BitMatrix> edge_map;
   std::map<const hcl::BinaryQuery*, BitMatrix> rel_cache;
-  auto eval_rel = [&](const hcl::BinaryQueryPtr& b) -> const BitMatrix& {
+  auto eval_rel =
+      [&](const hcl::BinaryQueryPtr& b) -> Result<const BitMatrix*> {
     auto it = rel_cache.find(b.get());
     if (it == rel_cache.end()) {
-      it = rel_cache
-               .emplace(b.get(), axis_cache != nullptr
-                                     ? b->EvaluateCached(axis_cache)
-                                     : b->Evaluate(t))
-               .first;
+      BitMatrix rel(0);
+      if (axis_cache != nullptr) {
+        XPV_ASSIGN_OR_RETURN(rel, b->EvaluateCached(axis_cache));
+      } else {
+        rel = b->Evaluate(t);
+      }
+      it = rel_cache.emplace(b.get(), std::move(rel)).first;
     }
-    return it->second;
+    return &it->second;
   };
 
   for (const CqAtom& atom : q.atoms) {
     if (cancel != nullptr) XPV_RETURN_IF_ERROR(cancel->CheckNow());
     int ux = intern(atom.x);
     int uy = intern(atom.y);
-    const BitMatrix& rel = eval_rel(atom.rel);
+    XPV_ASSIGN_OR_RETURN(const BitMatrix* rel_ptr, eval_rel(atom.rel));
+    const BitMatrix& rel = *rel_ptr;
     if (ux == uy) {
       // Self-loop: unary filter { u | rel(u,u) }.
       BitVector diag(t.size());

@@ -32,7 +32,7 @@ Status QueryAnswerer::Prepare() {
   if (axis_cache_ == nullptr) axis_cache_ = std::make_shared<AxisCache>(tree_);
   for (const BinaryQueryPtr& b : form_->binary_queries()) {
     XPV_RETURN_IF_ERROR(options_.cancel.CheckNow());
-    BitMatrix relation = b->EvaluateCached(axis_cache_);
+    XPV_ASSIGN_OR_RETURN(BitMatrix relation, b->EvaluateCached(axis_cache_));
     std::vector<std::vector<NodeId>> adj(tree_.size());
     for (NodeId u = 0; u < tree_.size(); ++u) {
       relation.ForEachInRow(u, [&](std::size_t v) {

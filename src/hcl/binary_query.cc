@@ -10,7 +10,7 @@ BitMatrix AxisQuery::Evaluate(const Tree& t) const {
   return m.MaskColumns(LabelSet(t, name_test_));
 }
 
-BitMatrix AxisQuery::EvaluateCached(
+Result<BitMatrix> AxisQuery::EvaluateCached(
     const std::shared_ptr<AxisCache>& cache) const {
   const BoolMatrix& axis = cache->Matrix(axis_);
   if (const BitMatrix* dense = axis.AsDense()) {
@@ -18,8 +18,9 @@ BitMatrix AxisQuery::EvaluateCached(
     return dense->MaskColumns(cache->Labels(name_test_));
   }
   // HCL machinery is dense end-to-end; kNaryAnswer plans are refused
-  // beyond BitMatrix::kMaxDenseNodes before reaching this leaf.
-  BitMatrix m = ToDenseOrAbort(axis);
+  // beyond BitMatrix::kMaxDenseNodes before reaching this leaf, and a
+  // caller that slips through gets a job error, not a crash.
+  XPV_ASSIGN_OR_RETURN(BitMatrix m, axis.ToDense());
   if (!name_test_.empty()) m.MaskColumnsInPlace(cache->Labels(name_test_));
   return m;
 }
@@ -36,10 +37,20 @@ BitMatrix PplBinQuery::Evaluate(const Tree& t) const {
   return engine.Evaluate(*expr_);
 }
 
-BitMatrix PplBinQuery::EvaluateCached(
+Result<BitMatrix> PplBinQuery::EvaluateCached(
     const std::shared_ptr<AxisCache>& cache) const {
   ppl::MatrixEngine engine(cache);
-  return engine.Evaluate(*expr_);
+  return engine.EvaluateDense(*expr_);
+}
+
+Result<BitMatrix> FullRelationQuery::EvaluateCached(
+    const std::shared_ptr<AxisCache>& cache) const {
+  const std::size_t n = cache->tree().size();
+  // Gate the O(n^2)-bit fill behind the fallible constructor instead of
+  // letting BitMatrix::Full allocate unboundedly on an oversized tree.
+  XPV_ASSIGN_OR_RETURN(BitMatrix m, BitMatrix::Create(n));
+  for (std::size_t r = 0; r < n; ++r) m.SetRowRange(r, 0, n);
+  return m;
 }
 
 BinaryQueryPtr MakeAxisQuery(Axis axis, std::string name_test) {

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/bit_matrix.h"
+#include "common/status.h"
 #include "ppl/pplbin.h"
 #include "tree/axes.h"
 #include "tree/axis_cache.h"
@@ -33,7 +34,11 @@ class BinaryQuery {
   /// q_b(t) drawing axis relations and label sets from a shared per-tree
   /// cache, so all leaves of one composition (and all concurrent jobs on
   /// one tree) materialize each axis matrix once. Default: uncached.
-  virtual BitMatrix EvaluateCached(
+  /// Fails with kResourceExhausted when the dense relation cannot
+  /// materialize (tree beyond BitMatrix::kMaxDenseNodes) -- the HCL
+  /// machinery is dense end-to-end, so an oversized tree on this path is
+  /// a job error, never a crash.
+  virtual Result<BitMatrix> EvaluateCached(
       const std::shared_ptr<AxisCache>& cache) const {
     return Evaluate(cache->tree());
   }
@@ -58,7 +63,7 @@ class AxisQuery : public BinaryQuery {
   }
 
   BitMatrix Evaluate(const Tree& t) const override;
-  BitMatrix EvaluateCached(
+  Result<BitMatrix> EvaluateCached(
       const std::shared_ptr<AxisCache>& cache) const override;
   std::string ToString() const override;
 
@@ -77,7 +82,7 @@ class PplBinQuery : public BinaryQuery {
   explicit PplBinQuery(ppl::PplBinPtr expr) : expr_(std::move(expr)) {}
 
   BitMatrix Evaluate(const Tree& t) const override;
-  BitMatrix EvaluateCached(
+  Result<BitMatrix> EvaluateCached(
       const std::shared_ptr<AxisCache>& cache) const override;
   std::string ToString() const override { return expr_->ToString(); }
   std::size_t ExprSize() const override { return expr_->Size(); }
@@ -95,6 +100,8 @@ class FullRelationQuery : public BinaryQuery {
   BitMatrix Evaluate(const Tree& t) const override {
     return BitMatrix::Full(t.size());
   }
+  Result<BitMatrix> EvaluateCached(
+      const std::shared_ptr<AxisCache>& cache) const override;
   std::string ToString() const override { return "nodes"; }
 };
 

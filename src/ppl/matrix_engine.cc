@@ -1,40 +1,188 @@
 #include "ppl/matrix_engine.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
 namespace xpv::ppl {
+
+// -------------------------------------------------------------- AnyMatrix
+
+std::size_t AnyMatrix::size() const {
+  return is_dense() ? dense().size() : sparse().size();
+}
+
+bool AnyMatrix::Get(std::size_t row, std::size_t col) const {
+  return is_dense() ? dense().Get(row, col) : sparse().Get(row, col);
+}
+
+std::size_t AnyMatrix::Count() const {
+  return is_dense() ? dense().Count() : sparse().Count();
+}
+
+std::size_t AnyMatrix::resident_bytes() const {
+  return is_dense() ? dense().resident_bytes() : sparse().resident_bytes();
+}
+
+BitVector AnyMatrix::ImageOf(const BitVector& rows) const {
+  return is_dense() ? dense().ImageOf(rows) : sparse().ImageOf(rows);
+}
+
+BitVector AnyMatrix::AndOfRows(const BitVector& rows) const {
+  return is_dense() ? dense().AndOfRows(rows) : sparse().AndOfRows(rows);
+}
+
+BitVector AnyMatrix::RowsContaining(const BitVector& cols) const {
+  return is_dense() ? dense().RowsContaining(cols)
+                    : sparse().RowsContaining(cols);
+}
+
+BitVector AnyMatrix::NonEmptyRows() const {
+  return is_dense() ? dense().NonEmptyRows() : sparse().NonEmptyRows();
+}
+
+Result<BitMatrix> AnyMatrix::ToDense() const {
+  if (is_dense()) return dense();
+  return sparse().BoolMatrix::ToDense();
+}
+
+// ----------------------------------------------------------- MatrixEngine
 
 BitMatrix MatrixEngine::Product(const BitMatrix& a, const BitMatrix& b) const {
   return mode_ == MultiplyMode::kBitPacked ? a.Multiply(b)
                                            : a.MultiplyNaive(b);
 }
 
-BitMatrix MatrixEngine::Evaluate(const PplBinExpr& p) {
-  switch (p.kind) {
-    case PplBinKind::kStep: {
-      const BoolMatrix& axis = cache_->Matrix(p.axis);
-      if (const BitMatrix* dense = axis.AsDense()) {
-        if (p.name_test.empty()) return *dense;
-        return dense->MaskColumns(cache_->Labels(p.name_test));
-      }
-      // Interval-backed cache: the full-relation pipeline composes dense
-      // matrices, so expand this leaf. The planner refuses full-relation
-      // plans beyond BitMatrix::kMaxDenseNodes before reaching here.
-      BitMatrix m = ToDenseOrAbort(axis);
-      if (!p.name_test.empty()) m.MaskColumnsInPlace(cache_->Labels(p.name_test));
-      return m;
-    }
-    case PplBinKind::kCompose:
-      return Product(Evaluate(*p.left), Evaluate(*p.right));
-    case PplBinKind::kUnion:
-      return Evaluate(*p.left).Or(Evaluate(*p.right));
-    case PplBinKind::kComplement:
-      return Evaluate(*p.left).Complement();
-    case PplBinKind::kFilter:
-      return Evaluate(*p.left).FilterDiagonal();
+Result<AnyMatrix> MatrixEngine::StepLeaf(const PplBinExpr& p) {
+  const bool sparse_leaf =
+      repr_ == MatrixRepr::kSparse ||
+      (repr_ == MatrixRepr::kAuto && cache_->interval_backed());
+  if (sparse_leaf) {
+    // Masked step built directly from the cached axis runs and the label
+    // posting set -- no densification at any tree size.
+    XPV_ASSIGN_OR_RETURN(SparseBoolMatrix leaf,
+                         cache_->SparseStep(p.axis, p.name_test, RunBudget()));
+    return AnyMatrix(std::move(leaf));
   }
-  return BitMatrix(tree_.size());
+  const BoolMatrix& axis = cache_->Matrix(p.axis);
+  if (const BitMatrix* dense = axis.AsDense()) {
+    if (p.name_test.empty()) return AnyMatrix(*dense);
+    return AnyMatrix(dense->MaskColumns(cache_->Labels(p.name_test)));
+  }
+  // Dense mode on an interval-backed cache: expand the leaf, surfacing
+  // kResourceExhausted (a job error, not an abort) above the ceiling.
+  XPV_ASSIGN_OR_RETURN(BitMatrix m, axis.ToDense());
+  if (!p.name_test.empty()) m.MaskColumnsInPlace(cache_->Labels(p.name_test));
+  return AnyMatrix(std::move(m));
 }
 
-BitVector MatrixEngine::Image(const PplBinExpr& p, const BitVector& from) {
+AnyMatrix MatrixEngine::MaybeDensify(SparseBoolMatrix m) {
+  if (repr_ != MatrixRepr::kAuto) return AnyMatrix(std::move(m));
+  const std::size_t n = m.size();
+  if (n > BitMatrix::kMaxDenseNodes) return AnyMatrix(std::move(m));
+  // Density crossover: once the run list outweighs half the packed-bit
+  // form, every further run-merge costs more than the word-parallel dense
+  // kernels -- re-encode and continue dense.
+  const std::size_t dense_bytes = ((n + 63) / 64) * n * sizeof(std::uint64_t);
+  if (m.resident_bytes() <= dense_bytes / 2) return AnyMatrix(std::move(m));
+  Result<BitMatrix> dense = m.BoolMatrix::ToDense();
+  // Cannot fail: n is under the ceiling checked above.
+  ++stats_.repr_crossovers;
+  return AnyMatrix(std::move(dense).value());
+}
+
+Result<AnyMatrix> MatrixEngine::ComposeAny(AnyMatrix a, AnyMatrix b) {
+  if (a.is_dense() && b.is_dense()) {
+    ++stats_.dense_products;
+    return AnyMatrix(Product(a.dense(), b.dense()));
+  }
+  if (!a.is_dense() && !b.is_dense()) {
+    ++stats_.sparse_products;
+    XPV_ASSIGN_OR_RETURN(SparseBoolMatrix out,
+                         a.sparse().Multiply(b.sparse(), RunBudget()));
+    return MaybeDensify(std::move(out));
+  }
+  // Mixed operands (kAuto after a crossover): the packed-row kernels OR
+  // runs into dense rows; the output inherits the dense operand's size
+  // class, which kAuto only creates under the ceiling.
+  ++stats_.dense_products;
+  if (!a.is_dense()) return AnyMatrix(a.sparse().MultiplyDense(b.dense()));
+  return AnyMatrix(b.sparse().MultiplyDenseLeft(a.dense()));
+}
+
+Result<AnyMatrix> MatrixEngine::UnionAny(AnyMatrix a, AnyMatrix b) {
+  if (a.is_dense() && b.is_dense()) {
+    return AnyMatrix(a.dense().Or(b.dense()));
+  }
+  if (!a.is_dense() && !b.is_dense()) {
+    XPV_ASSIGN_OR_RETURN(SparseBoolMatrix out,
+                         a.sparse().Or(b.sparse(), RunBudget()));
+    return MaybeDensify(std::move(out));
+  }
+  BitMatrix out = a.is_dense() ? std::move(a).TakeDense()
+                               : std::move(b).TakeDense();
+  const SparseBoolMatrix& add = a.is_dense() ? b.sparse() : a.sparse();
+  add.OrInto(out);
+  return AnyMatrix(std::move(out));
+}
+
+Result<AnyMatrix> MatrixEngine::ComplementAny(AnyMatrix a) {
+  if (a.is_dense()) return AnyMatrix(a.dense().Complement());
+  // Complementing a sparse relation flips its density (gap inversion adds
+  // at most one run per row, but the *population* explodes), so this is
+  // where kAuto most often switches representation.
+  return MaybeDensify(a.sparse().Complement());
+}
+
+AnyMatrix MatrixEngine::FilterAny(AnyMatrix a) {
+  if (a.is_dense()) return AnyMatrix(a.dense().FilterDiagonal());
+  return AnyMatrix(a.sparse().FilterDiagonal());
+}
+
+Result<AnyMatrix> MatrixEngine::EvaluateAny(const PplBinExpr& p) {
+  switch (p.kind) {
+    case PplBinKind::kStep:
+      return StepLeaf(p);
+    case PplBinKind::kCompose: {
+      XPV_ASSIGN_OR_RETURN(AnyMatrix a, EvaluateAny(*p.left));
+      XPV_ASSIGN_OR_RETURN(AnyMatrix b, EvaluateAny(*p.right));
+      return ComposeAny(std::move(a), std::move(b));
+    }
+    case PplBinKind::kUnion: {
+      XPV_ASSIGN_OR_RETURN(AnyMatrix a, EvaluateAny(*p.left));
+      XPV_ASSIGN_OR_RETURN(AnyMatrix b, EvaluateAny(*p.right));
+      return UnionAny(std::move(a), std::move(b));
+    }
+    case PplBinKind::kComplement: {
+      XPV_ASSIGN_OR_RETURN(AnyMatrix a, EvaluateAny(*p.left));
+      return ComplementAny(std::move(a));
+    }
+    case PplBinKind::kFilter: {
+      XPV_ASSIGN_OR_RETURN(AnyMatrix a, EvaluateAny(*p.left));
+      return FilterAny(std::move(a));
+    }
+  }
+  std::abort();  // unreachable: the switch above covers every PplBinKind
+}
+
+Result<BitMatrix> MatrixEngine::EvaluateDense(const PplBinExpr& p) {
+  XPV_ASSIGN_OR_RETURN(AnyMatrix m, EvaluateAny(p));
+  if (m.is_dense()) return std::move(m).TakeDense();
+  return m.ToDense();
+}
+
+BitMatrix MatrixEngine::Evaluate(const PplBinExpr& p) {
+  Result<BitMatrix> m = EvaluateDense(p);
+  if (!m.ok()) {
+    std::fprintf(stderr, "MatrixEngine::Evaluate: %s\n",
+                 m.status().ToString().c_str());
+    std::abort();  // unchecked entry point: callers own the planner gates
+  }
+  return std::move(m).value();
+}
+
+Result<BitVector> MatrixEngine::Image(const PplBinExpr& p,
+                                      const BitVector& from) {
   switch (p.kind) {
     case PplBinKind::kStep: {
       BitVector out = AxisImage(tree_, p.axis, from);
@@ -42,17 +190,19 @@ BitVector MatrixEngine::Image(const PplBinExpr& p, const BitVector& from) {
       return out;
     }
     case PplBinKind::kCompose: {
-      BitVector mid = Image(*p.left, from);
+      XPV_ASSIGN_OR_RETURN(BitVector mid, Image(*p.left, from));
       return Image(*p.right, mid);
     }
     case PplBinKind::kUnion: {
-      BitVector out = Image(*p.left, from);
-      out.OrWith(Image(*p.right, from));
+      XPV_ASSIGN_OR_RETURN(BitVector out, Image(*p.left, from));
+      XPV_ASSIGN_OR_RETURN(BitVector right, Image(*p.right, from));
+      out.OrWith(right);
       return out;
     }
     case PplBinKind::kFilter: {
+      XPV_ASSIGN_OR_RETURN(BitVector domain, Domain(*p.left));
       BitVector out = from;
-      out.AndWith(Domain(*p.left));
+      out.AndWith(domain);
       return out;
     }
     case PplBinKind::kComplement: {
@@ -73,16 +223,20 @@ BitVector MatrixEngine::Image(const PplBinExpr& p, const BitVector& from) {
         return out;
       }
       // General complement: materialize the complemented subexpression's
-      // matrix -- only its, not the whole query's.
-      BitVector out = Evaluate(*p.left).AndOfRows(from);
+      // matrix -- only its, not the whole query's -- in whichever
+      // representation the engine mode picks, so sparse/auto modes run
+      // this beyond the dense ceiling too.
+      XPV_ASSIGN_OR_RETURN(AnyMatrix sub, EvaluateAny(*p.left));
+      BitVector out = sub.AndOfRows(from);
       out.Complement();
       return out;
     }
   }
-  return BitVector(tree_.size());
+  std::abort();  // unreachable: the switch above covers every PplBinKind
 }
 
-BitVector MatrixEngine::Preimage(const PplBinExpr& p, const BitVector& to) {
+Result<BitVector> MatrixEngine::Preimage(const PplBinExpr& p,
+                                         const BitVector& to) {
   switch (p.kind) {
     case PplBinKind::kStep: {
       // (u, v) in [[A::N]] iff A(u, v) and v labeled N: constrain the
@@ -92,17 +246,19 @@ BitVector MatrixEngine::Preimage(const PplBinExpr& p, const BitVector& to) {
       return AxisImage(tree_, InverseAxis(p.axis), targets);
     }
     case PplBinKind::kCompose: {
-      BitVector mid = Preimage(*p.right, to);
+      XPV_ASSIGN_OR_RETURN(BitVector mid, Preimage(*p.right, to));
       return Preimage(*p.left, mid);
     }
     case PplBinKind::kUnion: {
-      BitVector out = Preimage(*p.left, to);
-      out.OrWith(Preimage(*p.right, to));
+      XPV_ASSIGN_OR_RETURN(BitVector out, Preimage(*p.left, to));
+      XPV_ASSIGN_OR_RETURN(BitVector right, Preimage(*p.right, to));
+      out.OrWith(right);
       return out;
     }
     case PplBinKind::kFilter: {
+      XPV_ASSIGN_OR_RETURN(BitVector domain, Domain(*p.left));
       BitVector out = to;
-      out.AndWith(Domain(*p.left));
+      out.AndWith(domain);
       return out;
     }
     case PplBinKind::kComplement: {
@@ -125,27 +281,29 @@ BitVector MatrixEngine::Preimage(const PplBinExpr& p, const BitVector& to) {
         out.Complement();
         return out;
       }
-      BitVector out = Evaluate(*p.left).RowsContaining(to);
+      XPV_ASSIGN_OR_RETURN(AnyMatrix sub, EvaluateAny(*p.left));
+      BitVector out = sub.RowsContaining(to);
       out.Complement();
       return out;
     }
   }
-  return BitVector(tree_.size());
+  std::abort();  // unreachable: the switch above covers every PplBinKind
 }
 
-BitVector MatrixEngine::Domain(const PplBinExpr& p) {
+Result<BitVector> MatrixEngine::Domain(const PplBinExpr& p) {
   BitVector all(tree_.size());
   all.Fill();
   return Preimage(p, all);
 }
 
-BitVector MatrixEngine::EvaluateFromNode(const PplBinExpr& p, NodeId u) {
+Result<BitVector> MatrixEngine::EvaluateFromNode(const PplBinExpr& p,
+                                                 NodeId u) {
   BitVector from(tree_.size());
   from.Set(u);
   return Image(p, from);
 }
 
-BitVector MatrixEngine::EvaluateFromRoot(const PplBinExpr& p) {
+Result<BitVector> MatrixEngine::EvaluateFromRoot(const PplBinExpr& p) {
   return EvaluateFromNode(p, tree_.root());
 }
 

@@ -6,26 +6,102 @@
 //   M_{P1 union P2} = M_{P1} + M_{P2}     M_{[P]} = [M_P]
 //
 // over the Boolean algebra ({0,1}, or, and). With the naive product this
-// is O(|P| |t|^3); the bit-packed product used here performs
-// |t|^3 / 64 word operations (the same asymptotic bound; the paper notes
-// the exponent can be lowered to 2.376 with Coppersmith-Winograd).
+// is O(|P| |t|^3); the bit-packed product performs |t|^3 / 64 word
+// operations (the same asymptotic bound; the paper notes the exponent can
+// be lowered to 2.376 with Coppersmith-Winograd).
+//
+// Representations. Each intermediate matrix is a tagged AnyMatrix holding
+// either a dense bit-packed BitMatrix or a CSR run-list SparseBoolMatrix
+// (common/sparse_matrix.h). The engine's MatrixRepr mode -- normally the
+// planner's per-(query, tree, shape) crossover decision -- picks the leaf
+// representation and the product kernel per node:
+//
+//   kDense   every leaf densifies (fallibly: kResourceExhausted above
+//            BitMatrix::kMaxDenseNodes); dense x dense products.
+//   kSparse  masked step leaves come straight from the AxisCache's runs
+//            (no densification); SpGEMM-style run-merge products under a
+//            kSparseEvalByteBudget run budget. Works at any tree size.
+//   kAuto    leaves follow the cache backing; products dispatch on the
+//            operand tags (all four kernel shapes); saturated sparse
+//            results re-encode dense when that is smaller and the tree is
+//            under the dense ceiling (counted as a repr crossover).
 #ifndef XPV_PPL_MATRIX_ENGINE_H_
 #define XPV_PPL_MATRIX_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <variant>
 
 #include "common/bit_matrix.h"
+#include "common/sparse_matrix.h"
+#include "common/status.h"
 #include "ppl/pplbin.h"
 #include "tree/axis_cache.h"
 #include "tree/tree.h"
 
 namespace xpv::ppl {
 
-/// Matrix multiplication strategy, for the E3 ablation benchmark.
+/// Matrix multiplication strategy, for the E3 ablation benchmark. Applies
+/// to dense x dense products only; sparse kernels have one implementation.
 enum class MultiplyMode {
   kBitPacked,  // blocked row-OR word-parallel product (default)
   kNaive,      // triple loop, one bit at a time (reference)
+};
+
+/// A Boolean relation in whichever representation the engine chose:
+/// dense bit-packed or CSR run-list. The monadic kernels (ImageOf,
+/// AndOfRows, RowsContaining) dispatch on the tag so set-level consumers
+/// never care which one they got.
+class AnyMatrix {
+ public:
+  AnyMatrix() : m_(BitMatrix()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): tagged-union by design.
+  AnyMatrix(BitMatrix m) : m_(std::move(m)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  AnyMatrix(SparseBoolMatrix m) : m_(std::move(m)) {}
+
+  bool is_dense() const { return std::holds_alternative<BitMatrix>(m_); }
+  std::size_t size() const;
+  /// "dense" or "sparse", for stats and test failure messages.
+  std::string_view repr_name() const { return is_dense() ? "dense" : "sparse"; }
+
+  const BitMatrix& dense() const { return std::get<BitMatrix>(m_); }
+  const SparseBoolMatrix& sparse() const {
+    return std::get<SparseBoolMatrix>(m_);
+  }
+  BitMatrix&& TakeDense() && { return std::get<BitMatrix>(std::move(m_)); }
+  SparseBoolMatrix&& TakeSparse() && {
+    return std::get<SparseBoolMatrix>(std::move(m_));
+  }
+
+  bool Get(std::size_t row, std::size_t col) const;
+  std::size_t Count() const;
+  std::size_t resident_bytes() const;
+
+  // Tag-dispatched monadic kernels (semantics as on BoolMatrix).
+  BitVector ImageOf(const BitVector& rows) const;
+  BitVector AndOfRows(const BitVector& rows) const;
+  BitVector RowsContaining(const BitVector& cols) const;
+  BitVector NonEmptyRows() const;
+
+  /// Dense copy; kResourceExhausted above BitMatrix::kMaxDenseNodes.
+  Result<BitMatrix> ToDense() const;
+
+ private:
+  std::variant<BitMatrix, SparseBoolMatrix> m_;
+};
+
+/// Kernel counters for one engine's lifetime; QueryService aggregates
+/// them into ServiceStats. A "product" is one composition node; it counts
+/// dense when any operand forced a packed-row kernel (dense x dense and
+/// both mixed shapes) and sparse only for pure run-merge SpGEMM. A
+/// crossover is a mid-evaluation re-encoding of a result between the two
+/// representations (kAuto's density switch).
+struct MatrixEngineStats {
+  std::uint64_t dense_products = 0;
+  std::uint64_t sparse_products = 0;
+  std::uint64_t repr_crossovers = 0;
 };
 
 /// Evaluates PPLbin expressions on one fixed tree via Boolean matrices.
@@ -35,16 +111,36 @@ enum class MultiplyMode {
 class MatrixEngine {
  public:
   explicit MatrixEngine(const Tree& tree,
-                        MultiplyMode mode = MultiplyMode::kBitPacked)
-      : MatrixEngine(std::make_shared<AxisCache>(tree), mode) {}
+                        MultiplyMode mode = MultiplyMode::kBitPacked,
+                        MatrixRepr repr = MatrixRepr::kAuto)
+      : MatrixEngine(std::make_shared<AxisCache>(tree), mode, repr) {}
 
   /// Shares the given per-tree cache; jobs of the batch QueryService
-  /// evaluating different queries on one tree pass the same cache here.
+  /// evaluating different queries on one tree pass the same cache here,
+  /// plus the plan's representation decision.
   explicit MatrixEngine(std::shared_ptr<AxisCache> cache,
-                        MultiplyMode mode = MultiplyMode::kBitPacked)
-      : tree_(cache->tree()), mode_(mode), cache_(std::move(cache)) {}
+                        MultiplyMode mode = MultiplyMode::kBitPacked,
+                        MatrixRepr repr = MatrixRepr::kAuto)
+      : tree_(cache->tree()),
+        mode_(mode),
+        repr_(repr),
+        cache_(std::move(cache)) {}
 
-  /// M^t_P, i.e. the binary query q^bin_P(t) as a matrix.
+  /// M^t_P in the engine's chosen representation. Fails with
+  /// kResourceExhausted when a dense-mode evaluation exceeds the dense
+  /// ceiling or a sparse evaluation exceeds its run byte budget; never
+  /// aborts the process.
+  Result<AnyMatrix> EvaluateAny(const PplBinExpr& p);
+
+  /// M^t_P densified. Same failure modes as EvaluateAny, plus the final
+  /// dense conversion's ceiling.
+  Result<BitMatrix> EvaluateDense(const PplBinExpr& p);
+
+  /// Unchecked convenience for tests, benches and small-tree callers:
+  /// EvaluateDense() or std::abort() with the status on stderr (reaching
+  /// the abort means the caller skipped the planner's gates on an
+  /// oversized tree -- a programmer error). Serving paths use the
+  /// fallible entry points above.
   BitMatrix Evaluate(const PplBinExpr& p);
 
   // ------------------------------------------------------------------
@@ -62,30 +158,50 @@ class MatrixEngine {
   // costing O(|P| |t|^3 / 64) -- except a complement whose operand is a
   // plain step, which runs the AndOfRows / RowsContaining kernel
   // directly on the cached axis relation (no sub-matrix at all, so it
-  // stays valid on interval-backed caches of any size). Positive filters
-  // resolve their domain via Preimage of the full node set, again
-  // without a matrix.
+  // stays valid on interval-backed caches of any size). A general
+  // complement evaluates its sub-matrix through EvaluateAny, so in
+  // sparse/auto modes even those run beyond the dense ceiling; the
+  // Result statuses surface budget exhaustion instead of aborting.
 
   /// S_P(N) = { v | exists u in N, (u, v) in [[P]] }.
-  BitVector Image(const PplBinExpr& p, const BitVector& from);
+  Result<BitVector> Image(const PplBinExpr& p, const BitVector& from);
   /// S^{-1}_P(N) = { u | exists v in N, (u, v) in [[P]] }.
-  BitVector Preimage(const PplBinExpr& p, const BitVector& to);
+  Result<BitVector> Preimage(const PplBinExpr& p, const BitVector& to);
   /// domain(P) = { u | row u of M_P is nonempty } = Preimage(P, nodes).
-  BitVector Domain(const PplBinExpr& p);
+  Result<BitVector> Domain(const PplBinExpr& p);
 
   /// Monadic query from one start node: Image(P, {u}).
-  BitVector EvaluateFromNode(const PplBinExpr& p, NodeId u);
+  Result<BitVector> EvaluateFromNode(const PplBinExpr& p, NodeId u);
   /// Monadic query from the root: nodes reachable from the root via P.
-  BitVector EvaluateFromRoot(const PplBinExpr& p);
+  Result<BitVector> EvaluateFromRoot(const PplBinExpr& p);
 
   const Tree& tree() const { return tree_; }
+  MatrixRepr repr() const { return repr_; }
+  const MatrixEngineStats& stats() const { return stats_; }
 
  private:
+  /// Leaf M_{A::N} in the mode's representation (see header comment).
+  Result<AnyMatrix> StepLeaf(const PplBinExpr& p);
+  /// Product kernel dispatch on the operand tags.
+  Result<AnyMatrix> ComposeAny(AnyMatrix a, AnyMatrix b);
+  Result<AnyMatrix> UnionAny(AnyMatrix a, AnyMatrix b);
+  Result<AnyMatrix> ComplementAny(AnyMatrix a);
+  AnyMatrix FilterAny(AnyMatrix a);
+  /// kAuto only: re-encodes a sparse result densely when the tree is
+  /// under the dense ceiling and the run list outweighs the packed bits.
+  AnyMatrix MaybeDensify(SparseBoolMatrix m);
+
   BitMatrix Product(const BitMatrix& a, const BitMatrix& b) const;
+  /// Run budget for every sparse kernel of this evaluation.
+  static std::size_t RunBudget() {
+    return kSparseEvalByteBudget / sizeof(IntervalRun);
+  }
 
   const Tree& tree_;
   MultiplyMode mode_;
+  MatrixRepr repr_;
   std::shared_ptr<AxisCache> cache_;
+  MatrixEngineStats stats_;
 };
 
 }  // namespace xpv::ppl

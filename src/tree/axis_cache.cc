@@ -1,5 +1,6 @@
 #include "tree/axis_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace xpv {
@@ -21,6 +22,49 @@ const BoolMatrix& AxisCache::Matrix(Axis axis) {
     matrices_built_.fetch_add(1, std::memory_order_release);
   });
   return *axis_[i].load(std::memory_order_acquire);
+}
+
+Result<SparseBoolMatrix> AxisCache::SparseStep(Axis axis,
+                                               const std::string& name_test,
+                                               std::size_t max_runs) {
+  const BoolMatrix& m = Matrix(axis);
+  if (name_test.empty() || name_test == "*") {
+    return SparseBoolMatrix::FromBool(m, max_runs);
+  }
+  const BitVector& labels = Labels(name_test);
+  const std::size_t n = m.size();
+  SparseBoolMatrix::Builder builder(n, max_runs);
+  if (const IntervalMatrix* runs = m.AsInterval()) {
+    // Run-native masking: intersect each axis run with the label set's
+    // maximal set-bit runs (NextSet / NextUnset walk words, not bits).
+    for (std::size_t r = 0; r < n; ++r) {
+      auto [first, last] = runs->RunsOf(r);
+      for (auto it = first; it != last; ++it) {
+        std::size_t s = labels.Get(it->begin) ? it->begin
+                                              : labels.NextSet(it->begin);
+        while (s < it->end) {
+          const std::size_t e =
+              std::min<std::size_t>(it->end, labels.NextUnset(s));
+          if (!builder.Append(static_cast<std::uint32_t>(r),
+                              static_cast<std::uint32_t>(s),
+                              static_cast<std::uint32_t>(e))) {
+            return builder.Finish();  // budget overflow -> error status
+          }
+          s = labels.NextSet(e);
+        }
+      }
+    }
+  } else {
+    BitVector scratch;
+    for (std::size_t r = 0; r < n; ++r) {
+      m.RowInto(r, scratch);
+      scratch.AndWith(labels);
+      if (!builder.AppendBits(static_cast<std::uint32_t>(r), scratch)) {
+        return builder.Finish();
+      }
+    }
+  }
+  return builder.Finish();
 }
 
 const BitVector& AxisCache::Labels(const std::string& name_test) {

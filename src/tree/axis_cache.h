@@ -32,6 +32,8 @@
 
 #include "common/bit_matrix.h"
 #include "common/bool_matrix.h"
+#include "common/sparse_matrix.h"
+#include "common/status.h"
 #include "tree/axes.h"
 #include "tree/tree.h"
 
@@ -78,6 +80,16 @@ class AxisCache {
   /// lab_N(t) for the given name test (empty or "*" = all nodes), computed
   /// on first use.
   const BitVector& Labels(const std::string& name_test);
+
+  /// The masked step relation M_{axis::name_test} as a CSR run list,
+  /// built directly from the cached axis relation's rows intersected with
+  /// the label posting set -- run-native on interval backing, so no dense
+  /// |t| x |t| materialization happens at any tree size. Uncached (the
+  /// result is query-specific, unlike the 7 axis relations); fails with
+  /// kResourceExhausted when the run list would exceed `max_runs` (0 =
+  /// unbounded).
+  Result<SparseBoolMatrix> SparseStep(Axis axis, const std::string& name_test,
+                                      std::size_t max_runs = 0);
 
   /// Number of axis matrices materialized so far (monotone; at most 7).
   /// Lets callers -- and the DocumentStore reuse tests -- observe whether a

@@ -1,11 +1,14 @@
 #include "xpath/eval.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 namespace xpv::xpath {
 
-BitMatrix DirectEvaluator::EvalPath(const PathExpr& p,
-                                    const Assignment& alpha) {
+Result<BitMatrix> DirectEvaluator::TryEvalPath(const PathExpr& p,
+                                               const Assignment& alpha) {
   const std::size_t n = tree_.size();
   switch (p.kind) {
     case PathKind::kStep: {
@@ -16,9 +19,10 @@ BitMatrix DirectEvaluator::EvalPath(const PathExpr& p,
         return dense->MaskColumns(cache_->Labels(p.name_test));
       }
       // This evaluator is inherently dense (every node materializes a
-      // |t| x |t| matrix), so expand an interval-backed axis leaf; the
-      // planner keeps oversized trees off this engine.
-      BitMatrix m = ToDenseOrAbort(axis);
+      // |t| x |t| matrix), so expand an interval-backed axis leaf; above
+      // the dense ceiling that fails with kResourceExhausted, which
+      // serving callers report as a job error.
+      XPV_ASSIGN_OR_RETURN(BitMatrix m, axis.ToDense());
       if (!p.name_test.empty()) m.MaskColumnsInPlace(cache_->Labels(p.name_test));
       return m;
     }
@@ -33,24 +37,39 @@ BitMatrix DirectEvaluator::EvalPath(const PathExpr& p,
       for (NodeId v = 0; v < n; ++v) m.Set(v, it->second);
       return m;
     }
-    case PathKind::kCompose:
+    case PathKind::kCompose: {
       // [[P1/P2]] = [[P1]] o [[P2]].
-      return EvalPath(*p.left, alpha).Multiply(EvalPath(*p.right, alpha));
-    case PathKind::kUnion:
-      return EvalPath(*p.left, alpha).Or(EvalPath(*p.right, alpha));
-    case PathKind::kIntersect:
-      return EvalPath(*p.left, alpha).And(EvalPath(*p.right, alpha));
-    case PathKind::kExcept:
+      XPV_ASSIGN_OR_RETURN(BitMatrix a, TryEvalPath(*p.left, alpha));
+      XPV_ASSIGN_OR_RETURN(BitMatrix b, TryEvalPath(*p.right, alpha));
+      return a.Multiply(b);
+    }
+    case PathKind::kUnion: {
+      XPV_ASSIGN_OR_RETURN(BitMatrix a, TryEvalPath(*p.left, alpha));
+      XPV_ASSIGN_OR_RETURN(BitMatrix b, TryEvalPath(*p.right, alpha));
+      return a.Or(b);
+    }
+    case PathKind::kIntersect: {
+      XPV_ASSIGN_OR_RETURN(BitMatrix a, TryEvalPath(*p.left, alpha));
+      XPV_ASSIGN_OR_RETURN(BitMatrix b, TryEvalPath(*p.right, alpha));
+      return a.And(b);
+    }
+    case PathKind::kExcept: {
       // [[P1 except P2]] = [[P1]] - [[P2]].
-      return EvalPath(*p.left, alpha).AndNot(EvalPath(*p.right, alpha));
-    case PathKind::kFilter:
+      XPV_ASSIGN_OR_RETURN(BitMatrix a, TryEvalPath(*p.left, alpha));
+      XPV_ASSIGN_OR_RETURN(BitMatrix b, TryEvalPath(*p.right, alpha));
+      return a.AndNot(b);
+    }
+    case PathKind::kFilter: {
       // [[P[T]]] = {(v1,v2) in [[P]] | v2 in [[T]]_test}.
-      return EvalPath(*p.left, alpha).MaskColumns(EvalTest(*p.test, alpha));
+      XPV_ASSIGN_OR_RETURN(BitMatrix a, TryEvalPath(*p.left, alpha));
+      XPV_ASSIGN_OR_RETURN(BitVector test, TryEvalTest(*p.test, alpha));
+      return a.MaskColumns(test);
+    }
     case PathKind::kFor: {
       // [[for $x in P1 return P2]] =
       //   {(v1,v3) | ex. v2: (v1,v2) in [[P1]]^alpha
       //              and (v1,v3) in [[P2]]^{alpha[x->v2]}}.
-      BitMatrix seq = EvalPath(*p.left, alpha);
+      XPV_ASSIGN_OR_RETURN(BitMatrix seq, TryEvalPath(*p.left, alpha));
       BitMatrix out(n);
       for (NodeId v2 = 0; v2 < n; ++v2) {
         // Rows v1 for which (v1, v2) in [[P1]].
@@ -61,7 +80,7 @@ BitMatrix DirectEvaluator::EvalPath(const PathExpr& p,
         if (rows.None()) continue;
         Assignment alpha2 = alpha;
         alpha2[p.var] = v2;
-        BitMatrix body = EvalPath(*p.right, alpha2);
+        XPV_ASSIGN_OR_RETURN(BitMatrix body, TryEvalPath(*p.right, alpha2));
         rows.ForEachSet([&](std::size_t v1) {
           out.OrIntoRow(v1, body.Row(v1));
         });
@@ -69,16 +88,18 @@ BitMatrix DirectEvaluator::EvalPath(const PathExpr& p,
       return out;
     }
   }
-  return BitMatrix(n);
+  std::abort();  // unreachable: the switch above covers every PathKind
 }
 
-BitVector DirectEvaluator::EvalTest(const TestExpr& t,
-                                    const Assignment& alpha) {
+Result<BitVector> DirectEvaluator::TryEvalTest(const TestExpr& t,
+                                               const Assignment& alpha) {
   const std::size_t n = tree_.size();
   switch (t.kind) {
-    case TestKind::kPath:
+    case TestKind::kPath: {
       // [[P]]_test = {v | (v, v') in [[P]]}.
-      return EvalPath(*t.path, alpha).NonEmptyRows();
+      XPV_ASSIGN_OR_RETURN(BitMatrix m, TryEvalPath(*t.path, alpha));
+      return m.NonEmptyRows();
+    }
     case TestKind::kIs: {
       BitVector out(n);
       if (t.lhs.is_dot && t.rhs.is_dot) {
@@ -102,22 +123,46 @@ BitVector DirectEvaluator::EvalTest(const TestExpr& t,
       return out;
     }
     case TestKind::kNot: {
-      BitVector out = EvalTest(*t.a, alpha);
+      XPV_ASSIGN_OR_RETURN(BitVector out, TryEvalTest(*t.a, alpha));
       out.Complement();
       return out;
     }
     case TestKind::kAnd: {
-      BitVector out = EvalTest(*t.a, alpha);
-      out.AndWith(EvalTest(*t.b, alpha));
+      XPV_ASSIGN_OR_RETURN(BitVector out, TryEvalTest(*t.a, alpha));
+      XPV_ASSIGN_OR_RETURN(BitVector b, TryEvalTest(*t.b, alpha));
+      out.AndWith(b);
       return out;
     }
     case TestKind::kOr: {
-      BitVector out = EvalTest(*t.a, alpha);
-      out.OrWith(EvalTest(*t.b, alpha));
+      XPV_ASSIGN_OR_RETURN(BitVector out, TryEvalTest(*t.a, alpha));
+      XPV_ASSIGN_OR_RETURN(BitVector b, TryEvalTest(*t.b, alpha));
+      out.OrWith(b);
       return out;
     }
   }
-  return BitVector(n);
+  std::abort();  // unreachable: the switch above covers every TestKind
+}
+
+BitMatrix DirectEvaluator::EvalPath(const PathExpr& p,
+                                    const Assignment& alpha) {
+  Result<BitMatrix> m = TryEvalPath(p, alpha);
+  if (!m.ok()) {
+    std::fprintf(stderr, "DirectEvaluator::EvalPath: %s\n",
+                 m.status().ToString().c_str());
+    std::abort();  // unchecked entry point: small-tree callers only
+  }
+  return std::move(m).value();
+}
+
+BitVector DirectEvaluator::EvalTest(const TestExpr& t,
+                                    const Assignment& alpha) {
+  Result<BitVector> v = TryEvalTest(t, alpha);
+  if (!v.ok()) {
+    std::fprintf(stderr, "DirectEvaluator::EvalTest: %s\n",
+                 v.status().ToString().c_str());
+    std::abort();  // unchecked entry point: small-tree callers only
+  }
+  return std::move(v).value();
 }
 
 TupleSet ExpandWildcardPositions(const TupleSet& tuples,

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bit_matrix.h"
+#include "common/status.h"
 #include "tree/axis_cache.h"
 #include "tree/tree.h"
 #include "xpath/ast.h"
@@ -47,8 +48,17 @@ class DirectEvaluator {
       : tree_(cache->tree()), cache_(std::move(cache)) {}
 
   /// [[P]]^{t,alpha}: matrix M with M[v1][v2] = 1 iff (v1,v2) selected.
+  /// Fails with kResourceExhausted when an interval-backed axis leaf
+  /// cannot densify (this evaluator is inherently dense) -- serving paths
+  /// surface that as a job error instead of crashing.
+  Result<BitMatrix> TryEvalPath(const PathExpr& p, const Assignment& alpha);
+  /// [[T]]_test^{t,alpha}; same failure modes as TryEvalPath.
+  Result<BitVector> TryEvalTest(const TestExpr& t, const Assignment& alpha);
+
+  /// Unchecked conveniences for tests and small-tree callers: the Try*
+  /// variants or std::abort() with the status on stderr (trees beyond the
+  /// dense ceiling never legitimately reach this evaluator).
   BitMatrix EvalPath(const PathExpr& p, const Assignment& alpha);
-  /// [[T]]_test^{t,alpha}.
   BitVector EvalTest(const TestExpr& t, const Assignment& alpha);
 
   /// The n-ary query q_{P,x}(t) = { alpha(x1..xn) | [[P]]^{t,alpha} != {} },

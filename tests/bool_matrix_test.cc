@@ -163,15 +163,29 @@ TEST(DenseCeilingTest, CreateRefusesOversizedDimensions) {
   EXPECT_EQ(expanded.status().code(), StatusCode::kResourceExhausted);
 }
 
-TEST(DenseCeilingTest, ServiceRefusesDensePlansOnOversizedTrees) {
+TEST(DenseCeilingTest, ServiceCrossesOverToSparseOnOversizedTrees) {
   Tree t = PathTree(BitMatrix::kMaxDenseNodes + 10);
+  const std::size_t n = t.size();
   engine::QueryService service({.num_threads = 1});
-  // The full-relation answer IS an n x n matrix: refused.
+  // The full-relation answer of a path tree's descendant axis is the
+  // strict upper triangle -- n runs, far under the sparse byte budget, so
+  // the planner crosses over to the sparse engine instead of refusing.
+  // Above the ceiling the payload arrives as the run-list relation.
   engine::QueryResult full =
       service.Evaluate(t, "descendant::a", engine::ResultShape::kFullRelation);
-  EXPECT_EQ(full.status.code(), StatusCode::kResourceExhausted);
-  // N-ary machinery is dense end-to-end: refused for batch shapes and
-  // streams alike.
+  ASSERT_TRUE(full.status.ok())
+      << full.status << " " << full.plan.DebugString();
+  EXPECT_EQ(full.plan.repr, MatrixRepr::kSparse) << full.plan.DebugString();
+  ASSERT_NE(full.relation_sparse, nullptr);
+  EXPECT_EQ(full.relation.size(), 0u);
+  EXPECT_EQ(full.relation_sparse->Count(), n * (n - 1) / 2);
+  EXPECT_TRUE(full.relation_sparse->Get(0, n - 1));
+  EXPECT_FALSE(full.relation_sparse->Get(5, 3));
+  BitVector root_only(n);
+  root_only.Set(0);
+  EXPECT_EQ(full.from_root, full.relation_sparse->ImageOf(root_only));
+  // N-ary machinery is dense end-to-end: still refused for batch shapes
+  // and streams alike.
   engine::QueryResult nary = service.Evaluate(t, "$x/descendant::*/$y",
                                               engine::ResultShape::kCount);
   EXPECT_EQ(nary.status.code(), StatusCode::kResourceExhausted);
@@ -179,14 +193,18 @@ TEST(DenseCeilingTest, ServiceRefusesDensePlansOnOversizedTrees) {
       service.OpenStream(t, "$x/descendant::*/$y");
   ASSERT_FALSE(stream.ok());
   EXPECT_EQ(stream.status().code(), StatusCode::kResourceExhausted);
-  // A monadic complement over a non-step subexpression still needs one
-  // dense sub-matrix: refused. (Surface `except` compiles to
-  // except(except L union R), so every set difference lands here.)
+  // A monadic complement over a non-step subexpression materializes one
+  // sub-matrix; the sparse kernels build it run-natively, so the old
+  // refusal is gone. (Surface `except` compiles to except(except L union
+  // R), so every set difference lands here.) On a path, descendants of
+  // the root minus its children = nodes 2..n-1.
   engine::QueryResult cmpl =
       service.Evaluate(t, "descendant::a except child::a",
                        engine::ResultShape::kCount);
-  EXPECT_EQ(cmpl.status.code(), StatusCode::kResourceExhausted)
-      << cmpl.plan.DebugString();
+  ASSERT_TRUE(cmpl.status.ok())
+      << cmpl.status << " " << cmpl.plan.DebugString();
+  EXPECT_NE(cmpl.plan.repr, MatrixRepr::kDense) << cmpl.plan.DebugString();
+  EXPECT_EQ(cmpl.count, n - 2);
   // Monadic shapes of positive queries -- the serving workload -- keep
   // working through interval axes.
   engine::QueryResult count =
@@ -207,11 +225,13 @@ TEST(DenseCeilingTest, ServiceRefusesDensePlansOnOversizedTrees) {
   BitVector root(t.size());
   root.Set(0);
   ppl::PplBinPtr step = ppl::PplBinExpr::Step(Axis::kChild, "*");
-  BitVector expected = engine.Image(*step, root);
+  BitVector expected = engine.Image(*step, root).value();
   expected.Complement();
-  EXPECT_EQ(engine.Image(*ppl::PplBinExpr::Complement(
-                             ppl::PplBinExpr::Step(Axis::kChild, "*")),
-                         root),
+  EXPECT_EQ(engine
+                .Image(*ppl::PplBinExpr::Complement(
+                           ppl::PplBinExpr::Step(Axis::kChild, "*")),
+                       root)
+                .value(),
             expected);
 }
 
@@ -252,16 +272,18 @@ TEST_P(BoolMatrixPropertyTest, MatrixEngineAgreesAcrossBackings) {
       ppl::PplBinPtr p = RandomPplBin(rng, 3);
       EXPECT_EQ(dense_engine.Evaluate(*p), interval_engine.Evaluate(*p))
           << p->ToString() << "\ntree: " << t.ToTerm();
-      EXPECT_EQ(dense_engine.EvaluateFromRoot(*p),
-                interval_engine.EvaluateFromRoot(*p))
+      EXPECT_EQ(dense_engine.EvaluateFromRoot(*p).value(),
+                interval_engine.EvaluateFromRoot(*p).value())
           << p->ToString();
-      EXPECT_EQ(dense_engine.Domain(*p), interval_engine.Domain(*p))
+      EXPECT_EQ(dense_engine.Domain(*p).value(),
+                interval_engine.Domain(*p).value())
           << p->ToString();
       const BitVector from = RandomNodeSet(rng, t.size(), 25);
-      EXPECT_EQ(dense_engine.Image(*p, from), interval_engine.Image(*p, from))
+      EXPECT_EQ(dense_engine.Image(*p, from).value(),
+                interval_engine.Image(*p, from).value())
           << p->ToString();
-      EXPECT_EQ(dense_engine.Preimage(*p, from),
-                interval_engine.Preimage(*p, from))
+      EXPECT_EQ(dense_engine.Preimage(*p, from).value(),
+                interval_engine.Preimage(*p, from).value())
           << p->ToString();
     }
     // The complement-of-step fast path, explicitly, for every axis: both
@@ -271,17 +293,17 @@ TEST_P(BoolMatrixPropertyTest, MatrixEngineAgreesAcrossBackings) {
         ppl::PplBinPtr p =
             ppl::PplBinExpr::Complement(ppl::PplBinExpr::Step(axis, name));
         const BitVector from = RandomNodeSet(rng, t.size(), 30);
-        EXPECT_EQ(dense_engine.Image(*p, from),
-                  interval_engine.Image(*p, from))
+        EXPECT_EQ(dense_engine.Image(*p, from).value(),
+                  interval_engine.Image(*p, from).value())
             << p->ToString();
-        EXPECT_EQ(dense_engine.Preimage(*p, from),
-                  interval_engine.Preimage(*p, from))
+        EXPECT_EQ(dense_engine.Preimage(*p, from).value(),
+                  interval_engine.Preimage(*p, from).value())
             << p->ToString();
         const BitVector empty(t.size());
-        EXPECT_EQ(dense_engine.Image(*p, empty),
-                  interval_engine.Image(*p, empty));
-        EXPECT_EQ(dense_engine.Preimage(*p, empty),
-                  interval_engine.Preimage(*p, empty));
+        EXPECT_EQ(dense_engine.Image(*p, empty).value(),
+                  interval_engine.Image(*p, empty).value());
+        EXPECT_EQ(dense_engine.Preimage(*p, empty).value(),
+                  interval_engine.Preimage(*p, empty).value());
       }
     }
   }
@@ -306,10 +328,11 @@ TEST_P(BoolMatrixPropertyTest, DirectHclAndGkpAgreeAcrossBackings) {
     for (Axis axis : kAllAxes) {
       for (const char* name : {"", "a"}) {
         hcl::AxisQuery leaf(axis, name);
-        EXPECT_EQ(leaf.EvaluateCached(dense_cache),
-                  leaf.EvaluateCached(interval_cache))
+        EXPECT_EQ(leaf.EvaluateCached(dense_cache).value(),
+                  leaf.EvaluateCached(interval_cache).value())
             << leaf.ToString();
-        EXPECT_EQ(leaf.EvaluateCached(interval_cache), leaf.Evaluate(t))
+        EXPECT_EQ(leaf.EvaluateCached(interval_cache).value(),
+                  leaf.Evaluate(t))
             << leaf.ToString();
       }
     }
@@ -500,11 +523,13 @@ TEST(MillionNodeSmokeTest, AxisRelationsStayNearLinear) {
     BitVector root(n);
     root.Set(0);
     BitVector expected =
-        matrix.Image(*ppl::PplBinExpr::Step(Axis::kChild, "*"), root);
+        matrix.Image(*ppl::PplBinExpr::Step(Axis::kChild, "*"), root).value();
     expected.Complement();
-    EXPECT_EQ(matrix.Image(*ppl::PplBinExpr::Complement(
-                               ppl::PplBinExpr::Step(Axis::kChild, "*")),
-                           root),
+    EXPECT_EQ(matrix
+                  .Image(*ppl::PplBinExpr::Complement(
+                             ppl::PplBinExpr::Step(Axis::kChild, "*")),
+                         root)
+                  .value(),
               expected)
         << c.name;
   }

@@ -122,11 +122,11 @@ TEST_P(PlannerDifferentialTest, MatrixImagePreimageDomainMatchRelation) {
       if (rng.Chance(1, 3)) from.Set(v);
     }
     if (rng.Chance(1, 10)) from.Clear();
-    EXPECT_EQ(eng.Image(*p, from), truth.ImageOf(from))
+    EXPECT_EQ(eng.Image(*p, from).value(), truth.ImageOf(from))
         << "query: " << p->ToString() << "\ntree: " << t.ToTerm();
-    EXPECT_EQ(eng.Preimage(*p, from), truth.Transpose().ImageOf(from))
+    EXPECT_EQ(eng.Preimage(*p, from).value(), truth.Transpose().ImageOf(from))
         << "query: " << p->ToString() << "\ntree: " << t.ToTerm();
-    EXPECT_EQ(eng.Domain(*p), truth.NonEmptyRows())
+    EXPECT_EQ(eng.Domain(*p).value(), truth.NonEmptyRows())
         << "query: " << p->ToString() << "\ntree: " << t.ToTerm();
   }
 }
@@ -148,7 +148,7 @@ TEST_P(PlannerDifferentialTest, GkpFromNodeMatchesRelationRows) {
     EXPECT_EQ(*image, truth.Row(u))
         << "query: " << p->ToString() << " node " << u;
     ppl::MatrixEngine matrix(t);
-    EXPECT_EQ(matrix.EvaluateFromNode(*p, u), truth.Row(u));
+    EXPECT_EQ(matrix.EvaluateFromNode(*p, u).value(), truth.Row(u));
   }
 }
 
@@ -215,6 +215,186 @@ TEST_P(PlannerDifferentialTest, AllPlansAndShapesAgreeWithGroundTruth) {
       }
     }
   }
+}
+
+// ------------------- every representation x engine x shape x threads
+
+constexpr MatrixRepr kAllReprs[] = {
+    MatrixRepr::kDense,
+    MatrixRepr::kSparse,
+    MatrixRepr::kAuto,
+};
+
+TEST_P(PlannerDifferentialTest, AllReprsAndShapesAgreeWithGroundTruth) {
+  Rng rng(GetParam() ^ 0xc0de);
+  for (int trial = 0; trial < 5; ++trial) {
+    Tree t = MakeRandomTree(rng);
+    ppl::PplBinPtr p = RandomPplBin(rng, 3, /*allow_complement=*/true);
+    const std::string text = ppl::ToXPath(*p)->ToString();
+    const BitMatrix truth = GroundTruth(t, *p);
+
+    auto compiled = engine::CompileQuery(text);
+    ASSERT_TRUE(compiled.ok()) << text << ": " << compiled.status();
+
+    // Jobs: every forced representation, alone (which routes to the
+    // matrix engine) and crossed with every admissible forced engine and
+    // every shape. Results must be byte-identical to the dense ground
+    // truth regardless of the representation the kernels composed in.
+    std::vector<engine::QueryJob> jobs;
+    std::vector<ResultShape> job_shapes;
+    for (ResultShape shape : kAllShapes) {
+      for (MatrixRepr repr : kAllReprs) {
+        engine::QueryJob job;
+        job.tree = &t;
+        job.query = text;
+        job.shape = shape;
+        job.repr_override = repr;
+        jobs.push_back(job);
+        job_shapes.push_back(shape);
+        for (engine::EnginePlan forced : (*compiled)->admissible) {
+          job.engine_override = forced;
+          jobs.push_back(job);
+          job_shapes.push_back(shape);
+        }
+      }
+    }
+
+    std::vector<std::vector<engine::QueryResult>> per_thread_count;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      engine::QueryService service({.num_threads = threads});
+      per_thread_count.push_back(service.EvaluateBatch(jobs));
+      const auto& results = per_thread_count.back();
+      ASSERT_EQ(results.size(), jobs.size());
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        std::string ctx = "threads=" + std::to_string(threads) + " repr=" +
+                          std::string(MatrixReprName(*jobs[i].repr_override)) +
+                          " job " + std::to_string(i) + " plan " +
+                          results[i].plan.DebugString() + "\nquery: " + text +
+                          "\ntree: " + t.ToTerm();
+        ExpectShapeConsistent(results[i], job_shapes[i], t, truth, ctx);
+        // Small trees always densify the payload; the sparse handoff is
+        // reserved for trees above the dense ceiling.
+        EXPECT_EQ(results[i].relation_sparse, nullptr) << ctx;
+        if (!jobs[i].engine_override.has_value()) {
+          // A bare repr override must route to the matrix engine and pin
+          // the representation it asked for.
+          EXPECT_EQ(results[i].plan.engine, EnginePlan::kMatrixGeneral)
+              << ctx;
+          EXPECT_EQ(results[i].plan.repr, *jobs[i].repr_override) << ctx;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      for (std::size_t tc = 1; tc < per_thread_count.size(); ++tc) {
+        EXPECT_TRUE(per_thread_count[0][i].plan ==
+                    per_thread_count[tc][i].plan);
+        EXPECT_EQ(per_thread_count[0][i].relation,
+                  per_thread_count[tc][i].relation);
+        EXPECT_EQ(per_thread_count[0][i].from_root,
+                  per_thread_count[tc][i].from_root);
+        EXPECT_EQ(per_thread_count[0][i].boolean,
+                  per_thread_count[tc][i].boolean);
+        EXPECT_EQ(per_thread_count[0][i].count, per_thread_count[tc][i].count);
+      }
+    }
+  }
+}
+
+// Forcing a representation on an n-ary query is meaningless: rejected.
+TEST(PlannerReprOverrideTest, NaryQueriesRejectReprOverrides) {
+  Tree t = *Tree::ParseTerm("a(b,c)");
+  engine::QueryService service({.num_threads = 1});
+  engine::QueryJob job;
+  job.tree = &t;
+  job.query = "descendant::b/$x";
+  job.repr_override = MatrixRepr::kSparse;
+  std::vector<engine::QueryResult> results = service.EvaluateBatch({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kInvalidArgument);
+}
+
+// Full relations above the dense ceiling: the sparse crossover must hand
+// back a run-list relation whose rows match an independent oracle -- the
+// GKP engine's posting-list evaluation, which shares no matrix code.
+TEST(SparseFullRelationTest, OversizedTreeMatchesSubsampledOracleRows) {
+  Rng rng(404);
+  RandomTreeOptions opts;
+  opts.num_nodes = (1u << 16) + 123;  // 65659 nodes, 2x the dense ceiling
+  opts.alphabet_size = 3;
+  Tree t = RandomTree(rng, opts);
+  ASSERT_GT(t.size(), 2 * BitMatrix::kMaxDenseNodes);
+  engine::QueryService service({.num_threads = 1});
+
+  const std::string text = "descendant::a/child::b";
+  engine::QueryResult full =
+      service.Evaluate(t, text, ResultShape::kFullRelation);
+  ASSERT_TRUE(full.status.ok())
+      << full.status << " " << full.plan.DebugString();
+  ASSERT_NE(full.relation_sparse, nullptr) << full.plan.DebugString();
+  EXPECT_EQ(full.plan.repr, MatrixRepr::kSparse);
+  EXPECT_EQ(full.relation.size(), 0u);
+  EXPECT_EQ(full.from_root, full.relation_sparse->Row(t.root()));
+
+  auto compiled = engine::CompileQuery(text);
+  ASSERT_TRUE(compiled.ok());
+  ppl::GkpEngine gkp(t);
+  for (int sample = 0; sample < 16; ++sample) {
+    const NodeId u = static_cast<NodeId>(rng.Below(t.size()));
+    Result<BitVector> row = gkp.EvaluateFromNode(*(*compiled)->pplbin, u);
+    ASSERT_TRUE(row.ok()) << row.status();
+    EXPECT_EQ(full.relation_sparse->Row(u), *row) << "row " << u;
+  }
+
+  // A set difference (general complement) above the ceiling: subsampled
+  // rows must equal the positive oracle rows combined by hand.
+  engine::QueryResult exc = service.Evaluate(
+      t, "descendant::a except child::a", ResultShape::kFullRelation);
+  ASSERT_TRUE(exc.status.ok()) << exc.status << " " << exc.plan.DebugString();
+  ASSERT_NE(exc.relation_sparse, nullptr);
+  auto desc = engine::CompileQuery("descendant::a");
+  auto child = engine::CompileQuery("child::a");
+  ASSERT_TRUE(desc.ok() && child.ok());
+  for (int sample = 0; sample < 8; ++sample) {
+    const NodeId u = static_cast<NodeId>(rng.Below(t.size()));
+    Result<BitVector> d = gkp.EvaluateFromNode(*(*desc)->pplbin, u);
+    Result<BitVector> c = gkp.EvaluateFromNode(*(*child)->pplbin, u);
+    ASSERT_TRUE(d.ok() && c.ok());
+    BitVector expected(t.size());
+    for (std::size_t v = 0; v < t.size(); ++v) {
+      if (d->Get(v) && !c->Get(v)) expected.Set(v);
+    }
+    EXPECT_EQ(exc.relation_sparse->Row(u), expected) << "row " << u;
+  }
+}
+
+// The run-shape estimate is averages-only and predicts n runs per row
+// for a composed step on a deep path (it cannot see that the gathered
+// runs coalesce into one) -- the planner must still cross over above
+// the ceiling and let the engine's run budget be the bound, not refuse
+// on the estimate. Regression: this exact shape was refused once.
+TEST(SparseFullRelationTest, DeepPathComposeCrossesOverDespiteEstimate) {
+  Tree t = PathTree(BitMatrix::kMaxDenseNodes + 10);
+  auto compiled = engine::CompileQuery("descendant::a/child::a");
+  ASSERT_TRUE(compiled.ok());
+  ExecutionPlan plan =
+      engine::PlanQuery(**compiled, t, ResultShape::kFullRelation);
+  EXPECT_EQ(plan.engine, EnginePlan::kMatrixGeneral) << plan.DebugString();
+  EXPECT_EQ(plan.repr, MatrixRepr::kSparse) << plan.DebugString();
+  EXPECT_FALSE(engine::PlanRequiresDenseRelation(**compiled, plan));
+
+  // End to end: the relation is the second-superdiagonal triangle
+  // {(u, v) : v >= u + 2} -- one run per row, despite the estimate.
+  const std::size_t n = t.size();
+  engine::QueryService service({.num_threads = 1});
+  engine::QueryResult full =
+      service.Evaluate(t, "descendant::a/child::a", ResultShape::kFullRelation);
+  ASSERT_TRUE(full.status.ok())
+      << full.status << " " << full.plan.DebugString();
+  ASSERT_NE(full.relation_sparse, nullptr);
+  EXPECT_EQ(full.relation_sparse->Count(), (n - 1) * (n - 2) / 2);
+  EXPECT_EQ(full.relation_sparse->num_runs(), n - 2);
+  EXPECT_TRUE(full.relation_sparse->Get(0, n - 1));
+  EXPECT_FALSE(full.relation_sparse->Get(0, 1));
 }
 
 // N-ary queries: shapes derive from the tuple set.

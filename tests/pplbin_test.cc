@@ -218,7 +218,7 @@ TEST(MatrixEngineTest, EvaluateFromRoot) {
   Tree t = MustTree("a(b(c),d)");
   MatrixEngine engine(t);
   BitVector reachable =
-      engine.EvaluateFromRoot(*MustTranslate("child::*/child::*"));
+      engine.EvaluateFromRoot(*MustTranslate("child::*/child::*")).value();
   EXPECT_EQ(reachable.ToIndices(), (std::vector<std::uint32_t>{2}));
 }
 
