@@ -581,6 +581,164 @@ void BM_CrossoverFullRelation(benchmark::State& state) {
 }
 BENCHMARK(BM_CrossoverFullRelation)->Apply(ApplyCrossoverArgs);
 
+// ------------------------------------------ subrelation memoization
+//
+// The cross-job subrelation cache (ppl/relation_cache.h): a store-served
+// batch of overlapping compose queries, each repeated 8x (the shape of a
+// template-driven serving workload), with the per-document RelationCache
+// enabled (arg 1 = 1) vs disabled (arg 1 = 0). With the cache on,
+// steady-state batches serve every interior -- and root -- subrelation
+// from the cache instead of re-running Boolean products; the acceptance
+// bar is >= 5x over the disabled arm at 512 nodes (at 2048 the win
+// narrows because densifying each job's result payload is a floor the
+// cache cannot elide). `hit_rate` is
+// subrel_hits / (subrel_hits + subrel_misses) over the whole run. CI
+// fails if this section goes missing from BENCH_batch_service.json.
+
+void BM_SubrelationReuse(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const bool cache_on = state.range(1) != 0;
+  engine::DocumentStoreOptions store_options;
+  if (!cache_on) store_options.relation_cache_bytes = 0;
+  engine::DocumentStore store(store_options);
+  const engine::DocumentId id = store.Insert(BenchTree(nodes));
+  engine::QueryService service(
+      {.num_threads = 1, .document_store = &store});
+  // Four queries sharing the descendant::a/child::a prefix (and a
+  // child::b/descendant::c suffix), forced to the matrix engine so the
+  // full-relation interior products are what the cache elides.
+  const std::vector<std::string> texts = {
+      "descendant::a/child::a",
+      "descendant::a/child::a/child::b",
+      "descendant::a/child::a/child::b/descendant::c",
+      "child::b/descendant::c",
+  };
+  std::vector<engine::QueryJob> jobs;
+  for (int rep = 0; rep < 8; ++rep) {
+    for (const std::string& text : texts) {
+      engine::QueryJob job;
+      job.document = id;
+      job.query = text;
+      job.shape = engine::ResultShape::kFullRelation;
+      job.engine_override = engine::EnginePlan::kMatrixGeneral;
+      jobs.push_back(std::move(job));
+    }
+  }
+  // Warm caches; refuse to report throughput for a failing workload.
+  for (const engine::QueryResult& r : service.EvaluateBatch(jobs)) {
+    if (!r.status.ok()) {
+      state.SkipWithError(r.status.ToString().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.EvaluateBatch(jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs.size()));
+  const engine::ServiceStats stats = service.stats();
+  const double consults =
+      static_cast<double>(stats.subrel_hits + stats.subrel_misses);
+  state.counters["hit_rate"] =
+      consults == 0.0 ? 0.0
+                      : static_cast<double>(stats.subrel_hits) / consults;
+  state.counters["subrel_bytes"] = static_cast<double>(stats.subrel_bytes);
+}
+BENCHMARK(BM_SubrelationReuse)
+    ->ArgsProduct({{512, 2048}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ------------------------------------------ composition reassociation
+//
+// The planner's matrix-chain DP (engine/planner.h): a skewed 3-factor
+// compose chain -- two wildcard steps into a rare label -- evaluated as
+// parsed (left-associated, so the wide descendant-times-child product
+// runs first) against the cost model's association (the selective
+// child::rare factor composed first). Args are (nodes, tree shape
+// 0=path/1=star/2=random, force-parse-order 0/1). The subrelation cache
+// is disabled so every iteration pays the real product chain. The DP
+// must beat parse order on at least one skewed family (the ROADMAP
+// acceptance); `chains_reassociated` > 0 on the optimized arm records
+// that the plan actually changed. CI fails if this section goes missing
+// from BENCH_batch_service.json.
+
+std::string SkewLabel(std::size_t i) {
+  return i % 256 == 255 ? "rare" : "a";
+}
+
+/// Path / star / random tree with label "rare" on every 256th node.
+Tree SkewTree(std::int64_t shape, std::size_t nodes) {
+  TreeBuilder builder;
+  if (shape == 0) {
+    for (std::size_t i = 0; i < nodes; ++i) builder.Open(SkewLabel(i));
+    for (std::size_t i = 0; i < nodes; ++i) builder.Close();
+  } else if (shape == 1) {
+    builder.Open(SkewLabel(0));
+    for (std::size_t i = 1; i < nodes; ++i) builder.Leaf(SkewLabel(i));
+    builder.Close();
+  } else {
+    Rng rng(1234);
+    builder.Open(SkewLabel(0));
+    std::size_t depth = 1;
+    for (std::size_t i = 1; i < nodes; ++i) {
+      builder.Open(SkewLabel(i));
+      ++depth;
+      while (depth > 1 && rng.Chance(2, 3)) {
+        builder.Close();
+        --depth;
+      }
+    }
+    while (depth > 0) {
+      builder.Close();
+      --depth;
+    }
+  }
+  return std::move(builder).Finish().value();
+}
+
+const char* kChainQuery = "descendant::*/child::*/child::rare";
+
+void BM_ChainReassociation(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const bool parse_order = state.range(2) != 0;
+  engine::DocumentStoreOptions store_options;
+  store_options.relation_cache_bytes = 0;  // measure products, not the cache
+  engine::DocumentStore store(store_options);
+  const engine::DocumentId id =
+      store.Insert(SkewTree(state.range(1), nodes));
+  engine::QueryService service(
+      {.num_threads = 1, .document_store = &store});
+  engine::QueryJob job;
+  job.document = id;
+  job.query = kChainQuery;
+  job.shape = engine::ResultShape::kFullRelation;
+  job.engine_override = engine::EnginePlan::kMatrixGeneral;
+  job.force_parse_order = parse_order;
+  const std::vector<engine::QueryJob> jobs = {job};
+  // Warm caches and capture the plan; refuse to report a failing job.
+  engine::ExecutionPlan plan;
+  {
+    std::vector<engine::QueryResult> warm = service.EvaluateBatch(jobs);
+    if (!warm[0].status.ok()) {
+      state.SkipWithError(warm[0].status.ToString().c_str());
+      return;
+    }
+    plan = warm[0].plan;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.EvaluateBatch(jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["chains_reassociated"] =
+      static_cast<double>(plan.chains_reassociated);
+  state.counters["plan_sparse"] =
+      plan.repr == MatrixRepr::kSparse ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ChainReassociation)
+    ->ArgsProduct({{2048, 8192, 65536}, {0, 1, 2}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace xpv
 

@@ -116,6 +116,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(kernel_stats.dense_products),
       static_cast<unsigned long long>(kernel_stats.sparse_products),
       static_cast<unsigned long long>(kernel_stats.repr_crossovers));
+  std::printf(
+      "  subrelations:   %llu hits / %llu misses (%zu KiB resident), "
+      "%llu chains reassociated\n",
+      static_cast<unsigned long long>(kernel_stats.subrel_hits),
+      static_cast<unsigned long long>(kernel_stats.subrel_misses),
+      kernel_stats.subrel_bytes / 1024,
+      static_cast<unsigned long long>(kernel_stats.chains_reassociated));
   const engine::DocumentStoreStats stats = store.stats();
   std::printf(
       "  axis caches:    %llu built, %llu hits, %llu retired (%zu hot, "

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "hcl/translate.h"
+#include "ppl/canonical.h"
 #include "ppl/simplify.h"
 #include "xpath/fragment.h"
 #include "xpath/parser.h"
@@ -46,9 +47,14 @@ Result<std::shared_ptr<const CompiledQuery>> CompileQuery(
     // the planner's per-(tree, shape) decision; compilation only records
     // what is admissible.
     XPV_ASSIGN_OR_RETURN(ppl::PplBinPtr bin, ppl::FromXPath(*path));
-    q->pplbin = ppl::Simplify(std::move(bin));
+    // Canonicalize after simplification (ppl/canonical.h): every subtree
+    // of the compiled form then carries canonical surface text, which
+    // unifies plan-memo and subrelation-cache keys across syntactic
+    // variants of one query.
+    q->pplbin = ppl::Canonicalize(ppl::Simplify(std::move(bin)));
     q->positive = q->pplbin->IsPositive();
     q->pplbin_size = q->pplbin->Size();
+    q->canonical_text = q->pplbin->ToString();
     if (q->positive) q->admissible.push_back(EnginePlan::kGkpPositive);
     q->admissible.push_back(EnginePlan::kMatrixGeneral);
   } else {
@@ -62,6 +68,10 @@ Result<std::shared_ptr<const CompiledQuery>> CompileQuery(
       q->tuple_vars.push_back(v);  // std::set iterates sorted
     }
     q->admissible.push_back(EnginePlan::kNaryAnswer);
+    // N-ary canonical text: the simplified path printed back. Variables
+    // keep these disjoint from every binary canonical text (PPLbin
+    // surface syntax has no '$').
+    q->canonical_text = path->ToString();
     // Enumerability (Prop. 8): a union-free image converts to an ACQ; if
     // that ACQ is alpha-acyclic, streams can enumerate it with
     // polynomial delay. Both facts are tree-independent.

@@ -53,8 +53,15 @@ std::string_view EnginePlanName(EnginePlan plan);
 /// across trees and threads. Deliberately tree-independent: everything
 /// per-(tree, shape) lives in the planner's ExecutionPlan.
 struct CompiledQuery {
-  /// Original query text (the cache key).
+  /// Original query text, as first submitted.
   std::string text;
+  /// Round-tripped canonical surface text: the parsed + simplified form
+  /// printed back (binary queries additionally union-normalized via
+  /// ppl::Canonicalize), so whitespace / parenthesization / abbreviation
+  /// variants of one query share it. This is the QueryCache's primary
+  /// key and the PlanMemo key, keeping one cache entry, one plan, and
+  /// one RelationCache key family per equivalence class.
+  std::string canonical_text;
   /// Parsed + simplified Core XPath 2.0 form.
   xpath::PathPtr path;
   /// Every engine that can evaluate this query, in the order of the
@@ -62,7 +69,10 @@ struct CompiledQuery {
   std::vector<EnginePlan> admissible;
 
   /// Binary queries (kGkpPositive / kMatrixGeneral admissible): the
-  /// Fig. 4 translation image, and whether it is complement-free.
+  /// Fig. 4 translation image, simplified and canonicalized
+  /// (ppl/canonical.h) -- so every subtree's surface text is canonical,
+  /// which is what the engines key their subrelation lookups on.
+  /// Whether it is complement-free is `positive`.
   ppl::PplBinPtr pplbin;
   bool positive = false;
   /// |P| of the pplbin image (0 for n-ary queries), precomputed for the

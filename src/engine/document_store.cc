@@ -58,6 +58,10 @@ void DocumentStore::Store(DocumentId id, std::string name, Tree tree,
   entry.doc =
       std::make_shared<const Document>(id, std::move(name), std::move(tree));
   entry.plans = std::make_shared<PlanMemo>();
+  if (options_.relation_cache_bytes > 0) {
+    entry.relations =
+        std::make_shared<ppl::RelationCache>(options_.relation_cache_bytes);
+  }
   entry.intern_key = std::move(intern_key);
   Shard& shard = *shards_[shard_of(id)];
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -167,6 +171,14 @@ std::shared_ptr<PlanMemo> DocumentStore::PlanMemoFor(DocumentId id) const {
   return it == shard.entries.end() ? nullptr : it->second.plans;
 }
 
+std::shared_ptr<ppl::RelationCache> DocumentStore::RelationCacheFor(
+    DocumentId id) const {
+  const Shard& shard = *shards_[shard_of(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  return it == shard.entries.end() ? nullptr : it->second.relations;
+}
+
 void DocumentStore::EnforceHotBoundLocked(Shard& shard) {
   if (shard.hot_budget == 0) return;
   while (shard.lru.size() > shard.hot_budget) {
@@ -199,6 +211,13 @@ DocumentStoreStats DocumentStore::SnapshotShardStats(
     stats.hot_cache_bytes +=
         shard.entries.at(id).cache->approx_resident_bytes();
   }
+  for (const auto& [id, entry] : shard.entries) {
+    if (entry.relations == nullptr) continue;
+    const ppl::RelationCacheStats rel = entry.relations->stats();
+    stats.relation_hits += rel.hits;
+    stats.relation_misses += rel.misses;
+    stats.relation_cache_bytes += rel.resident_bytes;
+  }
   return stats;
 }
 
@@ -228,6 +247,9 @@ DocumentStoreStats DocumentStore::stats() const {
     total.cache_hits += s.cache_hits;
     total.cache_retirements += s.cache_retirements;
     total.intern_hits += s.intern_hits;
+    total.relation_hits += s.relation_hits;
+    total.relation_misses += s.relation_misses;
+    total.relation_cache_bytes += s.relation_cache_bytes;
   }
   return total;
 }

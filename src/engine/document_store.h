@@ -50,6 +50,7 @@
 
 #include "common/status.h"
 #include "engine/planner.h"
+#include "ppl/relation_cache.h"
 #include "tree/axis_cache.h"
 #include "tree/tree.h"
 
@@ -102,6 +103,15 @@ struct DocumentStoreOptions {
   /// kInterval force one (tests, ablations). hot_cache_bytes reflects
   /// whichever representation each cache actually built.
   AxisBacking axis_backing = AxisBacking::kAuto;
+  /// Byte budget of each document's subrelation cache
+  /// (ppl/relation_cache.h): materialized interior subexpressions,
+  /// shared by every engine and batch evaluating that document. Unlike
+  /// the AxisCache the RelationCache is never LRU-retired as a whole --
+  /// its own byte budget already bounds it, and it holds shared_ptrs, so
+  /// in-flight consumers pin evicted values safely. 0 disables
+  /// cross-job subrelation memoization entirely (per-evaluation
+  /// hash-consing inside MatrixEngine still runs).
+  std::size_t relation_cache_bytes = ppl::RelationCache::kDefaultMaxBytes;
 };
 
 /// Monitoring counters (monotone except documents/hot_caches/
@@ -115,6 +125,9 @@ struct DocumentStoreStats {
   std::uint64_t cache_hits = 0;       // AxisCacheFor served an existing cache
   std::uint64_t cache_retirements = 0;  // caches dropped by the LRU bound
   std::uint64_t intern_hits = 0;      // Intern() found an existing document
+  std::uint64_t relation_hits = 0;    // subrelation-cache hits (all docs)
+  std::uint64_t relation_misses = 0;  // subrelation-cache misses
+  std::size_t relation_cache_bytes = 0;  // gauge: resident subrelation bytes
 };
 
 /// Thread-safe sharded DocumentId -> Document corpus with per-document
@@ -162,6 +175,12 @@ class DocumentStore {
   /// never LRU-retired. Null for unknown ids.
   std::shared_ptr<PlanMemo> PlanMemoFor(DocumentId id) const;
 
+  /// The document's persistent subrelation cache (ppl/relation_cache.h),
+  /// created with the document when relation_cache_bytes > 0. Like the
+  /// PlanMemo it is never LRU-retired (its own byte budget bounds it).
+  /// Null for unknown ids and when the store disables relation caching.
+  std::shared_ptr<ppl::RelationCache> RelationCacheFor(DocumentId id) const;
+
   /// Number of shards (>= 1, fixed at construction).
   std::size_t num_shards() const { return shards_.size(); }
   /// The shard owning `id` -- a pure function of the id, so callers (the
@@ -180,6 +199,8 @@ class DocumentStore {
     DocumentPtr doc;
     std::shared_ptr<AxisCache> cache;       // null when cold / retired
     std::shared_ptr<PlanMemo> plans;         // created with the document
+    /// Subrelation cache, created with the document; null iff disabled.
+    std::shared_ptr<ppl::RelationCache> relations;
     std::list<DocumentId>::iterator lru_it;  // valid iff cache != null
     std::string intern_key;  // nonempty iff created by Intern()
   };

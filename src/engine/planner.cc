@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <limits>
 #include <utility>
+#include <vector>
 
 #include "common/bit_matrix.h"
 #include "ppl/pplbin.h"
@@ -125,6 +126,26 @@ struct SparseEst {
   double peak_runs = 0.0;  // max total runs live at once
 };
 
+/// Shape and cost of one sparse composition a/b, given the operand
+/// estimates. Per output row the SpGEMM gathers a run from b for every
+/// (set cell of a's row, run of the selected b row) pair, then either
+/// sort-merges them or blits a dense accumulator row -- whichever the
+/// kernel's own per-row fallback would pick. Factored out so the
+/// reassociation DP can estimate subchain shapes with the same
+/// arithmetic the crossover uses.
+SparseEst ComposeEstimates(const SparseEst& a, const SparseEst& b,
+                           double n) {
+  SparseEst out;
+  const double k = std::max(1.0, a.nnz * b.runs);
+  const double merge = std::min(k * std::log2(k + 2.0), k + n / 32.0);
+  out.cost = a.cost + b.cost + n * merge;
+  out.nnz = std::min(n, a.nnz * b.nnz);
+  out.runs = std::max(1.0, std::min(k, out.nnz));
+  out.peak_runs = std::max({a.peak_runs, b.peak_runs,
+                            n * (a.runs + b.runs + out.runs)});
+  return out;
+}
+
 SparseEst SparseCost(const ppl::PplBinExpr& p, const Tree& tree) {
   const TreeStats& s = tree.Stats();
   const double n =
@@ -175,22 +196,9 @@ SparseEst SparseCost(const ppl::PplBinExpr& p, const Tree& tree) {
       out.peak_runs = n * runs;
       return out;
     }
-    case ppl::PplBinKind::kCompose: {
-      const SparseEst a = SparseCost(*p.left, tree);
-      const SparseEst b = SparseCost(*p.right, tree);
-      // Per output row the SpGEMM gathers a run from b for every (set
-      // cell of a's row, run of the selected b row) pair, then either
-      // sort-merges them or blits a dense accumulator row -- whichever
-      // the kernel's own per-row fallback would pick.
-      const double k = std::max(1.0, a.nnz * b.runs);
-      const double merge = std::min(k * std::log2(k + 2.0), k + n / 32.0);
-      out.cost = a.cost + b.cost + n * merge;
-      out.nnz = std::min(n, a.nnz * b.nnz);
-      out.runs = std::max(1.0, std::min(k, out.nnz));
-      out.peak_runs = std::max({a.peak_runs, b.peak_runs,
-                                n * (a.runs + b.runs + out.runs)});
-      return out;
-    }
+    case ppl::PplBinKind::kCompose:
+      return ComposeEstimates(SparseCost(*p.left, tree),
+                              SparseCost(*p.right, tree), n);
     case ppl::PplBinKind::kUnion: {
       const SparseEst a = SparseCost(*p.left, tree);
       const SparseEst b = SparseCost(*p.right, tree);
@@ -251,6 +259,139 @@ bool HasNonStepComplement(const ppl::PplBinExpr& p) {
   return false;
 }
 
+/// Cost of the single Boolean product a/b, EXCLUDING the cost of
+/// building the operands (each factor of a chain is built exactly once
+/// whatever the association, so only the product costs differ between
+/// parenthesizations). Dense: the row-OR kernel walks the set bits of
+/// each of a's n rows and ORs one ceil(n/64)-word row of b per bit, plus
+/// initializing the result. Sparse: the per-row run merge from
+/// ComposeEstimates.
+double ComposeStepCost(const SparseEst& a, const SparseEst& b, double n,
+                       bool dense) {
+  if (dense) return (n + n * a.nnz) * WordsPerRow(n);
+  const double k = std::max(1.0, a.nnz * b.runs);
+  const double merge = std::min(k * std::log2(k + 2.0), k + n / 32.0);
+  return n * merge;
+}
+
+/// Collects the maximal composition chain rooted at `p` left to right:
+/// a/(b/c) and (a/b)/c both flatten to [a, b, c].
+void FlattenCompose(const ppl::PplBinExpr& p,
+                    std::vector<const ppl::PplBinExpr*>* out) {
+  if (p.kind == ppl::PplBinKind::kCompose) {
+    FlattenCompose(*p.left, out);
+    FlattenCompose(*p.right, out);
+    return;
+  }
+  out->push_back(&p);
+}
+
+/// Rebuilds `node`'s composition skeleton, consuming `factors` left to
+/// right at the leaves -- the as-parsed association over the (already
+/// reassociated) factors, used to detect whether the DP changed anything.
+ppl::PplBinPtr CloneSkeleton(const ppl::PplBinExpr& node,
+                             const std::vector<ppl::PplBinPtr>& factors,
+                             std::size_t* next) {
+  if (node.kind == ppl::PplBinKind::kCompose) {
+    ppl::PplBinPtr l = CloneSkeleton(*node.left, factors, next);
+    ppl::PplBinPtr r = CloneSkeleton(*node.right, factors, next);
+    return ppl::PplBinExpr::Compose(std::move(l), std::move(r));
+  }
+  return factors[(*next)++]->Clone();
+}
+
+/// Builds the DP-optimal association over factors[i..j] from the split
+/// table, moving the factor subtrees into place.
+struct ChainBuilder {
+  const std::vector<std::vector<std::size_t>>& split;
+  std::vector<ppl::PplBinPtr>& factors;
+
+  ppl::PplBinPtr Build(std::size_t i, std::size_t j) {
+    if (i == j) return std::move(factors[i]);
+    const std::size_t s = split[i][j];
+    return ppl::PplBinExpr::Compose(Build(i, s), Build(s + 1, j));
+  }
+};
+
+/// The matrix-chain reassociation DP. Returns `p` rewritten so every
+/// maximal composition chain of >= 3 factors carries the association the
+/// cost model estimates cheapest; factor order -- and hence the denoted
+/// relation (Boolean matrix product is associative) -- is unchanged.
+/// `*chains` counts the chains whose association actually changed.
+ppl::PplBinPtr Reassociate(const ppl::PplBinExpr& p, const Tree& tree,
+                           bool dense, std::size_t* chains) {
+  switch (p.kind) {
+    case ppl::PplBinKind::kStep:
+      return p.Clone();
+    case ppl::PplBinKind::kComplement:
+      return ppl::PplBinExpr::Complement(
+          Reassociate(*p.left, tree, dense, chains));
+    case ppl::PplBinKind::kFilter:
+      return ppl::PplBinExpr::Filter(
+          Reassociate(*p.left, tree, dense, chains));
+    case ppl::PplBinKind::kUnion:
+      return ppl::PplBinExpr::Union(
+          Reassociate(*p.left, tree, dense, chains),
+          Reassociate(*p.right, tree, dense, chains));
+    case ppl::PplBinKind::kCompose:
+      break;
+  }
+
+  std::vector<const ppl::PplBinExpr*> raw;
+  FlattenCompose(p, &raw);
+  std::vector<ppl::PplBinPtr> factors;
+  factors.reserve(raw.size());
+  for (const ppl::PplBinExpr* f : raw) {
+    factors.push_back(Reassociate(*f, tree, dense, chains));
+  }
+  const std::size_t k = factors.size();
+  if (k < 3) {
+    // One association exists; rebuild as parsed.
+    ppl::PplBinPtr out = std::move(factors[0]);
+    for (std::size_t i = 1; i < k; ++i) {
+      out = ppl::PplBinExpr::Compose(std::move(out), std::move(factors[i]));
+    }
+    return out;
+  }
+
+  const double n =
+      static_cast<double>(std::max<std::size_t>(tree.Stats().node_count, 1));
+  // est[i][j]: run-shape estimate of the product of factors i..j; the
+  // factor estimates come from the same SparseCost arithmetic the
+  // dense/sparse crossover uses (shape estimates are representation-
+  // independent; only the per-product cost formula differs).
+  std::vector<std::vector<SparseEst>> est(k, std::vector<SparseEst>(k));
+  std::vector<std::vector<double>> cost(k, std::vector<double>(k, 0.0));
+  std::vector<std::vector<std::size_t>> split(
+      k, std::vector<std::size_t>(k, 0));
+  for (std::size_t i = 0; i < k; ++i) est[i][i] = SparseCost(*raw[i], tree);
+  for (std::size_t len = 2; len <= k; ++len) {
+    for (std::size_t i = 0; i + len <= k; ++i) {
+      const std::size_t j = i + len - 1;
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_s = i;
+      for (std::size_t s = i; s < j; ++s) {
+        const double c = cost[i][s] + cost[s + 1][j] +
+                         ComposeStepCost(est[i][s], est[s + 1][j], n, dense);
+        if (c < best) {
+          best = c;
+          best_s = s;
+        }
+      }
+      cost[i][j] = best;
+      split[i][j] = best_s;
+      est[i][j] = ComposeEstimates(est[i][best_s], est[best_s + 1][j], n);
+    }
+  }
+
+  std::size_t next = 0;
+  const ppl::PplBinPtr parsed = CloneSkeleton(p, factors, &next);
+  ChainBuilder builder{split, factors};
+  ppl::PplBinPtr optimized = builder.Build(0, k - 1);
+  if (!optimized->Equals(*parsed)) ++*chains;
+  return optimized;
+}
+
 }  // namespace
 
 std::string_view ResultShapeName(ResultShape shape) {
@@ -285,6 +426,20 @@ std::string_view StreamBackingName(StreamBacking backing) {
   std::abort();  // unreachable: the switch above covers every enumerator
 }
 
+bool ExecutionPlan::operator==(const ExecutionPlan& other) const {
+  if (engine != other.engine || shape != other.shape ||
+      row_restricted != other.row_restricted || backing != other.backing ||
+      repr != other.repr || cost != other.cost ||
+      alternative_cost != other.alternative_cost ||
+      chains_reassociated != other.chains_reassociated) {
+    return false;
+  }
+  if ((reassociated == nullptr) != (other.reassociated == nullptr)) {
+    return false;
+  }
+  return reassociated == nullptr || reassociated->Equals(*other.reassociated);
+}
+
 std::string ExecutionPlan::DebugString() const {
   char buf[192];
   std::snprintf(buf, sizeof(buf), "%s/%s%s%s%s%s%s cost=%.3g alt=%.3g",
@@ -300,14 +455,20 @@ std::string ExecutionPlan::DebugString() const {
                     ? std::string(MatrixReprName(repr)).c_str()
                     : "",
                 cost, alternative_cost);
-  return buf;
+  std::string out = buf;
+  if (chains_reassociated > 0) {
+    std::snprintf(buf, sizeof(buf), " reassoc=%u", chains_reassociated);
+    out += buf;
+  }
+  return out;
 }
 
 ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
                         ResultShape shape,
                         std::optional<EnginePlan> force_engine,
                         std::size_t stream_limit,
-                        std::optional<MatrixRepr> force_repr) {
+                        std::optional<MatrixRepr> force_repr,
+                        bool force_parse_order) {
   ExecutionPlan plan;
   plan.shape = shape;
   const double n =
@@ -458,6 +619,22 @@ ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
   if (q.positive && plan.alternative_cost == 0.0) {
     plan.alternative_cost =
         chosen == EnginePlan::kGkpPositive ? matrix_cost : gkp_cost;
+  }
+
+  // Composition-chain reassociation: only matrix plans that materialize
+  // relations care about association order (monadic sweeps are
+  // association-invariant), and forced parse-order plans are the
+  // differential baseline.
+  if (!force_parse_order && plan.engine == EnginePlan::kMatrixGeneral &&
+      materializes) {
+    std::size_t chains = 0;
+    ppl::PplBinPtr opt = Reassociate(
+        *q.pplbin, tree, plan.repr != MatrixRepr::kSparse, &chains);
+    if (chains > 0) {
+      plan.reassociated =
+          std::shared_ptr<const ppl::PplBinExpr>(std::move(opt));
+      plan.chains_reassociated = static_cast<std::uint32_t>(chains);
+    }
   }
   return plan;
 }

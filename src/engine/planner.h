@@ -39,6 +39,7 @@
 #define XPV_ENGINE_PLANNER_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -47,6 +48,7 @@
 
 #include "common/sparse_matrix.h"
 #include "engine/compiled_query.h"
+#include "ppl/pplbin.h"
 #include "tree/tree.h"
 
 namespace xpv::engine {
@@ -111,8 +113,22 @@ struct ExecutionPlan {
   /// alternative existed).
   double cost = 0.0;
   double alternative_cost = 0.0;
+  /// Matrix plans that materialize relations: the query rewritten by the
+  /// matrix-chain reassociation DP (composition chains re-parenthesized
+  /// into the estimated-cheapest association; factor order, and hence
+  /// the denoted relation, unchanged). Null when no chain changed --
+  /// execution then evaluates the compiled form as parsed. Execution
+  /// uses `reassociated` when set; forced parse-order runs
+  /// (QueryJob::force_parse_order) plan with the DP disabled so
+  /// association-order differentials stay possible.
+  std::shared_ptr<const ppl::PplBinExpr> reassociated;
+  /// Number of composition chains whose association the DP changed.
+  std::uint32_t chains_reassociated = 0;
 
-  bool operator==(const ExecutionPlan&) const = default;
+  /// Structural equality: plans are deterministic functions of (query,
+  /// tree stats, shape), so independently computed plans compare equal
+  /// -- the reassociated expression by structure, not pointer.
+  bool operator==(const ExecutionPlan& other) const;
 
   /// E.g. "gkp-positive/from-root-set row-restricted cost=1.2e3 alt=5e6".
   std::string DebugString() const;
@@ -138,11 +154,26 @@ struct ExecutionPlan {
 /// `force_repr` (tests, ablations) pins the matrix representation the
 /// plan executes with, bypassing the crossover (and, in QueryService, the
 /// PlanMemo -- forced plans are never memoized).
+///
+/// `force_parse_order` (tests, ablations) disables the composition-chain
+/// reassociation DP, so the plan evaluates the query exactly as parsed
+/// -- the baseline for association-order differentials. Like the other
+/// overrides it bypasses the PlanMemo in QueryService.
+///
+/// Reassociation runs only for matrix plans that materialize relations
+/// (full-relation shapes, and monadic plans whose complement structure
+/// forces sub-matrices): purely monadic evaluation is a left-to-right
+/// vector sweep whose cost is association-invariant, and row
+/// restrictions push through a reassociated chain unchanged (Image
+/// recursion handles any parenthesization), so matrixxmatrix products
+/// become vectorxmatrix sweeps wherever the shape allows regardless of
+/// the association the DP picked for the materialized parts.
 ExecutionPlan PlanQuery(const CompiledQuery& q, const Tree& tree,
                         ResultShape shape,
                         std::optional<EnginePlan> force_engine = {},
                         std::size_t stream_limit = 0,
-                        std::optional<MatrixRepr> force_repr = {});
+                        std::optional<MatrixRepr> force_repr = {},
+                        bool force_parse_order = false);
 
 /// True when executing `plan` for `q` must materialize at least one dense
 /// |t| x |t| BitMatrix: every kNaryAnswer plan (the HCL / Fig. 8

@@ -1,12 +1,16 @@
 #include "engine/query_cache.h"
 
+#include <utility>
+
 namespace xpv::engine {
 
 Result<std::shared_ptr<const CompiledQuery>> QueryCache::GetOrCompile(
     std::string_view text) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(std::string(text));
+    std::string key(text);
+    auto alias = aliases_.find(key);
+    auto it = entries_.find(alias == aliases_.end() ? key : alias->second);
     if (it != entries_.end()) {
       ++hits_;
       if (it->second.query != nullptr) return it->second.query;
@@ -19,17 +23,22 @@ Result<std::shared_ptr<const CompiledQuery>> QueryCache::GetOrCompile(
   Result<std::shared_ptr<const CompiledQuery>> compiled = CompileQuery(text);
   std::lock_guard<std::mutex> lock(mu_);
   ++misses_;
-  if (entries_.size() >= max_entries_ &&
-      !entries_.contains(std::string(text))) {
-    return compiled;  // full: serve uncached
-  }
-  auto [it, inserted] = entries_.try_emplace(std::string(text));
-  if (inserted) {
+  // Successes are stored under the canonical text so every raw variant
+  // shares one entry; failures have no canonical form and key by raw.
+  const std::string key = compiled.ok() ? (*compiled)->canonical_text
+                                        : std::string(text);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= max_entries_) return compiled;  // full: uncached
+    it = entries_.try_emplace(key).first;
     if (compiled.ok()) {
       it->second.query = *compiled;
     } else {
       it->second.error = compiled.status();
     }
+  }
+  if (key != text && aliases_.size() < max_entries_) {
+    aliases_.emplace(std::string(text), key);
   }
   if (it->second.query != nullptr) return it->second.query;
   return it->second.error;
@@ -38,6 +47,11 @@ Result<std::shared_ptr<const CompiledQuery>> QueryCache::GetOrCompile(
 std::size_t QueryCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+std::size_t QueryCache::aliases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aliases_.size();
 }
 
 std::size_t QueryCache::hits() const {

@@ -1,11 +1,17 @@
-// Thread-safe compiled-query cache keyed by query text.
+// Thread-safe compiled-query cache keyed by *canonical* query text.
 //
 // A production service sees the same query strings over and over (the
 // paper's motivating bibliography/restaurant lookups are templates); the
 // cache makes parse + simplify + classify a once-per-distinct-query cost.
-// Failed compilations are cached too, so malformed queries hammering the
-// service stay O(1) after the first attempt. The entry count is bounded:
-// once full, unseen texts are still compiled and served but no longer
+// Successful compilations are stored under the query's round-tripped
+// canonical surface text (CompiledQuery::canonical_text), with a raw-text
+// alias index in front: whitespace, parenthesization and abbreviation
+// variants of one query share a single entry -- and hence one plan-memo
+// entry and one RelationCache key family downstream. Failed compilations
+// have no canonical form; they are cached under the raw text, so
+// malformed queries hammering the service stay O(1) after the first
+// attempt. Both the entry count and the alias count are bounded: once
+// full, unseen texts are still compiled and served but no longer
 // inserted, so a stream of distinct (e.g. adversarial) query strings
 // cannot grow the cache without limit.
 #ifndef XPV_ENGINE_QUERY_CACHE_H_
@@ -23,13 +29,14 @@
 
 namespace xpv::engine {
 
-/// Memoizes CompileQuery by exact query text. Shared_ptr values are
-/// immutable, so returned queries can be used concurrently with further
-/// cache mutation.
+/// Memoizes CompileQuery under canonical query text with a raw-text
+/// alias index. Shared_ptr values are immutable, so returned queries can
+/// be used concurrently with further cache mutation.
 class QueryCache {
  public:
-  /// `max_entries` caps the number of cached texts (successes and
-  /// failures alike); 0 disables caching entirely.
+  /// `max_entries` caps the number of cached canonical entries (and,
+  /// independently, the number of raw-text aliases); 0 disables caching
+  /// entirely.
   explicit QueryCache(std::size_t max_entries = kDefaultMaxEntries)
       : max_entries_(max_entries) {}
 
@@ -42,9 +49,15 @@ class QueryCache {
   Result<std::shared_ptr<const CompiledQuery>> GetOrCompile(
       std::string_view text);
 
-  /// Number of cached entries (successes + failures).
+  /// Number of cached canonical entries (successes + failures). Aliased
+  /// raw variants do not add entries: after compiling "a/b" and
+  /// " a / b ", size() is 1.
   std::size_t size() const;
-  /// Hits = lookups served from the cache; misses = compilations.
+  /// Raw texts aliased onto a canonical entry (excluding raw texts that
+  /// equal their canonical form).
+  std::size_t aliases() const;
+  /// Hits = lookups served from the cache (by canonical entry or alias);
+  /// misses = compilations.
   std::size_t hits() const;
   std::size_t misses() const;
 
@@ -56,7 +69,10 @@ class QueryCache {
 
   mutable std::mutex mu_;
   std::size_t max_entries_;
+  /// Canonical text (raw text for failures) -> compiled entry.
   std::unordered_map<std::string, Entry> entries_;
+  /// Raw text -> canonical text, for raw texts that differ from it.
+  std::unordered_map<std::string, std::string> aliases_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };

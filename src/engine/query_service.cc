@@ -18,6 +18,7 @@ struct ResolvedDoc {
   DocumentPtr doc;
   std::shared_ptr<AxisCache> cache;
   std::shared_ptr<PlanMemo> plans;
+  std::shared_ptr<ppl::RelationCache> relations;
 };
 
 /// Everything one batch needs from submission to completion. Shared by
@@ -34,6 +35,18 @@ struct BatchState {
   // Prepared run state (PrepareRun).
   std::vector<QueryResult> results;
   std::unordered_map<const Tree*, std::shared_ptr<AxisCache>> tree_caches;
+  /// Tree*-addressed jobs get a per-batch subrelation cache per distinct
+  /// tree (the store's persistent per-document caches cover id-addressed
+  /// jobs): jobs of one batch sharing a caller-owned tree still evaluate
+  /// each distinct subrelation once.
+  std::unordered_map<const Tree*, std::shared_ptr<ppl::RelationCache>>
+      tree_relations;
+  /// Per-job compiled queries, filled by PrepareRun's CSE pass (empty
+  /// for doomed or single-job batches): workers reuse them instead of
+  /// re-consulting the QueryCache, so each job costs one cache lookup
+  /// per batch no matter which path resolved it.
+  std::vector<std::optional<Result<std::shared_ptr<const CompiledQuery>>>>
+      compiled;
   std::unordered_map<DocumentId, ResolvedDoc> docs;
   /// Job indices grouped by resident store shard; the last group holds
   /// Tree*-addressed and malformed jobs (no shard affinity).
@@ -125,8 +138,9 @@ QueryService::~QueryService() {
 QueryResult QueryService::Evaluate(const Tree& tree, std::string_view query,
                                    ResultShape shape) {
   QueryResult result = RunJob(&tree, std::string(query), shape, std::nullopt,
-                              std::nullopt,
-                              std::make_shared<AxisCache>(tree), nullptr);
+                              std::nullopt, /*force_parse_order=*/false,
+                              std::make_shared<AxisCache>(tree), nullptr,
+                              nullptr);
   jobs_completed_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
@@ -147,16 +161,21 @@ QueryResult QueryService::Evaluate(DocumentId document, std::string_view query,
     return result;
   }
   return RunJob(&doc->tree(), std::string(query), shape, std::nullopt,
-                std::nullopt, store_->AxisCacheFor(document),
-                store_->PlanMemoFor(document));
+                std::nullopt, /*force_parse_order=*/false,
+                store_->AxisCacheFor(document),
+                store_->PlanMemoFor(document),
+                store_->RelationCacheFor(document));
 }
 
 QueryResult QueryService::RunJob(
     const Tree* tree, const std::string& query, ResultShape shape,
     const std::optional<EnginePlan>& engine_override,
-    const std::optional<MatrixRepr>& repr_override,
+    const std::optional<MatrixRepr>& repr_override, bool force_parse_order,
     const std::shared_ptr<AxisCache>& tree_cache,
-    const std::shared_ptr<PlanMemo>& plan_memo, CancelToken cancel) {
+    const std::shared_ptr<PlanMemo>& plan_memo,
+    const std::shared_ptr<ppl::RelationCache>& relations,
+    const Result<std::shared_ptr<const CompiledQuery>>* precompiled,
+    CancelToken cancel) {
   QueryResult result;
   if (shape == ResultShape::kTupleStream) {
     result.status = Status::InvalidArgument(
@@ -167,8 +186,12 @@ QueryResult QueryService::RunJob(
     result.status = Status::InvalidArgument("job has no tree");
     return result;
   }
-  Result<std::shared_ptr<const CompiledQuery>> compiled =
-      cache_.GetOrCompile(query);
+  std::optional<Result<std::shared_ptr<const CompiledQuery>>> own_compiled;
+  if (precompiled == nullptr) {
+    own_compiled.emplace(cache_.GetOrCompile(query));
+    precompiled = &*own_compiled;
+  }
+  const Result<std::shared_ptr<const CompiledQuery>>& compiled = *precompiled;
   if (!compiled.ok()) {
     result.status = compiled.status();
     return result;
@@ -194,12 +217,15 @@ QueryResult QueryService::RunJob(
           "' is not admissible for query: " + q.text);
       return result;
     }
-    plan = PlanQuery(q, t, shape, engine_override, 0, repr_override);
-  } else if (repr_override.has_value()) {
-    plan = PlanQuery(q, t, shape, {}, 0, repr_override);
+    plan = PlanQuery(q, t, shape, engine_override, 0, repr_override,
+                     force_parse_order);
+  } else if (repr_override.has_value() || force_parse_order) {
+    plan = PlanQuery(q, t, shape, {}, 0, repr_override, force_parse_order);
   } else if (plan_memo != nullptr) {
+    // Memoized under the canonical text: syntactic variants of one query
+    // share one plan entry (mirroring the QueryCache's canonical keying).
     plan = plan_memo->GetOrCompute(
-        q.text, shape, [&] { return PlanQuery(q, t, shape); });
+        q.canonical_text, shape, [&] { return PlanQuery(q, t, shape); });
   } else {
     plan = PlanQuery(q, t, shape);
   }
@@ -222,10 +248,21 @@ QueryResult QueryService::RunJob(
   const std::shared_ptr<AxisCache> cache =
       tree_cache != nullptr ? tree_cache : std::make_shared<AxisCache>(t);
 
+  // Executed matrix plans whose chains the DP re-parenthesized evaluate
+  // the reassociated form -- same factor order, cheapest association.
+  const ppl::PplBinExpr* pplbin = q.pplbin.get();
+  if (plan.engine == EnginePlan::kMatrixGeneral &&
+      plan.reassociated != nullptr) {
+    pplbin = plan.reassociated.get();
+    chains_reassociated_.fetch_add(plan.chains_reassociated,
+                                   std::memory_order_relaxed);
+  }
+
   // Execute stage: dispatch through the plan.
   switch (plan.engine) {
     case EnginePlan::kGkpPositive: {
       ppl::GkpEngine engine(cache);
+      engine.set_relation_cache(relations);
       if (plan.row_restricted) {
         Result<BitVector> image = engine.FromRoot(*q.pplbin);
         if (!image.ok()) {
@@ -236,6 +273,14 @@ QueryResult QueryService::RunJob(
         return result;
       }
       Result<BitMatrix> rel = engine.Relation(*q.pplbin);
+      if (engine.subrel_hits() != 0) {
+        subrel_hits_.fetch_add(engine.subrel_hits(),
+                               std::memory_order_relaxed);
+      }
+      if (engine.subrel_misses() != 0) {
+        subrel_misses_.fetch_add(engine.subrel_misses(),
+                                 std::memory_order_relaxed);
+      }
       if (!rel.ok()) {
         result.status = rel.status();
         return result;
@@ -246,8 +291,9 @@ QueryResult QueryService::RunJob(
     case EnginePlan::kMatrixGeneral: {
       ppl::MatrixEngine engine(cache, ppl::MultiplyMode::kBitPacked,
                                plan.repr);
+      engine.set_relation_cache(relations);
       if (plan.row_restricted) {
-        Result<BitVector> image = engine.EvaluateFromRoot(*q.pplbin);
+        Result<BitVector> image = engine.EvaluateFromRoot(*pplbin);
         AccumulateEngineStats(engine.stats());
         if (!image.ok()) {
           result.status = image.status();
@@ -256,7 +302,7 @@ QueryResult QueryService::RunJob(
         FinishMonadic(result, plan.shape, std::move(image).value());
         return result;
       }
-      Result<ppl::AnyMatrix> rel = engine.EvaluateAny(*q.pplbin);
+      Result<ppl::AnyMatrix> rel = engine.EvaluateAny(*pplbin);
       AccumulateEngineStats(engine.stats());
       if (!rel.ok()) {
         result.status = rel.status();
@@ -366,6 +412,7 @@ void QueryService::PrepareRun(BatchState& run) {
           if (resolved.doc != nullptr) {
             resolved.cache = store_->AxisCacheFor(job.document);
             resolved.plans = store_->PlanMemoFor(job.document);
+            resolved.relations = store_->RelationCacheFor(job.document);
           }
           run.docs.emplace(job.document, std::move(resolved));
         }
@@ -373,6 +420,8 @@ void QueryService::PrepareRun(BatchState& run) {
                  !run.tree_caches.contains(job.tree)) {
         run.tree_caches.emplace(job.tree,
                                 std::make_shared<AxisCache>(*job.tree));
+        run.tree_relations.emplace(job.tree,
+                                   std::make_shared<ppl::RelationCache>());
       }
     }
   }
@@ -392,6 +441,34 @@ void QueryService::PrepareRun(BatchState& run) {
         sharded ? store_->shard_of(job.document) : num_shard_groups;
     run.groups[g].push_back(i);
   }
+  // Batch-level common-subexpression ordering: within each group, jobs
+  // on one document sharing one canonical query run back to back, so the
+  // first evaluates each distinct subrelation and the rest hit the
+  // document's RelationCache while the entries are hottest (LRU eviction
+  // between distant duplicates can otherwise lose the reuse under a
+  // tight byte budget). Warming the compile cache here also makes the
+  // canonical text available for the sort; workers then hit it. Results
+  // are order-independent (each job writes only its own slot), so this
+  // reordering never changes output, only reuse.
+  if (!doomed && jobs.size() > 1) {
+    run.compiled.reserve(jobs.size());
+    std::vector<std::string> keys(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const QueryJob& job = jobs[i];
+      run.compiled.emplace_back(cache_.GetOrCompile(job.query));
+      const auto& compiled = *run.compiled.back();
+      keys[i] = std::to_string(job.document);
+      keys[i].push_back('\x1f');
+      keys[i] += compiled.ok() ? (*compiled)->canonical_text : job.query;
+    }
+    for (std::vector<std::size_t>& group : run.groups) {
+      std::stable_sort(group.begin(), group.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return keys[a] < keys[b];
+                       });
+    }
+  }
+
   run.cursors =
       std::make_unique<std::atomic<std::size_t>[]>(run.groups.size());
   for (std::size_t g = 0; g < run.groups.size(); ++g) {
@@ -421,6 +498,10 @@ void QueryService::RunOne(BatchState& run, std::size_t i) {
   // long-running n-ary job stops mid-run instead of running to
   // completion; attribute the slot to the counter matching its outcome.
   const CancelToken token(&run.cancelled, run.deadline);
+  const Result<std::shared_ptr<const CompiledQuery>>* precompiled =
+      i < run.compiled.size() && run.compiled[i].has_value()
+          ? &*run.compiled[i]
+          : nullptr;
   if (job.document != kNoDocument && job.tree != nullptr) {
     run.results[i].status = Status::InvalidArgument(
         "job addresses both a DocumentId and a raw tree");
@@ -436,17 +517,20 @@ void QueryService::RunOne(BatchState& run, std::size_t i) {
       } else {
         run.results[i] =
             RunJob(&resolved.doc->tree(), job.query, job.shape,
-                   job.engine_override, job.repr_override, resolved.cache,
-                   resolved.plans, token);
+                   job.engine_override, job.repr_override,
+                   job.force_parse_order, resolved.cache, resolved.plans,
+                   resolved.relations, precompiled, token);
       }
     }
   } else {
     auto it = run.tree_caches.find(job.tree);
+    auto rel_it = run.tree_relations.find(job.tree);
     run.results[i] =
         RunJob(job.tree, job.query, job.shape, job.engine_override,
-               job.repr_override,
+               job.repr_override, job.force_parse_order,
                it == run.tree_caches.end() ? nullptr : it->second, nullptr,
-               token);
+               rel_it == run.tree_relations.end() ? nullptr : rel_it->second,
+               precompiled, token);
   }
   switch (run.results[i].status.code()) {
     case StatusCode::kCancelled:
@@ -579,20 +663,21 @@ Result<QueryStream> QueryService::OpenStream(DocumentId document,
   // answers (see the stream-outlives-Remove tests).
   std::shared_ptr<AxisCache> cache = store_->AxisCacheFor(document);
   const Tree* tree = &doc->tree();
-  return OpenStreamImpl(std::move(doc), tree, std::move(cache), query,
-                        options);
+  return OpenStreamImpl(std::move(doc), tree, std::move(cache),
+                        store_->RelationCacheFor(document), query, options);
 }
 
 Result<QueryStream> QueryService::OpenStream(const Tree& tree,
                                              std::string_view query,
                                              StreamOptions options) {
   return OpenStreamImpl(nullptr, &tree, std::make_shared<AxisCache>(tree),
-                        query, options);
+                        nullptr, query, options);
 }
 
 Result<QueryStream> QueryService::OpenStreamImpl(
     DocumentPtr doc, const Tree* tree, std::shared_ptr<AxisCache> cache,
-    std::string_view query, StreamOptions options) {
+    std::shared_ptr<ppl::RelationCache> relations, std::string_view query,
+    StreamOptions options) {
   if (tree == nullptr || tree->empty()) {
     return Status::InvalidArgument("stream has no tree");
   }
@@ -651,6 +736,7 @@ Result<QueryStream> QueryService::OpenStreamImpl(
   state->doc = std::move(doc);
   state->tree = tree;
   state->cache = std::move(cache);
+  state->relations = std::move(relations);
   state->compiled = std::move(compiled).value();
   state->plan = plan;
   state->options = options;
@@ -712,7 +798,16 @@ ServiceStats QueryService::stats() const {
   s.dense_products = dense_products_.load(std::memory_order_relaxed);
   s.sparse_products = sparse_products_.load(std::memory_order_relaxed);
   s.repr_crossovers = repr_crossovers_.load(std::memory_order_relaxed);
-  if (store_ != nullptr) s.shard_stats = store_->shard_stats();
+  s.subrel_hits = subrel_hits_.load(std::memory_order_relaxed);
+  s.subrel_misses = subrel_misses_.load(std::memory_order_relaxed);
+  s.chains_reassociated =
+      chains_reassociated_.load(std::memory_order_relaxed);
+  if (store_ != nullptr) {
+    s.shard_stats = store_->shard_stats();
+    for (const DocumentStoreStats& shard : s.shard_stats) {
+      s.subrel_bytes += shard.relation_cache_bytes;
+    }
+  }
   return s;
 }
 
@@ -725,6 +820,12 @@ void QueryService::AccumulateEngineStats(const ppl::MatrixEngineStats& s) {
   }
   if (s.repr_crossovers != 0) {
     repr_crossovers_.fetch_add(s.repr_crossovers, std::memory_order_relaxed);
+  }
+  if (s.subrel_hits != 0) {
+    subrel_hits_.fetch_add(s.subrel_hits, std::memory_order_relaxed);
+  }
+  if (s.subrel_misses != 0) {
+    subrel_misses_.fetch_add(s.subrel_misses, std::memory_order_relaxed);
   }
 }
 

@@ -113,6 +113,11 @@ struct QueryJob {
   /// without an engine_override it routes the job to the matrix engine.
   /// Bypasses the per-document plan memo.
   std::optional<MatrixRepr> repr_override;
+  /// Tests and ablations only: disable the planner's composition-chain
+  /// reassociation DP so the job evaluates the query exactly as parsed --
+  /// the baseline side of association-order differentials. Bypasses the
+  /// per-document plan memo.
+  bool force_parse_order = false;
 };
 
 /// Outcome of one job. Which payload fields are populated follows the
@@ -249,6 +254,21 @@ struct ServiceStats {
   std::uint64_t dense_products = 0;
   std::uint64_t sparse_products = 0;
   std::uint64_t repr_crossovers = 0;
+  /// Subrelation-cache consults by executed jobs (ppl/relation_cache.h):
+  /// hits served a materialized interior subexpression without
+  /// recomputing it; misses evaluated and (budget permitting) inserted
+  /// it. GKP jobs consult at whole-relation granularity, matrix jobs per
+  /// interior node. Stream-served consults are visible in the store's
+  /// relation_hits/relation_misses, not here (same split as the kernel
+  /// counters above).
+  std::uint64_t subrel_hits = 0;
+  std::uint64_t subrel_misses = 0;
+  /// Gauge: resident bytes across every document's subrelation cache.
+  std::size_t subrel_bytes = 0;
+  /// Composition chains whose association the planner's DP changed,
+  /// summed over executed matrix plans (a memoized plan counts each time
+  /// a job runs it).
+  std::uint64_t chains_reassociated = 0;
   /// Per-shard corpus counters (empty when the service has no store).
   std::vector<DocumentStoreStats> shard_stats;
 };
@@ -321,19 +341,25 @@ class QueryService {
   DocumentStore* document_store() const { return store_; }
 
  private:
-  QueryResult RunJob(const Tree* tree, const std::string& query,
-                     ResultShape shape,
-                     const std::optional<EnginePlan>& engine_override,
-                     const std::optional<MatrixRepr>& repr_override,
-                     const std::shared_ptr<AxisCache>& tree_cache,
-                     const std::shared_ptr<PlanMemo>& plan_memo,
-                     CancelToken cancel = {});
+  /// `precompiled` (optional) is the batch-prepare pass's QueryCache
+  /// result for this job's text; when set, RunJob skips its own cache
+  /// lookup so each job costs exactly one lookup per batch.
+  QueryResult RunJob(
+      const Tree* tree, const std::string& query, ResultShape shape,
+      const std::optional<EnginePlan>& engine_override,
+      const std::optional<MatrixRepr>& repr_override, bool force_parse_order,
+      const std::shared_ptr<AxisCache>& tree_cache,
+      const std::shared_ptr<PlanMemo>& plan_memo,
+      const std::shared_ptr<ppl::RelationCache>& relations,
+      const Result<std::shared_ptr<const CompiledQuery>>* precompiled =
+          nullptr,
+      CancelToken cancel = {});
   /// Shared tail of the OpenStream overloads: compiles, plans, takes an
   /// inflight slot, and builds the stream state.
-  Result<QueryStream> OpenStreamImpl(DocumentPtr doc, const Tree* tree,
-                                     std::shared_ptr<AxisCache> cache,
-                                     std::string_view query,
-                                     StreamOptions options);
+  Result<QueryStream> OpenStreamImpl(
+      DocumentPtr doc, const Tree* tree, std::shared_ptr<AxisCache> cache,
+      std::shared_ptr<ppl::RelationCache> relations, std::string_view query,
+      StreamOptions options);
 
   /// Resolves documents/caches and builds the per-shard job groups.
   void PrepareRun(internal::BatchState& run);
@@ -378,6 +404,11 @@ class QueryService {
   std::atomic<std::uint64_t> dense_products_{0};
   std::atomic<std::uint64_t> sparse_products_{0};
   std::atomic<std::uint64_t> repr_crossovers_{0};
+  // Subrelation-cache consults and DP-changed chains (ServiceStats),
+  // accumulated per executed job.
+  std::atomic<std::uint64_t> subrel_hits_{0};
+  std::atomic<std::uint64_t> subrel_misses_{0};
+  std::atomic<std::uint64_t> chains_reassociated_{0};
   std::thread dispatcher_;
 
   // Declared last: destroyed first, joining workers (and thus finishing

@@ -17,6 +17,7 @@ void StreamState::ReleaseResources() {
   node_set.reset();
   backing_built = false;
   cache.reset();
+  relations.reset();
   doc.reset();
   tree = nullptr;
   if (!slot_released && adm != nullptr) {
@@ -78,13 +79,18 @@ Status BuildBacking(StreamState& s) {
       // The monadic from-root path of the planned binary engine.
       if (s.plan.engine == EnginePlan::kGkpPositive) {
         ppl::GkpEngine engine(s.cache);
+        engine.set_relation_cache(s.relations);
         Result<BitVector> image = engine.FromRoot(*q.pplbin);
         if (!image.ok()) return image.status();
         s.node_set.emplace(std::move(image).value());
       } else {
         ppl::MatrixEngine engine(s.cache, ppl::MultiplyMode::kBitPacked,
                                  s.plan.repr);
-        Result<BitVector> image = engine.EvaluateFromRoot(*q.pplbin);
+        engine.set_relation_cache(s.relations);
+        const ppl::PplBinExpr& px = s.plan.reassociated != nullptr
+                                        ? *s.plan.reassociated
+                                        : *q.pplbin;
+        Result<BitVector> image = engine.EvaluateFromRoot(px);
         if (!image.ok()) return image.status();
         s.node_set.emplace(std::move(image).value());
       }

@@ -208,6 +208,11 @@ struct StreamState {
   DocumentPtr doc;        // null for raw-Tree streams
   const Tree* tree = nullptr;
   std::shared_ptr<AxisCache> cache;
+  /// The document's subrelation cache (null for raw-Tree streams and
+  /// when the store disables it); consulted by the node-set backing's
+  /// engine. Stream consults show up in the store's relation_hits/
+  /// relation_misses, not in the service's job counters.
+  std::shared_ptr<ppl::RelationCache> relations;
   std::shared_ptr<const CompiledQuery> compiled;
   ExecutionPlan plan;
   StreamOptions options;

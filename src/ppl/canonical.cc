@@ -1,0 +1,71 @@
+#include "ppl/canonical.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace xpv::ppl {
+
+namespace {
+
+/// Collects the operands of a maximal union tree, canonicalizing each.
+void FlattenUnion(PplBinPtr p, std::vector<PplBinPtr>& out) {
+  if (p->kind == PplBinKind::kUnion) {
+    FlattenUnion(std::move(p->left), out);
+    FlattenUnion(std::move(p->right), out);
+    return;
+  }
+  out.push_back(Canonicalize(std::move(p)));
+}
+
+}  // namespace
+
+PplBinPtr Canonicalize(PplBinPtr p) {
+  switch (p->kind) {
+    case PplBinKind::kStep:
+      return p;
+    case PplBinKind::kCompose:
+      // Associative but not commutative: canonicalize the factors, keep
+      // their order and the parse association (the planner's chain DP
+      // owns re-parenthesization, per tree).
+      p->left = Canonicalize(std::move(p->left));
+      p->right = Canonicalize(std::move(p->right));
+      return p;
+    case PplBinKind::kComplement:
+    case PplBinKind::kFilter:
+      p->left = Canonicalize(std::move(p->left));
+      return p;
+    case PplBinKind::kUnion:
+      break;
+  }
+  // Union: flatten, sort operands by canonical text, drop duplicates,
+  // rebuild left-associated so the result has one shape per operand set.
+  std::vector<PplBinPtr> operands;
+  FlattenUnion(std::move(p), operands);
+  std::vector<std::string> texts;
+  texts.reserve(operands.size());
+  for (const PplBinPtr& op : operands) texts.push_back(op->ToString());
+  std::vector<std::size_t> order(operands.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return texts[a] < texts[b];
+                   });
+  PplBinPtr result;
+  const std::string* prev_text = nullptr;
+  for (std::size_t i : order) {
+    if (prev_text != nullptr && *prev_text == texts[i]) continue;  // dedupe
+    prev_text = &texts[i];
+    result = result == nullptr
+                 ? std::move(operands[i])
+                 : PplBinExpr::Union(std::move(result),
+                                     std::move(operands[i]));
+  }
+  return result;
+}
+
+std::string CanonicalText(const PplBinExpr& p) {
+  return Canonicalize(p.Clone())->ToString();
+}
+
+}  // namespace xpv::ppl

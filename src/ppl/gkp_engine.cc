@@ -1,6 +1,9 @@
 #include "ppl/gkp_engine.h"
 
 #include <cassert>
+#include <utility>
+
+#include "ppl/relation_cache.h"
 
 namespace xpv::ppl {
 
@@ -105,6 +108,21 @@ Result<BitMatrix> GkpEngine::Relation(const PplBinExpr& p) {
     return Status::FragmentViolation(
         "GkpEngine evaluates the positive fragment only");
   }
+  // Whole-relation memoization under this engine's own tag: the image
+  // loop is a deterministic pure function of (tree, expression), so a
+  // cached relation is the exact matrix the loop below would rebuild.
+  // The tag keeps GKP entries apart from the matrix engine's -- the
+  // engines are proven byte-identical by the differential tests, but the
+  // cache never papers over a divergence.
+  std::string key;
+  if (rel_cache_ != nullptr) {
+    key = RelationKey(p.ToString(), "gkp");
+    if (std::shared_ptr<const AnyMatrix> hit = rel_cache_->Get(key)) {
+      ++subrel_hits_;
+      return hit->dense();
+    }
+    ++subrel_misses_;
+  }
   // Rows outside domain(P) are empty by definition, so one O(|P| |t|)
   // reversal image bounds the loop; selective leading labels shrink it.
   BitVector domain = DomainPositive(p);
@@ -115,6 +133,10 @@ Result<BitMatrix> GkpEngine::Relation(const PplBinExpr& p) {
     from.Set(u);
     out.OrIntoRow(u, ImagePositive(p, from));
   });
+  if (rel_cache_ != nullptr) {
+    auto owned = std::make_shared<const AnyMatrix>(AnyMatrix(out));
+    rel_cache_->Put(key, std::move(owned));
+  }
   return out;
 }
 

@@ -16,6 +16,7 @@
 #ifndef XPV_PPL_GKP_ENGINE_H_
 #define XPV_PPL_GKP_ENGINE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -27,6 +28,8 @@
 #include "tree/tree.h"
 
 namespace xpv::ppl {
+
+class RelationCache;
 
 /// Linear-time set-image evaluator for positive PPLbin expressions.
 /// Domain sets of filter subexpressions are cached across Image() calls,
@@ -42,6 +45,20 @@ class GkpEngine {
   /// Shares the given per-tree cache (label sets only).
   explicit GkpEngine(std::shared_ptr<AxisCache> cache)
       : tree_(cache->tree()), cache_(std::move(cache)) {}
+
+  /// Attaches a shared subrelation cache (ppl/relation_cache.h):
+  /// Relation() consults it for the whole expression under this engine's
+  /// own "gkp" representation tag before running the per-start-node
+  /// image loop, and publishes the relation it computes. Null detaches.
+  void set_relation_cache(std::shared_ptr<RelationCache> cache) {
+    rel_cache_ = std::move(cache);
+  }
+
+  /// Shared-cache consults performed by Relation(), mirroring
+  /// MatrixEngineStats::subrel_hits / subrel_misses for aggregation into
+  /// ServiceStats.
+  std::uint64_t subrel_hits() const { return subrel_hits_; }
+  std::uint64_t subrel_misses() const { return subrel_misses_; }
 
   /// S_P(N). Fails with FragmentViolation if P contains `except`.
   Result<BitVector> Image(const PplBinExpr& p, const BitVector& from);
@@ -67,6 +84,9 @@ class GkpEngine {
 
   const Tree& tree_;
   std::shared_ptr<AxisCache> cache_;
+  std::shared_ptr<RelationCache> rel_cache_;
+  std::uint64_t subrel_hits_ = 0;
+  std::uint64_t subrel_misses_ = 0;
   // Domain cache keyed by the filter subexpression's surface text.
   // ToString round-trips, so equal keys mean equal expressions; pointer
   // keys would dangle across calls (expressions -- including the

@@ -2,7 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <unordered_map>
 #include <utility>
+
+#include "ppl/relation_cache.h"
 
 namespace xpv::ppl {
 
@@ -139,30 +143,103 @@ AnyMatrix MatrixEngine::FilterAny(AnyMatrix a) {
   return AnyMatrix(a.sparse().FilterDiagonal());
 }
 
-Result<AnyMatrix> MatrixEngine::EvaluateAny(const PplBinExpr& p) {
-  switch (p.kind) {
-    case PplBinKind::kStep:
-      return StepLeaf(p);
-    case PplBinKind::kCompose: {
-      XPV_ASSIGN_OR_RETURN(AnyMatrix a, EvaluateAny(*p.left));
-      XPV_ASSIGN_OR_RETURN(AnyMatrix b, EvaluateAny(*p.right));
-      return ComposeAny(std::move(a), std::move(b));
+/// Per-EvaluateAny hash-consing state. Keys are subtree surface texts
+/// (ToString round-trips, so equal texts mean equal relations); when the
+/// caller compiled through CompileQuery these are canonical texts, so
+/// local keys and the shared RelationCache's key family coincide.
+struct MatrixEngine::EvalContext {
+  std::unordered_map<const PplBinExpr*, std::string> keys;
+  std::unordered_map<std::string, std::size_t> uses;
+  /// Local memo: only subtree texts occurring more than once enter it,
+  /// so a cache-disabled evaluation of a duplicate-free expression pays
+  /// nothing beyond the key scan.
+  std::unordered_map<std::string, std::shared_ptr<const AnyMatrix>> local;
+
+  void BuildKeys(const PplBinExpr& p) {
+    switch (p.kind) {
+      case PplBinKind::kStep:
+        break;
+      case PplBinKind::kCompose:
+      case PplBinKind::kUnion:
+        BuildKeys(*p.left);
+        BuildKeys(*p.right);
+        break;
+      case PplBinKind::kComplement:
+      case PplBinKind::kFilter:
+        BuildKeys(*p.left);
+        break;
     }
-    case PplBinKind::kUnion: {
-      XPV_ASSIGN_OR_RETURN(AnyMatrix a, EvaluateAny(*p.left));
-      XPV_ASSIGN_OR_RETURN(AnyMatrix b, EvaluateAny(*p.right));
-      return UnionAny(std::move(a), std::move(b));
-    }
-    case PplBinKind::kComplement: {
-      XPV_ASSIGN_OR_RETURN(AnyMatrix a, EvaluateAny(*p.left));
-      return ComplementAny(std::move(a));
-    }
-    case PplBinKind::kFilter: {
-      XPV_ASSIGN_OR_RETURN(AnyMatrix a, EvaluateAny(*p.left));
-      return FilterAny(std::move(a));
-    }
+    std::string text = p.ToString();
+    ++uses[text];
+    keys.emplace(&p, std::move(text));
   }
-  std::abort();  // unreachable: the switch above covers every PplBinKind
+};
+
+Result<AnyMatrix> MatrixEngine::EvaluateAny(const PplBinExpr& p) {
+  EvalContext ctx;
+  ctx.BuildKeys(p);
+  return EvalNode(p, ctx);
+}
+
+Result<AnyMatrix> MatrixEngine::EvalNode(const PplBinExpr& p,
+                                         EvalContext& ctx) {
+  const std::string& text = ctx.keys.at(&p);
+  // Hash-cons duplicated subtrees within this evaluation; consult the
+  // shared cross-job cache for interior nodes (step leaves are already
+  // served by the AxisCache). Both layers hand out the exact matrix the
+  // evaluation below would compute, so hit patterns never change results.
+  const bool local_memo = ctx.uses.at(text) > 1;
+  const bool shared =
+      rel_cache_ != nullptr && p.kind != PplBinKind::kStep;
+  std::string shared_key;
+  if (local_memo) {
+    auto it = ctx.local.find(text);
+    if (it != ctx.local.end()) return AnyMatrix(*it->second);
+  }
+  if (shared) {
+    shared_key = RelationKey(text, MatrixReprName(repr_));
+    if (std::shared_ptr<const AnyMatrix> hit = rel_cache_->Get(shared_key)) {
+      ++stats_.subrel_hits;
+      if (local_memo) ctx.local.emplace(text, hit);
+      return AnyMatrix(*hit);
+    }
+    ++stats_.subrel_misses;
+  }
+
+  Result<AnyMatrix> result = [&]() -> Result<AnyMatrix> {
+    switch (p.kind) {
+      case PplBinKind::kStep:
+        return StepLeaf(p);
+      case PplBinKind::kCompose: {
+        XPV_ASSIGN_OR_RETURN(AnyMatrix a, EvalNode(*p.left, ctx));
+        XPV_ASSIGN_OR_RETURN(AnyMatrix b, EvalNode(*p.right, ctx));
+        return ComposeAny(std::move(a), std::move(b));
+      }
+      case PplBinKind::kUnion: {
+        XPV_ASSIGN_OR_RETURN(AnyMatrix a, EvalNode(*p.left, ctx));
+        XPV_ASSIGN_OR_RETURN(AnyMatrix b, EvalNode(*p.right, ctx));
+        return UnionAny(std::move(a), std::move(b));
+      }
+      case PplBinKind::kComplement: {
+        XPV_ASSIGN_OR_RETURN(AnyMatrix a, EvalNode(*p.left, ctx));
+        return ComplementAny(std::move(a));
+      }
+      case PplBinKind::kFilter: {
+        XPV_ASSIGN_OR_RETURN(AnyMatrix a, EvalNode(*p.left, ctx));
+        return FilterAny(std::move(a));
+      }
+    }
+    std::abort();  // unreachable: the switch above covers every PplBinKind
+  }();
+  if (!result.ok() || (!local_memo && !shared)) return result;
+
+  // Publish: one shared immutable copy feeds the local memo and the
+  // cross-job cache; the caller gets a copy so later hits stay intact.
+  auto owned =
+      std::make_shared<const AnyMatrix>(std::move(result).value());
+  if (local_memo) ctx.local.emplace(text, owned);
+  if (shared) rel_cache_->Put(shared_key, owned);
+  return AnyMatrix(*owned);
 }
 
 Result<BitMatrix> MatrixEngine::EvaluateDense(const PplBinExpr& p) {

@@ -97,12 +97,19 @@ class AnyMatrix {
 /// dense when any operand forced a packed-row kernel (dense x dense and
 /// both mixed shapes) and sparse only for pure run-merge SpGEMM. A
 /// crossover is a mid-evaluation re-encoding of a result between the two
-/// representations (kAuto's density switch).
+/// representations (kAuto's density switch). The subrel counters cover
+/// shared RelationCache consults (ppl/relation_cache.h): one hit or miss
+/// per interior node looked up when a cache is attached; intra-query
+/// hash-cons reuse is not a consult (it shows up as *fewer products*).
 struct MatrixEngineStats {
   std::uint64_t dense_products = 0;
   std::uint64_t sparse_products = 0;
   std::uint64_t repr_crossovers = 0;
+  std::uint64_t subrel_hits = 0;
+  std::uint64_t subrel_misses = 0;
 };
+
+class RelationCache;
 
 /// Evaluates PPLbin expressions on one fixed tree via Boolean matrices.
 /// Axis relation matrices and label sets live in an AxisCache: private by
@@ -126,10 +133,23 @@ class MatrixEngine {
         repr_(repr),
         cache_(std::move(cache)) {}
 
-  /// M^t_P in the engine's chosen representation. Fails with
-  /// kResourceExhausted when a dense-mode evaluation exceeds the dense
-  /// ceiling or a sparse evaluation exceeds its run byte budget; never
-  /// aborts the process.
+  /// Attaches a shared subrelation cache (ppl/relation_cache.h):
+  /// EvaluateAny consults it before evaluating any interior node and
+  /// publishes every interior result it computes, keyed by the node's
+  /// surface text x this engine's representation tag. Null detaches.
+  /// Cached values are the exact bytes the engine would recompute, so
+  /// results are byte-identical with and without a cache attached.
+  void set_relation_cache(std::shared_ptr<RelationCache> cache) {
+    rel_cache_ = std::move(cache);
+  }
+
+  /// M^t_P in the engine's chosen representation. Structurally identical
+  /// subtrees inside `p` are hash-consed: each distinct subtree text is
+  /// computed once per call (e.g. `(a/b) | ((a/b)/c)` evaluates `a/b`
+  /// once), independent of whether a shared RelationCache is attached.
+  /// Fails with kResourceExhausted when a dense-mode evaluation exceeds
+  /// the dense ceiling or a sparse evaluation exceeds its run byte
+  /// budget; never aborts the process.
   Result<AnyMatrix> EvaluateAny(const PplBinExpr& p);
 
   /// M^t_P densified. Same failure modes as EvaluateAny, plus the final
@@ -180,6 +200,14 @@ class MatrixEngine {
   const MatrixEngineStats& stats() const { return stats_; }
 
  private:
+  /// Per-EvaluateAny hash-consing state (defined in the .cc): subtree
+  /// surface texts, their occurrence counts, and the local memo.
+  struct EvalContext;
+
+  /// The recursive evaluation body behind EvaluateAny: local memo for
+  /// duplicated subtrees, shared RelationCache consult for interior
+  /// nodes, then the kernel dispatch below.
+  Result<AnyMatrix> EvalNode(const PplBinExpr& p, EvalContext& ctx);
   /// Leaf M_{A::N} in the mode's representation (see header comment).
   Result<AnyMatrix> StepLeaf(const PplBinExpr& p);
   /// Product kernel dispatch on the operand tags.
@@ -201,6 +229,7 @@ class MatrixEngine {
   MultiplyMode mode_;
   MatrixRepr repr_;
   std::shared_ptr<AxisCache> cache_;
+  std::shared_ptr<RelationCache> rel_cache_;
   MatrixEngineStats stats_;
 };
 
