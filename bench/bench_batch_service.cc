@@ -13,16 +13,21 @@
 // override with --benchmark_out=... -- so the perf trajectory is tracked
 // across PRs. `--smoke` caps min-time for a fast CI pass.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/timer.h"
 #include "engine/document_store.h"
 #include "engine/compiled_query.h"
 #include "engine/query_service.h"
+#include "engine/snapshot.h"
 #include "ppl/matrix_engine.h"
 #include "ppl/pplbin.h"
 #include "tree/axis_cache.h"
@@ -737,6 +742,172 @@ void BM_ChainReassociation(benchmark::State& state) {
 }
 BENCHMARK(BM_ChainReassociation)
     ->ArgsProduct({{2048, 8192, 65536}, {0, 1, 2}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------ snapshot persistence
+//
+// The disk path (engine/snapshot.h): a save+load round trip of one
+// indexed document with warm axis relations, at several tree sizes. The
+// headline counter is `reload_speedup`: how many times faster decoding
+// the segment is than re-parsing the term and rebuilding the indexes --
+// the whole point of persisting them. The ROADMAP acceptance bar is
+// >= 5x at 2048 nodes; tools/bench_compare.py fails the release job if
+// the counter drops below that or this section goes missing from
+// BENCH_batch_service.json.
+//
+// The counter models *startup*: a fresh process deciding between
+// opening a snapshot and rebuilding the corpus. Parse cost is dominated
+// by small-node allocation, so it roughly halves once a long-lived
+// process has warmed the allocator's freelists -- running this
+// benchmark after the rest of the suite understates the ratio by ~2x.
+// CI therefore measures the counter in a dedicated fresh-process
+// invocation (see .github/workflows/ci.yml) and passes that file to
+// bench_compare.py --counters.
+
+/// Fresh scratch directory for segment files; caller removes the files.
+std::string BenchScratchDir() {
+  char templ[] = "/tmp/xpv_bench_snap_XXXXXX";
+  const char* dir = ::mkdtemp(templ);
+  return dir == nullptr ? std::string("/tmp") : std::string(dir);
+}
+
+void BM_SnapshotSaveLoad(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  Rng rng(77);
+  const Tree tree = BibliographyTree(rng, nodes / 6);
+  const std::string term = tree.ToTerm();
+  AxisCache cache(tree);
+  cache.Matrix(Axis::kChild);
+  cache.Matrix(Axis::kDescendant);
+  const std::string dir = BenchScratchDir();
+  const std::string path = dir + "/" + engine::SegmentFileName(1);
+
+  // Counter arms, measured outside the timed loop: cold reload (decode
+  // only, warm axes included in the segment) vs the work a fresh build
+  // does to reach the same query-ready state -- parse + reindex
+  // (Tree::ParseTerm builds the indexes) + materializing the same two
+  // axis relations the segment hands back for free.
+  // Median of per-rep times, not the mean: on a shared box a single
+  // descheduling spike in either arm would otherwise skew the ratio.
+  constexpr int kReps = 11;
+  std::vector<double> parse_reps;
+  parse_reps.reserve(kReps);
+  for (int i = 0; i < kReps; ++i) {
+    Timer rep_timer;
+    auto parsed = Tree::ParseTerm(term);
+    if (!parsed.ok()) {
+      state.SkipWithError(parsed.status().ToString().c_str());
+      return;
+    }
+    AxisCache fresh(parsed.value());
+    fresh.Matrix(Axis::kChild);
+    fresh.Matrix(Axis::kDescendant);
+    benchmark::DoNotOptimize(parsed.value());
+    parse_reps.push_back(rep_timer.ElapsedSeconds());
+  }
+  std::nth_element(parse_reps.begin(), parse_reps.begin() + kReps / 2,
+                   parse_reps.end());
+  const double parse_seconds = parse_reps[kReps / 2];
+  if (!engine::WriteDocumentSegment(path, 1, "bench", tree, &cache, false)
+           .ok()) {
+    state.SkipWithError("segment write failed");
+    return;
+  }
+  std::vector<double> reload_reps;
+  reload_reps.reserve(kReps);
+  for (int i = 0; i < kReps; ++i) {
+    Timer rep_timer;
+    auto loaded = engine::LoadDocumentSegment(path);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(loaded.value());
+    reload_reps.push_back(rep_timer.ElapsedSeconds());
+  }
+  std::nth_element(reload_reps.begin(), reload_reps.begin() + kReps / 2,
+                   reload_reps.end());
+  const double reload_seconds = reload_reps[kReps / 2];
+
+  for (auto _ : state) {
+    Status written =
+        engine::WriteDocumentSegment(path, 1, "bench", tree, &cache, false);
+    auto loaded = engine::LoadDocumentSegment(path);
+    if (!written.ok() || !loaded.ok()) {
+      state.SkipWithError("save/load round trip failed");
+      return;
+    }
+    benchmark::DoNotOptimize(loaded.value());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["reload_speedup"] =
+      reload_seconds > 0 ? parse_seconds / reload_seconds : 0.0;
+  state.counters["parse_ms"] = parse_seconds * 1e3;
+  state.counters["reload_ms"] = reload_seconds * 1e3;
+  ::unlink(path.c_str());
+  ::rmdir(dir.c_str());
+}
+BENCHMARK(BM_SnapshotSaveLoad)
+    ->Arg(512)->Arg(2048)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+// Spill-to-disk residency under deliberate thrash: a corpus 4x the
+// resident budget, fetched round-robin so nearly every access evicts one
+// cold document and faults another in (segment write amortizes away --
+// immutable documents re-spill for free once their segment exists). The
+// `reloads_per_fetch` counter tracks the miss rate (~1.0 under LRU +
+// round-robin, the worst case); `resident_fraction` proves the RSS bound
+// held: only a budget's worth of trees is ever hot. CI fails if this
+// section goes missing from BENCH_batch_service.json.
+void BM_SpillThrash(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const std::string dir = BenchScratchDir();
+  constexpr std::size_t kCorpus = 12;
+  constexpr std::size_t kBudget = 3;
+  engine::DocumentStore store({.num_shards = 1,
+                               .spill_dir = dir,
+                               .max_resident_docs = kBudget});
+  Rng rng(78);
+  std::vector<engine::DocumentId> ids;
+  std::size_t total_tree_bytes = 0;
+  for (std::size_t i = 0; i < kCorpus; ++i) {
+    Tree tree = BibliographyTree(rng, nodes / 6);
+    total_tree_bytes += tree.resident_bytes();
+    ids.push_back(store.Insert(std::move(tree)));
+  }
+  std::size_t next = 0;
+  std::uint64_t failures = 0;
+  for (auto _ : state) {
+    auto fetched = store.Fetch(ids[next]);
+    if (!fetched.ok()) ++failures;
+    benchmark::DoNotOptimize(fetched);
+    next = (next + 1) % ids.size();
+  }
+  if (failures != 0) {
+    state.SkipWithError("spilled fetch failed");
+    return;
+  }
+  const auto stats = store.stats();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["reloads_per_fetch"] =
+      state.iterations() > 0
+          ? static_cast<double>(stats.doc_reloads) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+  state.counters["resident_fraction"] =
+      total_tree_bytes > 0
+          ? static_cast<double>(stats.resident_doc_bytes) /
+                static_cast<double>(total_tree_bytes)
+          : 0.0;
+  state.counters["mmap_mb"] =
+      static_cast<double>(stats.mmap_bytes) / (1024.0 * 1024.0);
+  for (const engine::DocumentId id : ids) {
+    ::unlink((dir + "/" + engine::SegmentFileName(id)).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+BENCHMARK(BM_SpillThrash)
+    ->Arg(512)->Arg(2048)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -7,10 +7,23 @@
 // burst goes through the admission-controlled TrySubmit front door,
 // demonstrating kOverloaded backpressure and the ServiceStats snapshot.
 //
-//   ./batch_server [num_threads] [tree_nodes] [batch_size]
+//   ./batch_server [num_threads] [tree_nodes] [batch_size] \
+//       [--snapshot_dir=DIR] [--repeat=N]
+//
+// With --snapshot_dir, the corpus is reloaded from DIR when it holds a
+// valid snapshot (zero parses, zero index builds -- the "corpus" line and
+// the process-wide Tree counters prove it) and built-then-saved there
+// otherwise, so a kill -9 + restart serves byte-identical answers without
+// re-parsing (tools/restart_harness.py drives exactly that and compares
+// the printed result digest). --repeat re-runs the cold batch N times to
+// widen the window a harness has for killing the process mid-serve.
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,31 +50,143 @@ const char* kQueryMix[] = {
     "$x/child::title",
 };
 
+/// FNV-1a over every byte of every result: status, plan, the full
+/// relation bits, the from-root set, answer tuples, and scalar payloads.
+/// Two runs print the same digest iff they produced byte-identical
+/// results in the same order -- the restart harness's equality oracle.
+std::uint64_t DigestResults(const std::vector<engine::QueryResult>& results) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const engine::QueryResult& r : results) {
+    mix(static_cast<std::uint64_t>(r.status.code()));
+    if (!r.status.ok()) continue;
+    // Deliberately NOT digested: r.plan. Engine routing may differ run
+    // to run (the cost model sees whatever cache state concurrent jobs
+    // left behind) while the answers stay identical -- which is exactly
+    // the equality the harness is after.
+    mix(r.relation.size());
+    for (std::size_t row = 0; row < r.relation.size(); ++row) {
+      // Row() returns the BitVector by value; name it so its words stay
+      // alive for the loop (a temporary would die before the body runs).
+      const BitVector row_bits = r.relation.Row(row);
+      for (std::uint64_t w : row_bits.words()) mix(w);
+    }
+    if (r.relation_sparse != nullptr) {
+      mix(r.relation_sparse->num_runs());
+      for (std::size_t row = 0; row < r.relation_sparse->size(); ++row) {
+        auto [first, last] = r.relation_sparse->RunsOf(row);
+        for (auto it = first; it != last; ++it) {
+          mix(it->begin);
+          mix(it->end);
+        }
+      }
+    }
+    for (std::uint64_t w : r.from_root.words()) mix(w);
+    for (const xpath::NodeTuple& tuple : r.tuples) {
+      mix(tuple.size());
+      for (NodeId v : tuple) mix(v);
+    }
+    mix(r.boolean ? 1 : 0);
+    mix(r.count);
+  }
+  return h;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t num_threads =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
-  const std::size_t tree_nodes =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 120;
-  const std::size_t batch_size =
-      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 200;
+  std::vector<std::size_t> positional;
+  std::string snapshot_dir;
+  std::size_t repeat = 1;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--snapshot_dir=", 15) == 0) {
+      snapshot_dir = argv[a] + 15;
+    } else if (std::strncmp(argv[a], "--repeat=", 9) == 0) {
+      repeat = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::atoi(argv[a] + 9)));
+    } else {
+      positional.push_back(static_cast<std::size_t>(std::atoi(argv[a])));
+    }
+  }
+  const std::size_t num_threads = positional.size() > 0 ? positional[0] : 4;
+  const std::size_t tree_nodes = positional.size() > 1 ? positional[1] : 120;
+  const std::size_t batch_size = positional.size() > 2 ? positional[2] : 200;
 
   // Corpus: a few bibliography-shaped documents, stored once and addressed
   // by DocumentId from then on. Four shards so the shard-aware batch
-  // scheduler has independent lock domains to group jobs by.
-  Rng rng(1);
-  engine::DocumentStore store({.max_hot_caches = 64, .num_shards = 4});
-  std::vector<engine::DocumentId> ids;
-  for (int i = 0; i < 4; ++i) {
-    ids.push_back(store.Insert(BibliographyTree(rng, tree_nodes / 6)));
+  // scheduler has independent lock domains to group jobs by. With a
+  // snapshot directory, a prior run's corpus reloads with zero parses and
+  // zero index builds; otherwise the documents go in through the term
+  // *parser* (not Insert) so the parse counter proves which path ran.
+  const engine::DocumentStoreOptions store_options{.max_hot_caches = 64,
+                                                   .num_shards = 4};
+  std::unique_ptr<engine::DocumentStore> owned_store;
+  bool reloaded = false;
+  if (!snapshot_dir.empty()) {
+    auto opened = engine::DocumentStore::OpenSnapshot(snapshot_dir,
+                                                      store_options);
+    if (opened.ok()) {
+      owned_store = std::move(opened).value();
+      reloaded = true;
+    } else if (opened.status().code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "batch_server: snapshot load failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 2;
+    }
   }
+  if (owned_store == nullptr) {
+    owned_store = std::make_unique<engine::DocumentStore>(store_options);
+  }
+  engine::DocumentStore& store = *owned_store;
 
+  std::vector<engine::DocumentId> ids;
+  if (reloaded) {
+    // Fresh inserts below would have received ids 1..4; the snapshot
+    // preserves ids, so the reloaded corpus answers to the same ones.
+    for (engine::DocumentId id = 1; id <= store.size(); ++id) {
+      ids.push_back(id);
+    }
+  } else {
+    Rng corpus_rng(1);
+    for (int i = 0; i < 4; ++i) {
+      const Tree generated = BibliographyTree(corpus_rng, tree_nodes / 6);
+      auto inserted = store.InsertTerm(generated.ToTerm(),
+                                       "bib-" + std::to_string(i));
+      if (!inserted.ok()) {
+        std::fprintf(stderr, "batch_server: corpus build failed: %s\n",
+                     inserted.status().ToString().c_str());
+        return 2;
+      }
+      ids.push_back(inserted.value());
+    }
+    if (!snapshot_dir.empty()) {
+      ::mkdir(snapshot_dir.c_str(), 0755);  // EEXIST is fine
+      const Status saved = store.SaveSnapshot(snapshot_dir);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "batch_server: snapshot save failed: %s\n",
+                     saved.ToString().c_str());
+        return 2;
+      }
+    }
+  }
+  std::printf(
+      "  corpus:         %s; parses=%llu, index_builds=%llu\n",
+      reloaded ? "snapshot reload" : "fresh build",
+      static_cast<unsigned long long>(Tree::GlobalParses()),
+      static_cast<unsigned long long>(Tree::GlobalIndexBuilds()));
+
+  // Deterministic job mix, independent of how the corpus came to be.
+  Rng job_rng(7);
   std::vector<engine::QueryJob> jobs;
   for (std::size_t i = 0; i < batch_size; ++i) {
     engine::QueryJob job;
-    job.document = ids[rng.Below(ids.size())];
-    job.query = kQueryMix[rng.Below(std::size(kQueryMix))];
+    job.document = ids[job_rng.Below(ids.size())];
+    job.query = kQueryMix[job_rng.Below(std::size(kQueryMix))];
     jobs.push_back(std::move(job));
   }
 
@@ -77,6 +202,21 @@ int main(int argc, char** argv) {
   Timer timer;
   std::vector<engine::QueryResult> results = service.EvaluateBatch(jobs);
   const double seconds = timer.ElapsedSeconds();
+
+  // The digest commits to every byte of every result; the restart
+  // harness compares it across kill -9 boundaries. --repeat re-serves
+  // the same batch (checking the digest each time) to widen the window
+  // in which a harness can kill the process mid-serve.
+  const std::uint64_t digest = DigestResults(results);
+  bool digest_sane = true;
+  for (std::size_t run = 1; run < repeat; ++run) {
+    if (DigestResults(service.EvaluateBatch(jobs)) != digest) {
+      digest_sane = false;
+    }
+  }
+  std::printf("  result digest:  %016llx%s\n",
+              static_cast<unsigned long long>(digest),
+              digest_sane ? "" : " (INCONSISTENT ACROSS REPEATS)");
 
   // A repeated batch reuses the per-document axis caches built above.
   Timer warm_timer;
@@ -268,5 +408,5 @@ int main(int argc, char** argv) {
   stream_sane = stream_sane && final_stats.streams_open == 0 &&
                 final_stats.streams_opened == final_stats.streams_closed;
   if (!stream_sane) std::printf("  stream state INCONSISTENT\n");
-  return failed == 0 && admission_sane && stream_sane ? 0 : 1;
+  return failed == 0 && admission_sane && stream_sane && digest_sane ? 0 : 1;
 }

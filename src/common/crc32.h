@@ -1,0 +1,31 @@
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) over byte
+// ranges.
+//
+// The persistence layer (engine/snapshot.h) stamps every segment section
+// with a CRC of its payload so that torn writes, truncation, and bit rot
+// surface as typed kDataLoss errors at load time instead of undefined
+// behavior later. Loads verify every byte before decoding, so CRC
+// throughput sits directly on the reload critical path; the Castagnoli
+// polynomial is the one x86's SSE4.2 crc32 instruction computes, which
+// the implementation uses when available (runtime-detected) with a
+// bit-identical table-driven slice-by-8 fallback everywhere else.
+#ifndef XPV_COMMON_CRC32_H_
+#define XPV_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xpv {
+
+/// CRC-32C of `size` bytes at `data`, with standard init/final XOR
+/// (matches the iSCSI / SSE4.2 crc32c function). Crc32(nullptr, 0) == 0.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+/// Incremental form: feed the previous return value back in as `seed`
+/// to checksum a discontiguous range. Seed 0 starts a fresh CRC.
+std::uint32_t Crc32Update(std::uint32_t seed, const void* data,
+                          std::size_t size);
+
+}  // namespace xpv
+
+#endif  // XPV_COMMON_CRC32_H_

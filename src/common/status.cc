@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -26,6 +26,7 @@ enum class StatusCode {
   kDeadlineExceeded,   // the batch deadline passed before the job ran
   kCancelled,          // the batch was cancelled before the job ran
   kResourceExhausted,  // a hard memory bound was reached mid-operation
+  kDataLoss,           // persistent data is corrupt or unreadable
 };
 
 /// Returns a human-readable name for a status code.
@@ -69,6 +70,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

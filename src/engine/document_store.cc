@@ -1,7 +1,10 @@
 #include "engine/document_store.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
+
+#include "engine/snapshot.h"
 
 namespace xpv::engine {
 
@@ -30,14 +33,20 @@ std::string InternKey(const Tree& tree) {
 }  // namespace
 
 DocumentStore::DocumentStore(DocumentStoreOptions options)
-    : options_(options) {
+    : options_(std::move(options)) {
   std::size_t num_shards = options_.num_shards == 0 ? 1 : options_.num_shards;
   // Every shard keeps at least one cache hot (a zero-budget shard would
   // rebuild on every access), so a hot bound tighter than the shard count
   // clamps the shard count instead of silently loosening the configured
-  // memory cap: max_hot_caches is a hard bound.
+  // memory cap: max_hot_caches is a hard bound. The residency budget
+  // clamps the same way: a per-shard budget of 0 would mean "unbounded".
   if (options_.max_hot_caches != 0) {
     num_shards = std::min(num_shards, options_.max_hot_caches);
+  }
+  const bool spill = !options_.spill_dir.empty() &&
+                     options_.max_resident_docs != 0;
+  if (spill) {
+    num_shards = std::min(num_shards, options_.max_resident_docs);
   }
   shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
@@ -49,7 +58,16 @@ DocumentStore::DocumentStore(DocumentStoreOptions options)
           options_.max_hot_caches / num_shards +
           (s < options_.max_hot_caches % num_shards ? 1 : 0);
     }
+    if (spill) {
+      shards_.back()->resident_budget =
+          options_.max_resident_docs / num_shards +
+          (s < options_.max_resident_docs % num_shards ? 1 : 0);
+    }
   }
+}
+
+std::string DocumentStore::SpillPath(DocumentId id) const {
+  return options_.spill_dir + "/" + SegmentFileName(id);
 }
 
 void DocumentStore::Store(DocumentId id, std::string name, Tree tree,
@@ -66,7 +84,97 @@ void DocumentStore::Store(DocumentId id, std::string name, Tree tree,
   Shard& shard = *shards_[shard_of(id)];
   std::lock_guard<std::mutex> lock(shard.mu);
   entry.lru_it = shard.lru.end();
-  shard.entries.emplace(id, std::move(entry));
+  entry.res_it = shard.resident.end();
+  auto [it, inserted] = shard.entries.emplace(id, std::move(entry));
+  (void)inserted;
+  TouchResidentLocked(shard, id, it->second);
+  EnforceResidencyLocked(shard);
+}
+
+void DocumentStore::TouchResidentLocked(Shard& shard, DocumentId id,
+                                        Entry& entry) {
+  if (entry.doc == nullptr) return;
+  if (entry.res_it != shard.resident.end()) {
+    shard.resident.splice(shard.resident.begin(), shard.resident,
+                          entry.res_it);
+  } else {
+    shard.resident.push_front(id);
+    entry.res_it = shard.resident.begin();
+  }
+}
+
+void DocumentStore::EnforceResidencyLocked(Shard& shard) {
+  if (shard.resident_budget == 0) return;
+  while (shard.resident.size() > shard.resident_budget) {
+    // The victim is the least recently touched *spillable* document: no
+    // hot AxisCache references its tree, and nothing outside the store
+    // holds a DocumentPtr (use_count 1 = only our own strong ref), so
+    // streams and in-flight jobs are never pulled out from under.
+    auto victim = shard.resident.end();
+    for (auto rit = shard.resident.rbegin(); rit != shard.resident.rend();
+         ++rit) {
+      const Entry& e = shard.entries.at(*rit);
+      if (e.cache == nullptr && e.doc.use_count() == 1) {
+        victim = std::prev(rit.base());
+        break;
+      }
+    }
+    if (victim == shard.resident.end()) return;  // everything is pinned
+    const DocumentId id = *victim;
+    Entry& entry = shard.entries.at(id);
+    if (!entry.on_disk) {
+      // Keep the document resident rather than risk losing it when the
+      // disk misbehaves (ENOSPC and friends); the budget is best-effort
+      // in exactly this one case.
+      if (!WriteDocumentSegment(SpillPath(id), id, entry.doc->name(),
+                                entry.doc->tree(), /*cache=*/nullptr,
+                                !entry.intern_key.empty())
+               .ok()) {
+        return;
+      }
+      entry.on_disk = true;
+    }
+    entry.spilled = entry.doc;  // reattach handle for racing holders
+    entry.doc = nullptr;
+    shard.resident.erase(victim);
+    entry.res_it = shard.resident.end();
+    ++shard.stats.doc_spills;
+  }
+}
+
+Result<DocumentPtr> DocumentStore::FaultInLocked(Shard& shard, DocumentId id,
+                                                 Entry& entry) {
+  if (entry.doc != nullptr) {
+    // Pin before enforcing: a batch that just finished may have left the
+    // shard over budget (its jobs' pins blocked eviction), and this touch
+    // is the next chance to settle back under it.
+    DocumentPtr doc = entry.doc;
+    TouchResidentLocked(shard, id, entry);
+    EnforceResidencyLocked(shard);
+    return doc;
+  }
+  if (DocumentPtr live = entry.spilled.lock()) {
+    // Some holder acquired the DocumentPtr before the spill and still has
+    // it: the Document never left memory, so adopt it back for free.
+    entry.doc = std::move(live);
+    ++shard.stats.doc_reattaches;
+    DocumentPtr doc = entry.doc;  // pin: see the resident path above
+    TouchResidentLocked(shard, id, entry);
+    EnforceResidencyLocked(shard);  // reattaching grows the resident set
+    return doc;
+  }
+  XPV_ASSIGN_OR_RETURN(LoadedSegment segment,
+                       LoadDocumentSegment(SpillPath(id)));
+  ++shard.stats.doc_reloads;
+  shard.stats.mmap_bytes += segment.mapped_bytes;
+  entry.doc = std::make_shared<const Document>(
+      id, std::move(segment.meta.name), std::move(segment.tree));
+  // The local copy makes use_count 2, so the enforcement pass below can
+  // spill *other* documents but never the one being handed out.
+  DocumentPtr doc = entry.doc;
+  TouchResidentLocked(shard, id, entry);
+  EnforceResidencyLocked(shard);  // faulting one in may push one out
+  return doc;
 }
 
 DocumentId DocumentStore::Insert(Tree tree, std::string name) {
@@ -106,11 +214,19 @@ DocumentId DocumentStore::Intern(Tree tree, std::string name) {
   return id;
 }
 
-DocumentPtr DocumentStore::Get(DocumentId id) const {
-  const Shard& shard = *shards_[shard_of(id)];
+Result<DocumentPtr> DocumentStore::Fetch(DocumentId id) {
+  Shard& shard = *shards_[shard_of(id)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(id);
-  return it == shard.entries.end() ? nullptr : it->second.doc;
+  if (it == shard.entries.end()) {
+    return Status::NotFound("no document with id " + std::to_string(id));
+  }
+  return FaultInLocked(shard, id, it->second);
+}
+
+DocumentPtr DocumentStore::Get(DocumentId id) {
+  Result<DocumentPtr> doc = Fetch(id);
+  return doc.ok() ? std::move(doc).value() : nullptr;
 }
 
 bool DocumentStore::Remove(DocumentId id) {
@@ -121,6 +237,7 @@ bool DocumentStore::Remove(DocumentId id) {
   // interns a fresh document -- never a key pointing at an erased entry.
   std::lock_guard<std::mutex> intern_lock(intern_mu_);
   std::string intern_key;
+  bool segment_on_disk = false;
   {
     Shard& shard = *shards_[shard_of(id)];
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -129,8 +246,18 @@ bool DocumentStore::Remove(DocumentId id) {
     if (it->second.cache != nullptr) {
       shard.lru.erase(it->second.lru_it);
     }
+    if (it->second.doc != nullptr) {
+      shard.resident.erase(it->second.res_it);
+    }
+    segment_on_disk = it->second.on_disk;
     intern_key = std::move(it->second.intern_key);
     shard.entries.erase(it);
+  }
+  // Delete the spill segment with the entry: a removed document must not
+  // leave an orphaned doc-<id>.xpvseg behind (ids are never reused, so
+  // nothing can ever want this file again).
+  if (segment_on_disk) {
+    std::remove(SpillPath(id).c_str());
   }
   // Drop the intern-index entry (if this id came from Intern()) so the
   // key can intern to a new document later.
@@ -149,11 +276,16 @@ std::shared_ptr<AxisCache> DocumentStore::AxisCacheFor(DocumentId id) {
   if (entry.cache != nullptr) {
     ++shard.stats.cache_hits;
     shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_it);
+    TouchResidentLocked(shard, id, entry);
     return entry.cache;
   }
+  // A spilled document's tree must come back before a cache can
+  // reference it; a failed fault-in degrades to the nullable contract.
+  Result<DocumentPtr> faulted = FaultInLocked(shard, id, entry);
+  if (!faulted.ok()) return nullptr;
   // The deleter captures the DocumentPtr so the tree the cache references
   // outlives every holder of the cache, even past Remove().
-  DocumentPtr doc = entry.doc;
+  DocumentPtr doc = std::move(faulted).value();
   entry.cache = std::shared_ptr<AxisCache>(
       new AxisCache(doc->tree(), options_.axis_backing),
       [doc](AxisCache* c) { delete c; });
@@ -212,6 +344,14 @@ DocumentStoreStats DocumentStore::SnapshotShardStats(
         shard.entries.at(id).cache->approx_resident_bytes();
   }
   for (const auto& [id, entry] : shard.entries) {
+    if (entry.doc != nullptr) {
+      ++stats.resident_docs;
+      // Tree::resident_bytes of the in-memory trees only: a spilled
+      // document's (possibly mmap'd) cold bytes never count as hot.
+      stats.resident_doc_bytes += entry.doc->tree().resident_bytes();
+    } else {
+      ++stats.spilled_docs;
+    }
     if (entry.relations == nullptr) continue;
     const ppl::RelationCacheStats rel = entry.relations->stats();
     stats.relation_hits += rel.hits;
@@ -250,8 +390,124 @@ DocumentStoreStats DocumentStore::stats() const {
     total.relation_hits += s.relation_hits;
     total.relation_misses += s.relation_misses;
     total.relation_cache_bytes += s.relation_cache_bytes;
+    total.resident_docs += s.resident_docs;
+    total.spilled_docs += s.spilled_docs;
+    total.resident_doc_bytes += s.resident_doc_bytes;
+    total.doc_spills += s.doc_spills;
+    total.doc_reloads += s.doc_reloads;
+    total.doc_reattaches += s.doc_reattaches;
+    total.mmap_bytes += s.mmap_bytes;
   }
   return total;
+}
+
+Status DocumentStore::SaveSnapshot(const std::string& dir) {
+  SnapshotManifest manifest;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, entry] : shard.entries) {
+      if (entry.doc == nullptr && entry.on_disk &&
+          dir == options_.spill_dir) {
+        // Cold document whose segment already lives in the target
+        // directory: nothing to rewrite (segments of immutable documents
+        // never go stale).
+        manifest.document_ids.push_back(id);
+        continue;
+      }
+      XPV_ASSIGN_OR_RETURN(DocumentPtr doc, FaultInLocked(shard, id, entry));
+      XPV_RETURN_IF_ERROR(WriteDocumentSegment(
+          dir + "/" + SegmentFileName(id), id, doc->name(), doc->tree(),
+          entry.cache.get(), !entry.intern_key.empty()));
+      manifest.document_ids.push_back(id);
+      if (dir == options_.spill_dir) entry.on_disk = true;
+      // `doc` pins the just-written document, so this can only push
+      // *earlier* documents back out -- peak residency is budget + 1.
+      EnforceResidencyLocked(shard);
+    }
+  }
+  std::sort(manifest.document_ids.begin(), manifest.document_ids.end());
+  manifest.next_document_id = next_id_.load(std::memory_order_relaxed);
+  // The manifest is written last: a crash anywhere above leaves either
+  // the previous manifest (a complete old snapshot) or none at all.
+  return WriteManifest(dir, manifest);
+}
+
+Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenSnapshot(
+    const std::string& dir, DocumentStoreOptions options) {
+  XPV_ASSIGN_OR_RETURN(SnapshotManifest manifest, LoadManifest(dir));
+  if (options.spill_dir.empty()) options.spill_dir = dir;
+  std::unique_ptr<DocumentStore> store(new DocumentStore(std::move(options)));
+  store->next_id_.store(manifest.next_document_id, std::memory_order_relaxed);
+  for (DocumentId id : manifest.document_ids) {
+    XPV_ASSIGN_OR_RETURN(
+        LoadedSegment segment,
+        LoadDocumentSegment(dir + "/" + SegmentFileName(id)));
+    if (segment.meta.document_id != id) {
+      return Status::DataLoss("segment for document " + std::to_string(id) +
+                              " carries id " +
+                              std::to_string(segment.meta.document_id));
+    }
+    Shard& shard = *store->shards_[store->shard_of(id)];
+    Entry entry;
+    entry.doc = std::make_shared<const Document>(
+        id, std::move(segment.meta.name), std::move(segment.tree));
+    entry.plans = std::make_shared<PlanMemo>();
+    if (store->options_.relation_cache_bytes > 0) {
+      entry.relations = std::make_shared<ppl::RelationCache>(
+          store->options_.relation_cache_bytes);
+    }
+    entry.on_disk = dir == store->options_.spill_dir;
+    if (segment.meta.interned) {
+      // The intern key is a pure function of the tree, so recomputing it
+      // beats persisting it (it can be nearly as large as the tree).
+      entry.intern_key = InternKey(entry.doc->tree());
+    }
+    std::lock_guard<std::mutex> intern_lock(store->intern_mu_);
+    if (!entry.intern_key.empty()) {
+      auto [it, inserted] =
+          store->intern_index_.emplace(entry.intern_key, id);
+      (void)it;
+      if (!inserted) {
+        return Status::DataLoss("two interned segments decode to the same "
+                                "tree (document " +
+                                std::to_string(id) + ")");
+      }
+    }
+    std::lock_guard<std::mutex> lock(shard.mu);
+    entry.lru_it = shard.lru.end();
+    entry.res_it = shard.resident.end();
+    auto [it, inserted] = shard.entries.emplace(id, std::move(entry));
+    if (!inserted) {
+      return Status::DataLoss("manifest lists document " +
+                              std::to_string(id) + " twice");
+    }
+    Entry& stored = it->second;
+    shard.stats.mmap_bytes += segment.mapped_bytes;
+    store->TouchResidentLocked(shard, id, stored);
+    if (!segment.axes.empty()) {
+      // Reinstate the warm AxisCache exactly as a fresh build would have
+      // produced it: same backing policy, same bits, zero rebuild work.
+      DocumentPtr doc = stored.doc;
+      stored.cache = std::shared_ptr<AxisCache>(
+          new AxisCache(doc->tree(), store->options_.axis_backing),
+          [doc](AxisCache* c) { delete c; });
+      const bool dense = !stored.cache->interval_backed();
+      for (auto& [axis, runs] : segment.axes) {
+        stored.cache->InstallPrebuilt(
+            axis, AxisMatrixForBacking(std::move(runs), dense));
+      }
+      ++shard.stats.cache_builds;
+      shard.lru.push_front(id);
+      stored.lru_it = shard.lru.begin();
+      store->EnforceHotBoundLocked(shard);
+    }
+    // Keep the load itself inside the memory budget: documents beyond it
+    // spill right away (for free -- their segment is already on disk), so
+    // peak residency during a reload is budget + the document in hand.
+    store->EnforceResidencyLocked(shard);
+  }
+  return store;
 }
 
 }  // namespace xpv::engine

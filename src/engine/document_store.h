@@ -28,13 +28,27 @@
 // template-driven workloads that re-submit the same document text share
 // one tree and one cache.
 //
+// Persistence (engine/snapshot.h). SaveSnapshot() writes every document
+// -- tree, indexes, and materialized axis relations -- as one segment
+// file per document plus a manifest; OpenSnapshot() reconstitutes the
+// store without re-parsing or re-indexing anything. Independently, a
+// spill_dir + max_resident_docs configuration turns the store into a
+// bounded-memory cache over its own disk segments: cold documents are
+// written out and their trees released, and a later access faults them
+// back in transparently. Documents that are pinned -- a hot AxisCache
+// references the tree, or a DocumentPtr is held outside the store (an
+// open stream, an in-flight job) -- are never spilled.
+//
 // Thread safety: every public method is safe to call concurrently with
 // every other. No method blocks beyond a shard mutex critical section
-// (plus one intern-index mutex for Intern/Remove); none of them waits for
-// in-flight queries. Lock ordering is intern-index mutex -> shard mutex
-// (Intern and Remove both nest in that order, so a document and its
-// intern key appear and disappear atomically); no method ever holds two
-// shard mutexes at once.
+// (plus one intern-index mutex for Intern/Remove); none of them waits
+// for in-flight queries. Spill-enabled stores may perform segment I/O
+// inside a shard's critical section (spill on insert, fault-in on
+// access), which serializes that shard -- not the store -- for the
+// duration. Lock ordering is intern-index mutex -> shard mutex (Intern
+// and Remove both nest in that order, so a document and its intern key
+// appear and disappear atomically); no method ever holds two shard
+// mutexes at once.
 #ifndef XPV_ENGINE_DOCUMENT_STORE_H_
 #define XPV_ENGINE_DOCUMENT_STORE_H_
 
@@ -112,6 +126,21 @@ struct DocumentStoreOptions {
   /// cross-job subrelation memoization entirely (per-evaluation
   /// hash-consing inside MatrixEngine still runs).
   std::size_t relation_cache_bytes = ppl::RelationCache::kDefaultMaxBytes;
+  /// Directory for spilled document segments (engine/snapshot.h format).
+  /// Empty disables spill-to-disk entirely; max_resident_docs is then
+  /// ignored. OpenSnapshot() defaults this to the snapshot directory, so
+  /// reloaded-then-evicted documents spill for free (their segment is
+  /// already on disk).
+  std::string spill_dir;
+  /// Maximum number of documents whose Tree is resident in memory, across
+  /// the whole store (divided over shards like max_hot_caches; remainder
+  /// on the first shards). Beyond a shard's budget the least recently
+  /// touched *unpinned* document is spilled: its segment is written to
+  /// spill_dir (if not already there) and its Tree released. A document
+  /// is pinned -- never spilled -- while its AxisCache is hot or any
+  /// DocumentPtr outside the store (a stream, an in-flight job) still
+  /// holds it. 0 = unbounded. Requires a nonempty spill_dir.
+  std::size_t max_resident_docs = 0;
 };
 
 /// Monitoring counters (monotone except documents/hot_caches/
@@ -128,14 +157,31 @@ struct DocumentStoreStats {
   std::uint64_t relation_hits = 0;    // subrelation-cache hits (all docs)
   std::uint64_t relation_misses = 0;  // subrelation-cache misses
   std::size_t relation_cache_bytes = 0;  // gauge: resident subrelation bytes
+  // -- spill / snapshot counters (engine/snapshot.h) --
+  std::size_t resident_docs = 0;      // gauge: documents with a Tree in RAM
+  std::size_t spilled_docs = 0;       // gauge: documents living only on disk
+  /// Gauge: heap bytes of resident documents' trees (Tree::resident_bytes).
+  /// Spilled documents contribute 0 -- cold mmap'd bytes are never counted
+  /// as hot.
+  std::size_t resident_doc_bytes = 0;
+  std::uint64_t doc_spills = 0;       // documents written out + released
+  std::uint64_t doc_reloads = 0;      // spilled documents decoded from disk
+  /// Fault-ins served by re-adopting a still-alive Document (an external
+  /// DocumentPtr kept it in memory) instead of touching the disk.
+  std::uint64_t doc_reattaches = 0;
+  std::uint64_t mmap_bytes = 0;       // total segment bytes memory-mapped
 };
 
 /// Thread-safe sharded DocumentId -> Document corpus with per-document
 /// persistent AxisCaches under bounded per-shard LRU retirement.
 ///
-/// Error contracts: lookup methods (Get, AxisCacheFor, PlanMemoFor) return
-/// null for unknown ids and never fail otherwise; Remove returns false for
-/// unknown ids; InsertTerm/InsertXml surface the parser's Status verbatim.
+/// Error contracts: Fetch returns typed Status (kNotFound for unknown
+/// ids; the segment loader's kDataLoss / kNotFound when a spilled
+/// document's fault-in fails); the nullable lookups (Get, AxisCacheFor,
+/// PlanMemoFor) return null in all of those cases; Remove returns false
+/// for unknown ids; InsertTerm/InsertXml surface the parser's Status
+/// verbatim; SaveSnapshot/OpenSnapshot surface the snapshot layer's
+/// typed Status (engine/snapshot.h).
 class DocumentStore {
  public:
   explicit DocumentStore(DocumentStoreOptions options = {});
@@ -154,13 +200,46 @@ class DocumentStore {
   /// Intern() calls with equal trees return the same id.
   DocumentId Intern(Tree tree, std::string name = {});
 
-  /// The document, or null for unknown ids.
-  DocumentPtr Get(DocumentId id) const;
+  /// The document with typed errors: kNotFound for unknown ids, and on
+  /// the spill path whatever LoadDocumentSegment reports (kDataLoss for a
+  /// corrupt segment, kNotFound for a vanished one). A spilled document
+  /// is faulted back in transparently -- first by re-adopting the live
+  /// Document if some holder still pins it, else by decoding its segment.
+  Result<DocumentPtr> Fetch(DocumentId id);
+
+  /// Nullable wrapper over Fetch(): the document, or null both for
+  /// unknown ids and for spilled documents whose reload failed (callers
+  /// that need to distinguish use Fetch).
+  DocumentPtr Get(DocumentId id);
 
   /// Removes a document (its id is never reused). In-flight holders of the
   /// DocumentPtr or its AxisCache stay valid; only future lookups of the
-  /// id fail. Returns false if unknown.
+  /// id fail. The document's spill segment, if one was written, is deleted
+  /// too -- Remove never leaves an orphaned segment file behind. Returns
+  /// false if unknown.
   bool Remove(DocumentId id);
+
+  /// Writes every document (and its materialized axis relations) into
+  /// `dir` as one segment per document, then the manifest last -- so `dir`
+  /// holds a complete snapshot exactly when a valid MANIFEST.xpv exists.
+  /// Spilled documents whose segment already lives in `dir` are not
+  /// rewritten. Shards are walked one at a time under their own mutex;
+  /// documents inserted concurrently into an already-visited shard are
+  /// simply absent from this snapshot.
+  Status SaveSnapshot(const std::string& dir);
+
+  /// Opens the snapshot in `dir` as a fresh store: every manifest id is
+  /// decoded from its segment (no parsing, no BuildIndexes -- see
+  /// tree/tree_io.h), interned documents rejoin the intern index, and
+  /// persisted axis relations are installed into hot AxisCaches, so the
+  /// reloaded store answers exactly like the one that saved. When
+  /// `options.spill_dir` is empty it defaults to `dir`, making reloaded
+  /// documents spillable for free. Residency and hot-cache budgets are
+  /// enforced during the load, so peak memory is the configured budget
+  /// plus one document. Fails with the loader's typed Status on any
+  /// corrupt, truncated, or missing segment.
+  static Result<std::unique_ptr<DocumentStore>> OpenSnapshot(
+      const std::string& dir, DocumentStoreOptions options = {});
 
   /// The document's persistent AxisCache, created lazily. Touches the
   /// owning shard's LRU and may retire another document's cache when that
@@ -196,12 +275,19 @@ class DocumentStore {
 
  private:
   struct Entry {
-    DocumentPtr doc;
+    DocumentPtr doc;  // null while spilled to disk
+    /// Reattach handle across spill: if an external DocumentPtr still
+    /// pins the document, fault-in re-adopts it without touching disk.
+    std::weak_ptr<const Document> spilled;
+    /// True once this document's segment exists in spill_dir (segments of
+    /// immutable documents never go stale, so spilling again is free).
+    bool on_disk = false;
     std::shared_ptr<AxisCache> cache;       // null when cold / retired
     std::shared_ptr<PlanMemo> plans;         // created with the document
     /// Subrelation cache, created with the document; null iff disabled.
     std::shared_ptr<ppl::RelationCache> relations;
     std::list<DocumentId>::iterator lru_it;  // valid iff cache != null
+    std::list<DocumentId>::iterator res_it;  // valid iff doc != null
     std::string intern_key;  // nonempty iff created by Intern()
   };
 
@@ -212,10 +298,14 @@ class DocumentStore {
     std::unordered_map<DocumentId, Entry> entries;
     /// Documents with a hot cache, most recently used first.
     std::list<DocumentId> lru;
+    /// Documents with a resident Tree, most recently touched first.
+    std::list<DocumentId> resident;
     /// This shard's slice of max_hot_caches (remainder spread over the
     /// first shards so the whole configured budget is usable). 0 =
     /// unbounded.
     std::size_t hot_budget = 0;
+    /// This shard's slice of max_resident_docs; 0 = unbounded.
+    std::size_t resident_budget = 0;
     DocumentStoreStats stats;  // counters only; gauges derived on read
   };
 
@@ -224,6 +314,15 @@ class DocumentStore {
              std::string intern_key);
   /// Drops LRU-tail caches until the shard's hot budget holds.
   void EnforceHotBoundLocked(Shard& shard);
+  /// Spills resident-LRU-tail documents (skipping pinned ones) until the
+  /// shard's residency budget holds or no document is spillable.
+  void EnforceResidencyLocked(Shard& shard);
+  /// Marks `id`'s Tree resident / recently used in its shard's LRU.
+  void TouchResidentLocked(Shard& shard, DocumentId id, Entry& entry);
+  /// Fault-in of a possibly spilled entry; `shard.mu` must be held.
+  Result<DocumentPtr> FaultInLocked(Shard& shard, DocumentId id, Entry& entry);
+  /// Path of `id`'s segment inside spill_dir.
+  std::string SpillPath(DocumentId id) const;
   /// Gauge-completed snapshot of one shard's stats.
   DocumentStoreStats SnapshotShardStats(const Shard& shard) const;
 

@@ -19,6 +19,9 @@ struct ResolvedDoc {
   std::shared_ptr<AxisCache> cache;
   std::shared_ptr<PlanMemo> plans;
   std::shared_ptr<ppl::RelationCache> relations;
+  /// Why resolution failed when doc == nullptr: the store Fetch's typed
+  /// status (kNotFound, or kDataLoss when a spilled segment is corrupt).
+  Status fetch_status;
 };
 
 /// Everything one batch needs from submission to completion. Shared by
@@ -154,12 +157,15 @@ QueryResult QueryService::Evaluate(DocumentId document, std::string_view query,
         "job addresses a DocumentId but the service has no DocumentStore");
     return result;
   }
-  DocumentPtr doc = store_->Get(document);
-  if (doc == nullptr) {
-    result.status =
-        Status::NotFound("unknown document id " + std::to_string(document));
+  // Fetch (not Get): a spilled document faults back in transparently, and
+  // a genuinely failed fault-in (corrupt or vanished segment) surfaces
+  // its typed kDataLoss / kNotFound instead of a generic "unknown id".
+  Result<DocumentPtr> fetched = store_->Fetch(document);
+  if (!fetched.ok()) {
+    result.status = fetched.status();
     return result;
   }
+  DocumentPtr doc = std::move(fetched).value();
   return RunJob(&doc->tree(), std::string(query), shape, std::nullopt,
                 std::nullopt, /*force_parse_order=*/false,
                 store_->AxisCacheFor(document),
@@ -408,11 +414,17 @@ void QueryService::PrepareRun(BatchState& run) {
       if (job.document != kNoDocument) {
         if (store_ != nullptr && !run.docs.contains(job.document)) {
           ResolvedDoc resolved;
-          resolved.doc = store_->Get(job.document);
-          if (resolved.doc != nullptr) {
+          Result<DocumentPtr> fetched = store_->Fetch(job.document);
+          if (fetched.ok()) {
+            resolved.doc = std::move(fetched).value();
             resolved.cache = store_->AxisCacheFor(job.document);
             resolved.plans = store_->PlanMemoFor(job.document);
             resolved.relations = store_->RelationCacheFor(job.document);
+          } else {
+            // Every job addressing this document reports the fault-in's
+            // typed status (kDataLoss on corruption) instead of a generic
+            // not-found.
+            resolved.fetch_status = fetched.status();
           }
           run.docs.emplace(job.document, std::move(resolved));
         }
@@ -512,8 +524,7 @@ void QueryService::RunOne(BatchState& run, std::size_t i) {
     } else {
       const ResolvedDoc& resolved = run.docs.at(job.document);
       if (resolved.doc == nullptr) {
-        run.results[i].status = Status::NotFound(
-            "unknown document id " + std::to_string(job.document));
+        run.results[i].status = resolved.fetch_status;
       } else {
         run.results[i] =
             RunJob(&resolved.doc->tree(), job.query, job.shape,
@@ -652,11 +663,7 @@ Result<QueryStream> QueryService::OpenStream(DocumentId document,
     return Status::InvalidArgument(
         "stream addresses a DocumentId but the service has no DocumentStore");
   }
-  DocumentPtr doc = store_->Get(document);
-  if (doc == nullptr) {
-    return Status::NotFound("unknown document id " +
-                            std::to_string(document));
-  }
+  XPV_ASSIGN_OR_RETURN(DocumentPtr doc, store_->Fetch(document));
   // The stream holds both the DocumentPtr and the AxisCache shared_ptr:
   // a concurrent Remove(document) only forgets the id -- the pinned tree
   // and cache outlive it, so an open stream keeps serving identical
@@ -806,6 +813,13 @@ ServiceStats QueryService::stats() const {
     s.shard_stats = store_->shard_stats();
     for (const DocumentStoreStats& shard : s.shard_stats) {
       s.subrel_bytes += shard.relation_cache_bytes;
+      s.doc_spills += shard.doc_spills;
+      s.doc_reloads += shard.doc_reloads;
+      s.doc_reattaches += shard.doc_reattaches;
+      s.mmap_bytes += shard.mmap_bytes;
+      s.resident_docs += shard.resident_docs;
+      s.spilled_docs += shard.spilled_docs;
+      s.resident_doc_bytes += shard.resident_doc_bytes;
     }
   }
   return s;

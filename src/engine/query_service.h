@@ -269,6 +269,18 @@ struct ServiceStats {
   /// summed over executed matrix plans (a memoized plan counts each time
   /// a job runs it).
   std::uint64_t chains_reassociated = 0;
+  /// Spill-to-disk residency, aggregated over the store's shards
+  /// (DocumentStoreStats semantics): documents written out / decoded back
+  /// / re-adopted while still alive, total segment bytes memory-mapped,
+  /// and the gauges of in-RAM vs on-disk-only documents. All zero when
+  /// the store has no spill_dir.
+  std::uint64_t doc_spills = 0;
+  std::uint64_t doc_reloads = 0;
+  std::uint64_t doc_reattaches = 0;
+  std::uint64_t mmap_bytes = 0;
+  std::size_t resident_docs = 0;
+  std::size_t spilled_docs = 0;
+  std::size_t resident_doc_bytes = 0;
   /// Per-shard corpus counters (empty when the service has no store).
   std::vector<DocumentStoreStats> shard_stats;
 };

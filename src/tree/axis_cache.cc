@@ -24,6 +24,31 @@ const BoolMatrix& AxisCache::Matrix(Axis axis) {
   return *axis_[i].load(std::memory_order_acquire);
 }
 
+bool AxisCache::InstallPrebuilt(Axis axis,
+                                std::unique_ptr<const BoolMatrix> m) {
+  const auto i = static_cast<std::size_t>(axis);
+  bool installed = false;
+  std::call_once(axis_once_[i], [&] {
+    axis_storage_[i] = std::move(m);
+    axis_[i].store(axis_storage_[i].get(), std::memory_order_release);
+    matrices_built_.fetch_add(1, std::memory_order_release);
+    matrices_installed_.fetch_add(1, std::memory_order_release);
+    installed = true;
+  });
+  return installed;
+}
+
+std::vector<Axis> AxisCache::BuiltAxes() const {
+  std::vector<Axis> built;
+  for (Axis axis : kAllAxes) {
+    const auto i = static_cast<std::size_t>(axis);
+    if (axis_[i].load(std::memory_order_acquire) != nullptr) {
+      built.push_back(axis);
+    }
+  }
+  return built;
+}
+
 Result<SparseBoolMatrix> AxisCache::SparseStep(Axis axis,
                                                const std::string& name_test,
                                                std::size_t max_runs) {

@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/bit_matrix.h"
 #include "common/bool_matrix.h"
@@ -76,6 +77,27 @@ class AxisCache {
 
   /// A(t) for the given axis, computed on first use.
   const BoolMatrix& Matrix(Axis axis);
+
+  /// Installs a snapshot-decoded relation for `axis` instead of building
+  /// it from the tree (engine/snapshot.h reload path). Returns true when
+  /// the slot was empty and the relation was adopted; false when the
+  /// axis was already materialized (the prebuilt copy is dropped -- the
+  /// published entry stays authoritative). The matrix must have the
+  /// tree's dimension; installed entries count toward matrices_built()
+  /// and, separately, matrices_installed().
+  bool InstallPrebuilt(Axis axis, std::unique_ptr<const BoolMatrix> m);
+
+  /// Axes whose relation is materialized right now, in kAllAxes order
+  /// (the snapshot save path serializes exactly these).
+  std::vector<Axis> BuiltAxes() const;
+
+  /// Number of matrices adopted through InstallPrebuilt() -- snapshot
+  /// reloads -- as opposed to built from the tree. The round-trip tests
+  /// assert installed == persisted axes and that subsequent queries
+  /// build nothing (matrices_built() stays at matrices_installed()).
+  std::size_t matrices_installed() const {
+    return matrices_installed_.load(std::memory_order_acquire);
+  }
 
   /// lab_N(t) for the given name test (empty or "*" = all nodes), computed
   /// on first use.
@@ -133,6 +155,7 @@ class AxisCache {
   const Tree& tree_;
   const AxisBacking backing_;
   std::atomic<std::size_t> matrices_built_{0};
+  std::atomic<std::size_t> matrices_installed_{0};
   std::atomic<std::size_t> label_sets_built_{0};
   std::atomic<std::size_t> label_bytes_{0};
   std::array<std::once_flag, kAllAxes.size()> axis_once_;

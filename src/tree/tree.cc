@@ -1,10 +1,26 @@
 #include "tree/tree.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cctype>
 
 namespace xpv {
+
+namespace {
+// Process-wide construction counters; see the header. Relaxed is enough:
+// tests read them only at quiescent points (before/after an operation).
+std::atomic<std::uint64_t> g_index_builds{0};
+std::atomic<std::uint64_t> g_parses{0};
+}  // namespace
+
+std::uint64_t Tree::GlobalIndexBuilds() {
+  return g_index_builds.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Tree::GlobalParses() {
+  return g_parses.load(std::memory_order_relaxed);
+}
 
 std::size_t Tree::NumChildren(NodeId v) const {
   std::size_t count = 0;
@@ -31,6 +47,7 @@ std::size_t Tree::LabelFrequency(std::string_view name) const {
 }
 
 void Tree::BuildIndexes() {
+  g_index_builds.fetch_add(1, std::memory_order_relaxed);
   const NodeId n = static_cast<NodeId>(parent_.size());
   depth_.assign(n, 0);
   subtree_size_.assign(n, 1);
@@ -133,6 +150,30 @@ Tree Tree::Subtree(NodeId u) const {
   return std::move(result).value();
 }
 
+std::size_t Tree::resident_bytes() const {
+  const std::size_t n = parent_.size();
+  // Five structure arrays + labels + post/depth/subtree, all n entries.
+  std::size_t bytes = n * (6 * sizeof(NodeId) + sizeof(LabelId) +
+                           2 * sizeof(std::uint32_t));
+  for (const std::vector<NodeId>& level : up_) {
+    bytes += level.size() * sizeof(NodeId);
+  }
+  // Posting lists hold each node exactly once.
+  bytes += n * sizeof(NodeId) +
+           label_postings_.size() * sizeof(std::vector<NodeId>);
+  for (const std::string& label : labels_) {
+    bytes += sizeof(std::string) + label.capacity();
+  }
+  // label_ids_ nodes: hash bucket pointer + node header + key string
+  // header (characters counted via labels_ already share small-string
+  // storage; charge capacity again only for heap-allocated keys).
+  for (const auto& [key, id] : label_ids_) {
+    (void)id;
+    bytes += 4 * sizeof(void*) + sizeof(std::string) + key.capacity();
+  }
+  return bytes;
+}
+
 bool Tree::operator==(const Tree& other) const {
   if (size() != other.size()) return false;
   for (NodeId v = 0; v < size(); ++v) {
@@ -224,6 +265,7 @@ std::string Tree::ToXml() const {
 }
 
 Result<Tree> Tree::ParseTerm(std::string_view text) {
+  g_parses.fetch_add(1, std::memory_order_relaxed);
   std::size_t pos = 0;
   auto skip_ws = [&] {
     while (pos < text.size() &&
@@ -305,6 +347,7 @@ Result<Tree> Tree::ParseTerm(std::string_view text) {
 }
 
 Result<Tree> Tree::ParseXml(std::string_view text) {
+  g_parses.fetch_add(1, std::memory_order_relaxed);
   std::size_t pos = 0;
   TreeBuilder builder;
   std::vector<std::string> open_tags;

@@ -135,6 +135,26 @@ class Tree {
   /// Structural + label equality.
   bool operator==(const Tree& other) const;
 
+  /// Approximate heap bytes held by this tree: node arrays, document-order
+  /// indexes (including the binary-lifting table and posting lists), label
+  /// strings, and the intern map's node overhead. Drives the
+  /// DocumentStore's resident-document accounting for spill-to-disk: a
+  /// spilled document's bytes leave this gauge because the Tree itself is
+  /// released, so cold on-disk (or mmap'd) bytes are never counted as hot.
+  std::size_t resident_bytes() const;
+
+  // ------------------------------------------------------------------
+  // Process-wide construction counters (monotone, relaxed atomics).
+  // The persistence layer's contract is that reloading a snapshot does
+  // NOT re-parse or re-index; these counters are how tests and the
+  // restart harness observe that. They count calls, not nodes.
+
+  /// Number of BuildIndexes() runs (every TreeBuilder::Finish) so far in
+  /// this process.
+  static std::uint64_t GlobalIndexBuilds();
+  /// Number of ParseTerm() + ParseXml() calls so far in this process.
+  static std::uint64_t GlobalParses();
+
   /// Compact term syntax: a(b,c(d)). Round-trips through ParseTerm().
   std::string ToTerm() const;
   /// XML serialization: <a><b/><c><d/></c></a>.
@@ -151,6 +171,9 @@ class Tree {
 
  private:
   friend class TreeBuilder;
+  /// Serialization (tree/tree_io.h) reads and reconstitutes the private
+  /// arrays directly so a decoded tree never re-runs BuildIndexes().
+  friend class TreeIo;
 
   /// Computes the document-order indexes (depth, subtree size, post-order,
   /// binary-lifting table, posting lists). Called once from Finish().

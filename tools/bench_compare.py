@@ -38,6 +38,23 @@ FLAGGED_SECTIONS = [
     "BM_CrossoverFullRelation",
     "BM_SubrelationReuse",
     "BM_ChainReassociation",
+    "BM_SnapshotSaveLoad",
+    "BM_SpillThrash",
+]
+
+# Absolute acceptance bars on measured counters, independent of the
+# baseline: (benchmark name prefix, counter, minimum value). The ROADMAP
+# claims snapshot reload beats parse+reindex(+axis warmup) by >= 5x at
+# 2048 nodes; if the counter sinks below that, the persistence layer's
+# reason to exist has regressed no matter what the baseline says.
+#
+# Counters are read from --counters FILE when given, else from the
+# candidate. reload_speedup models cold startup, so CI produces the
+# counters file with a dedicated fresh-process run of the snapshot
+# section (a warm allocator halves parse cost and understates the
+# ratio -- see the comment above BM_SnapshotSaveLoad).
+COUNTER_BOUNDS = [
+    ("BM_SnapshotSaveLoad/2048", "reload_speedup", 5.0),
 ]
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -57,6 +74,37 @@ def load_times(path):
     return times
 
 
+def check_counter_bounds(path):
+    """COUNTER_BOUNDS violations in a benchmark JSON, as error strings.
+
+    Counters live as plain numeric fields on each benchmark object in
+    google-benchmark's JSON. A bound with no matching benchmark is an
+    error too: losing the measured config silently would un-gate the
+    acceptance claim.
+    """
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    errors = []
+    for prefix, counter, minimum in COUNTER_BOUNDS:
+        matched = False
+        for bench in doc.get("benchmarks", []):
+            if bench.get("run_type", "iteration") != "iteration":
+                continue
+            if not bench["name"].startswith(prefix):
+                continue
+            matched = True
+            value = bench.get(counter)
+            if value is None:
+                errors.append(f"{bench['name']}: counter '{counter}' missing")
+            elif float(value) < minimum:
+                errors.append(f"{bench['name']}: {counter}={float(value):.2f} "
+                              f"below required {minimum:g}")
+        if not matched:
+            errors.append(f"counter bound '{prefix}' matched no candidate "
+                          f"benchmark")
+    return errors
+
+
 def section_of(name):
     return name.split("/", 1)[0]
 
@@ -74,6 +122,9 @@ def main():
                              "(default 0.10 = 10%%)")
     parser.add_argument("--no-normalize", action="store_true",
                         help="compare raw times (same-machine runs only)")
+    parser.add_argument("--counters", default=None, metavar="FILE",
+                        help="benchmark JSON to check COUNTER_BOUNDS "
+                             "against (default: the candidate file)")
     args = parser.parse_args()
 
     base = load_times(args.baseline)
@@ -112,6 +163,8 @@ def main():
             errors.append(
                 f"{section}: geomean slowdown x{score:.3f} exceeds "
                 f"1 + {args.threshold:.2f}")
+
+    errors.extend(check_counter_bounds(args.counters or args.candidate))
 
     for error in errors:
         print(f"FAIL: {error}")

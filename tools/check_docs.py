@@ -8,10 +8,11 @@ Two checks, so the docs/ subsystem cannot rot silently:
    matches a heading slug in the target.
 2. Every public class/struct declared at namespace scope in the scanned
    public headers (src/engine/*.h, plus the representation-plane headers
-   src/common/bool_matrix.h, src/common/sparse_matrix.h,
-   src/tree/axis_cache.h, and the plan-optimizer headers
-   src/ppl/canonical.h and src/ppl/relation_cache.h) is mentioned in
-   docs/ARCHITECTURE.md, so new public API cannot ship undocumented.
+   src/common/bool_matrix.h, src/common/sparse_matrix.h, the tree-plane
+   headers src/tree/axis_cache.h and src/tree/tree_io.h, and the
+   plan-optimizer headers src/ppl/canonical.h and
+   src/ppl/relation_cache.h) is mentioned in docs/ARCHITECTURE.md, so
+   new public API cannot ship undocumented.
 
 Exit code 0 iff both checks pass; failures are listed one per line.
 """
@@ -119,6 +120,7 @@ def scanned_headers():
     headers.append(REPO / "src" / "common" / "bool_matrix.h")
     headers.append(REPO / "src" / "common" / "sparse_matrix.h")
     headers.append(REPO / "src" / "tree" / "axis_cache.h")
+    headers.append(REPO / "src" / "tree" / "tree_io.h")
     headers.append(REPO / "src" / "ppl" / "canonical.h")
     headers.append(REPO / "src" / "ppl" / "relation_cache.h")
     return [h for h in headers if h.exists()]

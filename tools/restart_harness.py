@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Kill/restart persistence harness for batch_server.
+
+Drives the snapshot subsystem end to end, across real process
+boundaries, the way an operator would experience a crash:
+
+  phase A  run batch_server with --snapshot_dir against an empty
+           directory.  The corpus is built through the term parser
+           (``fresh build; parses>0``), saved to disk, and the batch is
+           served to completion.  The printed result digest is the
+           ground truth for every later phase.
+
+  phase B  restart against the now-populated directory with a long
+           --repeat, and SIGKILL the process mid-serve (no warning, no
+           flush -- the snapshot layer's atomic-write discipline is what
+           keeps the directory coherent).  If the process finishes
+           before the kill lands, that run just became another phase-C
+           check; the harness still passes.
+
+  phase C  restart once more and let it finish.  Assert:
+             * ``corpus: snapshot reload`` -- the manifest was found,
+             * ``parses=0, index_builds=0`` -- nothing was re-parsed or
+               re-indexed (the whole point of persisting the indexes),
+             * the result digest equals phase A's -- byte-identical
+               answers across a kill -9 boundary.
+
+Usage:  restart_harness.py /path/to/batch_server [workdir]
+
+Exit status 0 on success; nonzero with a diagnostic on any violation.
+Registered as the ``restart_harness`` ctest entry.
+"""
+
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SERVER_ARGS = ["2", "120", "60"]  # threads, tree nodes, batch size
+DIGEST_RE = re.compile(r"result digest:\s+([0-9a-f]{16})")
+CORPUS_RE = re.compile(r"corpus:\s+(fresh build|snapshot reload);"
+                       r" parses=(\d+), index_builds=(\d+)")
+
+
+def fail(msg, output=None):
+    sys.stderr.write("restart_harness: FAIL: %s\n" % msg)
+    if output:
+        sys.stderr.write("---- server output ----\n%s\n" % output)
+    sys.exit(1)
+
+
+def parse_run(output):
+    """Extract (corpus_kind, parses, index_builds, digest) or fail."""
+    corpus = CORPUS_RE.search(output)
+    digest = DIGEST_RE.search(output)
+    if not corpus or not digest:
+        fail("server output missing corpus/digest lines", output)
+    if "INCONSISTENT" in output:
+        fail("digest inconsistent across --repeat within one process", output)
+    return corpus.group(1), int(corpus.group(2)), int(corpus.group(3)), \
+        digest.group(1)
+
+
+def run_to_completion(server, snapshot_dir, repeat=1):
+    cmd = [server] + SERVER_ARGS + ["--snapshot_dir=" + snapshot_dir,
+                                    "--repeat=%d" % repeat]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True, timeout=300)
+    if proc.returncode != 0:
+        fail("server exited with %d" % proc.returncode, proc.stdout)
+    return parse_run(proc.stdout)
+
+
+def kill_mid_serve(server, snapshot_dir):
+    """Start a long run and SIGKILL it once serving has begun.
+
+    Returns True if the kill landed while the process was alive.
+    """
+    cmd = [server] + SERVER_ARGS + ["--snapshot_dir=" + snapshot_dir,
+                                    "--repeat=200"]
+    proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    # Give it a moment to get past startup and into the serve loop. The
+    # exact instant does not matter: any point after the manifest exists
+    # exercises "die without flushing anything".
+    deadline = time.time() + 10.0
+    time.sleep(0.3)
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            return False  # finished 200 repeats before we could kill it
+        proc.send_signal(signal.SIGKILL)
+        break
+    proc.wait(timeout=60)
+    return True
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: restart_harness.py /path/to/batch_server [workdir]")
+    server = sys.argv[1]
+    if not os.access(server, os.X_OK):
+        fail("server binary not executable: %s" % server)
+
+    workdir = sys.argv[2] if len(sys.argv) > 2 else tempfile.mkdtemp(
+        prefix="xpv_restart_")
+    os.makedirs(workdir, exist_ok=True)
+    snapshot_dir = os.path.join(workdir, "snap")
+    shutil.rmtree(snapshot_dir, ignore_errors=True)
+
+    # Phase A: cold start, build + save + serve.
+    kind, parses, builds, digest_a = run_to_completion(server, snapshot_dir)
+    if kind != "fresh build":
+        fail("phase A expected a fresh build, got %r" % kind)
+    if parses == 0:
+        fail("phase A should have parsed the corpus (parses=0)")
+    if not os.path.exists(os.path.join(snapshot_dir, "MANIFEST.xpv")):
+        fail("phase A left no MANIFEST.xpv in %s" % snapshot_dir)
+    print("restart_harness: phase A ok (digest %s, parses=%d, "
+          "index_builds=%d)" % (digest_a, parses, builds))
+
+    # Phase B: restart and kill -9 mid-serve.
+    killed = kill_mid_serve(server, snapshot_dir)
+    print("restart_harness: phase B %s" %
+          ("killed mid-serve" if killed else "finished before kill (ok)"))
+
+    # Phase C: restart after the crash; identical answers, zero re-work.
+    kind, parses, builds, digest_c = run_to_completion(server, snapshot_dir,
+                                                       repeat=2)
+    if kind != "snapshot reload":
+        fail("phase C expected a snapshot reload, got %r" % kind)
+    if parses != 0 or builds != 0:
+        fail("phase C re-did work: parses=%d index_builds=%d"
+             % (parses, builds))
+    if digest_c != digest_a:
+        fail("digest changed across kill -9: %s -> %s" % (digest_a, digest_c))
+    print("restart_harness: phase C ok (digest %s, zero parses, zero "
+          "index builds)" % digest_c)
+
+    shutil.rmtree(workdir, ignore_errors=True)
+    print("restart_harness: PASS")
+
+
+if __name__ == "__main__":
+    main()
