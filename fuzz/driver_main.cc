@@ -1,0 +1,198 @@
+// Standalone driver for the fuzz/ harnesses (see fuzz/fuzz_driver.h).
+//
+// Usage:
+//   fuzz_target FILE_OR_DIR...            replay inputs, then exit
+//   fuzz_target --fuzz=N [--seed=S] [--max-len=L] FILE_OR_DIR...
+//                                         N random-mutation iterations
+//                                         seeded from the given corpus
+//
+// Replay mode is what the ctest *_corpus entries run: every checked-in
+// seed and regression input goes through the harness on every test run,
+// under whatever sanitizer the build enables. The --fuzz mode is a
+// plain random mutator (no coverage feedback): byte flips, inserts,
+// erases, and cross-seed splices, routed through the target's
+// LLVMFuzzerCustomMutator when it defines one (weak symbol). It exists
+// so local toolchains without libFuzzer can still shake the harnesses;
+// serious fuzzing runs the libFuzzer build (cmake -DXPV_LIBFUZZER=ON,
+// clang only), which drives the same LLVMFuzzerTestOneInput.
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_driver.h"
+
+// Optional structure-aware mutator (libFuzzer protocol). Weak: null when
+// the target does not define one, in which case --fuzz mode uses the
+// generic byte mutations only.
+extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
+                                               std::size_t size,
+                                               std::size_t max_size,
+                                               unsigned int seed)
+    __attribute__((weak));
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// Expands a path into itself (file) or its immediate children (dir).
+void CollectInputs(const std::string& path, std::vector<std::string>* files) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "fuzz driver: cannot stat '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    files->push_back(path);
+    return;
+  }
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    std::fprintf(stderr, "fuzz driver: cannot open dir '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string child = path + "/" + name;
+    if (::stat(child.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      files->push_back(child);
+    }
+  }
+  ::closedir(dir);
+}
+
+/// Generic mutations in the libFuzzer spirit: flip, overwrite, insert,
+/// erase, duplicate a block, splice in another seed.
+void MutateBytes(std::string* input, const std::string& other,
+                 std::size_t max_len, std::mt19937_64& rng) {
+  const int rounds = 1 + static_cast<int>(rng() % 4);
+  for (int round = 0; round < rounds; ++round) {
+    switch (rng() % 6) {
+      case 0:  // bit flip
+        if (!input->empty()) {
+          (*input)[rng() % input->size()] ^=
+              static_cast<char>(1u << (rng() % 8));
+        }
+        break;
+      case 1:  // overwrite with a random byte
+        if (!input->empty()) {
+          (*input)[rng() % input->size()] = static_cast<char>(rng());
+        }
+        break;
+      case 2:  // insert a random byte
+        if (input->size() < max_len) {
+          input->insert(input->begin() + rng() % (input->size() + 1),
+                        static_cast<char>(rng()));
+        }
+        break;
+      case 3:  // erase a byte
+        if (!input->empty()) {
+          input->erase(input->begin() + rng() % input->size());
+        }
+        break;
+      case 4: {  // duplicate a block
+        if (!input->empty() && input->size() < max_len) {
+          const std::size_t from = rng() % input->size();
+          const std::size_t len =
+              1 + rng() % std::min<std::size_t>(input->size() - from, 32);
+          const std::string block = input->substr(from, len);
+          input->insert(rng() % (input->size() + 1), block);
+        }
+        break;
+      }
+      default: {  // splice a window from another seed
+        if (!other.empty() && !input->empty()) {
+          const std::size_t from = rng() % other.size();
+          const std::size_t len =
+              1 + rng() % std::min<std::size_t>(other.size() - from, 32);
+          const std::size_t at = rng() % input->size();
+          input->replace(at, std::min(len, input->size() - at), other,
+                         from, len);
+        }
+        break;
+      }
+    }
+    if (input->size() > max_len) input->resize(max_len);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t fuzz_iters = 0;
+  std::uint64_t seed = 1;
+  std::size_t max_len = std::size_t{1} << 16;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--fuzz=", 0) == 0) {
+      fuzz_iters = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--max-len=", 0) == 0) {
+      max_len = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg == "--help") {
+      std::fprintf(stderr,
+                   "usage: %s [--fuzz=N] [--seed=S] [--max-len=L] "
+                   "FILE_OR_DIR...\n",
+                   argv[0]);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& path : paths) CollectInputs(path, &files);
+
+  // Replay every given input first (this is the whole job in replay
+  // mode, and seeds the corpus in --fuzz mode).
+  std::vector<std::string> corpus;
+  for (const std::string& file : files) {
+    std::string bytes;
+    if (!ReadFile(file, &bytes)) {
+      std::fprintf(stderr, "fuzz driver: cannot read '%s'\n", file.c_str());
+      return 2;
+    }
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    corpus.push_back(std::move(bytes));
+  }
+  std::printf("fuzz driver: replayed %zu input(s)\n", corpus.size());
+
+  if (fuzz_iters == 0) return 0;
+  if (corpus.empty()) corpus.push_back("");
+
+  std::mt19937_64 rng(seed);
+  for (std::uint64_t it = 0; it < fuzz_iters; ++it) {
+    std::string input = corpus[rng() % corpus.size()];
+    const std::string& other = corpus[rng() % corpus.size()];
+    if (LLVMFuzzerCustomMutator != nullptr && rng() % 2 == 0) {
+      input.resize(std::max(input.size(), std::size_t{1}));
+      input.resize(LLVMFuzzerCustomMutator(
+          reinterpret_cast<std::uint8_t*>(input.data()), input.size(),
+          input.size(), static_cast<unsigned int>(rng())));
+    } else {
+      MutateBytes(&input, other, max_len, rng);
+    }
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(input.data()), input.size());
+  }
+  std::printf("fuzz driver: ran %llu mutation iteration(s)\n",
+              static_cast<unsigned long long>(fuzz_iters));
+  return 0;
+}

@@ -1,0 +1,41 @@
+// The harness contract shared by every fuzz target in this directory.
+//
+// Each fuzz_*.cc defines the libFuzzer entry point
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// and optionally the structure-aware mutator hook
+//
+//   extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+//                                             size_t max_size,
+//                                             unsigned int seed);
+//
+// Two build modes produce the same executables from the same sources:
+//
+//   1. libFuzzer (clang, -DXPV_LIBFUZZER=ON): the harness is linked with
+//      -fsanitize=fuzzer and driven by libFuzzer's coverage-guided loop.
+//      This is what the CI fuzz job runs (short budget per target).
+//   2. Standalone (any compiler, the default): the harness is linked with
+//      fuzz/driver_main.cc, a dependency-free replacement driver that
+//      replays corpus files (`fuzz_target corpus_dir file...` -- the
+//      ctest *_corpus entries) and offers a plain random-mutation loop
+//      (`fuzz_target --fuzz=N corpus_dir`) for toolchains without
+//      libFuzzer, honoring LLVMFuzzerCustomMutator when the target
+//      defines one. No coverage feedback -- it exists so corpora keep
+//      replaying (and harness bugs keep reproducing) in every build.
+//
+// Harness rules: deterministic per input, no global state leaks across
+// calls (every input must behave identically replayed alone), return 0,
+// and NEVER crash on malformed input -- a crash IS the finding. Found
+// crashers are fixed in the library and their inputs checked into
+// fuzz/corpus/<target>/ as regression seeds.
+#ifndef XPV_FUZZ_FUZZ_DRIVER_H_
+#define XPV_FUZZ_FUZZ_DRIVER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#endif  // XPV_FUZZ_FUZZ_DRIVER_H_

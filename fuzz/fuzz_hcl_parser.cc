@@ -1,0 +1,21 @@
+// Fuzz target: the HCL surface parser (hcl/parser.h).
+//
+// Crash-freedom on arbitrary bytes plus the print/reparse round-trip
+// invariant on accepted inputs.
+#include <cstdlib>
+#include <string_view>
+
+#include "fuzz/fuzz_driver.h"
+#include "hcl/ast.h"
+#include "hcl/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  xpv::Result<xpv::hcl::HclPtr> parsed = xpv::hcl::ParseHcl(text);
+  if (!parsed.ok()) return 0;
+  const std::string printed = parsed.value()->ToString();
+  xpv::Result<xpv::hcl::HclPtr> again = xpv::hcl::ParseHcl(printed);
+  if (!again.ok() || again.value()->ToString() != printed) std::abort();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fuzz target: the PPLbin surface parser (ppl/parser.h), plus the
+// canonicalizer on accepted inputs.
+//
+// Invariants beyond crash-freedom: print/reparse round-trips, and
+// Canonicalize() is idempotent (canonicalizing a canonical form is a
+// no-op) -- the RelationCache keys on canonical text, so a drifting
+// canonical form would silently split cache entries.
+#include <cstdlib>
+#include <string_view>
+
+#include "fuzz/fuzz_driver.h"
+#include "ppl/canonical.h"
+#include "ppl/parser.h"
+#include "ppl/pplbin.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  xpv::Result<xpv::ppl::PplBinPtr> parsed = xpv::ppl::ParsePplBin(text);
+  if (!parsed.ok()) return 0;
+
+  const std::string printed = parsed.value()->ToString();
+  xpv::Result<xpv::ppl::PplBinPtr> again = xpv::ppl::ParsePplBin(printed);
+  if (!again.ok() || again.value()->ToString() != printed) std::abort();
+
+  xpv::ppl::PplBinPtr canon =
+      xpv::ppl::Canonicalize(std::move(again).value());
+  const std::string canon_text = canon->ToString();
+  xpv::ppl::PplBinPtr canon2 = xpv::ppl::Canonicalize(std::move(canon));
+  if (canon2->ToString() != canon_text) std::abort();
+  return 0;
+}

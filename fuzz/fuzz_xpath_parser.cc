@@ -1,0 +1,41 @@
+// Fuzz target: the three XPath surface parsers (xpath/parser.h).
+//
+// Crash-freedom on arbitrary bytes, plus the print/reparse round-trip
+// invariant on accepted inputs: parse(text) ok implies
+// parse(ToString(parse(text))) succeeds and prints identically (the
+// printer emits canonical surface syntax, which must be a fixed point).
+#include <cstdlib>
+#include <string_view>
+
+#include "fuzz/fuzz_driver.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace {
+
+void CheckPathRoundTrip(const xpv::Result<xpv::xpath::PathPtr>& parsed) {
+  if (!parsed.ok()) return;
+  const std::string printed = parsed.value()->ToString();
+  xpv::Result<xpv::xpath::PathPtr> again = xpv::xpath::ParsePath(printed);
+  if (!again.ok() || again.value()->ToString() != printed) {
+    std::abort();  // round-trip violation IS the finding
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  CheckPathRoundTrip(xpv::xpath::ParsePath(text));
+  // The abbreviated grammar desugars into the core AST; its result must
+  // also print as valid core syntax.
+  CheckPathRoundTrip(xpv::xpath::ParseAbbreviatedPath(text));
+  if (xpv::Result<xpv::xpath::TestPtr> test = xpv::xpath::ParseTest(text);
+      test.ok()) {
+    const std::string printed = test.value()->ToString();
+    xpv::Result<xpv::xpath::TestPtr> again = xpv::xpath::ParseTest(printed);
+    if (!again.ok() || again.value()->ToString() != printed) std::abort();
+  }
+  return 0;
+}

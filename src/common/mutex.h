@@ -1,0 +1,111 @@
+// Capability-annotated mutex / lock / condition-variable wrappers.
+//
+// Clang's thread-safety analysis (common/thread_annotations.h) can only
+// check lock contracts written against lock types that carry the
+// `capability` attribute. libstdc++'s std::mutex does not, so every
+// class that declares GUARDED_BY / REQUIRES contracts uses these
+// zero-overhead wrappers instead: inline forwarding over std::mutex /
+// std::unique_lock / std::condition_variable, identical codegen, plus
+// the attributes the analysis needs.
+//
+// Idioms:
+//
+//   class Cache {
+//     mutable Mutex mu_;
+//     std::map<K, V> entries_ XPV_GUARDED_BY(mu_);
+//     void EvictLocked() XPV_REQUIRES(mu_);
+//   };
+//   ...
+//   MutexLock lock(mu_);   // scoped, like std::lock_guard
+//   entries_.clear();       // OK: analysis sees mu_ held
+//
+// For condition waits, CondVar::Wait takes the MutexLock itself. The
+// wait releases and reacquires the mutex internally but restores the
+// held state before returning, so modeling it as a no-op on the lock
+// set is sound -- the analysis never sees an intermediate state that
+// could mask a real violation.
+#ifndef XPV_COMMON_MUTEX_H_
+#define XPV_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace xpv {
+
+/// Annotated std::mutex. Prefer MutexLock over manual Lock/Unlock.
+class XPV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() XPV_ACQUIRE() { mu_.lock(); }
+  void Unlock() XPV_RELEASE() { mu_.unlock(); }
+  bool TryLock() XPV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex (std::lock_guard ergonomics), with explicit
+/// Unlock()/Relock() for hand-over-hand patterns like the QueryService
+/// dispatcher, and CondVar waits through the underlying unique_lock.
+class XPV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XPV_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() XPV_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases the mutex before scope end (the destructor then does
+  /// nothing). The analysis tracks the managed capability through both.
+  void Unlock() XPV_RELEASE() { lock_.unlock(); }
+  /// Reacquires after Unlock().
+  void Relock() XPV_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Annotated std::condition_variable. Wait() has no capability
+/// annotation on purpose: it releases and reacquires `lock`'s mutex
+/// internally but returns with the same lock set it was entered with,
+/// so the surrounding function's analysis state stays correct. Callers
+/// use explicit `while (!predicate) cv.Wait(lock);` loops -- predicate
+/// lambdas would read guarded state in a scope the analysis cannot see
+/// into.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Zero-size anchor for lock-order declarations between mutexes that
+/// cannot name each other (per-shard mutexes living behind unique_ptrs,
+/// for example). Declare one inline token per ordering level and tie
+/// both sides to it:
+///
+///   inline LockOrderToken kShardLockOrder;
+///   Mutex intern_mu_ XPV_ACQUIRED_BEFORE(kShardLockOrder);
+///   struct Shard { Mutex mu XPV_ACQUIRED_AFTER(kShardLockOrder); };
+///
+/// The token is never locked; it only gives ACQUIRED_BEFORE/AFTER a
+/// capability-typed expression both declarations can reach.
+class XPV_CAPABILITY("lock_order") LockOrderToken {};
+
+}  // namespace xpv
+
+#endif  // XPV_COMMON_MUTEX_H_

@@ -33,7 +33,14 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// A Status holds either "ok" or an error code plus message.
-class Status {
+///
+/// [[nodiscard]] at class level: every function returning a Status (or a
+/// Result<T> below) is fallible by construction, and silently dropping
+/// the return loses the only error signal -- the compiler flags every
+/// ignored return without per-function annotations. Intentional discards
+/// are spelled `(void)DoThing();` at the call site, which documents the
+/// decision where it is made.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -98,7 +105,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 /// Result<T> holds either a value of type T or an error Status.
 /// Accessing the value of an errored Result is a programmer error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): implicit by design,
   // mirrors absl::StatusOr ergonomics.

@@ -1,0 +1,85 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These wrap the capability attributes described in
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so the lock
+// contracts of every concurrent class in this codebase (the table in
+// docs/ARCHITECTURE.md "Concurrency contracts") are *machine-checked*:
+// the CI clang job compiles src/ with `-Wthread-safety -Werror`, turning
+// a violated GUARDED_BY / REQUIRES / lock-order contract into a build
+// failure instead of a code-review catch.
+//
+// On compilers without the attributes (GCC builds every local and
+// default-CI configuration) each macro expands to nothing, so the
+// annotations cost zero and the code stays portable --
+// tests/thread_annotations_test.cc pins that no-op behavior.
+//
+// The analysis only understands capability-annotated lock types, and
+// libstdc++'s std::mutex is not annotated; use the annotated wrappers in
+// common/mutex.h (xpv::Mutex / MutexLock / CondVar) instead of raw
+// std::mutex in any class that declares these contracts.
+#ifndef XPV_COMMON_THREAD_ANNOTATIONS_H_
+#define XPV_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(XPV_NO_THREAD_SAFETY_ANALYSIS)
+#define XPV_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define XPV_THREAD_ANNOTATION_(x)  // no-op on GCC and MSVC
+#endif
+
+/// Marks a class as a capability (a lock type). The string names the
+/// capability kind in diagnostics ("mutex").
+#define XPV_CAPABILITY(x) XPV_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (MutexLock).
+#define XPV_SCOPED_CAPABILITY XPV_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define XPV_GUARDED_BY(x) XPV_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex (the
+/// pointer itself may be read freely).
+#define XPV_PT_GUARDED_BY(x) XPV_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them). The `*Locked` private-helper convention maps to this.
+#define XPV_REQUIRES(...) \
+  XPV_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock guard for functions that acquire them internally).
+#define XPV_EXCLUDES(...) XPV_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define XPV_ACQUIRE(...) \
+  XPV_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define XPV_RELEASE(...) \
+  XPV_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define XPV_TRY_ACQUIRE(...) \
+  XPV_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Lock-ordering declaration: this mutex is always acquired before /
+/// after the named ones. Checked by `-Wthread-safety-beta` (the order
+/// analysis is not yet in stable clang); kept in the source anyway as
+/// the machine-readable form of the documented global acquisition order.
+#define XPV_ACQUIRED_BEFORE(...) \
+  XPV_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define XPV_ACQUIRED_AFTER(...) \
+  XPV_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Returns a reference to data guarded by the given mutex (the caller
+/// must hold it to dereference safely).
+#define XPV_RETURN_CAPABILITY(x) XPV_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis inside one function. Every use
+/// must carry a comment explaining why the contract cannot be expressed
+/// (e.g. condition-variable wait, which releases and reacquires
+/// invisibly but restores the lock state before returning).
+#define XPV_NO_THREAD_SAFETY_ANALYSIS \
+  XPV_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // XPV_COMMON_THREAD_ANNOTATIONS_H_

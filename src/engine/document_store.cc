@@ -82,7 +82,7 @@ void DocumentStore::Store(DocumentId id, std::string name, Tree tree,
   }
   entry.intern_key = std::move(intern_key);
   Shard& shard = *shards_[shard_of(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   entry.lru_it = shard.lru.end();
   entry.res_it = shard.resident.end();
   auto [it, inserted] = shard.entries.emplace(id, std::move(entry));
@@ -202,7 +202,7 @@ DocumentId DocumentStore::Intern(Tree tree, std::string name) {
   // intern_mu_ is held across the shard insertion (intern -> shard lock
   // order) so a racing Intern of the same key cannot observe the index
   // entry before the document is resolvable.
-  std::lock_guard<std::mutex> intern_lock(intern_mu_);
+  MutexLock intern_lock(intern_mu_);
   auto it = intern_index_.find(key);
   if (it != intern_index_.end()) {
     ++intern_hits_;
@@ -216,7 +216,7 @@ DocumentId DocumentStore::Intern(Tree tree, std::string name) {
 
 Result<DocumentPtr> DocumentStore::Fetch(DocumentId id) {
   Shard& shard = *shards_[shard_of(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) {
     return Status::NotFound("no document with id " + std::to_string(id));
@@ -235,12 +235,12 @@ bool DocumentStore::Remove(DocumentId id) {
   // atomically: a racing Intern of an equal tree either sees the key and
   // returns this id while its entry still exists, or sees neither and
   // interns a fresh document -- never a key pointing at an erased entry.
-  std::lock_guard<std::mutex> intern_lock(intern_mu_);
+  MutexLock intern_lock(intern_mu_);
   std::string intern_key;
   bool segment_on_disk = false;
   {
     Shard& shard = *shards_[shard_of(id)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.entries.find(id);
     if (it == shard.entries.end()) return false;
     if (it->second.cache != nullptr) {
@@ -269,7 +269,7 @@ bool DocumentStore::Remove(DocumentId id) {
 
 std::shared_ptr<AxisCache> DocumentStore::AxisCacheFor(DocumentId id) {
   Shard& shard = *shards_[shard_of(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) return nullptr;
   Entry& entry = it->second;
@@ -298,7 +298,7 @@ std::shared_ptr<AxisCache> DocumentStore::AxisCacheFor(DocumentId id) {
 
 std::shared_ptr<PlanMemo> DocumentStore::PlanMemoFor(DocumentId id) const {
   const Shard& shard = *shards_[shard_of(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(id);
   return it == shard.entries.end() ? nullptr : it->second.plans;
 }
@@ -306,7 +306,7 @@ std::shared_ptr<PlanMemo> DocumentStore::PlanMemoFor(DocumentId id) const {
 std::shared_ptr<ppl::RelationCache> DocumentStore::RelationCacheFor(
     DocumentId id) const {
   const Shard& shard = *shards_[shard_of(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(id);
   return it == shard.entries.end() ? nullptr : it->second.relations;
 }
@@ -326,7 +326,7 @@ void DocumentStore::EnforceHotBoundLocked(Shard& shard) {
 std::size_t DocumentStore::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->entries.size();
   }
   return total;
@@ -365,13 +365,13 @@ std::vector<DocumentStoreStats> DocumentStore::shard_stats() const {
   std::vector<DocumentStoreStats> all;
   all.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     all.push_back(SnapshotShardStats(*shard));
   }
   // Intern hits are store-wide (the index is not sharded); report them on
   // shard 0 so the aggregate sum matches stats().
   {
-    std::lock_guard<std::mutex> intern_lock(intern_mu_);
+    MutexLock intern_lock(intern_mu_);
     all[0].intern_hits = intern_hits_;
   }
   return all;
@@ -405,7 +405,7 @@ Status DocumentStore::SaveSnapshot(const std::string& dir) {
   SnapshotManifest manifest;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto& [id, entry] : shard.entries) {
       if (entry.doc == nullptr && entry.on_disk &&
           dir == options_.spill_dir) {
@@ -463,7 +463,7 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenSnapshot(
       // beats persisting it (it can be nearly as large as the tree).
       entry.intern_key = InternKey(entry.doc->tree());
     }
-    std::lock_guard<std::mutex> intern_lock(store->intern_mu_);
+    MutexLock intern_lock(store->intern_mu_);
     if (!entry.intern_key.empty()) {
       auto [it, inserted] =
           store->intern_index_.emplace(entry.intern_key, id);
@@ -474,7 +474,7 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenSnapshot(
                                 std::to_string(id) + ")");
       }
     }
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     entry.lru_it = shard.lru.end();
     entry.res_it = shard.resident.end();
     auto [it, inserted] = shard.entries.emplace(id, std::move(entry));

@@ -56,13 +56,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/planner.h"
 #include "ppl/relation_cache.h"
 #include "tree/axis_cache.h"
@@ -74,6 +75,13 @@ namespace xpv::engine {
 /// (a QueryJob addressing a raw Tree* instead).
 using DocumentId = std::uint64_t;
 inline constexpr DocumentId kNoDocument = 0;
+
+/// Lock-order anchor for the store's documented global acquisition
+/// order: the intern-index mutex is ACQUIRED_BEFORE this token, every
+/// shard mutex ACQUIRED_AFTER it (per-shard mutexes live behind
+/// unique_ptrs, so the two sides cannot name each other directly --
+/// see common/mutex.h). Machine-readable form of "intern -> shard".
+inline LockOrderToken kInternBeforeShardOrder;
 
 /// An immutable named tree in the corpus. Always held behind
 /// shared_ptr<const Document>; the tree address is stable for the
@@ -292,50 +300,59 @@ class DocumentStore {
   };
 
   /// One independent slice of the corpus: its own mutex, documents, hot
-  /// LRU budget, and counters. Never holds another shard's mutex.
+  /// LRU budget, and counters. Never holds another shard's mutex; nests
+  /// inside intern_mu_ when both are taken (kInternBeforeShardOrder).
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<DocumentId, Entry> entries;
+    mutable Mutex mu XPV_ACQUIRED_AFTER(kInternBeforeShardOrder);
+    std::unordered_map<DocumentId, Entry> entries XPV_GUARDED_BY(mu);
     /// Documents with a hot cache, most recently used first.
-    std::list<DocumentId> lru;
+    std::list<DocumentId> lru XPV_GUARDED_BY(mu);
     /// Documents with a resident Tree, most recently touched first.
-    std::list<DocumentId> resident;
+    std::list<DocumentId> resident XPV_GUARDED_BY(mu);
     /// This shard's slice of max_hot_caches (remainder spread over the
     /// first shards so the whole configured budget is usable). 0 =
-    /// unbounded.
+    /// unbounded. Set before the store is published, then read-only --
+    /// not guarded (the constructor writes it without the lock).
     std::size_t hot_budget = 0;
-    /// This shard's slice of max_resident_docs; 0 = unbounded.
+    /// This shard's slice of max_resident_docs; 0 = unbounded. Same
+    /// const-after-construction contract as hot_budget.
     std::size_t resident_budget = 0;
-    DocumentStoreStats stats;  // counters only; gauges derived on read
+    /// Counters only; gauges derived on read.
+    DocumentStoreStats stats XPV_GUARDED_BY(mu);
   };
 
   /// Builds an Entry and stores it into `id`'s shard under its mutex.
   void Store(DocumentId id, std::string name, Tree tree,
              std::string intern_key);
   /// Drops LRU-tail caches until the shard's hot budget holds.
-  void EnforceHotBoundLocked(Shard& shard);
+  void EnforceHotBoundLocked(Shard& shard) XPV_REQUIRES(shard.mu);
   /// Spills resident-LRU-tail documents (skipping pinned ones) until the
   /// shard's residency budget holds or no document is spillable.
-  void EnforceResidencyLocked(Shard& shard);
+  void EnforceResidencyLocked(Shard& shard) XPV_REQUIRES(shard.mu);
   /// Marks `id`'s Tree resident / recently used in its shard's LRU.
-  void TouchResidentLocked(Shard& shard, DocumentId id, Entry& entry);
+  void TouchResidentLocked(Shard& shard, DocumentId id, Entry& entry)
+      XPV_REQUIRES(shard.mu);
   /// Fault-in of a possibly spilled entry; `shard.mu` must be held.
-  Result<DocumentPtr> FaultInLocked(Shard& shard, DocumentId id, Entry& entry);
+  Result<DocumentPtr> FaultInLocked(Shard& shard, DocumentId id, Entry& entry)
+      XPV_REQUIRES(shard.mu);
   /// Path of `id`'s segment inside spill_dir.
   std::string SpillPath(DocumentId id) const;
   /// Gauge-completed snapshot of one shard's stats.
-  DocumentStoreStats SnapshotShardStats(const Shard& shard) const;
+  DocumentStoreStats SnapshotShardStats(const Shard& shard) const
+      XPV_REQUIRES(shard.mu);
 
   const DocumentStoreOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Globally monotone id allocator; fresh documents round-robin across
   /// shards because shard_of(id) is id % num_shards.
   std::atomic<DocumentId> next_id_{1};
+  /// Guards the intern index; ordered before any shard mutex (Intern and
+  /// Remove both nest shard.mu inside it).
+  mutable Mutex intern_mu_ XPV_ACQUIRED_BEFORE(kInternBeforeShardOrder);
   /// Structural key (pre-order depth + length-prefixed labels) -> id.
-  /// Guarded by intern_mu_; ordered before any shard mutex.
-  mutable std::mutex intern_mu_;
-  std::unordered_map<std::string, DocumentId> intern_index_;
-  std::uint64_t intern_hits_ = 0;  // guarded by intern_mu_
+  std::unordered_map<std::string, DocumentId> intern_index_
+      XPV_GUARDED_BY(intern_mu_);
+  std::uint64_t intern_hits_ XPV_GUARDED_BY(intern_mu_) = 0;
 };
 
 }  // namespace xpv::engine

@@ -663,7 +663,7 @@ bool PlanRequiresDenseRelation(const CompiledQuery& q,
 std::optional<ExecutionPlan> PlanMemo::Lookup(std::string_view text,
                                               ResultShape shape) const {
   const std::string key = Key(text, shape);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = plans_.find(key);
   if (it == plans_.end()) {
     ++misses_;
@@ -676,23 +676,23 @@ std::optional<ExecutionPlan> PlanMemo::Lookup(std::string_view text,
 void PlanMemo::Insert(std::string_view text, ResultShape shape,
                       const ExecutionPlan& plan) {
   std::string key = Key(text, shape);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (plans_.size() >= max_entries_ && !plans_.contains(key)) return;
   plans_.emplace(std::move(key), plan);
 }
 
 std::size_t PlanMemo::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return plans_.size();
 }
 
 std::uint64_t PlanMemo::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 std::uint64_t PlanMemo::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 

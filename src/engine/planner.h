@@ -40,13 +40,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/sparse_matrix.h"
+#include "common/thread_annotations.h"
 #include "engine/compiled_query.h"
 #include "ppl/pplbin.h"
 #include "tree/tree.h"
@@ -215,19 +216,20 @@ class PlanMemo {
 
   /// The memoized plan, or nullopt on a miss.
   std::optional<ExecutionPlan> Lookup(std::string_view text,
-                                      ResultShape shape) const;
+                                      ResultShape shape) const
+      XPV_EXCLUDES(mu_);
   void Insert(std::string_view text, ResultShape shape,
-              const ExecutionPlan& plan);
+              const ExecutionPlan& plan) XPV_EXCLUDES(mu_);
 
   /// Lookup-or-plan in one step: builds the key once and runs `compute`
   /// outside the lock on a miss (plans are deterministic, so a racing
   /// duplicate computation is harmless). The serving hot path.
   template <typename Fn>
   ExecutionPlan GetOrCompute(std::string_view text, ResultShape shape,
-                             Fn&& compute) {
+                             Fn&& compute) XPV_EXCLUDES(mu_) {
     std::string key = Key(text, shape);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = plans_.find(key);
       if (it != plans_.end()) {
         ++hits_;
@@ -236,25 +238,25 @@ class PlanMemo {
       ++misses_;
     }
     ExecutionPlan plan = compute();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (plans_.size() < max_entries_ || plans_.contains(key)) {
       plans_.emplace(std::move(key), plan);
     }
     return plan;
   }
 
-  std::size_t size() const;
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
+  std::size_t size() const XPV_EXCLUDES(mu_);
+  std::uint64_t hits() const XPV_EXCLUDES(mu_);
+  std::uint64_t misses() const XPV_EXCLUDES(mu_);
 
  private:
   static std::string Key(std::string_view text, ResultShape shape);
 
   const std::size_t max_entries_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, ExecutionPlan> plans_;
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, ExecutionPlan> plans_ XPV_GUARDED_BY(mu_);
+  mutable std::uint64_t hits_ XPV_GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t misses_ XPV_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace xpv::engine

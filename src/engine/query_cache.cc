@@ -7,7 +7,7 @@ namespace xpv::engine {
 Result<std::shared_ptr<const CompiledQuery>> QueryCache::GetOrCompile(
     std::string_view text) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::string key(text);
     auto alias = aliases_.find(key);
     auto it = entries_.find(alias == aliases_.end() ? key : alias->second);
@@ -21,7 +21,7 @@ Result<std::shared_ptr<const CompiledQuery>> QueryCache::GetOrCompile(
   // same text twice, but both produce equivalent immutable results and the
   // first insert wins.
   Result<std::shared_ptr<const CompiledQuery>> compiled = CompileQuery(text);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++misses_;
   // Successes are stored under the canonical text so every raw variant
   // shares one entry; failures have no canonical form and key by raw.
@@ -45,22 +45,22 @@ Result<std::shared_ptr<const CompiledQuery>> QueryCache::GetOrCompile(
 }
 
 std::size_t QueryCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::size_t QueryCache::aliases() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return aliases_.size();
 }
 
 std::size_t QueryCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 std::size_t QueryCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 

@@ -19,12 +19,13 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/compiled_query.h"
 
 namespace xpv::engine {
@@ -47,19 +48,19 @@ class QueryCache {
 
   /// The compiled form of `text`, compiling on first sight.
   Result<std::shared_ptr<const CompiledQuery>> GetOrCompile(
-      std::string_view text);
+      std::string_view text) XPV_EXCLUDES(mu_);
 
   /// Number of cached canonical entries (successes + failures). Aliased
   /// raw variants do not add entries: after compiling "a/b" and
   /// " a / b ", size() is 1.
-  std::size_t size() const;
+  std::size_t size() const XPV_EXCLUDES(mu_);
   /// Raw texts aliased onto a canonical entry (excluding raw texts that
   /// equal their canonical form).
-  std::size_t aliases() const;
+  std::size_t aliases() const XPV_EXCLUDES(mu_);
   /// Hits = lookups served from the cache (by canonical entry or alias);
   /// misses = compilations.
-  std::size_t hits() const;
-  std::size_t misses() const;
+  std::size_t hits() const XPV_EXCLUDES(mu_);
+  std::size_t misses() const XPV_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -67,14 +68,14 @@ class QueryCache {
     Status error;
   };
 
-  mutable std::mutex mu_;
-  std::size_t max_entries_;
+  mutable Mutex mu_;
+  const std::size_t max_entries_;
   /// Canonical text (raw text for failures) -> compiled entry.
-  std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, Entry> entries_ XPV_GUARDED_BY(mu_);
   /// Raw text -> canonical text, for raw texts that differ from it.
-  std::unordered_map<std::string, std::string> aliases_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  std::unordered_map<std::string, std::string> aliases_ XPV_GUARDED_BY(mu_);
+  std::size_t hits_ XPV_GUARDED_BY(mu_) = 0;
+  std::size_t misses_ XPV_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace xpv::engine

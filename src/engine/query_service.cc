@@ -59,9 +59,9 @@ struct BatchState {
   std::atomic<std::size_t> remaining_workers{0};
 
   // Completion.
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
+  Mutex mu;
+  CondVar cv;
+  bool done XPV_GUARDED_BY(mu) = false;
 };
 
 }  // namespace internal
@@ -94,14 +94,14 @@ void FinishMonadic(QueryResult& result, ResultShape shape, BitVector image) {
 
 bool BatchHandle::done() const {
   if (state_ == nullptr) return false;
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->done;
 }
 
 std::vector<QueryResult> BatchHandle::Wait() {
   if (state_ == nullptr) return {};
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [&] { return state_->done; });
+  MutexLock lock(state_->mu);
+  while (!state_->done) state_->cv.Wait(lock);
   return std::move(state_->results);
 }
 
@@ -128,10 +128,10 @@ QueryService::QueryService(QueryServiceOptions options)
 
 QueryService::~QueryService() {
   {
-    std::lock_guard<std::mutex> lock(adm_->mu);
+    MutexLock lock(adm_->mu);
     stopping_ = true;
   }
-  adm_->cv.notify_all();
+  adm_->cv.NotifyAll();
   // The dispatcher drains the queue before exiting (accepted batches are
   // never lost); pool_'s destructor then joins the workers, finishing any
   // batch still in flight before the admission state is destroyed.
@@ -579,17 +579,17 @@ void QueryService::FinishRun(BatchState& run) {
   // returning from Wait() observes stats() with this batch completed.
   if (run.admitted) {
     {
-      std::lock_guard<std::mutex> lock(adm_->mu);
+      MutexLock lock(adm_->mu);
       --adm_->inflight_batches;
       ++batches_completed_;
     }
-    adm_->cv.notify_all();
+    adm_->cv.NotifyAll();
   }
   {
-    std::lock_guard<std::mutex> lock(run.mu);
+    MutexLock lock(run.mu);
     run.done = true;
   }
-  run.cv.notify_all();
+  run.cv.NotifyAll();
 }
 
 void QueryService::ExecuteRun(std::shared_ptr<BatchState> run) {
@@ -623,8 +623,8 @@ std::vector<QueryResult> QueryService::EvaluateBatch(
   run->jobs = &jobs;  // caller-owned; we block below until the run is done
   PrepareRun(*run);
   ExecuteRun(run);
-  std::unique_lock<std::mutex> lock(run->mu);
-  run->cv.wait(lock, [&] { return run->done; });
+  MutexLock lock(run->mu);
+  while (!run->done) run->cv.Wait(lock);
   return std::move(run->results);
 }
 
@@ -636,7 +636,7 @@ Result<BatchHandle> QueryService::TrySubmit(std::vector<QueryJob> jobs,
   state->deadline = options.deadline;
   state->admitted = true;
   {
-    std::lock_guard<std::mutex> lock(adm_->mu);
+    MutexLock lock(adm_->mu);
     if (stopping_) {
       ++batches_rejected_;
       return Status::Overloaded("service is shutting down");
@@ -652,7 +652,7 @@ Result<BatchHandle> QueryService::TrySubmit(std::vector<QueryJob> jobs,
     adm_queue_.push_back(state);
     ++batches_accepted_;
   }
-  adm_->cv.notify_all();
+  adm_->cv.NotifyAll();
   return BatchHandle(std::move(state));
 }
 
@@ -722,7 +722,7 @@ Result<QueryStream> QueryService::OpenStreamImpl(
   // Take one inflight slot; never block. An open stream is admitted load
   // exactly like a running batch.
   {
-    std::lock_guard<std::mutex> lock(adm_->mu);
+    MutexLock lock(adm_->mu);
     if (stopping_) {
       return Status::Overloaded("service is shutting down");
     }
@@ -755,39 +755,42 @@ Result<QueryStream> QueryService::OpenStreamImpl(
 }
 
 void QueryService::DispatcherLoop() {
-  std::unique_lock<std::mutex> lock(adm_->mu);
+  MutexLock lock(adm_->mu);
   while (true) {
-    adm_->cv.wait(lock, [&] {
-      // Open streams count against the inflight bound -- except during
-      // shutdown: a stream the caller still holds may never close (it
-      // cannot while the caller is blocked in ~QueryService), and the
-      // destructor's "accepted batches always drain" contract must win
-      // over the stream's slot, so stopping admission ignores streams.
+    // Open streams count against the inflight bound -- except during
+    // shutdown: a stream the caller still holds may never close (it
+    // cannot while the caller is blocked in ~QueryService), and the
+    // destructor's "accepted batches always drain" contract must win
+    // over the stream's slot, so stopping admission ignores streams.
+    // (Explicit wait loop rather than the predicate overload: the
+    // thread-safety analysis cannot see guarded reads inside a lambda.)
+    while (true) {
       const std::size_t occupied =
           adm_->inflight_batches + (stopping_ ? 0 : adm_->open_streams);
       const bool can_admit =
           !adm_queue_.empty() &&
           (max_inflight_batches_ == 0 || occupied < max_inflight_batches_);
-      return can_admit || (stopping_ && adm_queue_.empty());
-    });
+      if (can_admit || (stopping_ && adm_queue_.empty())) break;
+      adm_->cv.Wait(lock);
+    }
     if (adm_queue_.empty()) return;  // only reachable when stopping
     std::shared_ptr<BatchState> state = std::move(adm_queue_.front());
     adm_queue_.pop_front();
     ++adm_->inflight_batches;
-    lock.unlock();
+    lock.Unlock();
     // Preparation (store lookups, cache resolution) happens outside
     // adm_mu_ so TrySubmit callers are never blocked behind it. With no
     // pool this runs the whole batch inline on the dispatcher thread.
     PrepareRun(*state);
     ExecuteRun(std::move(state));
-    lock.lock();
+    lock.Relock();
   }
 }
 
 ServiceStats QueryService::stats() const {
   ServiceStats s;
   {
-    std::lock_guard<std::mutex> lock(adm_->mu);
+    MutexLock lock(adm_->mu);
     s.batches_accepted = batches_accepted_;
     s.batches_rejected = batches_rejected_;
     s.batches_completed = batches_completed_;

@@ -60,12 +60,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -74,7 +72,9 @@
 
 #include "common/bit_matrix.h"
 #include "common/cancel.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/compiled_query.h"
 #include "engine/document_store.h"
 #include "engine/planner.h"
@@ -403,11 +403,12 @@ class QueryService {
   const std::size_t max_inflight_batches_;
   const std::shared_ptr<internal::AdmissionShared> adm_ =
       std::make_shared<internal::AdmissionShared>();
-  std::deque<std::shared_ptr<internal::BatchState>> adm_queue_;
-  bool stopping_ = false;
-  std::uint64_t batches_accepted_ = 0;
-  std::uint64_t batches_rejected_ = 0;
-  std::uint64_t batches_completed_ = 0;
+  std::deque<std::shared_ptr<internal::BatchState>> adm_queue_
+      XPV_GUARDED_BY(adm_->mu);
+  bool stopping_ XPV_GUARDED_BY(adm_->mu) = false;
+  std::uint64_t batches_accepted_ XPV_GUARDED_BY(adm_->mu) = 0;
+  std::uint64_t batches_rejected_ XPV_GUARDED_BY(adm_->mu) = 0;
+  std::uint64_t batches_completed_ XPV_GUARDED_BY(adm_->mu) = 0;
   std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> jobs_cancelled_{0};
   std::atomic<std::uint64_t> jobs_deadline_exceeded_{0};

@@ -22,12 +22,12 @@ void StreamState::ReleaseResources() {
   tree = nullptr;
   if (!slot_released && adm != nullptr) {
     {
-      std::lock_guard<std::mutex> lock(adm->mu);
+      MutexLock lock(adm->mu);
       --adm->open_streams;
       ++adm->streams_closed;
     }
     // The dispatcher may now admit a queued batch into the freed slot.
-    adm->cv.notify_all();
+    adm->cv.NotifyAll();
   }
   slot_released = true;
 }

@@ -57,15 +57,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/compiled_query.h"
 #include "engine/document_store.h"
 #include "engine/planner.h"
@@ -187,15 +187,15 @@ namespace internal {
 /// mutex/cv/counters live behind a shared_ptr rather than in the
 /// service object itself.
 struct AdmissionShared {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   /// Admitted batches currently executing.
-  std::size_t inflight_batches = 0;
+  std::size_t inflight_batches XPV_GUARDED_BY(mu) = 0;
   /// Open streams holding an inflight slot (released on close,
   /// exhaustion, or failure).
-  std::size_t open_streams = 0;
-  std::uint64_t streams_opened = 0;
-  std::uint64_t streams_closed = 0;
+  std::size_t open_streams XPV_GUARDED_BY(mu) = 0;
+  std::uint64_t streams_opened XPV_GUARDED_BY(mu) = 0;
+  std::uint64_t streams_closed XPV_GUARDED_BY(mu) = 0;
   /// Tuples delivered across all streams (relaxed; monitoring only).
   std::atomic<std::uint64_t> stream_tuples{0};
 };

@@ -8,13 +8,14 @@
 #ifndef XPV_ENGINE_THREAD_POOL_H_
 #define XPV_ENGINE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xpv::engine {
 
@@ -31,15 +32,17 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueues a job; runs on some worker thread.
-  void Submit(std::function<void()> job);
+  void Submit(std::function<void()> job) XPV_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() XPV_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ XPV_GUARDED_BY(mu_);
+  bool stopping_ XPV_GUARDED_BY(mu_) = false;
+  /// Started in the constructor, joined by the destructor; never
+  /// mutated in between, so no lock guards it.
   std::vector<std::thread> workers_;
 };
 

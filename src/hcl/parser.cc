@@ -138,7 +138,21 @@ class Parser {
                                    std::to_string(Peek().offset));
   }
 
+  /// Nesting bound over the parenthesized recursion: "((((..."
+  /// otherwise recurses once per character and overflows the stack
+  /// (found by fuzz_hcl_parser; fuzz/corpus/ keeps the reproducers).
+  static constexpr int kMaxNestingDepth = 200;
+  struct DepthGuard {
+    explicit DepthGuard(int& d) : depth(d) { ++depth; }
+    ~DepthGuard() { --depth; }
+    int& depth;
+  };
+
   Result<HclPtr> ParseUnion() {
+    DepthGuard guard(depth_);
+    if (depth_ > kMaxNestingDepth) {
+      return ErrorHere("expression nests too deeply");
+    }
     XPV_ASSIGN_OR_RETURN(HclPtr left, ParseCompose());
     while (Peek().kind == Tok::kName && Peek().text == "u") {
       Take();
@@ -213,6 +227,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t index_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

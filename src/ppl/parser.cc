@@ -137,7 +137,22 @@ class Parser {
                                    std::to_string(Peek().offset));
   }
 
+  /// Nesting bound over the recursive productions: "((((..." and
+  /// "except except except ..." otherwise recurse once per token and
+  /// overflow the stack (found by fuzz_ppl_parser; fuzz/corpus/ keeps
+  /// the reproducers).
+  static constexpr int kMaxNestingDepth = 200;
+  struct DepthGuard {
+    explicit DepthGuard(int& d) : depth(d) { ++depth; }
+    ~DepthGuard() { --depth; }
+    int& depth;
+  };
+
   Result<PplBinPtr> ParseUnion() {
+    DepthGuard guard(depth_);
+    if (depth_ > kMaxNestingDepth) {
+      return ErrorHere("expression nests too deeply");
+    }
     XPV_ASSIGN_OR_RETURN(PplBinPtr left, ParseCompose());
     while (TryTakeKeyword("union")) {
       XPV_ASSIGN_OR_RETURN(PplBinPtr right, ParseCompose());
@@ -156,6 +171,10 @@ class Parser {
   }
 
   Result<PplBinPtr> ParsePrefix() {
+    DepthGuard guard(depth_);
+    if (depth_ > kMaxNestingDepth) {
+      return ErrorHere("expression nests too deeply");
+    }
     if (TryTakeKeyword("except")) {
       XPV_ASSIGN_OR_RETURN(PplBinPtr inner, ParsePrefix());
       return PplBinExpr::Complement(std::move(inner));
@@ -207,6 +226,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t index_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -23,7 +23,7 @@ std::size_t RelationCache::EntryBytes(const std::string& key,
 }
 
 std::shared_ptr<const AnyMatrix> RelationCache::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -39,7 +39,7 @@ void RelationCache::Put(const std::string& key,
   if (value == nullptr) return;
   const std::size_t bytes = EntryBytes(key, *value);
   if (bytes > max_bytes_) return;  // would evict everything for nothing
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     // Refresh: racing producers computed the same immutable relation;
@@ -74,7 +74,7 @@ void RelationCache::EvictToBudgetLocked() {
 }
 
 RelationCacheStats RelationCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RelationCacheStats s;
   s.hits = hits_;
   s.misses = misses_;

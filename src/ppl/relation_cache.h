@@ -27,11 +27,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "ppl/matrix_engine.h"
 
 namespace xpv::ppl {
@@ -67,16 +68,18 @@ class RelationCache {
 
   /// The cached relation, or null on a miss. A hit moves the entry to
   /// the front of the LRU.
-  std::shared_ptr<const AnyMatrix> Get(const std::string& key);
+  std::shared_ptr<const AnyMatrix> Get(const std::string& key)
+      XPV_EXCLUDES(mu_);
 
   /// Inserts (or refreshes) `value` under `key`, then evicts LRU-tail
   /// entries until the resident bytes fit the budget again. A value
   /// larger than the whole budget is not inserted (it would evict
   /// everything and then be evicted itself on the next insert).
-  void Put(const std::string& key, std::shared_ptr<const AnyMatrix> value);
+  void Put(const std::string& key, std::shared_ptr<const AnyMatrix> value)
+      XPV_EXCLUDES(mu_);
 
   std::size_t max_bytes() const { return max_bytes_; }
-  RelationCacheStats stats() const;
+  RelationCacheStats stats() const XPV_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -90,17 +93,18 @@ class RelationCache {
   /// overhead, so the budget tracks real memory, not just payload.
   static std::size_t EntryBytes(const std::string& key, const AnyMatrix& m);
 
-  void EvictToBudgetLocked();
+  void EvictToBudgetLocked() XPV_REQUIRES(mu_);
 
   const std::size_t max_bytes_;
-  mutable std::mutex mu_;
-  std::list<std::string> lru_;  // most recently used first
-  std::unordered_map<std::string, Entry> entries_;
-  std::size_t resident_bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t insertions_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable Mutex mu_;
+  /// Most recently used first.
+  std::list<std::string> lru_ XPV_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Entry> entries_ XPV_GUARDED_BY(mu_);
+  std::size_t resident_bytes_ XPV_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ XPV_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ XPV_GUARDED_BY(mu_) = 0;
+  std::uint64_t insertions_ XPV_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ XPV_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace xpv::ppl

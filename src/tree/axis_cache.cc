@@ -94,7 +94,7 @@ Result<SparseBoolMatrix> AxisCache::SparseStep(Axis axis,
 
 const BitVector& AxisCache::Labels(const std::string& name_test) {
   const std::string key = name_test == "*" ? std::string() : name_test;
-  std::lock_guard<std::mutex> lock(label_mu_);
+  MutexLock lock(label_mu_);
   auto it = labels_.find(key);
   if (it == labels_.end()) {
     it = labels_.emplace(key, LabelSet(tree_, key)).first;

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "common/bit_matrix.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/bool_matrix.h"
 #include "common/sparse_matrix.h"
 #include "common/status.h"
@@ -100,8 +102,10 @@ class AxisCache {
   }
 
   /// lab_N(t) for the given name test (empty or "*" = all nodes), computed
-  /// on first use.
-  const BitVector& Labels(const std::string& name_test);
+  /// on first use. The returned reference is node-stable and immutable
+  /// once published, so reading it after the lock is dropped is safe.
+  const BitVector& Labels(const std::string& name_test)
+      XPV_EXCLUDES(label_mu_);
 
   /// The masked step relation M_{axis::name_test} as a CSR run list,
   /// built directly from the cached axis relation's rows intersected with
@@ -158,14 +162,19 @@ class AxisCache {
   std::atomic<std::size_t> matrices_installed_{0};
   std::atomic<std::size_t> label_sets_built_{0};
   std::atomic<std::size_t> label_bytes_{0};
+  /// The per-axis slots are not mutex-guarded: axis_storage_ is written
+  /// exactly once inside the call_once below, then published into axis_
+  /// with release semantics -- std::once_flag is the synchronization.
   std::array<std::once_flag, kAllAxes.size()> axis_once_;
   /// Owning storage, written once inside the call_once...
   std::array<std::unique_ptr<const BoolMatrix>, kAllAxes.size()> axis_storage_;
   /// ...then published here with release semantics; readers (Matrix and
   /// the stats) only ever see fully built entries.
   std::array<std::atomic<const BoolMatrix*>, kAllAxes.size()> axis_;
-  std::mutex label_mu_;
-  std::map<std::string, BitVector> labels_;  // node-stable addresses
+  Mutex label_mu_;
+  /// Node-stable addresses; entries are write-once, so references handed
+  /// out by Labels() stay valid and immutable after the lock is dropped.
+  std::map<std::string, BitVector> labels_ XPV_GUARDED_BY(label_mu_);
 };
 
 }  // namespace xpv

@@ -137,6 +137,11 @@ Result<Tree> TreeIo::DecodeTree(ByteReader& r) {
   Tree tree;
   XPV_ASSIGN_OR_RETURN(const std::uint64_t n64, r.U64());
   if (n64 > kMaxNodes) return Corrupt("node count out of range");
+  // Each node contributes at least the 9 mandatory u32 arrays below, so a
+  // claimed count beyond the remaining payload is corrupt -- reject it
+  // BEFORE the alphabet reserve, or a 16-byte input claiming 2^31 nodes
+  // provokes a multi-gigabyte allocation (found by fuzz_tree_decode).
+  if (n64 > r.remaining()) return Corrupt("node count exceeds payload");
   const std::size_t n = static_cast<std::size_t>(n64);
   XPV_ASSIGN_OR_RETURN(const std::uint32_t alphabet, r.U32());
   // Every label occurs at least once, so the alphabet never exceeds n.

@@ -180,8 +180,24 @@ class Parser {
     return Status::OK();
   }
 
+  /// Nesting bound shared by the two mutually recursive entry points:
+  /// inputs like "((((..." or "not(not(not(..." otherwise recurse once
+  /// per character and overflow the stack (found by fuzz_xpath_parser;
+  /// fuzz/corpus/ keeps the reproducers). Deep *iterative* chains
+  /// (a/b/c/..., unions) are unaffected -- they loop, not recurse.
+  static constexpr int kMaxNestingDepth = 200;
+  struct DepthGuard {
+    explicit DepthGuard(int& d) : depth(d) { ++depth; }
+    ~DepthGuard() { --depth; }
+    int& depth;
+  };
+
   // PathExpr := for-expr | union-expr
   Result<PathPtr> ParsePathExpr() {
+    DepthGuard guard(depth_);
+    if (depth_ > kMaxNestingDepth) {
+      return ErrorHere("expression nests too deeply");
+    }
     if (IsKeyword(Peek(), "for")) return ParseForExpr();
     return ParseUnionExpr();
   }
@@ -370,6 +386,10 @@ class Parser {
 
   // TestExpr := or-test
   Result<TestPtr> ParseTestExpr() {
+    DepthGuard guard(depth_);
+    if (depth_ > kMaxNestingDepth) {
+      return ErrorHere("expression nests too deeply");
+    }
     XPV_ASSIGN_OR_RETURN(TestPtr left, ParseAndTest());
     while (TryTakeKeyword("or")) {
       XPV_ASSIGN_OR_RETURN(TestPtr right, ParseAndTest());
@@ -453,6 +473,7 @@ class Parser {
   std::vector<Token> tokens_;
   bool abbreviated_ = false;
   std::size_t index_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -123,6 +123,13 @@ def scanned_headers():
     headers.append(REPO / "src" / "tree" / "tree_io.h")
     headers.append(REPO / "src" / "ppl" / "canonical.h")
     headers.append(REPO / "src" / "ppl" / "relation_cache.h")
+    # Concurrency primitives: every public type here must appear in the
+    # ARCHITECTURE.md "Concurrency contracts" section.
+    headers.append(REPO / "src" / "common" / "mutex.h")
+    headers.append(REPO / "src" / "common" / "thread_annotations.h")
+    # Fuzzing subsystem: the harness contract header is documentation
+    # too -- its types must be described alongside the rest.
+    headers.append(REPO / "fuzz" / "fuzz_driver.h")
     return [h for h in headers if h.exists()]
 
 

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over src/ using the repo .clang-tidy profile.
+
+Usage:
+    tools/run_clang_tidy.py [--build-dir BUILD] [--jobs N] [PATH ...]
+
+BUILD must have been configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+(the CI clang-tidy job does; locally add it to any cmake invocation).
+PATH arguments restrict the run to matching translation units (substring
+match on the source path); the default is every src/*.cc in the compile
+database. Exits non-zero when clang-tidy reports anything -- the profile
+sets WarningsAsErrors: '*', so CI treats all findings as failures.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def find_clang_tidy() -> str:
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    sys.exit("run_clang_tidy: no clang-tidy binary on PATH")
+
+
+def sources_from_db(build_dir: str, filters: list[str]) -> list[str]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit(
+            f"run_clang_tidy: {db_path} not found -- configure the build "
+            "dir with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON")
+    with open(db_path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    sources = []
+    for entry in entries:
+        src = os.path.normpath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        rel = os.path.relpath(src, REPO_ROOT)
+        # Only first-party code: skip tests, vendored GoogleTest, and
+        # generated files pulled into the database.
+        if not rel.startswith("src" + os.sep):
+            continue
+        if filters and not any(f in rel for f in filters):
+            continue
+        sources.append(src)
+    return sorted(set(sources))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("paths", nargs="*")
+    args = parser.parse_args()
+
+    clang_tidy = find_clang_tidy()
+    sources = sources_from_db(args.build_dir, args.paths)
+    if not sources:
+        sys.exit("run_clang_tidy: no matching src/ translation units")
+
+    print(f"run_clang_tidy: {len(sources)} translation unit(s) "
+          f"with {clang_tidy}")
+
+    failures = []
+
+    def run_one(src: str) -> None:
+        proc = subprocess.run(
+            [clang_tidy, "-p", args.build_dir, "--quiet", src],
+            capture_output=True, text=True, check=False)
+        rel = os.path.relpath(src, REPO_ROOT)
+        if proc.returncode != 0 or proc.stdout.strip():
+            failures.append(rel)
+            sys.stdout.write(f"--- {rel}\n{proc.stdout}")
+            if proc.stderr.strip():
+                sys.stderr.write(proc.stderr)
+
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        list(pool.map(run_one, sources))
+
+    if failures:
+        print(f"run_clang_tidy: findings in {len(failures)} file(s)")
+        return 1
+    print("run_clang_tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
